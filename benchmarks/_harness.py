@@ -1,0 +1,48 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every experiment writes its paper-style table/series to
+``benchmarks/out/<experiment>.txt`` (and echoes it to stdout, visible
+with ``pytest -s``), so the rows survive pytest's output capturing and
+can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+from typing import Iterable, List, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def fmt(value) -> str:
+    """Compact human formatting for rationals/floats in tables."""
+    if isinstance(value, Fraction):
+        f = float(value)
+        return f"{f:.3f}".rstrip("0").rstrip(".") if f != int(f) else str(int(f))
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def report(experiment: str, title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render, print, and persist one experiment table.
+
+    Returns the rendered text (also written to ``benchmarks/out``).
+    """
+    rows = [list(map(fmt, row)) for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines) + "\n"
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{experiment}.txt"), "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return text

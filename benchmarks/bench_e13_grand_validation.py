@@ -1,0 +1,119 @@
+"""Experiment E13 (capstone): grand validation across policies.
+
+Random two-task structural sets, each analysed and simulated under every
+scheduling policy the library models:
+
+* FIFO aggregate       — fifo_rtc_delay vs the FIFO engine;
+* preemptive SP        — sp_structural_delays vs the SP engine;
+* non-preemptive SP    — blocking-aware analysis vs the NP-SP engine;
+* preemptive EDF       — edf_structural_delays vs the EDF engine;
+
+all against the adversarial rate-latency server.  Expected shape: zero
+violations anywhere, with mean bound/simulated tightness ratios close to
+1 for SP/EDF (per-job structural analyses) and moderate for the FIFO
+aggregate (a single bound covers every job of both tasks).
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.multi import fifo_rtc_delay, sp_structural_delays
+from repro.errors import UnboundedBusyWindowError, ValidationError
+from repro.minplus.builders import rate_latency
+from repro.sched.edf_delay import edf_structural_delays
+from repro.sim.engine import simulate
+from repro.sim.releases import random_behaviour
+from repro.sim.service import RateLatencyServer
+from repro.workloads.random_drt import RandomDrtConfig, random_task_set
+
+from _harness import report
+
+N_SETS = 12
+N_RUNS = 8
+CONFIG = RandomDrtConfig(
+    vertices=4,
+    branching=2.0,
+    separation_range=(10, 50),
+    deadline_factor=F(1),
+)
+
+
+def _validate_set(seed: int, stats):
+    rng = random.Random(seed)
+    tasks = random_task_set(rng, 2, F(5, 10), CONFIG)
+    beta = rate_latency(1, 2)
+    model = lambda: RateLatencyServer(1, 2)
+    priorities = {t.name: i for i, t in enumerate(tasks)}
+    try:
+        fifo_bound = fifo_rtc_delay(tasks, beta)
+        sp_bounds = sp_structural_delays(tasks, beta)
+        np_bounds = sp_structural_delays(tasks, beta, preemptive=False)
+        edf_bounds = edf_structural_delays(tasks, beta)
+    except (UnboundedBusyWindowError, ValidationError):
+        return
+    stats["sets"] += 1
+    for _ in range(N_RUNS):
+        rels = []
+        for t in tasks:
+            rels += random_behaviour(t, 200, rng, eagerness=1.0)
+        runs = {
+            "fifo": simulate(rels, model(), policy="fifo"),
+            "sp": simulate(rels, model(), policy="sp", priorities=priorities),
+            "np-sp": simulate(
+                rels, model(), policy="sp", priorities=priorities,
+                preemptive=False,
+            ),
+            "edf": simulate(rels, model(), policy="edf"),
+        }
+        stats["runs"] += 1
+        for job in runs["fifo"].jobs:
+            if job.delay > fifo_bound:
+                stats["violations"] += 1
+        stats["fifo_gap"].append(
+            float(fifo_bound / max(runs["fifo"].max_delay, F(1, 100)))
+        )
+        for label, bounds in (("sp", sp_bounds), ("np-sp", np_bounds)):
+            for job in runs[label].jobs:
+                bound = bounds[job.release.task].delay
+                if job.delay > bound:
+                    stats["violations"] += 1
+        for job in runs["edf"].jobs:
+            bound = edf_bounds.job_delays[job.release.task][job.release.job]
+            if job.delay > bound:
+                stats["violations"] += 1
+        if runs["edf"].max_delay > 0:
+            worst_bound = max(
+                max(d.values()) for d in edf_bounds.job_delays.values()
+            )
+            stats["edf_gap"].append(float(worst_bound / runs["edf"].max_delay))
+
+
+def test_bench_e13_grand_validation(benchmark):
+    stats = {
+        "sets": 0,
+        "runs": 0,
+        "violations": 0,
+        "fifo_gap": [],
+        "edf_gap": [],
+    }
+    for seed in range(N_SETS):
+        _validate_set(seed, stats)
+    mean = lambda xs: sum(xs) / len(xs) if xs else float("nan")
+    rows = [
+        ["task sets analysed", stats["sets"]],
+        ["adversarial runs x 4 policies", stats["runs"] * 4],
+        ["bound violations (any policy)", stats["violations"]],
+        ["mean FIFO bound/observed ratio", mean(stats["fifo_gap"])],
+        ["mean EDF worst-bound/observed ratio", mean(stats["edf_gap"])],
+    ]
+    report(
+        "e13_grand_validation",
+        "all analyses vs all engine policies on random 2-task sets",
+        ["metric", "value"],
+        rows,
+    )
+    assert stats["violations"] == 0
+    assert stats["sets"] >= N_SETS // 2, "too many sets rejected"
+    benchmark(lambda: _validate_set(0, dict(stats, fifo_gap=[], edf_gap=[])))

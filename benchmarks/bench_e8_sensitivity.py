@@ -1,0 +1,71 @@
+"""Experiment E8 (extension): service synthesis / sensitivity curves.
+
+For each case study: the minimal processor share meeting a sweep of
+delay budgets (the "design-space curve" an architect reads off), plus
+the latency headroom at the nominal rate.  Expected shape: the required
+rate decreases monotonically with the budget and approaches the task's
+utilization asymptotically; the latency headroom grows linearly with
+the budget once the rate term is saturated.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.delay import structural_delay
+from repro.core.sensitivity import max_service_latency, min_service_rate
+from repro.drt.utilization import utilization
+from repro.errors import AnalysisError
+from repro.minplus.builders import rate_latency
+from repro.workloads.case_studies import can_gateway
+
+from _harness import report
+
+BUDGETS = [12, 16, 24, 40, 80]
+
+
+def test_bench_e8_min_rate(benchmark):
+    task = can_gateway().task
+    rho = utilization(task)
+    rows = []
+    for budget in BUDGETS:
+        rate = min_service_rate(task, latency=4, delay_budget=budget)
+        achieved = structural_delay(task, rate_latency(rate, 4)).delay
+        rows.append([budget, float(rate), float(achieved)])
+    report(
+        "e8a_min_rate",
+        f"minimal service rate vs delay budget (CAN gateway, T=4, "
+        f"utilization {float(rho):.3f})",
+        ["delay budget", "min rate", "achieved delay"],
+        rows,
+    )
+    # Shape: monotone decreasing rate, always above utilization, and the
+    # achieved delay always meets the budget.
+    for a, b in zip(rows, rows[1:]):
+        assert b[1] <= a[1]
+    for row in rows:
+        assert row[1] > float(rho)
+        assert row[2] <= row[0]
+    benchmark(lambda: min_service_rate(task, 4, 24))
+
+
+def test_bench_e8_latency_headroom(benchmark):
+    task = can_gateway().task
+    rows = []
+    for budget in BUDGETS:
+        try:
+            lat = max_service_latency(task, rate=F(1, 2), delay_budget=budget)
+        except AnalysisError:
+            rows.append([budget, "infeasible"])
+            continue
+        rows.append([budget, float(lat)])
+    report(
+        "e8b_latency_headroom",
+        "maximal tolerable latency vs delay budget (CAN gateway, R=1/2)",
+        ["delay budget", "max latency"],
+        rows,
+    )
+    numeric = [r for r in rows if r[1] != "infeasible"]
+    for a, b in zip(numeric, numeric[1:]):
+        assert b[1] >= a[1]
+    benchmark(lambda: max_service_latency(task, F(1, 2), 24))

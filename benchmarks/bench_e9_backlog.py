@@ -1,0 +1,59 @@
+"""Experiment E9 (extension): buffer sizing across the abstraction spectrum.
+
+Worst-case backlog (buffer requirement) of the case studies under their
+native services, from the structural analysis and the coarser bounds,
+bracketed from below by simulation.  Expected shape: simulated <=
+structural == vdev(exact rbf) <= bucket bound, with the coarse bound
+charging the phantom burst.
+"""
+
+import random
+from fractions import Fraction as F
+
+from repro._numeric import Q
+
+import pytest
+
+from repro.core.backlog import structural_backlog
+from repro.core.baselines import rtc_backlog
+from repro.drt.utilization import linear_request_bound
+from repro.minplus.builders import affine
+from repro.minplus.deviation import vertical_deviation
+from repro.sim.engine import simulate
+from repro.sim.releases import random_behaviour
+from repro.workloads.case_studies import CASE_STUDIES
+
+from _harness import report
+
+
+def _row(name):
+    cs = CASE_STUDIES[name]()
+    task, beta = cs.task, cs.service
+    res = structural_backlog(task, beta)
+    rtc = rtc_backlog(task, beta)
+    burst, rho = linear_request_bound(task)
+    bucket = vertical_deviation(affine(burst, rho), beta)
+    model = cs.make_adversary()
+    rng = random.Random(hash(name) & 0xFFFF)
+    observed = F(0)
+    for _ in range(40):
+        rels = random_behaviour(task, 400, rng, eagerness=1.0)
+        sim = simulate(rels, model)
+        observed = max(observed, sim.max_backlog)
+    return [name, observed, res.backlog, rtc, bucket]
+
+
+def test_bench_e9_backlog(benchmark):
+    rows = [_row(name) for name in CASE_STUDIES]
+    report(
+        "e9_backlog",
+        "buffer bounds per analysis (work units of each scenario)",
+        ["scenario", "simulated", "structural", "vdev(rbf)", "bucket"],
+        rows,
+    )
+    for row in rows:
+        _, sim_b, struct, rtc, bucket = row
+        assert sim_b <= struct
+        assert struct == rtc  # single-task vdev theorem
+        assert struct <= bucket + Q(1, 10**9)
+    benchmark(lambda: _row("can-gateway"))

@@ -1,0 +1,95 @@
+"""Experiment E3 (Fig. 3): analysis runtime scaling.
+
+Two sweeps, matching the calibration note "slow fixpoint search on
+benchmarks":
+
+(a) runtime vs graph size at fixed utilization — the frontier grows with
+    the graph but domination pruning keeps it polynomial in practice;
+(b) runtime vs utilization at fixed size — the busy-window fixpoint
+    stretches as ``1/(R - rho)``, which dominates cost near saturation.
+
+Expected shape: (a) mild growth; (b) super-linear blow-up as utilization
+approaches the service rate — the structural analysis' price.
+"""
+
+import random
+import time
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.delay import structural_delay
+from repro.minplus.builders import rate_latency
+from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
+
+from _harness import report
+
+SIZES = [5, 10, 20, 40, 80]
+UTILS = [F(1, 10), F(3, 10), F(5, 10), F(7, 10), F(17, 20)]
+N_REPEAT = 5
+
+
+def _task(vertices: int, util: F, seed: int):
+    cfg = RandomDrtConfig(
+        vertices=vertices,
+        branching=2.0,
+        separation_range=(10, 80),
+        target_utilization=util,
+    )
+    return random_drt_task(random.Random(seed), cfg)
+
+
+def _time_one(task, beta):
+    t0 = time.perf_counter()
+    res = structural_delay(task, beta)
+    return time.perf_counter() - t0, res
+
+
+def test_bench_fig3a_size(benchmark):
+    beta = rate_latency(1, 5)
+    rows = []
+    for n in SIZES:
+        times, tuples, windows = [], [], []
+        for seed in range(N_REPEAT):
+            task = _task(n, F(4, 10), seed)
+            dt, res = _time_one(task, beta)
+            times.append(dt)
+            tuples.append(res.tuple_count)
+            windows.append(res.busy_window)
+        rows.append(
+            [n, 1000 * sum(times) / len(times), max(tuples),
+             float(max(windows))]
+        )
+    report(
+        "fig3a_runtime_vs_size",
+        "structural analysis runtime vs graph size (util 0.4, R=1, T=5)",
+        ["vertices", "mean ms", "max tuples", "max busy window"],
+        rows,
+    )
+    benchmark(lambda: _time_one(_task(20, F(4, 10), 0), beta))
+
+
+def test_bench_fig3b_utilization(benchmark):
+    beta = rate_latency(1, 5)
+    rows = []
+    for util in UTILS:
+        times, tuples, windows = [], [], []
+        for seed in range(N_REPEAT):
+            task = _task(10, util, seed)
+            dt, res = _time_one(task, beta)
+            times.append(dt)
+            tuples.append(res.tuple_count)
+            windows.append(res.busy_window)
+        rows.append(
+            [float(util), 1000 * sum(times) / len(times), max(tuples),
+             float(max(windows))]
+        )
+    report(
+        "fig3b_runtime_vs_utilization",
+        "structural analysis runtime vs utilization (10 vertices, R=1, T=5)",
+        ["utilization", "mean ms", "max tuples", "max busy window"],
+        rows,
+    )
+    # Shape: the busy window (the fixpoint) stretches with utilization.
+    assert rows[-1][3] > rows[0][3]
+    benchmark(lambda: _time_one(_task(10, F(7, 10), 0), beta))

@@ -1,0 +1,84 @@
+"""Experiment E4 (Fig. 4): delay bounds vs service pressure.
+
+The CAN-gateway workload analysed across a sweep of service
+configurations: (a) rate-latency latency sweep and (b) TDMA slot-share
+sweep at fixed frame.  Expected shapes:
+
+(a) all bounds grow affinely with the latency and keep their ordering;
+    the *absolute* gap between token-bucket and structural is roughly
+    constant (it is a burst artefact), so the *relative* gap shrinks —
+    abstraction loss matters most for tight services;
+(b) on TDMA, shrinking the slot share stretches the busy window and the
+    hull/bucket gaps persist (non-convex inverse), with bounds diverging
+    as the share approaches the utilization.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.baselines import concave_hull_delay, token_bucket_delay
+from repro.core.delay import structural_delay
+from repro.curves.service import tdma_service
+from repro.errors import UnboundedBusyWindowError
+from repro.minplus.builders import rate_latency
+from repro.workloads.case_studies import can_gateway
+
+from _harness import report
+
+LATENCIES = [0, 2, 4, 8, 16, 32]
+SLOTS = [(6, 12), (4, 12), (3, 12), (2, 12)]  # share 1/2 .. 1/6
+
+
+def test_bench_fig4a_latency(benchmark):
+    task = can_gateway().task
+    rows = []
+    for lat in LATENCIES:
+        beta = rate_latency(F(1, 2), lat)
+        s = structural_delay(task, beta).delay
+        h = concave_hull_delay(task, beta)
+        b = token_bucket_delay(task, beta)
+        rows.append([lat, s, h, b, float(b / s)])
+    report(
+        "fig4a_latency_sweep",
+        "delay bounds vs service latency (CAN gateway, R = 1/2)",
+        ["latency", "structural", "hull", "bucket", "bucket/struct"],
+        rows,
+    )
+    # Shape: bounds increase with latency; ordering preserved throughout.
+    for a, b in zip(rows, rows[1:]):
+        assert b[1] >= a[1]
+    for row in rows:
+        assert row[1] <= row[2] <= row[3]
+    # Relative abstraction loss shrinks as latency dominates.
+    assert rows[-1][4] <= rows[0][4]
+    benchmark(
+        lambda: structural_delay(task, rate_latency(F(1, 2), 8)).delay
+    )
+
+
+def test_bench_fig4b_slot_share(benchmark):
+    task = can_gateway().task
+    rows = []
+    for slot, frame in SLOTS:
+        beta = tdma_service(1, slot, frame, horizon=800)
+        try:
+            s = structural_delay(task, beta).delay
+            h = concave_hull_delay(task, beta)
+            b = token_bucket_delay(task, beta)
+            rows.append([f"{slot}/{frame}", s, h, b, float(h / s)])
+        except UnboundedBusyWindowError:
+            rows.append([f"{slot}/{frame}", "unbounded", "-", "-", "-"])
+    report(
+        "fig4b_slot_sweep",
+        "delay bounds vs TDMA slot share (CAN gateway, frame 12)",
+        ["slot", "structural", "hull", "bucket", "hull/struct"],
+        rows,
+    )
+    # Shape: shrinking share inflates every bound until saturation.
+    numeric = [r for r in rows if r[1] != "unbounded"]
+    for a, b in zip(numeric, numeric[1:]):
+        assert b[1] >= a[1]
+    benchmark(
+        lambda: structural_delay(task, tdma_service(1, 3, 12, horizon=800)).delay
+    )

@@ -1,0 +1,82 @@
+"""Experiment E1 (Table 1): delay bounds on the case studies.
+
+For each case study, every analysis in the precision spectrum plus a
+simulated lower bound from replaying the critical witness path against
+the adversarial rate-latency server.  Expected shape (paper narrative):
+
+    simulated <= structural == exact-rbf RTC < concave hull
+        <= token bucket <= sporadic (often unbounded)
+
+with the coarse abstractions saturating on the bursty case studies.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.baselines import (
+    concave_hull_delay,
+    rtc_delay,
+    sporadic_delay,
+    token_bucket_delay,
+)
+from repro.core.delay import critical_path_of, structural_delay
+from repro.errors import UnboundedBusyWindowError
+from repro.sim.engine import simulate
+from repro.sim.releases import behaviour_from_path
+from repro.workloads.case_studies import CASE_STUDIES
+
+from _harness import report
+
+
+def _row(name):
+    cs = CASE_STUDIES[name]()
+    task, beta = cs.task, cs.service
+    res = structural_delay(task, beta)
+    witness = critical_path_of(task, res)
+    observed = max(
+        simulate(behaviour_from_path(task, witness), model).max_delay
+        for model in cs.adversary_models()
+    )
+    def safe(fn):
+        try:
+            return fn(task, beta)
+        except UnboundedBusyWindowError:
+            return "unbounded"
+    return [
+        name,
+        observed,
+        res.delay,
+        safe(rtc_delay),
+        safe(concave_hull_delay),
+        safe(token_bucket_delay),
+        safe(sporadic_delay),
+        res.busy_window,
+        res.tuple_count,
+    ]
+
+
+def test_bench_table1(benchmark):
+    rows = [_row(name) for name in CASE_STUDIES]
+    report(
+        "table1_case_studies",
+        "delay bounds per analysis (time units of each scenario)",
+        ["scenario", "simulated", "structural", "rtc(rbf)", "hull", "bucket",
+         "sporadic", "busywin", "tuples"],
+        rows,
+    )
+    # Expected shape assertions.
+    for row in rows:
+        _, sim_d, struct, rtc, hull, bucket, sporadic, _, _ = row
+        assert sim_d == struct, "witness must realise the structural bound"
+        assert rtc == struct, "exact-rbf hdev must equal structural"
+        assert hull >= struct
+        assert bucket >= hull
+        if sporadic != "unbounded":
+            assert sporadic >= struct
+    # At least one scenario must break the coarse abstraction entirely.
+    assert any(row[6] == "unbounded" for row in rows)
+    # The slotted scenario separates the hull from the structural bound.
+    assert any(row[4] > row[2] for row in rows)
+    # Timing: the full-table computation.
+    benchmark(lambda: [_row(name) for name in CASE_STUDIES])

@@ -1,0 +1,107 @@
+"""Experiment E6 (Table 2): soundness & tightness validation at scale.
+
+For a batch of random tasks/services: simulate (witness replay plus
+random legal behaviours under the adversarial server) and check the
+bracket
+
+    observed max delay <= structural == rtc <= hull <= bucket
+
+on every instance; report aggregate gap statistics.  Expected shape:
+zero violations, witness replay achieving the structural bound exactly
+on every rate-latency instance.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.baselines import concave_hull_delay, rtc_delay, token_bucket_delay
+from repro.core.delay import critical_path_of, structural_delay
+from repro.errors import UnboundedBusyWindowError
+from repro.minplus.builders import rate_latency
+from repro.sim.engine import simulate
+from repro.sim.releases import behaviour_from_path, random_behaviour
+from repro.sim.service import RateLatencyServer
+from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
+
+from _harness import report
+
+N_INSTANCES = 40
+N_RANDOM_RUNS = 10
+
+
+def _instance(seed: int):
+    rng = random.Random(seed)
+    cfg = RandomDrtConfig(
+        vertices=rng.choice([4, 6, 8]),
+        branching=rng.choice([1.5, 2.0, 3.0]),
+        separation_range=(8, 50),
+        target_utilization=F(rng.randint(10, 45), 100),
+    )
+    task = random_drt_task(rng, cfg, name=f"inst{seed}")
+    latency = F(rng.randint(0, 12))
+    beta = rate_latency(1, latency)
+    return task, beta, latency
+
+
+def _validate_all():
+    checked = witness_tight = 0
+    hull_gaps, bucket_gaps = [], []
+    violations = []
+    for seed in range(N_INSTANCES):
+        task, beta, latency = _instance(seed)
+        try:
+            res = structural_delay(task, beta)
+        except UnboundedBusyWindowError:
+            continue
+        checked += 1
+        s = res.delay
+        if rtc_delay(task, beta) != s:
+            violations.append((seed, "rtc != structural"))
+        h = concave_hull_delay(task, beta)
+        b = token_bucket_delay(task, beta)
+        if not (s <= h <= b):
+            violations.append((seed, "ordering broken"))
+        hull_gaps.append(h / s if s else F(1))
+        bucket_gaps.append(b / s if s else F(1))
+        model = RateLatencyServer(1, latency)
+        witness = critical_path_of(task, res)
+        if witness is not None:
+            sim = simulate(behaviour_from_path(task, witness), model)
+            if sim.max_delay == s:
+                witness_tight += 1
+            elif sim.max_delay > s:
+                violations.append((seed, "simulation exceeds bound"))
+        rng = random.Random(seed + 10_000)
+        for _ in range(N_RANDOM_RUNS):
+            rels = random_behaviour(task, 150, rng, eagerness=0.9)
+            sim = simulate(rels, model)
+            if sim.max_delay > s:
+                violations.append((seed, "random run exceeds bound"))
+                break
+    return checked, witness_tight, hull_gaps, bucket_gaps, violations
+
+
+def test_bench_table2(benchmark):
+    checked, tight, hull_gaps, bucket_gaps, violations = _validate_all()
+    mean = lambda xs: float(sum(xs) / len(xs))
+    rows = [
+        ["instances analysed", checked],
+        ["witness replays achieving the bound", tight],
+        ["soundness violations", len(violations)],
+        ["mean hull/structural gap", mean(hull_gaps)],
+        ["max hull/structural gap", float(max(hull_gaps))],
+        ["mean bucket/structural gap", mean(bucket_gaps)],
+        ["max bucket/structural gap", float(max(bucket_gaps))],
+    ]
+    report(
+        "table2_validation",
+        f"bracket validation on {N_INSTANCES} random instances "
+        f"({N_RANDOM_RUNS} random runs each)",
+        ["metric", "value"],
+        rows,
+    )
+    assert not violations, violations
+    assert tight == checked, "every witness must realise its bound"
+    benchmark(lambda: _instance(0))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Case study: engine-position-triggered control with RPM modes.
+
+The heavy full-injection routine runs only at low RPM (long separations);
+the reduced routine runs at high RPM (short separations).  A sporadic
+model must pair the heavy WCET with the short separation — phantom
+overload.  The structure proves the pairing impossible.
+
+The example then shares the ECU between the injection task and a lower
+priority diagnostics task under static priorities, and runs the
+schedulability tests (per-job deadlines!) plus an EDF comparison.
+
+Run:  python examples/engine_control.py
+"""
+
+from fractions import Fraction
+
+import repro
+from repro.core import sp_structural_delays
+from repro.sched import edf_schedulable, sp_schedulable
+from repro.workloads import engine_control
+
+cs = engine_control()
+task = cs.task
+beta = cs.service
+
+print(f"== {cs.name} ==")
+print(f"utilization (exact, structure-aware): {repro.utilization(task)}")
+sp = repro.SporadicTask.make(
+    "naive", task.max_wcet, task.min_separation, task.max_wcet
+)
+print(f"sporadic over-approximation:          {sp.utilization} "
+      f"({'overload!' if sp.utilization > beta.tail_rate else 'ok'})")
+
+res = repro.structural_delay(task, beta)
+print(f"\nstructural worst-case delay on the ECU share: {res.delay}")
+try:
+    repro.sporadic_delay(task, beta)
+except repro.UnboundedBusyWindowError:
+    print("sporadic abstraction: unbounded — cannot analyse this system at all")
+
+# --- static-priority sharing with a diagnostics task ----------------------
+diag = repro.DRTTask.build(
+    "diagnostics",
+    jobs={"snapshot": (3, 60), "upload": (6, 120)},
+    edges=[
+        ("snapshot", "snapshot", 50),
+        ("snapshot", "upload", 100),
+        ("upload", "snapshot", 120),
+    ],
+)
+full = repro.rate_latency_service(1, 1)  # the whole ECU, 1 ms kernel latency
+
+print("\nstatic priorities: injection > diagnostics, full ECU")
+results = sp_structural_delays([task, diag], full)
+for name, r in results.items():
+    print(f"  {name}: worst-case delay {r.delay} (busy window {r.busy_window})")
+
+verdict = sp_schedulable([task, diag], full)
+print(f"  SP schedulable: {verdict.schedulable}")
+for tname, job, delay, deadline in verdict.failures:
+    print(f"    MISS {tname}/{job}: {delay} > {deadline}")
+
+edf = edf_schedulable([task, diag], full)
+print(f"  EDF schedulable: {edf.schedulable}"
+      + (f" (violation window {edf.violation_window})" if not edf.schedulable else ""))
+
+# --- mode-structure ablation ----------------------------------------------
+# Remove the structure: let the heavy job recur at the fast rate (what the
+# sporadic model implicitly assumes) and watch utilization explode.
+flat = repro.DRTTask.build(
+    "no-structure",
+    jobs={"full": (5, 10)},
+    edges=[("full", "full", 10)],
+)
+print(f"\nutilization if the heavy job could recur at the fast rate: "
+      f"{repro.utilization(flat)} vs structural {repro.utilization(task)}")
+print("the graph structure is exactly what rules this behaviour out")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: analyse a structural workload in ~40 lines.
+
+A task alternates between a light polling loop and an occasional heavy
+processing path.  We bound the worst-case delay of its jobs on a shared
+processor (rate-latency service), compare the structural bound with the
+classical abstractions, and *demonstrate* the bound by replaying the
+critical witness path in the discrete-event simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+import repro
+
+# 1. Model: vertices are job types <wcet, deadline>, edges carry minimum
+#    inter-release separations.  'poll' loops every 5 ms; occasionally the
+#    task takes the heavy branch poll -> crunch -> flush and returns.
+task = repro.DRTTask.build(
+    "quickstart",
+    jobs={"poll": (1, 5), "crunch": (3, 8), "flush": (2, 10)},
+    edges=[
+        ("poll", "poll", 5),
+        ("poll", "crunch", 10),
+        ("crunch", "flush", 8),
+        ("flush", "poll", 12),
+    ],
+)
+
+# 2. Resource: half a processor, up to 4 ms scheduling latency.
+beta = repro.rate_latency_service(Fraction(1, 2), 4)
+
+# 3. The structural delay analysis (the paper's contribution).
+result = repro.structural_delay(task, beta)
+print(f"worst-case delay (structural): {result.delay}")
+print(f"  busy-window bound:           {result.busy_window}")
+print(f"  critical request tuple:      {result.critical_tuple}")
+print(f"  Pareto tuples explored:      {result.tuple_count}")
+
+# 4. The abstraction spectrum: every coarser model costs precision.
+print(f"concave-hull abstraction:      {repro.concave_hull_delay(task, beta)}")
+print(f"token-bucket abstraction:      {repro.token_bucket_delay(task, beta)}")
+try:
+    print(f"sporadic abstraction:          {repro.sporadic_delay(task, beta)}")
+except repro.UnboundedBusyWindowError:
+    print("sporadic abstraction:          unbounded (overloads the service!)")
+
+# 5. Per-job-type delays: only the structural analysis can tell jobs apart.
+for job, delay in sorted(repro.structural_delays_per_job(task, beta).items()):
+    ok = "meets" if delay <= task.deadline(job) else "MISSES"
+    print(f"  job {job!r}: delay {delay} {ok} deadline {task.deadline(job)}")
+
+# 6. Proof by execution: replay the witness path against the adversarial
+#    rate-latency server; the observed delay equals the analytic bound.
+witness = repro.critical_path_of(task, result)
+sim = repro.simulate(
+    repro.behaviour_from_path(task, witness),
+    repro.RateLatencyServer(Fraction(1, 2), 4),
+)
+print(f"simulated witness delay:       {sim.max_delay}")
+assert sim.max_delay == result.delay, "bound must be tight"
+print("OK: simulation meets the analytic bound exactly.")

@@ -1,0 +1,172 @@
+"""Delay analysis of structural real-time workload.
+
+Reproduction of Guan, Tang, Wang, Yi, *Delay analysis of structural
+real-time workload*, DATE 2015 (see DESIGN.md for the source-text
+mismatch notice and reconstruction decisions).
+
+Quick start::
+
+    from fractions import Fraction
+    import repro
+
+    task = repro.DRTTask.build(
+        "demo",
+        jobs={"light": (1, 5), "heavy": (3, 8)},
+        edges=[("light", "light", 5), ("light", "heavy", 20),
+               ("heavy", "light", 10)],
+    )
+    beta = repro.rate_latency_service(Fraction(1, 2), 4)
+    result = repro.structural_delay(task, beta)
+    print(result.delay)
+
+The public API re-exports the main entry points of each subpackage;
+import the subpackages directly for the full surface
+(:mod:`repro.minplus`, :mod:`repro.curves`, :mod:`repro.drt`,
+:mod:`repro.core`, :mod:`repro.rtc`, :mod:`repro.sched`,
+:mod:`repro.sim`, :mod:`repro.workloads`, :mod:`repro.io`).
+"""
+
+from repro._numeric import INF, Q
+from repro.errors import (
+    AnalysisError,
+    CurveError,
+    HorizonExceededError,
+    ModelError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    UnboundedBusyWindowError,
+    ValidationError,
+)
+from repro.minplus import Curve, Segment
+from repro.curves import (
+    constant_rate_service,
+    rate_latency_service,
+    bounded_delay_service,
+    tdma_service,
+    periodic_resource_service,
+    periodic_arrival,
+    sporadic_arrival,
+    pjd_arrival,
+)
+from repro.drt import (
+    DRTTask,
+    Edge,
+    Job,
+    SporadicTask,
+    dbf_curve,
+    linear_request_bound,
+    max_cycle_ratio,
+    rbf_curve,
+    utilization,
+    validate_task,
+)
+from repro.core import (
+    DelayResult,
+    busy_window_bound,
+    critical_path_of,
+    exhaustive_delay,
+    fifo_rtc_delay,
+    leftover_service,
+    rtc_delay,
+    sp_structural_delays,
+    sporadic_delay,
+    structural_delay,
+    structural_delays_per_job,
+)
+from repro.core.baselines import concave_hull_delay, token_bucket_delay
+from repro.core import (
+    StructuralAnalysis,
+    structural_backlog,
+    output_arrival_curve,
+    min_service_rate,
+    max_service_latency,
+    max_wcet_scale,
+)
+from repro.rtc import chain_analysis, gpc
+from repro.sched import edf_schedulable, edf_structural_delays, sp_schedulable
+from repro.sim import (
+    ConstantRate,
+    RateLatencyServer,
+    TdmaServer,
+    TraceRateServer,
+    behaviour_from_path,
+    random_behaviour,
+    simulate,
+)
+from repro.workloads import CASE_STUDIES, RandomDrtConfig, random_drt_task
+from repro.io import load_task, save_task, task_to_dot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INF",
+    "Q",
+    "ReproError",
+    "CurveError",
+    "ModelError",
+    "ValidationError",
+    "AnalysisError",
+    "UnboundedBusyWindowError",
+    "HorizonExceededError",
+    "SimulationError",
+    "SerializationError",
+    "Curve",
+    "Segment",
+    "constant_rate_service",
+    "rate_latency_service",
+    "bounded_delay_service",
+    "tdma_service",
+    "periodic_resource_service",
+    "periodic_arrival",
+    "sporadic_arrival",
+    "pjd_arrival",
+    "DRTTask",
+    "Edge",
+    "Job",
+    "SporadicTask",
+    "rbf_curve",
+    "dbf_curve",
+    "utilization",
+    "max_cycle_ratio",
+    "linear_request_bound",
+    "validate_task",
+    "DelayResult",
+    "structural_delay",
+    "structural_delays_per_job",
+    "exhaustive_delay",
+    "critical_path_of",
+    "busy_window_bound",
+    "rtc_delay",
+    "sporadic_delay",
+    "token_bucket_delay",
+    "concave_hull_delay",
+    "StructuralAnalysis",
+    "structural_backlog",
+    "output_arrival_curve",
+    "min_service_rate",
+    "max_service_latency",
+    "max_wcet_scale",
+    "leftover_service",
+    "sp_structural_delays",
+    "fifo_rtc_delay",
+    "gpc",
+    "chain_analysis",
+    "edf_schedulable",
+    "edf_structural_delays",
+    "sp_schedulable",
+    "simulate",
+    "ConstantRate",
+    "RateLatencyServer",
+    "TdmaServer",
+    "TraceRateServer",
+    "behaviour_from_path",
+    "random_behaviour",
+    "CASE_STUDIES",
+    "RandomDrtConfig",
+    "random_drt_task",
+    "load_task",
+    "save_task",
+    "task_to_dot",
+    "__version__",
+]

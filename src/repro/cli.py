@@ -1,0 +1,141 @@
+"""Command-line interface: analyse a task file against a service curve.
+
+Usage::
+
+    repro-analyze task.json --rate 1/2 --latency 4
+    repro-analyze task.json --rate 1 --tdma-slot 2 --tdma-frame 8
+    python -m repro.cli task.json --rate 1/2 --latency 4 --per-job --dot g.dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from repro._numeric import Q
+from repro.core.baselines import (
+    concave_hull_delay,
+    sporadic_delay,
+    token_bucket_delay,
+)
+from repro.core.delay import structural_delay, structural_delays_per_job
+from repro.curves.service import rate_latency_service, tdma_service
+from repro.drt.utilization import linear_request_bound, utilization
+from repro.errors import ReproError, UnboundedBusyWindowError
+from repro.io.dot import task_to_dot
+from repro.io.json_io import load_task
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Worst-case delay analysis of structural real-time workload "
+            "(DATE 2015 reproduction)"
+        ),
+    )
+    parser.add_argument("task", help="task JSON file (see repro.io.json_io)")
+    parser.add_argument("--rate", required=True, help="service rate, e.g. 1/2")
+    parser.add_argument("--latency", default="0", help="service latency")
+    parser.add_argument("--tdma-slot", help="TDMA slot length (enables TDMA)")
+    parser.add_argument("--tdma-frame", help="TDMA frame length")
+    parser.add_argument(
+        "--per-job", action="store_true", help="also print per-job-type delays"
+    )
+    parser.add_argument(
+        "--baselines", action="store_true", help="also print abstraction baselines"
+    )
+    parser.add_argument(
+        "--backlog", action="store_true", help="also print the backlog bound"
+    )
+    parser.add_argument(
+        "--min-rate",
+        metavar="BUDGET",
+        help="synthesise the minimal service rate meeting this delay budget",
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="render an ASCII chart of the analysis"
+    )
+    parser.add_argument("--dot", help="write the task graph to this DOT file")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        task = load_task(args.task)
+        if args.tdma_slot:
+            if not args.tdma_frame:
+                print("error: --tdma-frame required with --tdma-slot", file=sys.stderr)
+                return 2
+            beta = tdma_service(
+                Fraction(args.rate),
+                Fraction(args.tdma_slot),
+                Fraction(args.tdma_frame),
+                horizon=Fraction(args.tdma_frame) * 64,
+            )
+        else:
+            beta = rate_latency_service(Fraction(args.rate), Fraction(args.latency))
+        print(f"task {task.name}: {len(task.jobs)} jobs, {len(task.edges)} edges")
+        burst, rho = linear_request_bound(task)
+        print(f"utilization: {utilization(task)}  linear bound: {burst} + {rho}*t")
+        result = structural_delay(task, beta)
+        print(f"structural worst-case delay: {result.delay}")
+        print(f"  busy window: {result.busy_window}")
+        print(f"  critical tuple: {result.critical_tuple}")
+        print(f"  tuples explored: {result.tuple_count}")
+        if args.per_job:
+            print("per-job delays:")
+            for job, delay in sorted(structural_delays_per_job(task, beta).items()):
+                verdict = "OK" if delay <= task.deadline(job) else "MISS"
+                print(f"  {job}: {delay} (deadline {task.deadline(job)}) {verdict}")
+        if args.baselines:
+            for label, fn in (
+                ("concave hull", concave_hull_delay),
+                ("token bucket", token_bucket_delay),
+                ("sporadic", sporadic_delay),
+            ):
+                try:
+                    print(f"{label} delay bound: {fn(task, beta)}")
+                except UnboundedBusyWindowError:
+                    print(f"{label} delay bound: unbounded (abstraction overload)")
+        if args.backlog:
+            from repro.core.backlog import structural_backlog
+
+            b = structural_backlog(task, beta)
+            print(f"worst-case backlog: {b.backlog}")
+        if args.min_rate:
+            from repro.core.sensitivity import min_service_rate
+
+            budget = Fraction(args.min_rate)
+            rate = min_service_rate(task, Fraction(args.latency), budget)
+            print(
+                f"minimal service rate for delay budget {budget} "
+                f"(latency {args.latency}): {rate} (~{float(rate):.4f})"
+            )
+        if args.plot:
+            from repro.core.busy_window import busy_window_bound
+            from repro.viz import render_delay_analysis
+
+            bw = busy_window_bound(task, beta)
+            print(
+                render_delay_analysis(
+                    bw.rbf, beta, result.busy_window, result.delay
+                )
+            )
+        if args.dot:
+            with open(args.dot, "w") as fh:
+                fh.write(task_to_dot(task))
+            print(f"wrote {args.dot}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

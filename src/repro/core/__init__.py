@@ -1,0 +1,65 @@
+"""The paper's contribution: structure-aware delay analysis.
+
+Given structural workload (a DRT task) served by a resource with a lower
+service curve, :func:`~repro.core.delay.structural_delay` computes the
+worst-case job delay by exploring the task graph directly — pairing each
+candidate job only with work its *own* path released — instead of first
+flattening the task into an arrival curve.  The module also provides the
+classical baselines (arrival-curve / RTC delay, sporadic abstraction) and
+multi-task composition via leftover service curves.
+"""
+
+from repro.core.busy_window import busy_window_bound, BusyWindow
+from repro.core.frontier import pareto_front, dominates
+from repro.core.delay import (
+    DelayResult,
+    structural_delay,
+    structural_delays_per_job,
+    exhaustive_delay,
+    critical_path_of,
+)
+from repro.core.baselines import (
+    rtc_delay,
+    sporadic_delay,
+    rtc_backlog,
+)
+from repro.core.backlog import BacklogResult, structural_backlog
+from repro.core.facade import StructuralAnalysis
+from repro.core.output import output_arrival_curve
+from repro.core.sensitivity import (
+    max_service_latency,
+    max_wcet_scale,
+    min_service_rate,
+)
+from repro.core.multi import (
+    leftover_service,
+    sp_structural_delays,
+    fifo_rtc_delay,
+    aggregate_rbf,
+)
+
+__all__ = [
+    "busy_window_bound",
+    "BusyWindow",
+    "pareto_front",
+    "dominates",
+    "DelayResult",
+    "structural_delay",
+    "structural_delays_per_job",
+    "exhaustive_delay",
+    "critical_path_of",
+    "rtc_delay",
+    "sporadic_delay",
+    "rtc_backlog",
+    "leftover_service",
+    "sp_structural_delays",
+    "fifo_rtc_delay",
+    "aggregate_rbf",
+    "StructuralAnalysis",
+    "BacklogResult",
+    "structural_backlog",
+    "output_arrival_curve",
+    "min_service_rate",
+    "max_service_latency",
+    "max_wcet_scale",
+]

@@ -1,0 +1,73 @@
+"""Structure-aware worst-case backlog analysis.
+
+The backlog at any instant inside a busy window equals released work
+minus provided service.  With request tuples ``(t, w)`` — work *w*
+released by a single path by offset *t* — the exact bound is
+
+    B* = max over tuples (t, w) of  [ w - beta(t) ]^+
+
+because backlog peaks immediately after a release (it only drains in
+between), and the busy-window bound truncates the exploration exactly as
+for delays.  The arrival-curve counterpart is the vertical deviation
+``vdev(rbf, beta)`` which — unlike the delay case — coincides with the
+structural bound for a single task (sup over the staircase's jump points
+is the same maximisation); the coarser abstractions (hull, bucket,
+sporadic) remain strictly pessimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro._numeric import Q, NumLike
+from repro.core.busy_window import busy_window_bound
+from repro.drt.model import DRTTask
+from repro.drt.request import RequestTuple, request_frontier
+from repro.minplus.curve import Curve
+
+__all__ = ["BacklogResult", "structural_backlog"]
+
+
+@dataclass(frozen=True)
+class BacklogResult:
+    """Result of a structural backlog analysis.
+
+    Attributes:
+        backlog: Worst-case buffered work.
+        busy_window: Busy window bound used to truncate exploration.
+        critical_tuple: The request tuple realising the bound (None when
+            the service absorbs every release instantly).
+    """
+
+    backlog: Fraction
+    busy_window: Fraction
+    critical_tuple: Optional[RequestTuple]
+
+
+def structural_backlog(
+    task: DRTTask,
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+) -> BacklogResult:
+    """Worst-case backlog of structural workload *task* on service *beta*.
+
+    Args:
+        task: The structural workload.
+        beta: Lower service curve of the resource.
+
+    Raises:
+        UnboundedBusyWindowError: if the workload saturates the service.
+    """
+    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
+    best = Q(0)
+    critical: Optional[RequestTuple] = None
+    for tup in request_frontier(task, bw.length):
+        b = tup.work - beta.at(tup.time)
+        if b > best:
+            best = b
+            critical = tup
+    return BacklogResult(
+        backlog=best, busy_window=bw.length, critical_tuple=critical
+    )

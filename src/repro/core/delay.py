@@ -1,0 +1,203 @@
+"""Structure-aware worst-case delay analysis (the paper's contribution).
+
+Setting: a structural task (DRT graph) releases jobs that are served in
+release order by a resource guaranteeing a lower service curve ``beta``
+(e.g. full speed minus interference).  The worst-case delay of a job is
+bounded by examining its *busy window*: the job released at offset ``t``
+after the busy-window start, with cumulative path work ``w`` (its own WCET
+included), finishes no later than ``beta^{-1}(w)`` after the window start,
+hence its delay is at most ``beta^{-1}(w) - t``.
+
+The analysis therefore maximises ``beta^{-1}(w) - t`` over all *request
+tuples* ``(t, w)`` reachable in the task graph within the busy window
+bound ``L``.  Crucially, ``t`` and ``w`` always come from the same path:
+the arrival-curve baseline (:func:`repro.core.baselines.rtc_delay`)
+maximises the same expression over the *closure* ``{(t, rbf(t))}`` which
+mixes the fastest time of one path with the heaviest work of another, and
+is therefore never smaller and often much larger.
+
+``structural_delay`` is exact for this semantics —
+:func:`exhaustive_delay` (brute-force path enumeration) returns the same
+value, and the discrete-event simulator realises it with the witness path
+under an adversarial service process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro._numeric import INF, Q, NumLike, as_q, is_inf
+from repro.core.busy_window import BusyWindow, busy_window_bound
+from repro.core.frontier import pareto_front
+from repro.drt.model import DRTTask
+from repro.drt.paths import Path, iter_paths
+from repro.drt.request import FrontierStats, RequestTuple, request_frontier
+from repro.errors import AnalysisError
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import lower_pseudo_inverse
+
+__all__ = [
+    "DelayResult",
+    "structural_delay",
+    "structural_delays_per_job",
+    "exhaustive_delay",
+    "critical_path_of",
+]
+
+
+@dataclass(frozen=True)
+class DelayResult:
+    """Result of a structural delay analysis.
+
+    Attributes:
+        delay: Worst-case delay bound.
+        busy_window: Busy window bound ``L`` used to truncate exploration.
+        horizon: Exactness horizon of the request bound fixpoint.
+        critical_tuple: The ``(t, w, vertex)`` request tuple realising the
+            bound (None when the bound is 0 and no tuple exceeded it).
+        tuple_count: Number of Pareto tuples examined.
+        stats: Exploration statistics (expansion/pruning counters).
+    """
+
+    delay: Fraction
+    busy_window: Fraction
+    horizon: Fraction
+    critical_tuple: Optional[RequestTuple]
+    tuple_count: int
+    stats: FrontierStats
+
+
+def _delay_of_tuple(beta: Curve, time: Q, work: Q) -> Q:
+    inv = lower_pseudo_inverse(beta, work)
+    if is_inf(inv):
+        raise AnalysisError(
+            f"service curve never provides {work} units of work"
+        )
+    return inv - time
+
+
+def structural_delay(
+    task: DRTTask,
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+    prune: bool = True,
+) -> DelayResult:
+    """Worst-case delay of structural workload *task* on service *beta*.
+
+    Args:
+        task: The structural workload (DRT task).
+        beta: Lower service curve of the processing resource; must be
+            nondecreasing with ``beta(0) == 0``-style semantics (work is
+            never served before it could be).
+        initial_horizon: Optional starting horizon for the busy-window
+            fixpoint (see :func:`repro.core.busy_window.busy_window_bound`).
+        prune: Apply Pareto domination pruning (disable only for the
+            ablation experiment; exponentially slower).
+
+    Raises:
+        UnboundedBusyWindowError: if the workload saturates the service.
+    """
+    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
+    stats = FrontierStats()
+    tuples = request_frontier(task, bw.length, prune=prune, stats=stats)
+    best = Q(0)
+    critical: Optional[RequestTuple] = None
+    for tup in tuples:
+        d = _delay_of_tuple(beta, tup.time, tup.work)
+        if d > best:
+            best = d
+            critical = tup
+    return DelayResult(
+        delay=best,
+        busy_window=bw.length,
+        horizon=bw.horizon,
+        critical_tuple=critical,
+        tuple_count=len(tuples),
+        stats=stats,
+    )
+
+
+def structural_delays_per_job(
+    task: DRTTask,
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+) -> Dict[str, Fraction]:
+    """Worst-case delay of each job *type* (graph vertex).
+
+    This is the quantity schedulability needs: jobs of type ``v`` meet
+    their deadline iff their delay bound is at most ``d(v)``.
+
+    Returns:
+        Mapping from job name to its delay bound.
+    """
+    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
+    tuples = request_frontier(task, bw.length)
+    delays: Dict[str, Fraction] = {v: Q(0) for v in task.job_names}
+    for tup in tuples:
+        d = _delay_of_tuple(beta, tup.time, tup.work)
+        if d > delays[tup.vertex]:
+            delays[tup.vertex] = d
+    return delays
+
+
+def exhaustive_delay(
+    task: DRTTask,
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+) -> Fraction:
+    """Brute-force reference: maximise over *all* paths, no abstraction.
+
+    Exponential in the busy window; only usable on small instances.  By
+    construction it equals :func:`structural_delay` — the property tests
+    assert exactly that.
+    """
+    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
+    best = Q(0)
+    for path in iter_paths(task, bw.length):
+        d = _delay_of_tuple(beta, path.span, path.total_work)
+        if d > best:
+            best = d
+    return best
+
+
+def critical_path_of(
+    task: DRTTask, result: DelayResult
+) -> Optional[Path]:
+    """A witness path realising the critical tuple of *result*.
+
+    Reconstructs, by bounded backward search, a path ending at the
+    critical tuple's vertex with exactly its span and total work.  The
+    witness is what the simulator replays to demonstrate tightness.
+
+    Returns:
+        A :class:`~repro.drt.paths.Path`, or None when the result has no
+        critical tuple (zero delay).
+    """
+    tup = result.critical_tuple
+    if tup is None:
+        return None
+    # Forward DFS from every start vertex, pruned by span and work bounds.
+    target_v, target_t, target_w = tup.vertex, tup.time, tup.work
+    stack: List[Path] = []
+    for v in task.job_names:
+        p = Path((v,), (Q(0),), (task.wcet(v),))
+        stack.append(p)
+    while stack:
+        path = stack.pop()
+        if (
+            path.vertices[-1] == target_v
+            and path.span == target_t
+            and path.total_work == target_w
+        ):
+            return path
+        last = path.vertices[-1]
+        for edge in task.successors(last):
+            t2 = path.span + edge.separation
+            w2 = path.total_work + task.wcet(edge.dst)
+            if t2 <= target_t and w2 <= target_w:
+                stack.append(path.extended(task, edge.dst, edge.separation))
+    raise AnalysisError(
+        f"no path realises critical tuple {tup} — frontier inconsistent"
+    )

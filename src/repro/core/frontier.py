@@ -1,0 +1,38 @@
+"""Pareto-frontier utilities shared by the structural analyses.
+
+A request tuple ``(t, w)`` dominates ``(t', w')`` iff ``t <= t'`` and
+``w >= w'``: it releases at least as much work at least as early, so it
+can only produce a larger delay.  Every structural analysis maximises a
+function that is monotone in this order, hence only the Pareto front of
+the tuple set matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro._numeric import Q
+
+__all__ = ["dominates", "pareto_front"]
+
+
+def dominates(a: Tuple[Q, Q], b: Tuple[Q, Q]) -> bool:
+    """True iff tuple *a* = (t, w) dominates tuple *b*."""
+    return a[0] <= b[0] and a[1] >= b[1]
+
+
+def pareto_front(tuples: Iterable[Tuple[Q, Q]]) -> List[Tuple[Q, Q]]:
+    """The non-dominated subset, sorted by time (work strictly increasing).
+
+    Args:
+        tuples: ``(time, work)`` pairs from any number of per-vertex
+            frontiers.
+    """
+    ordered = sorted(tuples, key=lambda tw: (tw[0], -tw[1]))
+    front: List[Tuple[Q, Q]] = []
+    best_work = None
+    for t, w in ordered:
+        if best_work is None or w > best_work:
+            front.append((t, w))
+            best_work = w
+    return front

@@ -1,0 +1,179 @@
+"""Multi-task composition: sharing one resource among several workloads.
+
+The structural delay analysis takes a *service curve*; resource sharing is
+therefore expressed by transforming curves:
+
+* static priority — each task sees the *leftover service* of the resource
+  after all higher-priority request bounds
+  (``beta_i = [beta - sum_{j<i} rbf_j]`` with the running-max closure);
+* FIFO aggregation — the aggregate request bound of all tasks against the
+  full service gives a delay bound for every job in the aggregate.
+
+Exact structural analysis of *several* interleaved DRT tasks would need a
+multi-clock product graph (not a DRT); like the paper, we compose through
+curves and keep structure within each task.  This is documented as a
+reconstruction decision in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._numeric import Q, NumLike, as_q, is_inf
+from repro.core.busy_window import busy_window_bound
+from repro.core.delay import DelayResult, structural_delay
+from repro.drt.model import DRTTask
+from repro.drt.request import rbf_curve
+from repro.errors import AnalysisError, UnboundedBusyWindowError
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import horizontal_deviation
+
+__all__ = [
+    "leftover_service",
+    "sp_structural_delays",
+    "fifo_rtc_delay",
+    "aggregate_rbf",
+]
+
+
+def leftover_service(beta: Curve, alpha: Curve) -> Curve:
+    """Service remaining after serving interference bounded by *alpha*.
+
+    The standard preemptive leftover bound
+    ``beta'(t) = sup_{0<=s<=t} (beta(s) - alpha(s))`` clipped at zero.
+    The running-max closure keeps the curve nondecreasing; the result is a
+    valid lower service curve for the lower-priority workload.
+    """
+    return (beta - alpha).running_max().nonneg()
+
+
+def aggregate_rbf(
+    tasks: Sequence[DRTTask], horizon: NumLike
+) -> Curve:
+    """Sum of the request bound functions of *tasks* (FIFO aggregate)."""
+    if not tasks:
+        raise AnalysisError("aggregate_rbf needs at least one task")
+    hz = as_q(horizon)
+    total = rbf_curve(tasks[0], hz)
+    for task in tasks[1:]:
+        total = total + rbf_curve(task, hz)
+    return total
+
+
+def fifo_rtc_delay(
+    tasks: Sequence[DRTTask],
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+    max_iterations: int = 40,
+) -> Fraction:
+    """RTC delay bound for FIFO-served aggregate structural workload.
+
+    Computes ``hdev(sum_i rbf_i, beta)`` with horizon iteration: the
+    horizon doubles until the aggregate curve drops below the service
+    strictly inside the exactly-known region.
+    """
+    from repro.core.busy_window import last_positive_time
+    from repro.minplus.deviation import horizontal_deviation
+
+    horizon = as_q(initial_horizon) if initial_horizon is not None else Q(64)
+    for _ in range(max_iterations):
+        alpha = aggregate_rbf(tasks, horizon)
+        try:
+            last = last_positive_time(alpha - beta)
+        except UnboundedBusyWindowError:
+            # The aggregate tail carries the exact sum of long-run rates:
+            # a positive tail means genuine overload, not a short horizon.
+            raise UnboundedBusyWindowError(
+                f"aggregate workload rate {alpha.tail_rate} saturates the "
+                f"service rate {beta.tail_rate}"
+            ) from None
+        if last is None or last < horizon:
+            d = horizontal_deviation(alpha, beta)
+            if is_inf(d):  # pragma: no cover - tail already checked
+                raise UnboundedBusyWindowError("aggregate deviation infinite")
+            return d
+        horizon *= 2
+    raise UnboundedBusyWindowError(
+        f"aggregate workload did not stabilise within {max_iterations} "
+        "horizon doublings"
+    )  # pragma: no cover - exact tails close within a few doublings
+
+
+def sp_structural_delays(
+    tasks: Sequence[DRTTask],
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+    preemptive: bool = True,
+) -> Dict[str, DelayResult]:
+    """Structural delay of each task under static-priority sharing.
+
+    *tasks* are ordered highest priority first.  Task *i* is analysed
+    against the leftover service after the request bounds of tasks
+    ``0..i-1``.  Interference horizons are driven by each analysis' own
+    busy window: the leftover curve is rebuilt with a doubled horizon
+    until the victim's busy window closes inside the exactly-known
+    region of every interferer's request bound.
+
+    With ``preemptive=False`` each task additionally suffers a classical
+    *blocking* term: one lower-priority job that started just before the
+    busy window runs to completion, modelled by delaying the leftover
+    service by ``B_i = max lower-priority WCET`` (a burst the server must
+    clear first: ``beta_i'(t) = [beta_i(t) - B_i]^+``).
+
+    Returns:
+        Mapping from task name to its :class:`DelayResult`.
+    """
+    results: Dict[str, DelayResult] = {}
+    for i, task in enumerate(tasks):
+        interferers = tasks[:i]
+        blocking = Q(0)
+        if not preemptive:
+            lower = tasks[i + 1 :]
+            if lower:
+                blocking = max(t.max_wcet for t in lower)
+        results[task.name] = _sp_delay_one(
+            task, interferers, beta, initial_horizon, blocking=blocking
+        )
+    return results
+
+
+def _sp_delay_one(
+    task: DRTTask,
+    interferers: Sequence[DRTTask],
+    beta: Curve,
+    initial_horizon: Optional[NumLike],
+    max_iterations: int = 40,
+    blocking: Q = Q(0),
+) -> DelayResult:
+    horizon = as_q(initial_horizon) if initial_horizon is not None else Q(64)
+    previous: Optional[DelayResult] = None
+    for _ in range(max_iterations):
+        beta_left = beta
+        for other in interferers:
+            beta_left = leftover_service(beta_left, rbf_curve(other, horizon))
+        if blocking > 0:
+            from repro.minplus.builders import constant
+
+            beta_left = (beta_left - constant(blocking)).nonneg()
+        if beta_left.tail_rate <= 0 and interferers:
+            # Interference tails carry the exact long-run rates, so an
+            # exhausted leftover rate is permanent saturation.
+            raise UnboundedBusyWindowError(
+                f"higher-priority workload saturates the service before "
+                f"{task.name!r}"
+            )
+        try:
+            result = structural_delay(task, beta_left, initial_horizon=horizon)
+        except UnboundedBusyWindowError:
+            raise UnboundedBusyWindowError(
+                f"leftover service rate {beta_left.tail_rate} cannot sustain "
+                f"{task.name!r}"
+            ) from None
+        if previous is not None and result.delay == previous.delay:
+            # Doubling the interference exactness horizon changed nothing:
+            # converged.
+            return result
+        previous = result
+        horizon *= 2
+    return previous  # sound (conservative interference tails); best known

@@ -1,0 +1,155 @@
+"""Sensitivity analysis / service synthesis for structural workload.
+
+Design questions a system architect asks once a delay analysis exists:
+
+* *What is the slowest processor share that still meets a delay budget?*
+  (:func:`min_service_rate`)
+* *How much scheduling latency can the platform afford?*
+  (:func:`max_service_latency`)
+* *How far can the workload scale before the budget breaks?*
+  (:func:`max_wcet_scale`)
+
+All three exploit exact monotonicity of the structural delay bound in
+the respective parameter and use rational bisection: the search interval
+halves until it is narrower than *precision*, then the conservative end
+is returned (a rate is rounded **up**, a latency/scale **down**), so the
+answer always satisfies the budget exactly — verified by a final
+analysis run.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Optional
+
+from repro._numeric import Q, NumLike, as_q
+from repro.core.delay import structural_delay
+from repro.drt.model import DRTTask
+from repro.drt.transform import scale_wcets
+from repro.drt.utilization import utilization
+from repro.errors import AnalysisError, UnboundedBusyWindowError
+from repro.minplus.builders import rate_latency
+
+__all__ = ["min_service_rate", "max_service_latency", "max_wcet_scale"]
+
+
+def _meets(task: DRTTask, rate: Q, latency: Q, budget: Q) -> bool:
+    if rate <= 0:
+        return False
+    if utilization(task) >= rate:
+        return False
+    try:
+        return structural_delay(task, rate_latency(rate, latency)).delay <= budget
+    except UnboundedBusyWindowError:
+        return False
+
+
+def min_service_rate(
+    task: DRTTask,
+    latency: NumLike,
+    delay_budget: NumLike,
+    precision: NumLike = Q(1, 128),
+    max_rate: NumLike = 1,
+) -> Fraction:
+    """Smallest rate ``R`` (within *precision*) with
+    ``structural_delay(task, beta_{R, latency}) <= delay_budget``.
+
+    Args:
+        task: The structural workload.
+        latency: Fixed service latency ``T``.
+        delay_budget: Delay bound to meet.
+        precision: Width at which bisection stops; the returned rate is
+            the conservative (upper) end, so the budget is guaranteed.
+        max_rate: Upper end of the search (e.g. 1 processor).
+
+    Raises:
+        AnalysisError: if even ``max_rate`` misses the budget.
+    """
+    lat, budget = as_q(latency), as_q(delay_budget)
+    hi = as_q(max_rate)
+    eps = as_q(precision)
+    if eps <= 0:
+        raise AnalysisError("precision must be positive")
+    if not _meets(task, hi, lat, budget):
+        raise AnalysisError(
+            f"delay budget {budget} unreachable even at rate {hi}"
+        )
+    lo = Q(0)  # known-failing
+    while hi - lo > eps:
+        mid = (lo + hi) / 2
+        if _meets(task, mid, lat, budget):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def max_service_latency(
+    task: DRTTask,
+    rate: NumLike,
+    delay_budget: NumLike,
+    precision: NumLike = Q(1, 128),
+) -> Fraction:
+    """Largest latency ``T`` (within *precision*) still meeting the budget.
+
+    Raises:
+        AnalysisError: if the budget fails even at zero latency.
+    """
+    r, budget = as_q(rate), as_q(delay_budget)
+    eps = as_q(precision)
+    if eps <= 0:
+        raise AnalysisError("precision must be positive")
+    if not _meets(task, r, Q(0), budget):
+        raise AnalysisError(
+            f"delay budget {budget} unreachable even with zero latency"
+        )
+    lo = Q(0)  # known-good
+    hi = budget  # latency beyond the budget certainly fails (delay >= T)
+    if _meets(task, r, hi, budget):
+        return hi
+    while hi - lo > eps:
+        mid = (lo + hi) / 2
+        if _meets(task, r, mid, budget):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_wcet_scale(
+    task: DRTTask,
+    rate: NumLike,
+    latency: NumLike,
+    delay_budget: NumLike,
+    precision: NumLike = Q(1, 128),
+    max_scale: NumLike = 64,
+) -> Fraction:
+    """Largest uniform WCET scale factor still meeting the budget.
+
+    Useful for headroom questions: "how much can this workload grow on
+    the current platform?".
+
+    Raises:
+        AnalysisError: if the unscaled task already misses the budget.
+    """
+    r, lat, budget = as_q(rate), as_q(latency), as_q(delay_budget)
+    eps = as_q(precision)
+    if eps <= 0:
+        raise AnalysisError("precision must be positive")
+
+    def ok(scale: Q) -> bool:
+        return _meets(scale_wcets(task, scale), r, lat, budget)
+
+    if not ok(Q(1)):
+        raise AnalysisError("the unscaled workload already misses the budget")
+    lo = Q(1)  # known-good
+    hi = as_q(max_scale)
+    if ok(hi):
+        return hi
+    while hi - lo > eps:
+        mid = (lo + hi) / 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,27 @@
+"""The curve zoo: standard arrival and service curve constructors."""
+
+from repro.curves.arrival import (
+    periodic_arrival,
+    sporadic_arrival,
+    pjd_arrival,
+    arrival_from_trace,
+)
+from repro.curves.service import (
+    constant_rate_service,
+    rate_latency_service,
+    bounded_delay_service,
+    tdma_service,
+    periodic_resource_service,
+)
+
+__all__ = [
+    "periodic_arrival",
+    "sporadic_arrival",
+    "pjd_arrival",
+    "arrival_from_trace",
+    "constant_rate_service",
+    "rate_latency_service",
+    "bounded_delay_service",
+    "tdma_service",
+    "periodic_resource_service",
+]

@@ -1,0 +1,140 @@
+"""Upper arrival curves of classical event models.
+
+All curves follow the library's closed-window convention: a window of
+length ``Delta`` includes events at both ends, so a strictly periodic
+stream with period ``P`` has ``floor(Delta/P) + 1`` events in the worst
+window.  Work units are whatever the caller uses consistently (events
+times WCET, bits, ...).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.errors import CurveError
+from repro.minplus.builders import staircase
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+__all__ = [
+    "periodic_arrival",
+    "sporadic_arrival",
+    "pjd_arrival",
+    "arrival_from_trace",
+]
+
+
+def periodic_arrival(wcet: NumLike, period: NumLike, horizon: NumLike) -> Curve:
+    """Strictly periodic stream: ``alpha(Delta) = e * (floor(Delta/P) + 1)``."""
+    return staircase(wcet, period, horizon)
+
+
+def sporadic_arrival(
+    wcet: NumLike, min_separation: NumLike, horizon: NumLike
+) -> Curve:
+    """Sporadic stream with a minimum inter-arrival separation.
+
+    Identical in shape to :func:`periodic_arrival` — sporadic streams are
+    bounded by their densest (periodic) realisation.
+    """
+    return staircase(wcet, min_separation, horizon)
+
+
+def pjd_arrival(
+    wcet: NumLike,
+    period: NumLike,
+    jitter: NumLike,
+    min_distance: NumLike,
+    horizon: NumLike,
+) -> Curve:
+    """Period-jitter-distance event model (Richter's PJD).
+
+    ``alpha(Delta) = e * min( floor((Delta + J)/P) + 1,
+    floor(Delta/d) + 1 )`` — a periodic stream observed through jitter
+    ``J``, never denser than one event per ``d``.
+
+    Args:
+        wcet: Work per event.
+        period: Nominal period ``P`` (> 0).
+        jitter: Release jitter ``J`` (>= 0).
+        min_distance: Minimum event distance ``d`` (> 0); pass ``period``
+            for pure periodic-with-jitter.
+        horizon: Exactness horizon of the staircases.
+    """
+    e, p, j, d = as_q(wcet), as_q(period), as_q(jitter), as_q(min_distance)
+    hz = as_q(horizon)
+    if p <= 0 or d <= 0 or j < 0:
+        raise CurveError("pjd needs period > 0, distance > 0, jitter >= 0")
+    jittered = _shifted_staircase(e, p, j, hz)
+    if j == 0:
+        return jittered
+    dense = staircase(e, d, hz)
+    return jittered.minimum(dense)
+
+
+def _shifted_staircase(height: Q, period: Q, jitter: Q, horizon: Q) -> Curve:
+    """``height * (floor((Delta + jitter)/period) + 1)`` as a finitary curve."""
+    # Initial count at Delta = 0, then jumps wherever (Delta + J)/P crosses
+    # an integer: Delta = k*P - J for k > J/P.
+    k0 = (jitter / period).__floor__() + 1  # first k with k*P - J > 0
+    count0 = k0  # floor(J/P) + 1
+    segs: List[Segment] = [Segment(Q(0), height * count0, Q(0))]
+    k = k0
+    t = k * period - jitter
+    while t <= horizon:
+        segs.append(Segment(t, height * (k + 1), Q(0)))
+        k += 1
+        t = k * period - jitter
+    # Affine tail through the post-jump corners (sound upper bound).
+    segs.append(Segment(t, height * (k + 1), height / period))
+    return Curve(segs)
+
+
+def arrival_from_trace(
+    events: Sequence[Tuple[NumLike, NumLike]], horizon: NumLike
+) -> Curve:
+    """Empirical upper arrival curve of a finite event trace.
+
+    Slides every window start over the trace and records the maximum work
+    in any closed window of each length (exact for the trace; the tail
+    continues at the trace's average rate plus the burst, which upper
+    bounds any repetition of the trace's windows).
+
+    Args:
+        events: ``(time, work)`` pairs, any order.
+        horizon: Exactness horizon.
+    """
+    if not events:
+        raise CurveError("arrival_from_trace needs at least one event")
+    evs = sorted((as_q(t), as_q(w)) for t, w in events)
+    hz = as_q(horizon)
+    times = [t for t, _ in evs]
+    works = [w for _, w in evs]
+    # Candidate window lengths: pairwise distances up to the horizon.
+    best: dict = {}
+    n = len(evs)
+    for i in range(n):
+        acc = Q(0)
+        for j in range(i, n):
+            delta = times[j] - times[i]
+            if delta > hz:
+                break
+            acc += works[j]
+            if acc > best.get(delta, Q(0)):
+                best[delta] = acc
+    segs: List[Segment] = []
+    running = Q(0)
+    for delta in sorted(best):
+        if best[delta] > running:
+            running = best[delta]
+            segs.append(Segment(delta, running, Q(0)))
+    if not segs or segs[0].start != 0:
+        segs.insert(0, Segment(Q(0), max(works), Q(0)))
+    span = times[-1] - times[0]
+    rate = running / span if span > 0 else Q(0)
+    last = segs[-1]
+    segs[-1] = Segment(last.start, last.value, Q(0))
+    segs.append(Segment(max(hz, last.start) + 1, running + running, rate))
+    return Curve(segs)

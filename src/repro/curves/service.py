@@ -1,0 +1,126 @@
+"""Lower service curves of standard resource models."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro._numeric import Q, NumLike, as_q
+from repro.errors import CurveError
+from repro.minplus.builders import rate_latency
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+__all__ = [
+    "constant_rate_service",
+    "rate_latency_service",
+    "bounded_delay_service",
+    "tdma_service",
+    "periodic_resource_service",
+]
+
+
+def constant_rate_service(rate: NumLike) -> Curve:
+    """A dedicated speed-*rate* processor: ``beta(t) = rate * t``."""
+    return rate_latency(rate, 0)
+
+
+def rate_latency_service(rate: NumLike, latency: NumLike) -> Curve:
+    """``beta_{R,T}(t) = R * max(0, t - T)`` (re-export with service naming)."""
+    return rate_latency(rate, latency)
+
+
+def bounded_delay_service(rate: NumLike, max_delay: NumLike) -> Curve:
+    """Bounded-delay resource model (Mok/Feng): alias of rate-latency."""
+    return rate_latency(rate, max_delay)
+
+
+def tdma_service(
+    rate: NumLike, slot: NumLike, frame: NumLike, horizon: NumLike
+) -> Curve:
+    """Lower service curve of a TDMA slot of length *slot* per *frame*.
+
+    Worst phase: a window may first waste ``frame - slot`` outside the
+    slot; thereafter it collects ``rate * slot`` per full frame plus the
+    partial slot at the end:
+
+    ``beta(Delta) = rate * ( floor(D/F)*s + max(0, (D mod F) - (F - s)) )``
+
+    Exact (piecewise linear, period ``frame``) up to *horizon*; beyond it
+    the curve continues with the affine lower bound through the
+    pre-ramp corners (slope ``rate*s/F``).
+    """
+    r, s, f = as_q(rate), as_q(slot), as_q(frame)
+    hz = as_q(horizon)
+    if not (0 < s <= f) or r <= 0:
+        raise CurveError("tdma needs 0 < slot <= frame and rate > 0")
+    if s == f:
+        return constant_rate_service(r)
+    segs: List[Segment] = []
+    gap = f - s
+    k = 0
+    while k * f <= hz:
+        base = k * f
+        value = r * s * k
+        segs.append(Segment(base, value, Q(0)))  # outside slot
+        segs.append(Segment(base + gap, value, r))  # inside slot
+        k += 1
+    # The affine tail must pass through the *flat-end* corners
+    # (t = k*F + (F - s), value = r*s*k): the line r*s*(t - gap)/F lies
+    # below the exact curve everywhere, with the exact long-run rate.
+    segs.append(Segment(k * f, r * s * k, Q(0)))
+    segs.append(Segment(k * f + gap, r * s * k, r * s / f))
+    return Curve(segs)
+
+
+def periodic_resource_service(
+    budget: NumLike, period: NumLike, horizon: NumLike
+) -> Curve:
+    """Supply bound function of the periodic resource model (Shin & Lee).
+
+    A component is guaranteed *budget* units of a unit-speed processor in
+    every *period*, but the budget may land anywhere within each period
+    (hierarchical scheduling).  The worst window starts right after a
+    budget chunk placed at the beginning of one period, with the next
+    chunk at the very end of the following period:
+
+    ``sbf(D) = max over k of  k*budget + max(0, D - (k+1)*(period-budget) - k*budget) ...``
+
+    equivalently: zero for ``D <= 2*(period - budget)``, then full-speed
+    ramps of length *budget* alternating with gaps of ``period - budget``.
+    Exact up to *horizon*; affine tail with the exact long-run rate
+    ``budget/period`` through the ramp-start corners.
+
+    Args:
+        budget: Guaranteed execution per period (0 < budget <= period).
+        period: Replenishment period.
+        horizon: Exactness horizon.
+
+    Raises:
+        CurveError: on invalid parameters.
+    """
+    theta, pi = as_q(budget), as_q(period)
+    hz = as_q(horizon)
+    if not (0 < theta <= pi):
+        raise CurveError("periodic resource needs 0 < budget <= period")
+    if theta == pi:
+        return constant_rate_service(1)
+    gap = pi - theta
+    segs: List[Segment] = [Segment(Q(0), Q(0), Q(0))]
+    # Ramp k (k >= 0) starts at 2*gap + k*period with value k*budget.
+    k = 0
+    while True:
+        ramp_start = 2 * gap + k * pi
+        value = theta * k
+        if ramp_start > hz:
+            break
+        segs.append(Segment(ramp_start, value, Q(1)))
+        flat_start = ramp_start + theta
+        segs.append(Segment(flat_start, value + theta, Q(0)))
+        k += 1
+    # Affine tail through the ramp-start corners (a lower bound: the
+    # curve sits on or above the line between consecutive corners).
+    tail_start = 2 * gap + k * pi
+    segs = [s for s in segs if s.start < tail_start]
+    segs.append(Segment(tail_start, theta * k, theta / pi))
+    return Curve(segs)

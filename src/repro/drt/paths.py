@@ -1,0 +1,112 @@
+"""Concrete path semantics of DRT tasks.
+
+A *path* is a finite walk through the task graph together with its
+earliest-release schedule: the first job at time 0 and every following job
+exactly one edge-separation after its predecessor.  Earliest releases are
+the densest legal behaviour, hence the worst case for request/demand
+bounds; the brute-force reference analyses and the simulator build on this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.drt.model import DRTTask
+
+__all__ = ["Path", "iter_paths", "enumerate_paths"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A walk through a DRT task with earliest release times.
+
+    Attributes:
+        vertices: Visited job names, in order.
+        releases: Earliest release times; ``releases[0] == 0``.
+        work: Cumulative WCET after each job (``work[i]`` includes job i).
+    """
+
+    vertices: Tuple[str, ...]
+    releases: Tuple[Fraction, ...]
+    work: Tuple[Fraction, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def span(self) -> Fraction:
+        """Time between first and last release."""
+        return self.releases[-1]
+
+    @property
+    def total_work(self) -> Fraction:
+        return self.work[-1]
+
+    def extended(self, task: DRTTask, dst: str, separation: Q) -> "Path":
+        """The path extended by one edge to *dst*."""
+        t = self.releases[-1] + separation
+        w = self.work[-1] + task.wcet(dst)
+        return Path(
+            self.vertices + (dst,),
+            self.releases + (t,),
+            self.work + (w,),
+        )
+
+    def __repr__(self) -> str:
+        return "Path[" + " -> ".join(
+            f"{v}@{t}" for v, t in zip(self.vertices, self.releases)
+        ) + "]"
+
+
+def _initial(task: DRTTask, vertex: str) -> Path:
+    return Path((vertex,), (Q(0),), (task.wcet(vertex),))
+
+
+def iter_paths(
+    task: DRTTask,
+    horizon: NumLike,
+    start: Optional[str] = None,
+    max_length: Optional[int] = None,
+) -> Iterator[Path]:
+    """Yield every path whose span is at most *horizon*.
+
+    Paths are produced by depth-first search from *start* (or from every
+    vertex when omitted).  The number of paths is exponential in the
+    horizon; this is the brute-force reference against which the abstracted
+    analyses are tested on small instances.
+
+    Args:
+        task: The DRT task.
+        horizon: Maximum span (last earliest-release time).
+        start: Optional single start vertex.
+        max_length: Optional cap on the number of jobs per path.
+    """
+    hz = as_q(horizon)
+    starts = [start] if start is not None else task.job_names
+    for v in starts:
+        stack: List[Path] = [_initial(task, v)]
+        while stack:
+            path = stack.pop()
+            yield path
+            if max_length is not None and path.length >= max_length:
+                continue
+            last = path.vertices[-1]
+            for edge in task.successors(last):
+                t = path.releases[-1] + edge.separation
+                if t <= hz:
+                    stack.append(path.extended(task, edge.dst, edge.separation))
+
+
+def enumerate_paths(
+    task: DRTTask,
+    horizon: NumLike,
+    start: Optional[str] = None,
+    max_length: Optional[int] = None,
+) -> List[Path]:
+    """Materialised :func:`iter_paths` (reference analyses, tests)."""
+    return list(iter_paths(task, horizon, start=start, max_length=max_length))

@@ -1,0 +1,224 @@
+"""Request-bound machinery: path abstraction with domination pruning.
+
+The *request bound function* ``rbf(Delta)`` of a DRT task is the maximum
+total WCET any behaviour can release inside a closed time window of length
+``Delta``.  Computing it by enumerating paths is exponential; the path
+abstraction of Stigge et al. keeps, per end vertex, only the Pareto
+frontier of *request tuples* ``(t, w)`` — "some path ends with a job
+released at time ``t`` having released total work ``w``" — pruning every
+tuple dominated by an earlier-and-heavier one.  The same frontier is the
+raw material of the structural delay analysis in :mod:`repro.core.delay`,
+which is what makes that analysis strictly more precise than the
+arrival-curve abstraction: it never mixes ``t`` from one path with ``w``
+from another.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.drt.model import DRTTask
+from repro.errors import ModelError
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+__all__ = [
+    "RequestTuple",
+    "request_frontier",
+    "rbf_curve",
+    "rbf_value",
+    "FrontierStats",
+]
+
+
+@dataclass(frozen=True)
+class RequestTuple:
+    """An abstract path prefix.
+
+    Attributes:
+        time: Earliest release time of the last job (path span).
+        work: Total WCET released by the path, including the last job.
+        vertex: End vertex of the abstracted paths.
+    """
+
+    time: Fraction
+    work: Fraction
+    vertex: str
+
+
+@dataclass
+class FrontierStats:
+    """Exploration statistics (used by the pruning ablation experiment)."""
+
+    expanded: int = 0
+    kept: int = 0
+    pruned: int = 0
+
+
+class _VertexFrontier:
+    """Pareto frontier of (time, work) tuples for one end vertex.
+
+    Invariant: times strictly increasing and works strictly increasing —
+    a tuple is kept only if no other tuple has smaller-or-equal time and
+    greater-or-equal work.
+    """
+
+    __slots__ = ("times", "works")
+
+    def __init__(self) -> None:
+        self.times: List[Q] = []
+        self.works: List[Q] = []
+
+    def dominated(self, time: Q, work: Q) -> bool:
+        """True iff (time, work) is dominated by a stored tuple."""
+        # Find tuples with stored_time <= time; the best of them has the
+        # largest work (works increase with times).
+        idx = bisect_right(self.times, time) - 1
+        return idx >= 0 and self.works[idx] >= work
+
+    def insert(self, time: Q, work: Q) -> List[Tuple[Q, Q]]:
+        """Insert a non-dominated tuple; return the tuples it evicts."""
+        idx = bisect_left(self.times, time)
+        evicted: List[Tuple[Q, Q]] = []
+        # Remove stored tuples dominated by the new one: time' >= time
+        # and work' <= work.
+        j = idx
+        while j < len(self.times) and self.works[j] <= work:
+            evicted.append((self.times[j], self.works[j]))
+            j += 1
+        del self.times[idx:j]
+        del self.works[idx:j]
+        self.times.insert(idx, time)
+        self.works.insert(idx, work)
+        return evicted
+
+    def tuples(self, vertex: str) -> List[RequestTuple]:
+        return [
+            RequestTuple(t, w, vertex) for t, w in zip(self.times, self.works)
+        ]
+
+
+def request_frontier(
+    task: DRTTask,
+    horizon: NumLike,
+    prune: bool = True,
+    stats: Optional[FrontierStats] = None,
+) -> List[RequestTuple]:
+    """All non-dominated request tuples with ``time <= horizon``.
+
+    Explores abstract path prefixes best-first (by release time) from
+    every start vertex, pruning tuples dominated at their end vertex.
+    With ``prune=False`` the exploration keeps every distinct tuple (used
+    by the pruning ablation; exponentially slower).
+
+    Args:
+        task: The structural workload.
+        horizon: Window bound; tuples beyond it are not expanded.
+        prune: Apply Pareto domination pruning (default).
+        stats: Optional mutable statistics collector.
+
+    Returns:
+        Request tuples sorted by time (ties by work descending), Pareto-
+        merged per vertex but *not* across vertices — the per-vertex
+        structure is what downstream structural analysis needs.
+    """
+    hz = as_q(horizon)
+    if hz < 0:
+        raise ModelError("horizon must be non-negative")
+    frontiers: Dict[str, _VertexFrontier] = {v: _VertexFrontier() for v in task.job_names}
+    # Heap of (time, tiebreak, work, vertex); best-first by release time so
+    # that domination checks see the strongest tuples early.
+    heap: List[Tuple[Q, int, Q, str]] = []
+    tiebreak = 0
+    all_tuples: List[RequestTuple] = []
+    for v in task.job_names:
+        heapq.heappush(heap, (Q(0), tiebreak, task.wcet(v), v))
+        tiebreak += 1
+    while heap:
+        time, _, work, vertex = heapq.heappop(heap)
+        if stats is not None:
+            stats.expanded += 1
+        if prune:
+            front = frontiers[vertex]
+            if front.dominated(time, work):
+                if stats is not None:
+                    stats.pruned += 1
+                continue
+            front.insert(time, work)
+        else:
+            all_tuples.append(RequestTuple(time, work, vertex))
+        if stats is not None:
+            stats.kept += 1
+        for edge in task.successors(vertex):
+            t2 = time + edge.separation
+            if t2 > hz:
+                continue
+            w2 = work + task.wcet(edge.dst)
+            if prune and frontiers[edge.dst].dominated(t2, w2):
+                if stats is not None:
+                    stats.pruned += 1
+                continue
+            heapq.heappush(heap, (t2, tiebreak, w2, edge.dst))
+            tiebreak += 1
+    if prune:
+        all_tuples = [
+            t for v, f in frontiers.items() for t in f.tuples(v)
+        ]
+    all_tuples.sort(key=lambda r: (r.time, -r.work))
+    return all_tuples
+
+
+def rbf_value(task: DRTTask, delta: NumLike) -> Fraction:
+    """Exact ``rbf(delta)``: maximum work in a closed window of length
+    *delta* (the window start coincides with some job release)."""
+    d = as_q(delta)
+    tuples = request_frontier(task, d)
+    return max(t.work for t in tuples)
+
+
+def rbf_curve(task: DRTTask, horizon: NumLike) -> Curve:
+    """The request bound function as a finitary staircase curve.
+
+    Exact on ``[0, horizon)``.  Beyond the horizon the curve continues
+    with the exact linear bound ``rbf(Delta) <= B + rho * Delta`` of
+    :func:`repro.drt.utilization.linear_request_bound` — sound for every
+    window length and exact in the long-run rate ``rho`` (the maximum
+    cycle ratio), so busy-window horizon iteration terminates whenever
+    the service outpaces the workload.
+
+    Args:
+        task: The structural workload.
+        horizon: Exactness horizon (must be >= 0).
+    """
+    hz = as_q(horizon)
+    tuples = request_frontier(task, hz)
+    # Merge per-vertex frontiers into the global staircase: cumulative max
+    # of work by time.
+    segs: List[Segment] = []
+    best = Q(0)
+    for t in tuples:
+        if t.work > best:
+            if segs and segs[-1].start == t.time:
+                segs[-1] = Segment(t.time, t.work, Q(0))
+            else:
+                segs.append(Segment(t.time, t.work, Q(0)))
+            best = t.work
+    if not segs or segs[0].start != 0:
+        raise ModelError("request frontier must contain a tuple at time 0")
+    # Tight affine tail from the exact linear bound rbf(D) <= B + rho*D
+    # (see repro.drt.utilization.linear_request_bound): sound for every
+    # window length and exact in rate, which guarantees that busy-window
+    # horizon iteration terminates whenever the service rate exceeds rho.
+    from repro.drt.utilization import linear_request_bound
+
+    burst, rho = linear_request_bound(task)
+    segs = [s for s in segs if s.start < hz]
+    # B + rho*hz >= rbf(hz) >= every exact step value, so the curve stays
+    # nondecreasing across the tail joint.
+    segs.append(Segment(hz, burst + rho * hz, rho))
+    return Curve(segs)

@@ -1,0 +1,90 @@
+"""Structural statistics of DRT task graphs.
+
+Experiment reports and generator audits need graph-shape numbers next to
+the timing numbers: connectivity, branching, cyclicity, and the derived
+timing aggregates (utilization, linear bound, constrained-deadline
+status).  Built on :mod:`networkx` for the graph algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List
+
+import networkx as nx
+
+from repro._numeric import Q
+from repro.drt.model import DRTTask
+from repro.drt.utilization import linear_request_bound, max_cycle_ratio
+from repro.drt.validate import is_constrained_deadline
+
+__all__ = ["TaskStats", "task_statistics", "to_networkx"]
+
+
+def to_networkx(task: DRTTask) -> "nx.DiGraph":
+    """The task graph as a :class:`networkx.DiGraph`.
+
+    Vertices carry ``wcet``/``deadline`` attributes, edges carry
+    ``separation`` — ready for any graph algorithm or external layout.
+    """
+    g = nx.DiGraph()
+    for name, job in task.jobs.items():
+        g.add_node(name, wcet=job.wcet, deadline=job.deadline)
+    for e in task.edges:
+        g.add_edge(e.src, e.dst, separation=e.separation)
+    return g
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Shape and timing aggregates of one task.
+
+    Attributes:
+        vertices: Number of job types.
+        edges: Number of separation edges.
+        mean_out_degree: Edges per vertex (branching factor).
+        strongly_connected_components: SCC count (1 = fully recurrent).
+        largest_scc: Size of the biggest SCC.
+        cyclic: Whether any behaviour recurs forever.
+        utilization: Exact maximum cycle ratio.
+        burst: The ``B*`` of the linear request bound.
+        constrained_deadlines: Deadline <= min outgoing separation
+            everywhere.
+        wcet_range: (min, max) WCET.
+        separation_range: (min, max) edge separation.
+    """
+
+    vertices: int
+    edges: int
+    mean_out_degree: float
+    strongly_connected_components: int
+    largest_scc: int
+    cyclic: bool
+    utilization: Fraction
+    burst: Fraction
+    constrained_deadlines: bool
+    wcet_range: tuple
+    separation_range: tuple
+
+
+def task_statistics(task: DRTTask) -> TaskStats:
+    """Compute :class:`TaskStats` for *task*."""
+    g = to_networkx(task)
+    sccs = [c for c in nx.strongly_connected_components(g)]
+    burst, rho = linear_request_bound(task)
+    wcets = [j.wcet for j in task.jobs.values()]
+    seps = [e.separation for e in task.edges]
+    return TaskStats(
+        vertices=len(task.jobs),
+        edges=len(task.edges),
+        mean_out_degree=len(task.edges) / len(task.jobs),
+        strongly_connected_components=len(sccs),
+        largest_scc=max((len(c) for c in sccs), default=0),
+        cyclic=task.has_cycle(),
+        utilization=rho,
+        burst=burst,
+        constrained_deadlines=is_constrained_deadline(task),
+        wcet_range=(min(wcets), max(wcets)),
+        separation_range=(min(seps), max(seps)) if seps else (Q(0), Q(0)),
+    )

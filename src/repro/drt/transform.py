@@ -1,0 +1,68 @@
+"""Model transformations and abstractions of DRT tasks."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro._numeric import Q, NumLike, as_q
+from repro.drt.model import DRTTask, Edge, Job, SporadicTask
+from repro.drt.request import rbf_curve
+from repro.errors import ModelError
+from repro.minplus.curve import Curve
+
+__all__ = ["sporadic_abstraction", "scale_wcets", "arrival_curve_of"]
+
+
+def sporadic_abstraction(task: DRTTask) -> SporadicTask:
+    """The classical sporadic over-approximation of a structural task.
+
+    Every behaviour of *task* is also a behaviour of the sporadic task
+    with WCET ``max_v e(v)``, period ``min_e p(e)`` and deadline
+    ``min_v d(v)``: it releases at least as much work at least as often
+    with at least as tight deadlines.  This is the coarsest standard
+    baseline — it discards all structure — and anchors the pessimism
+    spectrum in the evaluation.
+
+    Raises:
+        ModelError: if the task has no edges (no recurrence to abstract).
+    """
+    if not task.edges:
+        raise ModelError(
+            f"task {task.name!r} has no edges; sporadic abstraction needs "
+            "a recurrent task"
+        )
+    return SporadicTask(
+        name=f"{task.name}@sporadic",
+        wcet=task.max_wcet,
+        period=task.min_separation,
+        deadline=min(j.deadline for j in task.jobs.values()),
+    )
+
+
+def scale_wcets(task: DRTTask, factor: NumLike) -> DRTTask:
+    """A copy of *task* with every WCET multiplied by *factor* > 0.
+
+    Deadlines and separations are unchanged; used by workload generators
+    to hit a target utilization exactly.
+    """
+    f = as_q(factor)
+    if f <= 0:
+        raise ModelError("scale factor must be positive")
+    return DRTTask(
+        task.name,
+        [Job(j.name, j.wcet * f, j.deadline) for j in task.jobs.values()],
+        task.edges,
+    )
+
+
+def arrival_curve_of(task: DRTTask, horizon: NumLike) -> Curve:
+    """The arrival-curve abstraction of a structural task.
+
+    This is exactly the request bound function rendered as a curve: the
+    information interface between structural workload and classical
+    real-time calculus.  Everything the RTC baseline knows about the task
+    is in this curve — which is the point of the paper's comparison: the
+    curve mixes incompatible paths, the structural analysis does not.
+    """
+    return rbf_curve(task, horizon)

@@ -1,0 +1,153 @@
+"""Exact long-run utilization of DRT tasks via maximum cycle ratios.
+
+The asymptotic request rate of a DRT task equals the maximum, over the
+directed cycles of its graph, of (total WCET on the cycle) / (total edge
+separation on the cycle).  We compute it exactly with Lawler's scheme:
+repeatedly test a candidate ratio ``lambda`` by searching for a positive
+cycle in the graph re-weighted with ``wcet(u) - lambda * separation(u,v)``,
+and jump to the exact ratio of any positive cycle found.  Each jump
+strictly increases ``lambda`` to a realised cycle ratio, so the iteration
+terminates at the maximum.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro._numeric import Q
+from repro.drt.model import DRTTask
+
+__all__ = ["max_cycle_ratio", "utilization", "critical_cycle", "linear_request_bound"]
+
+
+def _positive_cycle(
+    task: DRTTask, lam: Fraction
+) -> Optional[List[str]]:
+    """A cycle with positive weight under ``wcet(u) - lam * sep(u, v)``,
+    or None. Bellman-Ford over all vertices simultaneously."""
+    names = task.job_names
+    dist: Dict[str, Q] = {v: Q(0) for v in names}
+    pred: Dict[str, Optional[Tuple[str, str]]] = {v: None for v in names}
+    n = len(names)
+    updated_vertex: Optional[str] = None
+    for _ in range(n):
+        updated_vertex = None
+        for edge in task.edges:
+            w = task.wcet(edge.src) - lam * edge.separation
+            cand = dist[edge.src] + w
+            if cand > dist[edge.dst]:
+                dist[edge.dst] = cand
+                pred[edge.dst] = (edge.src, edge.dst)
+                updated_vertex = edge.dst
+        if updated_vertex is None:
+            return None
+    # A relaxation in the n-th round implies a positive cycle reachable
+    # backwards from the updated vertex.
+    v = updated_vertex
+    for _ in range(n):
+        v = pred[v][0]  # type: ignore[index]
+    cycle = [v]
+    u = pred[v][0]  # type: ignore[index]
+    while u != v:
+        cycle.append(u)
+        u = pred[u][0]  # type: ignore[index]
+    cycle.reverse()
+    return cycle
+
+
+def _cycle_ratio(task: DRTTask, cycle: List[str]) -> Fraction:
+    """Work/separation ratio of a vertex cycle (closing edge implied)."""
+    work = sum((task.wcet(v) for v in cycle), Q(0))
+    sep = Q(0)
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        edge = next(e for e in task.successors(a) if e.dst == b)
+        sep += edge.separation
+    return work / sep
+
+
+def max_cycle_ratio(task: DRTTask) -> Fraction:
+    """The maximum cycle ratio (0 for acyclic graphs).
+
+    This is the exact long-run request rate: behaviours can sustain work
+    arrival at this rate forever but no higher.
+    """
+    cached = task._analysis_cache.get("max_cycle_ratio")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    result = _max_cycle_ratio_uncached(task)
+    task._analysis_cache["max_cycle_ratio"] = result
+    return result
+
+
+def _max_cycle_ratio_uncached(task: DRTTask) -> Fraction:
+    if not task.has_cycle():
+        return Q(0)
+    lam = Q(0)
+    for _ in range(100000):  # far above any realistic cycle-ratio count
+        cycle = _positive_cycle(task, lam)
+        if cycle is None:
+            return lam
+        ratio = _cycle_ratio(task, cycle)
+        if ratio <= lam:
+            # The detected cycle no longer improves: lam is the maximum.
+            return lam
+        lam = ratio
+    raise AssertionError("max_cycle_ratio did not converge")  # pragma: no cover
+
+
+def critical_cycle(task: DRTTask) -> Optional[List[str]]:
+    """A cycle realising the maximum cycle ratio (None if acyclic)."""
+    if not task.has_cycle():
+        return None
+    rho = max_cycle_ratio(task)
+    best: Optional[List[str]] = None
+    # Slightly lower the ratio to make the critical cycle positive.
+    eps = Q(1, 10**9)
+    cycle = _positive_cycle(task, rho - eps)
+    if cycle is not None and _cycle_ratio(task, cycle) == rho:
+        best = cycle
+    return best
+
+
+def utilization(task: DRTTask) -> Fraction:
+    """Alias of :func:`max_cycle_ratio` (long-run processor demand)."""
+    return max_cycle_ratio(task)
+
+
+def linear_request_bound(task: DRTTask) -> Tuple[Fraction, Fraction]:
+    """The tight linear bound ``rbf(Delta) <= B + rho * Delta``.
+
+    ``rho`` is the maximum cycle ratio and ``B`` the maximum, over all
+    walks ``v0 .. vk`` of the graph, of the *reduced weight*
+    ``e(v0) + sum_i (e(vi) - rho * p(v_{i-1}, v_i))``.  Under ``rho`` no
+    cycle has positive reduced weight, so the maximum is finite and
+    reached after at most ``n`` Bellman relaxation rounds.
+
+    The bound justifies the affine tails of the finitary request/demand
+    curves: it is exact in rate, so busy-window horizon iteration always
+    terminates when the service's long-run rate exceeds ``rho``.
+
+    Returns:
+        ``(B, rho)``.
+    """
+    cached = task._analysis_cache.get("linear_request_bound")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    rho = max_cycle_ratio(task)
+    dist: Dict[str, Q] = {v: task.wcet(v) for v in task.job_names}
+    n = len(task.job_names)
+    for round_no in range(n + 1):
+        changed = False
+        for edge in task.edges:
+            cand = dist[edge.src] + task.wcet(edge.dst) - rho * edge.separation
+            if cand > dist[edge.dst]:
+                dist[edge.dst] = cand
+                changed = True
+        if not changed:
+            break
+    else:  # pragma: no cover - impossible without a positive reduced cycle
+        raise AssertionError("linear_request_bound did not stabilise")
+    result = (max(dist.values()), rho)
+    task._analysis_cache["linear_request_bound"] = result
+    return result

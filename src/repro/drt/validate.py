@@ -1,0 +1,75 @@
+"""Well-formedness checks for DRT tasks."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.drt.model import DRTTask
+from repro.errors import ValidationError
+
+__all__ = ["validate_task", "is_constrained_deadline", "reachable_from"]
+
+
+def is_constrained_deadline(task: DRTTask) -> bool:
+    """True iff every job's deadline is at most its minimum outgoing
+    separation (so consecutive jobs of one behaviour never have
+    overlapping deadline windows).
+
+    Vertices without successors are unconstrained by definition and do not
+    affect the result.
+    """
+    for name, job in task.jobs.items():
+        succ = task.successors(name)
+        if succ and job.deadline > min(e.separation for e in succ):
+            return False
+    return True
+
+
+def reachable_from(task: DRTTask, start: str) -> List[str]:
+    """Job names reachable from *start* (including it)."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for e in task.successors(v):
+            if e.dst not in seen:
+                seen.add(e.dst)
+                stack.append(e.dst)
+    return sorted(seen)
+
+
+def validate_task(task: DRTTask, require_constrained: bool = False) -> None:
+    """Raise :class:`ValidationError` if *task* is malformed.
+
+    The :class:`~repro.drt.model.DRTTask` constructor already enforces
+    structural well-formedness (positive parameters, known endpoints);
+    this adds the semantic checks used by the analyses:
+
+    * at least one edge (a task without recurrence has trivially bounded
+      workload but the delay analyses still accept it — only a warning-
+      level condition, not enforced);
+    * every job participates in some behaviour of length > 1 or the task
+      is a single released job;
+    * with ``require_constrained=True``, constrained deadlines (needed by
+      the exact demand bound function).
+
+    Args:
+        task: Task to check.
+        require_constrained: Also require constrained deadlines.
+    """
+    isolated = [
+        name
+        for name in task.job_names
+        if not task.successors(name) and not task.predecessors(name)
+    ]
+    if isolated and len(task.job_names) > 1:
+        raise ValidationError(
+            f"task {task.name!r} has isolated jobs {isolated}; they can "
+            "never co-occur with the rest of the graph — split the task"
+        )
+    if require_constrained and not is_constrained_deadline(task):
+        raise ValidationError(
+            f"task {task.name!r} does not have constrained deadlines; the "
+            "exact demand bound function requires deadline <= min outgoing "
+            "separation for every job"
+        )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single ``except`` clause while
+still being able to distinguish model problems from analysis problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CurveError",
+    "EmptyCurveError",
+    "CurveDomainError",
+    "ModelError",
+    "ValidationError",
+    "AnalysisError",
+    "UnboundedBusyWindowError",
+    "HorizonExceededError",
+    "SimulationError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class CurveError(ReproError):
+    """Problem with a piecewise-linear curve or a curve operation."""
+
+
+class EmptyCurveError(CurveError):
+    """A curve was constructed without any segment."""
+
+
+class CurveDomainError(CurveError):
+    """A curve was evaluated or operated on outside its domain."""
+
+
+class ModelError(ReproError):
+    """Problem with a workload or resource model."""
+
+
+class ValidationError(ModelError):
+    """A task/model failed a well-formedness check."""
+
+
+class AnalysisError(ReproError):
+    """An analysis could not produce a result."""
+
+
+class UnboundedBusyWindowError(AnalysisError):
+    """The busy-window fixpoint does not exist (workload overloads service).
+
+    Raised when the long-run request rate of the workload is not smaller
+    than the long-run service rate, so ``rbf(t) <= beta(t)`` never holds
+    for ``t > 0`` and the worst-case delay is unbounded.
+    """
+
+
+class HorizonExceededError(AnalysisError):
+    """An exploration exceeded the configured safety horizon."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was configured inconsistently."""
+
+
+class SerializationError(ReproError):
+    """A model could not be read from or written to an external format."""

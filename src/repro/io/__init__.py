@@ -1,0 +1,21 @@
+"""Serialisation: JSON task/curve exchange and Graphviz export."""
+
+from repro.io.json_io import (
+    task_to_dict,
+    task_from_dict,
+    curve_to_dict,
+    curve_from_dict,
+    save_task,
+    load_task,
+)
+from repro.io.dot import task_to_dot
+
+__all__ = [
+    "task_to_dict",
+    "task_from_dict",
+    "curve_to_dict",
+    "curve_from_dict",
+    "save_task",
+    "load_task",
+    "task_to_dot",
+]

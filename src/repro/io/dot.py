@@ -1,0 +1,24 @@
+"""Graphviz DOT export of DRT tasks (for documentation and debugging)."""
+
+from __future__ import annotations
+
+from repro.drt.model import DRTTask
+
+__all__ = ["task_to_dot"]
+
+
+def task_to_dot(task: DRTTask) -> str:
+    """DOT source for the task graph.
+
+    Vertices are labelled ``name (wcet, deadline)``, edges with their
+    minimum separations.
+    """
+    lines = [f'digraph "{task.name}" {{', "  rankdir=LR;"]
+    for name, job in sorted(task.jobs.items()):
+        lines.append(
+            f'  "{name}" [label="{name}\\n<{job.wcet}, {job.deadline}>"];'
+        )
+    for e in task.edges:
+        lines.append(f'  "{e.src}" -> "{e.dst}" [label="{e.separation}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""JSON serialisation of tasks and curves.
+
+Rationals are stored as strings (``"3/10"``) so round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro._numeric import Q
+from repro.drt.model import DRTTask, Edge, Job
+from repro.errors import SerializationError
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+__all__ = [
+    "task_to_dict",
+    "task_from_dict",
+    "curve_to_dict",
+    "curve_from_dict",
+    "save_task",
+    "load_task",
+]
+
+
+def _q_out(q: Fraction) -> str:
+    return str(q)
+
+
+def _q_in(s: Any) -> Fraction:
+    try:
+        return Fraction(str(s))
+    except (ValueError, ZeroDivisionError) as exc:
+        raise SerializationError(f"invalid rational {s!r}") from exc
+
+
+def task_to_dict(task: DRTTask) -> Dict[str, Any]:
+    """Plain-dict form of a DRT task (stable key order)."""
+    return {
+        "name": task.name,
+        "jobs": {
+            name: {"wcet": _q_out(j.wcet), "deadline": _q_out(j.deadline)}
+            for name, j in sorted(task.jobs.items())
+        },
+        "edges": [
+            {"src": e.src, "dst": e.dst, "separation": _q_out(e.separation)}
+            for e in task.edges
+        ],
+    }
+
+
+def task_from_dict(data: Dict[str, Any]) -> DRTTask:
+    """Inverse of :func:`task_to_dict`.
+
+    Raises:
+        SerializationError: on missing keys or malformed numbers.
+    """
+    try:
+        jobs = [
+            Job(name, _q_in(spec["wcet"]), _q_in(spec["deadline"]))
+            for name, spec in data["jobs"].items()
+        ]
+        edges = [
+            Edge(e["src"], e["dst"], _q_in(e["separation"]))
+            for e in data["edges"]
+        ]
+        return DRTTask(data["name"], jobs, edges)
+    except KeyError as exc:
+        raise SerializationError(f"missing key {exc} in task JSON") from exc
+
+
+def curve_to_dict(curve: Curve) -> Dict[str, Any]:
+    """Plain-dict form of a curve (segment list)."""
+    return {
+        "segments": [
+            {
+                "start": _q_out(s.start),
+                "value": _q_out(s.value),
+                "slope": _q_out(s.slope),
+            }
+            for s in curve.segments
+        ]
+    }
+
+
+def curve_from_dict(data: Dict[str, Any]) -> Curve:
+    """Inverse of :func:`curve_to_dict`."""
+    try:
+        return Curve(
+            Segment(_q_in(s["start"]), _q_in(s["value"]), _q_in(s["slope"]))
+            for s in data["segments"]
+        )
+    except KeyError as exc:
+        raise SerializationError(f"missing key {exc} in curve JSON") from exc
+
+
+def save_task(task: DRTTask, path: Union[str, Path]) -> None:
+    """Write *task* to *path* as JSON."""
+    Path(path).write_text(json.dumps(task_to_dict(task), indent=2))
+
+
+def load_task(path: Union[str, Path]) -> DRTTask:
+    """Read a task from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read task from {path}: {exc}") from exc
+    return task_from_dict(data)

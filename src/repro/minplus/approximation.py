@@ -1,0 +1,142 @@
+"""Controlled curve simplification (segment-budget approximations).
+
+Exact request-bound staircases grow one segment per busy-window event;
+industrial curve tools keep analyses fast by bounding the number of
+segments and accepting a controlled approximation error.  This module
+provides the two directions:
+
+* :func:`upper_approximation` — at most ``k`` segments, pointwise **at
+  or above** the input (sound for arrival/request curves);
+* :func:`lower_approximation` — at most ``k`` segments, pointwise **at
+  or below** the input (sound for service curves);
+
+plus :func:`approximation_error` to quantify the loss.  The reduction
+greedily merges the adjacent staircase steps whose merge costs the least
+additional area, which keeps the error roughly balanced across the
+horizon — the heuristic of the classical RTC toolbox.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.errors import CurveError
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+__all__ = ["upper_approximation", "lower_approximation", "approximation_error"]
+
+
+def upper_approximation(curve: Curve, k: int) -> Curve:
+    """A curve with at most *k* segments dominating *curve* pointwise.
+
+    Adjacent segments are merged bottom-up; each merge replaces two
+    pieces by the larger constant / covering affine piece, choosing at
+    every step the merge with the smallest added area.  The tail segment
+    is always preserved (it carries the long-run rate).
+
+    Args:
+        curve: Input (typically a staircase request bound).
+        k: Segment budget, >= 2 (one transient piece plus the tail).
+
+    Raises:
+        CurveError: if ``k < 2``.
+    """
+    return _approximate(curve, k, upper=True)
+
+
+def lower_approximation(curve: Curve, k: int) -> Curve:
+    """A curve with at most *k* segments dominated by *curve* pointwise.
+
+    The mirror image of :func:`upper_approximation` (sound direction for
+    lower service curves).
+    """
+    return _approximate(curve, k, upper=False)
+
+
+def _approximate(curve: Curve, k: int, upper: bool) -> Curve:
+    if k < 2:
+        raise CurveError("segment budget must be at least 2")
+    segs = list(curve.segments)
+    if len(segs) <= k:
+        return curve
+    # Work on the transient only; the last (infinite) segment is pinned.
+    transient = segs[:-1]
+    tail = segs[-1]
+    # Greedy merging: repeatedly merge the adjacent pair with least cost.
+    # Representation: list of (start, end, value_at_start, slope).
+    pieces: List[List[Q]] = []
+    starts = curve.breakpoints()
+    for i, seg in enumerate(transient):
+        end = starts[i + 1]
+        pieces.append([seg.start, end, seg.value, seg.slope])
+    while len(pieces) + 1 > k:
+        best_idx = None
+        best_cost = None
+        for i in range(len(pieces) - 1):
+            cost = _merge_cost(pieces[i], pieces[i + 1], upper)
+            if best_cost is None or cost < best_cost:
+                best_cost, best_idx = cost, i
+        merged = _merge(pieces[best_idx], pieces[best_idx + 1], upper)
+        pieces[best_idx : best_idx + 2] = [merged]
+    out = [Segment(p[0], p[2], p[3]) for p in pieces]
+    out.append(tail)
+    result = Curve(out)
+    # The merge construction guarantees domination; normalisation may
+    # have fused pieces but never changes values.
+    return result
+
+
+def _cover_piece(a: List[Q], b: List[Q], upper: bool) -> Tuple[Q, Q]:
+    """(value_at_start, slope) of one affine piece covering both *a* and
+    *b* on [a.start, b.end] from above (or below)."""
+    xs = [a[0], a[1], b[0], b[1]]
+    # Candidate: the chord through the extreme corner values.
+    av0, av1 = a[2], a[2] + a[3] * (a[1] - a[0])
+    bv0, bv1 = b[2], b[2] + b[3] * (b[1] - b[0])
+    if upper:
+        # Horizontal piece at the max, then the affine hull attempt.
+        top = max(av0, av1, bv0, bv1)
+        return top, Q(0)
+    bottom = min(av0, av1, bv0, bv1)
+    return bottom, Q(0)
+
+
+def _merge(a: List[Q], b: List[Q], upper: bool) -> List[Q]:
+    v, s = _cover_piece(a, b, upper)
+    return [a[0], b[1], v, s]
+
+
+def _merge_cost(a: List[Q], b: List[Q], upper: bool) -> Q:
+    """Area added by merging *a* and *b* (absolute, exact)."""
+    v, s = _cover_piece(a, b, upper)
+    span_a = a[1] - a[0]
+    span_b = b[1] - b[0]
+    area_orig = (a[2] + a[3] * span_a / 2) * span_a + (
+        b[2] + b[3] * span_b / 2
+    ) * span_b
+    span = b[1] - a[0]
+    area_new = (v + s * span / 2) * span
+    return area_new - area_orig if upper else area_orig - area_new
+
+
+def approximation_error(original: Curve, approx: Curve, horizon: NumLike):
+    """``(max, mean)`` absolute pointwise gap on ``[0, horizon]``.
+
+    Evaluated at the union of both curves' breakpoints plus interval
+    midpoints (exact for PWL inputs).
+    """
+    hz = as_q(horizon)
+    points = sorted(
+        {t for t in original.breakpoints() + approx.breakpoints() if t <= hz}
+        | {hz}
+    )
+    samples: List[Q] = []
+    for a, b in zip(points, points[1:]):
+        samples.extend([a, (a + b) / 2])
+    samples.append(points[-1])
+    gaps = [abs(approx.at(t) - original.at(t)) for t in samples]
+    return max(gaps), sum(gaps) / len(gaps)

@@ -1,0 +1,156 @@
+"""Constructors for the standard curve zoo.
+
+Staircase curves (the shape of request/demand bound functions of periodic
+and structural workload) are *finitary*: exact jumps up to a caller-chosen
+horizon, then the tight affine bound through the staircase corners.  The
+``side`` parameter selects whether the tail must remain an upper bound
+(arrival/request curves) or a lower bound (service curves).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.errors import CurveDomainError
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+__all__ = [
+    "zero",
+    "constant",
+    "affine",
+    "token_bucket",
+    "rate_latency",
+    "staircase",
+    "step",
+    "from_points",
+]
+
+
+def zero() -> Curve:
+    """The constant-zero curve."""
+    return Curve([Segment(Q(0), Q(0), Q(0))])
+
+
+def constant(value: NumLike) -> Curve:
+    """The constant curve ``f(t) = value``."""
+    return Curve([Segment(Q(0), as_q(value), Q(0))])
+
+
+def affine(burst: NumLike, rate: NumLike) -> Curve:
+    """The affine curve ``f(t) = burst + rate * t``."""
+    return Curve([Segment(Q(0), as_q(burst), as_q(rate))])
+
+
+def token_bucket(burst: NumLike, rate: NumLike) -> Curve:
+    """Token-bucket arrival curve: 0 at ``t = 0``, then ``burst + rate*t``.
+
+    This is the classical ``gamma_{r,b}`` curve of network calculus with
+    the right-continuous convention: the jump to *burst* happens
+    immediately after 0, so ``f(0) = burst`` here (a window of length 0
+    may already contain the burst) which matches the request-bound-function
+    convention used throughout this library.
+    """
+    return affine(burst, rate)
+
+
+def rate_latency(rate: NumLike, latency: NumLike) -> Curve:
+    """Rate-latency service curve ``beta_{R,T}(t) = R * max(0, t - T)``."""
+    r, t = as_q(rate), as_q(latency)
+    if r < 0 or t < 0:
+        raise CurveDomainError("rate-latency needs rate >= 0 and latency >= 0")
+    if t == 0:
+        return Curve([Segment(Q(0), Q(0), r)])
+    return Curve([Segment(Q(0), Q(0), Q(0)), Segment(t, Q(0), r)])
+
+
+def step(height: NumLike, at_time: NumLike) -> Curve:
+    """A single upward step of *height* at *at_time* (0 before)."""
+    h, t0 = as_q(height), as_q(at_time)
+    if t0 == 0:
+        return constant(h)
+    return Curve([Segment(Q(0), Q(0), Q(0)), Segment(t0, h, Q(0))])
+
+
+def staircase(
+    height: NumLike,
+    period: NumLike,
+    horizon: NumLike,
+    offset: NumLike = 0,
+    side: str = "upper",
+) -> Curve:
+    """Finitary periodic staircase.
+
+    The exact function is ``f(t) = height * (floor((t - offset)/period) + 1)``
+    for ``t >= offset`` and 0 before (an upward jump of *height* at
+    ``offset, offset + period, offset + 2*period, ...``).  Jumps are
+    materialised exactly up to *horizon*; beyond it the curve continues
+    with the tight affine bound through the staircase corners:
+
+    * ``side="upper"``: the line through the post-jump corners (curve is an
+      upper bound of the exact staircase everywhere, exact on the jumps);
+    * ``side="lower"``: the line through the pre-jump corners (lower bound).
+
+    Args:
+        height: Jump size (work per period), must be > 0.
+        period: Distance between jumps, must be > 0.
+        horizon: Time up to which the staircase is exact, must be >= 0.
+        offset: Time of the first jump.
+        side: ``"upper"`` or ``"lower"`` tail bound direction.
+    """
+    h, p, hz, off = as_q(height), as_q(period), as_q(horizon), as_q(offset)
+    if h <= 0 or p <= 0:
+        raise CurveDomainError("staircase needs height > 0 and period > 0")
+    if hz < 0 or off < 0:
+        raise CurveDomainError("staircase needs horizon >= 0 and offset >= 0")
+    if side not in ("upper", "lower"):
+        raise ValueError(f"side must be 'upper' or 'lower', got {side!r}")
+    segs: List[Segment] = []
+    if off > 0:
+        segs.append(Segment(Q(0), Q(0), Q(0)))
+    # Exact steps with jump times <= horizon.
+    k = 0
+    t = off
+    while t <= hz:
+        segs.append(Segment(t, h * (k + 1), Q(0)))
+        k += 1
+        t = off + k * p
+    rate = h / p
+    next_jump = off + k * p
+    if side == "upper":
+        # Line through post-jump corners: value h*(k+1) at t = off + k*p.
+        # Exactness holds on [0, next_jump) >= [0, horizon]; beyond, the
+        # affine tail upper-bounds the staircase and touches it at corners.
+        if k == 0 and off == 0:
+            return Curve([Segment(Q(0), h, rate)])
+        segs.append(Segment(next_jump, h * (k + 1), rate))
+        return Curve(segs)
+    # Lower bound: line through pre-jump corners: value h*k at t = off + k*p.
+    segs.append(Segment(next_jump, h * k, rate))
+    return Curve(segs)
+
+
+def from_points(
+    points: Sequence[Tuple[NumLike, NumLike]], tail_rate: NumLike
+) -> Curve:
+    """Continuous piecewise-linear curve through *points*, then affine tail.
+
+    Args:
+        points: ``(t, value)`` pairs with strictly increasing times; the
+            first time must be 0.  Consecutive points are joined linearly.
+        tail_rate: Slope after the last point.
+    """
+    if not points:
+        raise CurveDomainError("from_points needs at least one point")
+    pts = [(as_q(t), as_q(v)) for t, v in points]
+    if pts[0][0] != 0:
+        raise CurveDomainError("first point must be at t = 0")
+    segs: List[Segment] = []
+    for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+        if t1 <= t0:
+            raise CurveDomainError("point times must be strictly increasing")
+        segs.append(Segment(t0, v0, (v1 - v0) / (t1 - t0)))
+    t_last, v_last = pts[-1]
+    segs.append(Segment(t_last, v_last, as_q(tail_rate)))
+    return Curve(segs)

@@ -1,0 +1,184 @@
+"""Deviations, pseudo-inverses and crossings of curves.
+
+The horizontal deviation between an arrival/request curve and a service
+curve is the classical worst-case delay bound of real-time calculus; the
+vertical deviation bounds the backlog; the first crossing of a request
+bound function under a service curve bounds the busy window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro._numeric import INF, Q, is_inf
+from repro.errors import CurveError
+from repro.minplus.curve import Curve
+
+__all__ = [
+    "lower_pseudo_inverse",
+    "upper_pseudo_inverse",
+    "horizontal_deviation",
+    "vertical_deviation",
+    "first_crossing",
+]
+
+MaybeInf = Union[Q, type(INF)]
+
+
+def lower_pseudo_inverse(f: Curve, w) -> MaybeInf:
+    """``inf { t >= 0 : f(t) >= w }`` for a nondecreasing curve *f*.
+
+    Returns :data:`~repro._numeric.INF` when *f* never reaches *w*.
+    With the right-continuous convention the infimum, when finite, is
+    attained: ``f(result) >= w``.
+    """
+    from repro._numeric import as_q
+
+    wq = as_q(w)
+    starts = f.breakpoints()
+    for i, seg in enumerate(f.segments):
+        if seg.value >= wq:
+            return seg.start
+        end = starts[i + 1] if i + 1 < len(starts) else None
+        if seg.slope > 0:
+            t = seg.start + (wq - seg.value) / seg.slope
+            if end is None or t < end:
+                return t
+    return INF
+
+
+def upper_pseudo_inverse(f: Curve, w) -> MaybeInf:
+    """``inf { t >= 0 : f(t) > w }`` for a nondecreasing curve *f*.
+
+    Strictly-greater variant of :func:`lower_pseudo_inverse`; the two
+    differ exactly where *f* has a plateau at value *w*.  Returns
+    :data:`INF` when *f* never exceeds *w*.
+    """
+    from repro._numeric import as_q
+
+    wq = as_q(w)
+    starts = f.breakpoints()
+    for i, seg in enumerate(f.segments):
+        if seg.value > wq:
+            return seg.start
+        end = starts[i + 1] if i + 1 < len(starts) else None
+        if seg.slope > 0:
+            v_end = seg.value_at(end) if end is not None else None
+            if v_end is None or v_end > wq:
+                # Crosses (or starts at) w inside this segment; f exceeds
+                # w immediately after the crossing point.
+                t = seg.start + (wq - seg.value) / seg.slope
+                if t < seg.start:
+                    return seg.start
+                if end is None or t < end:
+                    return t
+    return INF
+
+
+def first_crossing(f: Curve, g: Curve, start=0) -> Optional[Q]:
+    """Smallest ``t >= start`` with ``f(t) <= g(t)``, or None if never.
+
+    Used for busy-window bounds: the busy window of workload *f* on
+    service *g* ends at the first time the accumulated service catches up
+    with the accumulated requests.
+    """
+    from repro._numeric import as_q
+
+    t0 = as_q(start)
+    diff = f - g
+    starts = diff.breakpoints()
+    for i, seg in enumerate(diff.segments):
+        end = starts[i + 1] if i + 1 < len(starts) else None
+        lo = max(seg.start, t0)
+        if end is not None and lo >= end:
+            continue
+        if seg.value_at(lo) <= 0:
+            return lo
+        if seg.slope < 0:
+            x = seg.start + (0 - seg.value) / seg.slope
+            if x >= lo and (end is None or x < end):
+                return x
+    return None
+
+
+def vertical_deviation(f: Curve, g: Curve) -> MaybeInf:
+    """``sup_{t>=0} (f(t) - g(t))`` — the backlog bound.
+
+    Returns :data:`INF` when the difference grows without bound.
+    """
+    diff = f - g
+    if diff.tail_rate > 0:
+        return INF
+    horizon = diff.last_breakpoint
+    return diff.sup_on(0, horizon)
+
+
+def horizontal_deviation(f: Curve, g: Curve) -> MaybeInf:
+    """``sup_t inf { d >= 0 : f(t) <= g(t + d) }`` — the delay bound.
+
+    *f* plays the role of an upper request/arrival curve and *g* of a
+    lower service curve; both must be nondecreasing.  Returns
+    :data:`INF` when *f* outgrows *g* (long-run overload).
+
+    The supremum of ``h(t) = [g^{-1}(f(t)) - t]^+`` is taken over the
+    finitely many candidate times where ``h`` can change slope: the
+    breakpoints of *f* and the pull-backs of *g*'s breakpoint values
+    through each affine piece of *f*.
+    """
+    if not f.is_nondecreasing() or not g.is_nondecreasing():
+        raise CurveError("horizontal_deviation requires nondecreasing curves")
+    if f.tail_rate > g.tail_rate:
+        return INF
+    candidates: List[Q] = list(f.breakpoints())
+    # Values at which g's pseudo-inverse changes slope: values of g at and
+    # just before each of its breakpoints.
+    g_values = set()
+    for t in g.breakpoints():
+        g_values.add(g.at(t))
+        if t > 0:
+            g_values.add(g.left_limit(t))
+    # Supremum candidates approached from the right: where f crosses a
+    # plateau value of g with positive slope, d(t) tends to
+    # upper_pseudo_inverse(g, v) - t as t decreases to the crossing.
+    limit_candidates: List[Q] = []
+    starts = f.breakpoints()
+    for i, seg in enumerate(f.segments):
+        if seg.slope <= 0:
+            continue
+        end = starts[i + 1] if i + 1 < len(starts) else None
+        v_lo = seg.value
+        v_hi = seg.value_at(end) if end is not None else None
+        for w in g_values:
+            if w < v_lo:
+                continue
+            if v_hi is not None and w > v_hi:
+                continue
+            t_w = seg.start + (w - v_lo) / seg.slope
+            candidates.append(t_w)
+            if v_hi is None or w < v_hi:
+                # f increases strictly through w at t_w.
+                inv_up = upper_pseudo_inverse(g, w)
+                if is_inf(inv_up):
+                    return INF
+                limit_candidates.append(inv_up - t_w)
+    best: MaybeInf = Q(0)
+    for t in sorted(set(candidates)):
+        for value in _values_around(f, t):
+            inv = lower_pseudo_inverse(g, value)
+            if is_inf(inv):
+                return INF
+            d = inv - t
+            if d > best:
+                best = d
+    for d in limit_candidates:
+        if d > best:
+            best = d
+    return best
+
+
+def _values_around(f: Curve, t: Q) -> List[Q]:
+    """Value and (for t > 0) left limit of *f* at *t*."""
+    values = [f.at(t)]
+    if t > 0:
+        values.append(f.left_limit(t))
+    return values

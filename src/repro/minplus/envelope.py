@@ -1,0 +1,268 @@
+"""Lower/upper envelopes of collections of affine pieces.
+
+Min-plus convolution and deconvolution of piecewise-linear curves reduce to
+computing the lower (resp. upper) envelope of a collection of *closed*
+affine pieces.  This module implements that computation by divide-and-
+conquer merging of partial piecewise-linear functions, which keeps the
+total cost near ``O(N log N)`` in the number of pieces.
+
+Pieces are closed intervals ``[lo, hi]`` carrying an affine function; a
+*degenerate* piece with ``lo == hi`` represents a single point value and is
+used to preserve exact point information (attained limits at jumps) through
+the merge.  The final conversion to right-continuous curve segments applies
+a *dip policy* when the exact envelope value at an isolated point cannot be
+represented by right-continuous segments:
+
+* ``"fill"`` — drop the isolated value (sound when the result is used as an
+  *upper* bound, e.g. arrival curves);
+* ``"raise"`` — raise :class:`~repro.errors.CurveError` (used when the
+  result must be a *lower* bound, e.g. service curves; continuous inputs
+  never trigger it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro._numeric import Q
+from repro.errors import CurveError
+from repro.minplus.segment import Segment
+
+__all__ = ["Piece", "envelope", "envelope_to_segments"]
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A closed affine piece: ``f(t) = value + slope*(t - lo)`` on ``[lo, hi]``."""
+
+    lo: Fraction
+    hi: Fraction
+    value: Fraction
+    slope: Fraction
+
+    def value_at(self, t: Q) -> Fraction:
+        return self.value + self.slope * (t - self.lo)
+
+    @property
+    def degenerate(self) -> bool:
+        return self.lo == self.hi
+
+    def clipped(self, lo: Q, hi: Q) -> Optional["Piece"]:
+        """This piece restricted to ``[lo, hi]``, or None if disjoint."""
+        new_lo = max(self.lo, lo)
+        new_hi = min(self.hi, hi)
+        if new_lo > new_hi:
+            return None
+        return Piece(new_lo, new_hi, self.value_at(new_lo), self.slope)
+
+
+def envelope(pieces: Sequence[Piece], lower: bool = True) -> List[Piece]:
+    """Envelope (lower if *lower*, else upper) of *pieces*.
+
+    Returns a sorted list of non-overlapping pieces (degenerate pieces mark
+    isolated extremal point values at shared endpoints); their union domain
+    equals the union of the inputs' domains.
+    """
+    items = [p for p in pieces if p.lo <= p.hi]
+    if not items:
+        return []
+    # Divide and conquer: merging balanced halves keeps each piece passing
+    # through O(log N) merges.
+    return _dc(items, lower)
+
+
+def _dc(items: List[Piece], lower: bool) -> List[Piece]:
+    if len(items) == 1:
+        return list(items)
+    mid = len(items) // 2
+    left = _dc(items[:mid], lower)
+    right = _dc(items[mid:], lower)
+    return _merge(left, right, lower)
+
+
+def _better(a: Q, b: Q, lower: bool) -> bool:
+    """True if value *a* beats value *b* for this envelope direction."""
+    return a < b if lower else a > b
+
+
+def _merge(xs: List[Piece], ys: List[Piece], lower: bool) -> List[Piece]:
+    """Envelope of two partial PWL functions, each given as sorted,
+    non-overlapping piece lists."""
+    events: List[Q] = []
+    for p in xs:
+        events.append(p.lo)
+        events.append(p.hi)
+    for p in ys:
+        events.append(p.lo)
+        events.append(p.hi)
+    events = sorted(set(events))
+    out: List[Piece] = []
+
+    def emit(piece: Piece) -> None:
+        _append_coalesced(out, piece, lower)
+
+    xi = yi = 0
+    for k, a in enumerate(events):
+        b = events[k + 1] if k + 1 < len(events) else None
+        # Advance piece cursors past intervals ending before a.
+        while xi < len(xs) and xs[xi].hi < a:
+            xi += 1
+        while yi < len(ys) and ys[yi].hi < a:
+            yi += 1
+        # Point handling at event a: every piece whose closed domain
+        # contains a contributes its point value; the best survives.
+        point_vals = []
+        for arr, idx in ((xs, xi), (ys, yi)):
+            j = idx
+            while j < len(arr) and arr[j].lo <= a:
+                if arr[j].hi >= a:
+                    point_vals.append(arr[j].value_at(a))
+                j += 1
+        if point_vals:
+            best = point_vals[0]
+            for v in point_vals[1:]:
+                if _better(v, best, lower):
+                    best = v
+            emit(Piece(a, a, best, Q(0)))
+        if b is None:
+            break
+        # Interval handling on (a, b): at most one piece of each side
+        # covers the open interval (pieces are non-overlapping and events
+        # include all endpoints).
+        px = _covering(xs, xi, a, b)
+        py = _covering(ys, yi, a, b)
+        if px is None and py is None:
+            continue
+        if px is None or py is None:
+            winner = px if py is None else py
+            emit(Piece(a, b, winner.value_at(a), winner.slope))
+            continue
+        _merge_interval(px, py, a, b, lower, emit)
+    return out
+
+
+def _covering(arr: List[Piece], idx: int, a: Q, b: Q) -> Optional[Piece]:
+    """The piece of *arr* (searching from *idx*) covering ``[a, b]``."""
+    j = idx
+    while j < len(arr) and arr[j].lo <= a:
+        if arr[j].hi >= b and arr[j].lo < arr[j].hi:
+            return arr[j]
+        j += 1
+    return None
+
+
+def _merge_interval(px: Piece, py: Piece, a: Q, b: Q, lower: bool, emit) -> None:
+    """Envelope of two affine pieces both covering ``[a, b]``."""
+    vx_a, vy_a = px.value_at(a), py.value_at(a)
+    vx_b, vy_b = px.value_at(b), py.value_at(b)
+    x_first = _better(vx_a, vy_a, lower) or (
+        vx_a == vy_a and not _better(py.slope, px.slope, lower)
+    )
+    first, second = (px, py) if x_first else (py, px)
+    fa, sa = (vx_a, vy_a) if x_first else (vy_a, vx_a)
+    fb, sb = (vx_b, vy_b) if x_first else (vy_b, vx_b)
+    if _better(sb, fb, lower):
+        # Crossing strictly inside (a, b).
+        x = a + (sa - fa) / (first.slope - second.slope)
+        emit(Piece(a, x, first.value_at(a), first.slope))
+        emit(Piece(x, b, second.value_at(x), second.slope))
+    else:
+        emit(Piece(a, b, first.value_at(a), first.slope))
+
+
+def _append_coalesced(out: List[Piece], piece: Piece, lower: bool) -> None:
+    """Append *piece*, merging with the previous piece when collinear and
+    dropping redundant degenerate point pieces."""
+    while out:
+        prev = out[-1]
+        if piece.degenerate:
+            if prev.hi == piece.lo:
+                prev_v = prev.value_at(piece.lo)
+                if not _better(piece.value, prev_v, lower):
+                    return  # point value carries no extra information
+            break
+        if prev.degenerate and prev.lo == piece.lo:
+            # A degenerate point at the start of a full piece is redundant
+            # unless it strictly beats the piece's own start value.
+            if not _better(prev.value, piece.value, lower):
+                out.pop()
+                continue
+            break
+        if (
+            prev.hi == piece.lo
+            and prev.slope == piece.slope
+            and prev.value_at(piece.lo) == piece.value
+        ):
+            out[-1] = Piece(prev.lo, piece.hi, prev.value, prev.slope)
+            return
+        break
+    out.append(piece)
+
+
+def envelope_to_segments(
+    pieces: Sequence[Piece], cap: Q, on_dip: str = "raise"
+) -> List[Segment]:
+    """Convert an envelope on ``[0, cap]`` to right-continuous segments.
+
+    Args:
+        pieces: Sorted envelope pieces covering ``[0, cap]`` contiguously.
+        cap: Right end of the requested domain.
+        on_dip: Policy when an isolated point value (degenerate piece, or a
+            jump whose exact point value is not representable by
+            right-continuous segments) would be lost: ``"fill"`` drops the
+            point value, ``"raise"`` raises :class:`CurveError`.
+
+    Raises:
+        CurveError: on gaps in coverage, or on an unrepresentable isolated
+            point value with ``on_dip="raise"``.
+    """
+    if on_dip not in ("fill", "raise"):
+        raise ValueError(f"on_dip must be 'fill' or 'raise', got {on_dip!r}")
+    full = [p for p in pieces if not p.degenerate and p.lo <= cap]
+    points = [p for p in pieces if p.degenerate and p.lo <= cap]
+    segs: List[Segment] = []
+    cursor = Q(0)
+    prev_limit: Optional[Q] = None  # left limit of the represented function
+    for piece in full:
+        if piece.lo > cursor:
+            raise CurveError(
+                f"envelope has a gap at [{cursor}, {piece.lo}) before {cap}"
+            )
+        clipped = piece.clipped(cursor, cap)
+        if clipped is None or clipped.degenerate:
+            continue
+        segs.append(Segment(clipped.lo, clipped.value, clipped.slope))
+        cursor = clipped.hi
+        prev_limit = clipped.value_at(clipped.hi)
+        if cursor >= cap:
+            break
+    if cursor < cap:
+        raise CurveError(f"envelope does not cover [0, {cap}] (stops at {cursor})")
+    if on_dip == "raise":
+        _check_point_values(points, full, cap)
+    return segs
+
+
+def _check_point_values(
+    points: Sequence[Piece], full: Sequence[Piece], cap: Q
+) -> None:
+    """Verify no isolated point value is lost by the segment representation.
+
+    A degenerate piece at *p* is representable iff its value equals either
+    the left limit or the value of a full piece at *p*.
+    """
+    for pt in points:
+        if pt.lo > cap:
+            continue
+        ok = False
+        for piece in full:
+            if piece.lo <= pt.lo <= piece.hi and piece.value_at(pt.lo) == pt.value:
+                ok = True
+                break
+        if not ok:
+            raise CurveError(
+                f"envelope has an unrepresentable isolated value "
+                f"{pt.value} at t={pt.lo}"
+            )

@@ -1,0 +1,195 @@
+"""Max-plus counterparts and subadditivity utilities.
+
+Max-plus convolution is the dual of min-plus convolution (sup instead of
+inf over decompositions); it composes *lower* arrival curves and appears
+in the lower-bound half of full real-time calculus.  The subadditive
+closure tightens any upper arrival curve to the best curve implying the
+same constraints (``alpha* <= alpha`` pointwise, still sound).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._numeric import Q
+from repro.errors import CurveError
+from repro.minplus.convolution import (
+    _closed_segments,
+    _correct_breakpoints,
+    _verify_point_exactness,
+)
+from repro.minplus.curve import Curve
+from repro.minplus.envelope import Piece, envelope, envelope_to_segments
+from repro.minplus.segment import Segment
+
+__all__ = ["max_plus_conv", "is_subadditive", "subadditive_closure"]
+
+
+def max_plus_conv(f: Curve, g: Curve, on_dip: str = "fill") -> Curve:
+    """Max-plus convolution ``sup_{0<=s<=t} f(s) + g(t-s)``.
+
+    Ultimately affine beyond ``T_f + T_g`` with rate ``max(r_f, r_g)``;
+    the dual of :func:`repro.minplus.convolution.min_plus_conv`.
+    """
+    from repro.minplus.convolution import _ultimate_horizon
+
+    h0 = _ultimate_horizon(f, g, lower=False)
+    tail_rate = max(f.tail_rate, g.tail_rate)
+    if h0 == 0:
+        return Curve([Segment(Q(0), f.at(0) + g.at(0), tail_rate)])
+    pieces: List[Piece] = []
+    for a in _closed_segments(f, h0):
+        for b in _closed_segments(g, h0):
+            pieces.extend(_pair(a, b, h0))
+    env = envelope(pieces, lower=False)
+    segs = envelope_to_segments(env, h0, on_dip="fill")
+    point_value = lambda t: max_conv_point_value(f, g, t)
+    # Joint value from the exact point evaluation (see min_plus_conv).
+    segs = [s for s in segs if s.start < h0]
+    segs.append(Segment(h0, point_value(h0), tail_rate))
+    segs = _correct_breakpoints(segs, point_value, lower=False, on_dip=on_dip)
+    result = Curve(segs)
+    if on_dip == "raise":
+        _verify_point_exactness(result, pieces, point_value, h0, lower=False)
+    return result
+
+
+def max_conv_point_value(f: Curve, g: Curve, t: Q) -> Q:
+    """Exact ``sup { f(s) + g(t-s) : 0 <= s <= t }`` at one point.
+
+    Mirror image of :func:`repro.minplus.convolution.conv_point_value`:
+    along ``s + u = t`` a left limit on one side pairs with the
+    right-continuous value on the other.
+    """
+    candidates: List[Q] = []
+    for s in f.breakpoints():
+        if 0 <= s <= t:
+            candidates.append(f.at(s) + g.at(t - s))
+            if s > 0:
+                candidates.append(f.left_limit(s) + g.at(t - s))
+    for u in g.breakpoints():
+        if 0 <= u <= t:
+            candidates.append(f.at(t - u) + g.at(u))
+            if u > 0:
+                candidates.append(f.at(t - u) + g.left_limit(u))
+    return max(candidates)
+
+
+def _pair(a: Piece, b: Piece, cap: Q) -> List[Piece]:
+    """Upper pieces of one segment pair: traverse the *steeper* slope
+    first (mirror image of the min-plus Minkowski sum)."""
+    lo = a.lo + b.lo
+    if lo > cap:
+        return []
+    first, second = (a, b) if a.slope >= b.slope else (b, a)
+    v0 = a.value + b.value
+    mid = lo + (first.hi - first.lo)
+    hi = mid + (second.hi - second.lo)
+    out: List[Piece] = []
+    p1 = Piece(lo, min(mid, cap), v0, first.slope).clipped(Q(0), cap)
+    if p1 is not None:
+        out.append(p1)
+    if hi > mid and mid <= cap:
+        v_mid = v0 + first.slope * (mid - lo)
+        p2 = Piece(mid, min(hi, cap), v_mid, second.slope).clipped(Q(0), cap)
+        if p2 is not None:
+            out.append(p2)
+    return out
+
+
+def is_subadditive(f: Curve, horizon=None) -> bool:
+    """Check ``f(s + u) <= f(s) + f(u)`` on the curve's exact region.
+
+    Checked at all breakpoint pairs (sufficient for staircase curves,
+    and a strong witness for general PWL curves); *horizon* defaults to
+    the last breakpoint.
+    """
+    from repro._numeric import as_q
+
+    hz = as_q(horizon) if horizon is not None else f.last_breakpoint
+    points = [t for t in f.breakpoints() if t <= hz] + [hz]
+    points = sorted(set(points))
+    for s in points:
+        for u in points:
+            if s + u <= hz and f.at(s + u) > f.at(s) + f.at(u):
+                return False
+    return True
+
+
+def subadditive_closure(f: Curve, max_iterations: int = 30) -> Curve:
+    """The subadditive closure ``f* = min_k f^{(conv k)}`` (without the
+    ``k = 0`` spike at the origin).
+
+    Computed by squaring: ``f -> min(f, f conv f)`` until a fixpoint,
+    *finitarily*: the result is the exact closure on the half-open exact
+    region ``[0, f.last_breakpoint)`` and a sound upper bound of the true
+    closure beyond (the original tail combined with the best
+    subadditivity ray).  The closure of an upper arrival curve is the
+    tightest curve enforcing the same constraints; subadditivity is
+    guaranteed on the exact region.
+
+    Raises:
+        CurveError: if no fixpoint is reached within *max_iterations*
+            (not expected for nondecreasing nonnegative inputs).
+    """
+    from repro.minplus.convolution import min_plus_conv
+
+    horizon = f.last_breakpoint
+    current = f
+    for _ in range(max_iterations):
+        squared = min_plus_conv(current, current, on_dip="fill")
+        nxt = _closure_truncate(current.minimum(squared), f, horizon)
+        if nxt == current:
+            return current
+        current = nxt
+    raise CurveError("subadditive closure did not converge")
+
+
+def _closure_truncate(curve: Curve, original: Curve, horizon: Q) -> Curve:
+    """Finitary truncation of a closure iterate.
+
+    The iterate is kept exactly on ``[0, horizon)``; beyond the horizon
+    the result must remain an *upper bound of the true closure* (the
+    iterate itself keeps refining further out forever).  Two sound tail
+    bounds are combined:
+
+    * the original curve (the closure never exceeds it);
+    * the subadditivity ray ``f*(t*) + (f*(t*)/t*) * Delta`` for the
+      breakpoint ``t*`` minimising ``f*(t)/t`` (since
+      ``f*(Delta) <= f*(t) * (floor(Delta/t) + 1)``).
+
+    Their minimum, floored by the exact value just before the horizon to
+    keep the curve nondecreasing (the true closure is monotone, so the
+    floor is also sound), forms the tail.
+    """
+    if horizon <= 0:
+        return curve
+    # Subadditivity ray from the best density point strictly inside the
+    # exact region: f*(Delta) <= f*(t) * (floor(Delta/t) + 1)
+    #                         <= f*(t) + (f*(t)/t) * Delta.
+    best_t = None
+    best_ratio = None
+    for t in curve.breakpoints():
+        if 0 < t < horizon:
+            ratio = curve.at(t) / t
+            if best_ratio is None or ratio < best_ratio:
+                best_ratio, best_t = ratio, t
+    tail = original
+    if best_t is not None:
+        from repro.minplus.builders import affine
+
+        ray = affine(curve.at(best_t), best_ratio)
+        tail = tail.minimum(ray)
+    # Monotone floor: the true closure is nondecreasing, so it never
+    # drops below the exact region's supremum (= the left limit at the
+    # horizon for these nondecreasing iterates).
+    from repro.minplus.builders import constant
+
+    tail = tail.maximum(constant(curve.left_limit(horizon)))
+    segs = [s for s in curve.segments if s.start < horizon]
+    tail_idx = tail._segment_index_at(horizon)
+    segs.append(
+        Segment(horizon, tail.at(horizon), tail.segments[tail_idx].slope)
+    )
+    segs.extend(s for s in tail.segments if s.start > horizon)
+    return Curve(segs)

@@ -1,0 +1,62 @@
+"""Affine segments, the building block of piecewise-linear curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro._numeric import Q, NumLike, as_q
+
+__all__ = ["Segment"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One affine piece of a curve.
+
+    A segment describes the function ``f(t) = value + slope * (t - start)``
+    on the half-open interval ``[start, end)`` where ``end`` is the start of
+    the next segment of the owning curve (or ``+oo`` for the last segment).
+    Segments therefore make curves *right-continuous*: at a breakpoint the
+    curve takes the value of the segment that begins there.
+
+    Attributes:
+        start: Left endpoint of the segment's domain.
+        value: Curve value at ``start``.
+        slope: Constant derivative on the segment.
+    """
+
+    start: Fraction
+    value: Fraction
+    slope: Fraction
+
+    @staticmethod
+    def make(start: NumLike, value: NumLike, slope: NumLike) -> "Segment":
+        """Build a segment, converting all coordinates to exact rationals."""
+        return Segment(as_q(start), as_q(value), as_q(slope))
+
+    def value_at(self, t: NumLike) -> Fraction:
+        """Value of the affine extension of this segment at time *t*.
+
+        The segment does not know its own right endpoint, so no domain
+        check is performed; callers are responsible for only evaluating
+        within ``[start, end)`` (or at ``end`` to obtain the left limit).
+        """
+        tq = as_q(t)
+        return self.value + self.slope * (tq - self.start)
+
+    def shifted(self, dt: NumLike, dv: NumLike = 0) -> "Segment":
+        """This segment translated by ``(+dt, +dv)``."""
+        return Segment(self.start + as_q(dt), self.value + as_q(dv), self.slope)
+
+    def scaled(self, factor: NumLike) -> "Segment":
+        """This segment with value and slope multiplied by *factor*."""
+        f = as_q(factor)
+        return Segment(self.start, self.value * f, self.slope * f)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Segment(start={self.start}, value={self.value}, slope={self.slope})"
+
+
+def _segment_sort_key(seg: Segment) -> Q:
+    return seg.start

@@ -1,0 +1,15 @@
+"""Classical Real-Time Calculus components and networks.
+
+The modular-performance-analysis layer: greedy processing components
+(GPC) consume an upper arrival curve and a lower service curve and emit
+delay/backlog bounds plus output curves for downstream components.  The
+structural delay analysis plugs into this framework wherever a single
+component's workload is structural: its input is the same service curve,
+and its output arrival curve is the request bound shifted by the delay
+bound.
+"""
+
+from repro.rtc.gpc import GpcResult, gpc
+from repro.rtc.network import chain_analysis, end_to_end_service
+
+__all__ = ["GpcResult", "gpc", "chain_analysis", "end_to_end_service"]

@@ -1,0 +1,75 @@
+"""Networks of processing components (modular performance analysis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Union
+
+from repro._numeric import Q, is_inf
+from repro.errors import AnalysisError
+from repro.minplus.convolution import min_plus_conv
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import horizontal_deviation
+from repro.rtc.gpc import GpcResult, gpc
+
+__all__ = ["ChainResult", "chain_analysis", "end_to_end_service"]
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Result of analysing a chain of components.
+
+    Attributes:
+        hops: Per-hop GPC results, in order.
+        sum_of_delays: Sum of per-hop delay bounds.
+        end_to_end_delay: Delay bound against the convolved service
+            (pay-bursts-only-once); never larger than the sum of delays.
+    """
+
+    hops: List[GpcResult]
+    sum_of_delays: Fraction
+    end_to_end_delay: Fraction
+
+
+def end_to_end_service(betas: Sequence[Curve]) -> Curve:
+    """The service curve of a tandem of resources: min-plus convolution.
+
+    A flow traversing resources with lower service curves ``beta_1 ...
+    beta_n`` receives the end-to-end service ``beta_1 (*) ... (*) beta_n``
+    — the basis of the pay-bursts-only-once principle.
+    """
+    if not betas:
+        raise AnalysisError("end_to_end_service needs at least one curve")
+    acc = betas[0]
+    for b in betas[1:]:
+        acc = min_plus_conv(acc, b, on_dip="raise")
+    return acc
+
+
+def chain_analysis(alpha: Curve, betas: Sequence[Curve]) -> ChainResult:
+    """Analyse a flow through a chain of greedy components.
+
+    Args:
+        alpha: Upper arrival curve entering the first component.
+        betas: Lower service curves of the traversed resources, in order.
+
+    Returns:
+        Per-hop results plus the two end-to-end bounds (hop sum vs.
+        pay-bursts-only-once).
+    """
+    hops: List[GpcResult] = []
+    current = alpha
+    total = Q(0)
+    for beta in betas:
+        result = gpc(current, beta)
+        if is_inf(result.delay):
+            raise AnalysisError("a hop has an infinite delay bound")
+        hops.append(result)
+        total += result.delay
+        current = result.output_arrival
+    e2e_beta = end_to_end_service(betas)
+    e2e = horizontal_deviation(alpha, e2e_beta)
+    if is_inf(e2e):
+        raise AnalysisError("end-to-end deviation is infinite")
+    return ChainResult(hops=hops, sum_of_delays=total, end_to_end_delay=e2e)

@@ -1,0 +1,16 @@
+"""Schedulability tests built on the delay and demand machinery."""
+
+from repro.sched.edf import EdfResult, edf_schedulable
+from repro.sched.edf_delay import EdfDelayResult, edf_structural_delays
+from repro.sched.sp import SpResult, sp_schedulable
+from repro.sched.acceptance import acceptance_ratio
+
+__all__ = [
+    "EdfResult",
+    "edf_schedulable",
+    "EdfDelayResult",
+    "edf_structural_delays",
+    "SpResult",
+    "sp_schedulable",
+    "acceptance_ratio",
+]

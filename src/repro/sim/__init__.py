@@ -1,0 +1,35 @@
+"""Discrete-event validation simulator.
+
+Bounds are only trustworthy when something executes against them: this
+subpackage generates concrete behaviours of structural tasks (random walks
+and worst-case witness replays), runs them through concrete service
+processes that *comply* with a given lower service curve (including the
+adversarial one that serves as little as the curve allows), and measures
+actual job delays and backlog.  The measured maxima must bracket every
+analytic bound from below — the integration tests and experiment E6 assert
+exactly that.
+"""
+
+from repro.sim.releases import Release, behaviour_from_path, random_behaviour
+from repro.sim.service import (
+    ServiceModel,
+    ConstantRate,
+    RateLatencyServer,
+    TdmaServer,
+    TraceRateServer,
+)
+from repro.sim.engine import SimulationResult, simulate, observed_delay_of_task
+
+__all__ = [
+    "Release",
+    "behaviour_from_path",
+    "random_behaviour",
+    "ServiceModel",
+    "ConstantRate",
+    "RateLatencyServer",
+    "TdmaServer",
+    "TraceRateServer",
+    "SimulationResult",
+    "simulate",
+    "observed_delay_of_task",
+]

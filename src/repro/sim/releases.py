@@ -1,0 +1,105 @@
+"""Concrete behaviours (release sequences) of structural tasks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro._numeric import Q, NumLike, as_q
+from repro.drt.model import DRTTask
+from repro.drt.paths import Path
+from repro.errors import SimulationError
+
+__all__ = ["Release", "behaviour_from_path", "random_behaviour"]
+
+
+@dataclass(frozen=True)
+class Release:
+    """A concrete job release.
+
+    Attributes:
+        time: Absolute release time.
+        work: Execution demand of the job (its WCET in worst-case runs).
+        job: Job type name.
+        task: Task name (behaviours of several tasks can be merged).
+        deadline: Absolute deadline (None when irrelevant); required by
+            the EDF scheduling policy of the engine.
+    """
+
+    time: Fraction
+    work: Fraction
+    job: str
+    task: str
+    deadline: Optional[Fraction] = None
+
+
+def behaviour_from_path(
+    task: DRTTask, path: Path, start: NumLike = 0
+) -> List[Release]:
+    """The earliest-release behaviour following *path* from time *start*.
+
+    This is the densest legal realisation of the path — the witness replay
+    used by the tightness experiments.
+    """
+    t0 = as_q(start)
+    return [
+        Release(
+            t0 + t,
+            task.wcet(v),
+            v,
+            task.name,
+            deadline=t0 + t + task.deadline(v),
+        )
+        for v, t in zip(path.vertices, path.releases)
+    ]
+
+
+def random_behaviour(
+    task: DRTTask,
+    horizon: NumLike,
+    rng: random.Random,
+    eagerness: float = 1.0,
+    start_vertex: Optional[str] = None,
+) -> List[Release]:
+    """A random legal behaviour of *task* up to *horizon*.
+
+    Walks the graph uniformly at random.  Each inter-release gap is the
+    edge separation plus, with probability ``1 - eagerness``, a random
+    slack of up to one separation (legal: separations are minimums).
+
+    Args:
+        task: The structural workload.
+        horizon: Stop releasing after this time.
+        rng: Random source (seeded by the caller for reproducibility).
+        eagerness: Probability of using the earliest legal release time
+            for each step; 1.0 reproduces worst-case release density.
+        start_vertex: Optional fixed start vertex.
+
+    Raises:
+        SimulationError: if *eagerness* is outside [0, 1].
+    """
+    if not 0 <= eagerness <= 1:
+        raise SimulationError(f"eagerness must be in [0, 1], got {eagerness}")
+    hz = as_q(horizon)
+    v = start_vertex if start_vertex is not None else rng.choice(task.job_names)
+    t = Q(0)
+    out = [Release(t, task.wcet(v), v, task.name, deadline=t + task.deadline(v))]
+    while True:
+        succ = task.successors(v)
+        if not succ:
+            break
+        edge = rng.choice(succ)
+        gap = edge.separation
+        if rng.random() > eagerness:
+            # Random rational slack in [0, separation], denominator 16.
+            gap += edge.separation * Q(rng.randrange(0, 17), 16)
+        t += gap
+        if t > hz:
+            break
+        v = edge.dst
+        out.append(
+            Release(t, task.wcet(v), v, task.name, deadline=t + task.deadline(v))
+        )
+    return out

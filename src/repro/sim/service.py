@@ -1,0 +1,234 @@
+"""Concrete service processes complying with lower service curves.
+
+A :class:`ServiceModel` tells the engine at which (piecewise-constant)
+rate the server works at any moment.  Each model documents the lower
+service curve it complies with; :meth:`ServiceModel.service_curve` returns
+it so tests can cross-validate simulated behaviour against analysis.
+
+* :class:`ConstantRate` — an always-on speed-``R`` processor
+  (curve ``beta(t) = R*t``).
+* :class:`RateLatencyServer` — the rate-latency *adversary*: every time
+  the system turns busy it stalls for the full latency ``T`` before
+  serving at rate ``R``.  This is the least service any
+  ``beta_{R,T}``-compliant server can provide, hence the process that
+  realises worst-case delays.
+* :class:`TdmaServer` — serves at rate ``R`` only inside its slot of
+  length ``s`` in every frame of length ``F`` (curve: the TDMA lower
+  staircase).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro._numeric import INF, Q, NumLike, as_q
+from repro.errors import SimulationError
+from repro.minplus.builders import rate_latency
+from repro.minplus.curve import Curve
+from repro.curves.service import tdma_service
+
+__all__ = [
+    "ServiceModel",
+    "ConstantRate",
+    "RateLatencyServer",
+    "TdmaServer",
+    "TraceRateServer",
+]
+
+
+class ServiceModel(ABC):
+    """Interface between the engine and a concrete service process."""
+
+    @abstractmethod
+    def on_busy_start(self, t: Q) -> None:
+        """Notification: the backlog became non-zero at time *t*."""
+
+    @abstractmethod
+    def rate_at(self, t: Q):
+        """Current service rate and the time until which it holds.
+
+        Returns:
+            ``(rate, until)`` — the server works at ``rate`` during
+            ``[t, until)``; ``until`` may be :data:`INF`.
+        """
+
+    @abstractmethod
+    def service_curve(self, horizon: NumLike) -> Curve:
+        """The lower service curve this process complies with."""
+
+    def reset(self) -> None:
+        """Clear run state (default: nothing to clear)."""
+
+
+class ConstantRate(ServiceModel):
+    """Always-on processor of speed *rate*."""
+
+    def __init__(self, rate: NumLike):
+        self.rate = as_q(rate)
+        if self.rate <= 0:
+            raise SimulationError("rate must be positive")
+
+    def on_busy_start(self, t: Q) -> None:
+        pass
+
+    def rate_at(self, t: Q):
+        return self.rate, INF
+
+    def service_curve(self, horizon: NumLike) -> Curve:
+        return rate_latency(self.rate, 0)
+
+    def __repr__(self) -> str:
+        return f"ConstantRate({self.rate})"
+
+
+class RateLatencyServer(ServiceModel):
+    """Adversarial ``beta_{R,T}`` server: stalls T at each busy start.
+
+    Complies with the rate-latency curve: in any busy period starting at
+    ``t0`` the cumulative service on ``[t0, t]`` is
+    ``R * max(0, t - t0 - T)``, exactly the curve's guarantee and never
+    more — the worst compliant server.
+    """
+
+    def __init__(self, rate: NumLike, latency: NumLike):
+        self.rate = as_q(rate)
+        self.latency = as_q(latency)
+        if self.rate <= 0 or self.latency < 0:
+            raise SimulationError("need rate > 0 and latency >= 0")
+        self._stall_until: Optional[Q] = None
+
+    def reset(self) -> None:
+        self._stall_until = None
+
+    def on_busy_start(self, t: Q) -> None:
+        self._stall_until = t + self.latency
+
+    def rate_at(self, t: Q):
+        if self._stall_until is not None and t < self._stall_until:
+            return Q(0), self._stall_until
+        return self.rate, INF
+
+    def service_curve(self, horizon: NumLike) -> Curve:
+        return rate_latency(self.rate, self.latency)
+
+    def __repr__(self) -> str:
+        return f"RateLatencyServer(R={self.rate}, T={self.latency})"
+
+
+class TdmaServer(ServiceModel):
+    """Serves only inside its TDMA slot: ``[k*frame, k*frame + slot)``.
+
+    The phase is chosen adversarially by the caller through *offset*
+    (shifting the release pattern relative to the slot): the compliant
+    lower curve assumes the worst phase.
+    """
+
+    def __init__(
+        self,
+        rate: NumLike,
+        slot: NumLike,
+        frame: NumLike,
+        offset: NumLike = 0,
+    ):
+        self.rate = as_q(rate)
+        self.slot = as_q(slot)
+        self.frame = as_q(frame)
+        self.offset = as_q(offset)
+        if not (0 < self.slot <= self.frame) or self.rate <= 0:
+            raise SimulationError("need 0 < slot <= frame and rate > 0")
+
+    def on_busy_start(self, t: Q) -> None:
+        pass
+
+    def rate_at(self, t: Q):
+        phase = (t - self.offset) % self.frame
+        if phase < self.slot:
+            return self.rate, t + (self.slot - phase)
+        return Q(0), t + (self.frame - phase)
+
+    def service_curve(self, horizon: NumLike) -> Curve:
+        return tdma_service(self.rate, self.slot, self.frame, horizon)
+
+    def __repr__(self) -> str:
+        return (
+            f"TdmaServer(R={self.rate}, slot={self.slot}, "
+            f"frame={self.frame}, offset={self.offset})"
+        )
+
+
+class TraceRateServer(ServiceModel):
+    """Replays a finite piecewise-constant rate schedule, then a final rate.
+
+    Useful for driving the simulator with measured or hand-crafted
+    capacity profiles (e.g. a DVFS trace).  The compliant service curve
+    is the tightest rate-latency curve below the schedule's cumulative
+    capacity, computed from the trace itself.
+
+    Args:
+        schedule: ``(until_time, rate)`` pairs with strictly increasing
+            times; rate ``rates[i]`` applies on
+            ``[until_{i-1}, until_i)``.
+        final_rate: Rate after the last scheduled time (> 0 so the
+            simulation always terminates).
+    """
+
+    def __init__(self, schedule, final_rate):
+        self.schedule = [(as_q(t), as_q(r)) for t, r in schedule]
+        self.final_rate = as_q(final_rate)
+        if self.final_rate <= 0:
+            raise SimulationError("final_rate must be positive")
+        last = Q(0)
+        for t, r in self.schedule:
+            if t <= last:
+                raise SimulationError("schedule times must strictly increase")
+            if r < 0:
+                raise SimulationError("rates must be non-negative")
+            last = t
+
+    def on_busy_start(self, t: Q) -> None:
+        pass
+
+    def rate_at(self, t: Q):
+        for until, rate in self.schedule:
+            if t < until:
+                return rate, until
+        return self.final_rate, INF
+
+    def cumulative(self, t: Q) -> Q:
+        """Total capacity delivered on ``[0, t]``."""
+        total = Q(0)
+        prev = Q(0)
+        for until, rate in self.schedule:
+            if t <= prev:
+                return total
+            span = min(t, until) - prev
+            total += rate * span
+            prev = until
+        if t > prev:
+            total += self.final_rate * (t - prev)
+        return total
+
+    def service_curve(self, horizon) -> Curve:
+        """A (conservative) rate-latency lower bound of the trace.
+
+        Any window of length ``D`` contains at most the trace's *total*
+        zero-rate time ``L`` without progress, and progresses at at least
+        the minimum positive rate ``R`` otherwise, so
+        ``beta_{R,L}(D) = R * (D - L)^+`` lower-bounds the service of
+        every window.  (The exact trace lower curve is tighter; this
+        bound is what the cross-validation tests rely on.)
+        """
+        rates = [r for _, r in self.schedule] + [self.final_rate]
+        min_rate = min([r for r in rates if r > 0] or [self.final_rate])
+        latency = Q(0)
+        prev = Q(0)
+        for until, rate in self.schedule:
+            if rate == 0:
+                latency += until - prev
+            prev = until
+        return rate_latency(min_rate, latency)
+
+    def __repr__(self) -> str:
+        return f"TraceRateServer({self.schedule}, final={self.final_rate})"

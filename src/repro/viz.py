@@ -1,0 +1,82 @@
+"""Terminal visualisation of curves and analyses (no plotting deps).
+
+ASCII rendering keeps the library dependency-free while making examples
+and CLI output self-explanatory: curves become step/line charts, delay
+analyses become annotated busy-window pictures.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.minplus.curve import Curve
+
+__all__ = ["render_curves", "render_delay_analysis"]
+
+
+def render_curves(
+    curves: Dict[str, Curve],
+    horizon: NumLike,
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """ASCII chart of one or more curves on ``[0, horizon]``.
+
+    Args:
+        curves: ``{label: curve}``; each label's first character is used
+            as the plot glyph.
+        horizon: Right end of the time axis.
+        width: Plot width in characters.
+        height: Plot height in characters.
+    """
+    hz = as_q(horizon)
+    if hz <= 0 or not curves:
+        raise ValueError("need a positive horizon and at least one curve")
+    samples: Dict[str, List[Fraction]] = {}
+    times = [hz * i / (width - 1) for i in range(width)]
+    top = Q(0)
+    for label, curve in curves.items():
+        vals = [curve.at(t) for t in times]
+        samples[label] = vals
+        top = max(top, max(vals))
+    if top == 0:
+        top = Q(1)
+    grid = [[" "] * width for _ in range(height)]
+    for label, vals in samples.items():
+        glyph = label[0]
+        for x, v in enumerate(vals):
+            y = int((height - 1) * (1 - v / top)) if top else height - 1
+            y = min(max(y, 0), height - 1)
+            cell = grid[y][x]
+            grid[y][x] = "*" if cell not in (" ", glyph) else glyph
+    lines = []
+    for i, row in enumerate(grid):
+        value = top * (height - 1 - i) / (height - 1)
+        axis = f"{float(value):8.2f} |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"0{'':{width - 12}}{float(hz):.1f}"
+    )
+    legend = "  ".join(f"{label[0]} = {label}" for label in curves)
+    lines.append(" " * 10 + legend + "   (* = overlap)")
+    return "\n".join(lines)
+
+
+def render_delay_analysis(
+    rbf: Curve,
+    beta: Curve,
+    busy_window: NumLike,
+    delay: NumLike,
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Chart the request bound against the service with annotations."""
+    hz = max(as_q(busy_window) * Q(5, 4), Q(1))
+    chart = render_curves({"rbf": rbf, "beta": beta}, hz, width, height)
+    return (
+        chart
+        + f"\n  busy window = {busy_window}, worst-case delay = {delay}"
+    )

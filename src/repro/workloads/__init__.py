@@ -1,0 +1,21 @@
+"""Workload generators and case studies driving the evaluation."""
+
+from repro.workloads.random_drt import RandomDrtConfig, random_drt_task, random_task_set
+from repro.workloads.case_studies import (
+    can_gateway,
+    engine_control,
+    video_decoder,
+    flight_management,
+    CASE_STUDIES,
+)
+
+__all__ = [
+    "RandomDrtConfig",
+    "random_drt_task",
+    "random_task_set",
+    "can_gateway",
+    "engine_control",
+    "video_decoder",
+    "flight_management",
+    "CASE_STUDIES",
+]

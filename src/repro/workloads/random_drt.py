@@ -1,0 +1,159 @@
+"""Random DRT task generation with controlled structure.
+
+The generator follows the recipe of the DRT evaluation literature
+(documented parameters since the paper's own generator is unavailable —
+see DESIGN.md):
+
+1. lay a random backbone cycle through all vertices (strong connectivity,
+   so the task recurs and has a well-defined utilization);
+2. add extra random edges until the target mean out-degree (*branching*)
+   is reached — branching is what creates mutually exclusive paths, the
+   feature that separates structural analysis from curve abstractions;
+3. draw WCETs and separations uniformly from the configured ranges;
+4. optionally rescale all WCETs so the maximum cycle ratio hits a target
+   utilization exactly (utilization is linear in the WCETs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro._numeric import Q, NumLike, as_q
+from repro.drt.model import DRTTask, Edge, Job
+from repro.drt.transform import scale_wcets
+from repro.drt.utilization import max_cycle_ratio
+from repro.errors import ModelError
+
+__all__ = ["RandomDrtConfig", "random_drt_task", "random_task_set"]
+
+
+@dataclass(frozen=True)
+class RandomDrtConfig:
+    """Parameters of the random task generator.
+
+    Attributes:
+        vertices: Number of job types.
+        branching: Target mean out-degree (>= 1); 1 gives a pure cycle.
+        wcet_range: Inclusive integer range for WCETs.
+        separation_range: Inclusive integer range for edge separations.
+        deadline_factor: Relative deadline = factor * min outgoing
+            separation (<= 1 keeps deadlines constrained).
+        target_utilization: If set, WCETs are rescaled so the maximum
+            cycle ratio equals this exactly.
+    """
+
+    vertices: int = 10
+    branching: float = 2.0
+    wcet_range: Tuple[int, int] = (1, 10)
+    separation_range: Tuple[int, int] = (10, 100)
+    deadline_factor: Fraction = Q(1)
+    target_utilization: Optional[Fraction] = None
+
+
+def random_drt_task(
+    rng: random.Random, config: RandomDrtConfig, name: str = "random"
+) -> DRTTask:
+    """Generate one random DRT task according to *config*.
+
+    Args:
+        rng: Seeded random source (determinism is on the caller).
+        config: Generator parameters.
+        name: Task name.
+
+    Raises:
+        ModelError: on inconsistent configuration (too few vertices,
+            branching below 1, empty ranges).
+    """
+    n = config.vertices
+    if n < 1:
+        raise ModelError("need at least one vertex")
+    if config.branching < 1:
+        raise ModelError("branching must be >= 1")
+    lo_w, hi_w = config.wcet_range
+    lo_s, hi_s = config.separation_range
+    if lo_w < 1 or hi_w < lo_w or lo_s < 1 or hi_s < lo_s:
+        raise ModelError("invalid wcet/separation ranges")
+    names = [f"v{i}" for i in range(n)]
+    order = list(names)
+    rng.shuffle(order)
+    edges: List[Tuple[str, str]] = []
+    present = set()
+    # Backbone cycle (strong connectivity).
+    if n == 1:
+        edges.append((names[0], names[0]))
+        present.add((names[0], names[0]))
+    else:
+        for a, b in zip(order, order[1:] + order[:1]):
+            edges.append((a, b))
+            present.add((a, b))
+    # Extra edges up to the branching target.
+    target_edges = max(len(edges), round(config.branching * n))
+    attempts = 0
+    while len(edges) < target_edges and attempts < 50 * n:
+        a, b = rng.choice(names), rng.choice(names)
+        if (a, b) not in present and (n > 1 or a == b):
+            present.add((a, b))
+            edges.append((a, b))
+        attempts += 1
+    wcets = {v: Q(rng.randint(lo_w, hi_w)) for v in names}
+    seps = {e: Q(rng.randint(lo_s, hi_s)) for e in edges}
+    jobs = []
+    for v in names:
+        out = [seps[e] for e in edges if e[0] == v]
+        base = min(out) if out else Q(hi_s)
+        jobs.append(Job(v, wcets[v], max(Q(1), as_q(config.deadline_factor) * base)))
+    task = DRTTask(
+        name, jobs, [Edge(a, b, seps[(a, b)]) for a, b in edges]
+    )
+    if config.target_utilization is not None:
+        u = max_cycle_ratio(task)
+        if u <= 0:
+            raise ModelError("generated task has no cycle; cannot rescale")
+        task = scale_wcets(task, as_q(config.target_utilization) / u)
+    return task
+
+
+def random_task_set(
+    rng: random.Random,
+    n_tasks: int,
+    total_utilization: NumLike,
+    config: RandomDrtConfig,
+) -> List[DRTTask]:
+    """A set of random tasks whose utilizations sum to *total_utilization*.
+
+    Individual utilizations are drawn by the standard UUniFast split and
+    each task is rescaled to its share exactly.
+    """
+    total = as_q(total_utilization)
+    if n_tasks < 1 or total <= 0:
+        raise ModelError("need n_tasks >= 1 and positive utilization")
+    shares = _uunifast(rng, n_tasks, total)
+    tasks = []
+    for i, share in enumerate(shares):
+        cfg = RandomDrtConfig(
+            vertices=config.vertices,
+            branching=config.branching,
+            wcet_range=config.wcet_range,
+            separation_range=config.separation_range,
+            deadline_factor=config.deadline_factor,
+            target_utilization=share,
+        )
+        tasks.append(random_drt_task(rng, cfg, name=f"task{i}"))
+    return tasks
+
+
+def _uunifast(rng: random.Random, n: int, total: Q) -> List[Q]:
+    """UUniFast utilization split, rationalised to denominator 10^6."""
+    shares: List[Q] = []
+    remaining = total
+    for i in range(n - 1):
+        frac = rng.random() ** (1.0 / (n - 1 - i))
+        next_remaining = remaining * Q(round(frac * 10**6), 10**6)
+        share = remaining - next_remaining
+        shares.append(max(share, remaining / (10 * n)))
+        remaining = next_remaining
+    shares.append(remaining)
+    return shares

@@ -1,0 +1,122 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.drt.model import DRTTask, Edge, Job
+from repro.minplus.builders import from_points, rate_latency, staircase
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+# ---------------------------------------------------------------------------
+# Example tasks
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def demo_task() -> DRTTask:
+    """The running example: a branch between a light loop and a heavy path."""
+    return DRTTask.build(
+        "demo",
+        jobs={"a": (1, 5), "b": (3, 8), "c": (2, 10)},
+        edges=[("a", "b", 10), ("b", "c", 8), ("c", "a", 12), ("a", "a", 5)],
+    )
+
+
+@pytest.fixture
+def loop_task() -> DRTTask:
+    """Single-vertex self loop (equivalent to a sporadic task)."""
+    return DRTTask.build("loop", jobs={"x": (2, 10)}, edges=[("x", "x", 10)])
+
+
+@pytest.fixture
+def chain_task() -> DRTTask:
+    """Acyclic three-job chain (finite workload)."""
+    return DRTTask.build(
+        "chain",
+        jobs={"p": (1, 4), "q": (2, 6), "r": (1, 8)},
+        edges=[("p", "q", 4), ("q", "r", 6)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+small_q = st.fractions(
+    min_value=F(0), max_value=F(50), max_denominator=8
+)
+positive_q = st.fractions(
+    min_value=F(1, 8), max_value=F(50), max_denominator=8
+)
+
+
+@st.composite
+def monotone_curves(draw) -> Curve:
+    """Nondecreasing PWL curves with a few segments (staircase + slopes)."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    t = F(0)
+    v = draw(small_q)
+    segs = [Segment(t, v, draw(small_q))]
+    for _ in range(n - 1):
+        t += draw(positive_q)
+        jump = draw(small_q)
+        v = max(v, segs[-1].value_at(t)) + jump
+        segs.append(Segment(t, v, draw(small_q)))
+    return Curve(segs)
+
+
+@st.composite
+def service_curves(draw) -> Curve:
+    """Rate-latency service curves with small rational parameters."""
+    rate = draw(st.fractions(min_value=F(1, 4), max_value=F(4), max_denominator=4))
+    latency = draw(st.fractions(min_value=F(0), max_value=F(10), max_denominator=4))
+    return rate_latency(rate, latency)
+
+
+@st.composite
+def small_drt_tasks(draw) -> DRTTask:
+    """Small strongly-connected DRT tasks with integer parameters.
+
+    Kept tiny so brute-force path enumeration stays tractable in
+    reference comparisons.
+    """
+    n = draw(st.integers(min_value=1, max_value=4))
+    names = [f"v{i}" for i in range(n)]
+    jobs = [
+        Job(
+            name,
+            F(draw(st.integers(min_value=1, max_value=4))),
+            F(draw(st.integers(min_value=2, max_value=20))),
+        )
+        for name in names
+    ]
+    # Backbone cycle guarantees recurrence.
+    edges = {}
+    for a, b in zip(names, names[1:] + names[:1]):
+        edges[(a, b)] = F(draw(st.integers(min_value=4, max_value=20)))
+    extra = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(extra):
+        a = draw(st.sampled_from(names))
+        b = draw(st.sampled_from(names))
+        if (a, b) not in edges and (n > 1 or a == b):
+            edges[(a, b)] = F(draw(st.integers(min_value=4, max_value=20)))
+    return DRTTask(
+        "h", jobs, [Edge(a, b, sep) for (a, b), sep in edges.items()]
+    )
+
+
+# Rational sample grids used to compare curves pointwise.
+def sample_grid(limit: F = F(40), step: F = F(1, 2)):
+    """Deterministic rational sample points in [0, limit]."""
+    pts = []
+    t = F(0)
+    while t <= limit:
+        pts.append(t)
+        t += step
+    return pts

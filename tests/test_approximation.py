@@ -1,0 +1,94 @@
+"""Tests for segment-budget curve approximations."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import CurveError
+from repro.minplus.approximation import (
+    approximation_error,
+    lower_approximation,
+    upper_approximation,
+)
+from repro.minplus.builders import rate_latency, staircase
+from repro.minplus.deviation import horizontal_deviation
+
+from .conftest import monotone_curves, sample_grid
+
+
+class TestUpperApproximation:
+    def test_budget_respected(self):
+        s = staircase(1, 3, 60)
+        for k in [2, 3, 5, 10]:
+            assert len(upper_approximation(s, k).segments) <= k
+
+    def test_dominates_everywhere(self):
+        s = staircase(2, 5, 80)
+        up = upper_approximation(s, 4)
+        for t in sample_grid(F(120), F(1)):
+            assert up.at(t) >= s.at(t), t
+
+    def test_small_input_unchanged(self):
+        b = rate_latency(1, 2)
+        assert upper_approximation(b, 5) is b
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(CurveError):
+            upper_approximation(staircase(1, 2, 20), 1)
+
+    def test_error_decreases_with_budget(self):
+        s = staircase(1, 3, 90)
+        errors = [
+            approximation_error(s, upper_approximation(s, k), 90)[0]
+            for k in [2, 4, 8, 16]
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_tail_preserved(self):
+        s = staircase(2, 5, 60)
+        up = upper_approximation(s, 3)
+        assert up.tail_rate == s.tail_rate
+
+    def test_monotone_output(self):
+        s = staircase(2, 5, 60)
+        assert upper_approximation(s, 4).is_nondecreasing()
+
+
+class TestLowerApproximation:
+    def test_dominated_everywhere(self):
+        b = staircase(2, 5, 80, side="lower")
+        lo = lower_approximation(b, 4)
+        for t in sample_grid(F(120), F(1)):
+            assert lo.at(t) <= b.at(t), t
+
+    def test_budget_respected(self):
+        b = staircase(2, 5, 80, side="lower")
+        assert len(lower_approximation(b, 3).segments) <= 3
+
+    def test_monotone_output(self):
+        b = staircase(2, 5, 80, side="lower")
+        assert lower_approximation(b, 4).is_nondecreasing()
+
+
+class TestDelaySoundnessThroughApproximation:
+    def test_delay_bound_only_grows(self, demo_task):
+        """hdev over approximated curves dominates the exact bound —
+        the speed/precision dial never breaks soundness."""
+        from repro.core.busy_window import busy_window_bound
+
+        beta = rate_latency(F(1, 2), 4)
+        bw = busy_window_bound(demo_task, beta)
+        exact = horizontal_deviation(bw.rbf, beta)
+        for k in [2, 3, 6]:
+            approx = upper_approximation(bw.rbf, k)
+            assert horizontal_deviation(approx, beta) >= exact
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=monotone_curves())
+def test_approximations_bracket_random(f):
+    up = upper_approximation(f, 3)
+    lo = lower_approximation(f, 3)
+    for t in [F(0), F(1), F(7, 2), F(11), F(40)]:
+        assert lo.at(t) <= f.at(t) <= up.at(t)

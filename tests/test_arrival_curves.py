@@ -1,0 +1,95 @@
+"""Tests for the arrival-curve zoo (periodic, PJD, trace extraction)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.curves.arrival import (
+    arrival_from_trace,
+    periodic_arrival,
+    pjd_arrival,
+    sporadic_arrival,
+)
+from repro.errors import CurveError
+
+
+class TestPeriodicSporadic:
+    def test_periodic_counts(self):
+        a = periodic_arrival(2, 10, 100)
+        assert a.at(0) == 2
+        assert a.at(9) == 2
+        assert a.at(10) == 4
+        assert a.at(95) == 20
+
+    def test_sporadic_same_shape(self):
+        assert sporadic_arrival(2, 10, 50) == periodic_arrival(2, 10, 50)
+
+
+class TestPjd:
+    def test_no_jitter_reduces_to_periodic(self):
+        assert pjd_arrival(1, 10, 0, 10, 60) == periodic_arrival(1, 10, 60)
+
+    def test_jitter_front_loads_events(self):
+        # P=10, J=15: floor((0+15)/10)+1 = 2 jittered events, but the
+        # min-distance term (d=1) caps a zero-length window at 1 event.
+        a = pjd_arrival(1, 10, 15, 1, 60)
+        assert a.at(0) == 1
+        assert a.at(1) == 2
+        # next jitter jumps at D = k*10 - 15 for k > 1.5: D = 5, 15, ...
+        assert a.at(5) == 3
+        assert a.at(15) == 4
+
+    def test_min_distance_caps_burst(self):
+        # Jitter 25 allows a burst of 3 events; they still need d apart.
+        dense = pjd_arrival(1, 10, 25, 1, 60)
+        capped = pjd_arrival(1, 10, 25, 5, 60)
+        assert dense.at(2) == 3   # 3 events fit in a 2-long window (d=1)
+        assert capped.at(2) == 1  # but not when d=5
+        assert capped.at(5) == 2
+        assert capped.at(10) == 3
+
+    def test_dominates_any_legal_trace(self):
+        # Events of a jittered periodic source: nominal k*P, release in
+        # [k*P, k*P + J], at least d apart.
+        a = pjd_arrival(1, 10, 4, 2, 80)
+        events = [0, 12, 24, 31, 42, 50, 61, 74]  # jitter <= 4, gap >= 2
+        for i, s in enumerate(events):
+            count = F(0)
+            for t in events[i:]:
+                count += 1
+                assert count <= a.at(F(t - s)), (s, t)
+
+    def test_invalid(self):
+        with pytest.raises(CurveError):
+            pjd_arrival(1, 0, 0, 1, 10)
+        with pytest.raises(CurveError):
+            pjd_arrival(1, 10, -1, 1, 10)
+
+
+class TestArrivalFromTrace:
+    def test_exact_window_counts(self):
+        events = [(0, 1), (3, 1), (5, 2), (12, 1)]
+        a = arrival_from_trace(events, 12)
+        # windows: length 0 -> heaviest single event (2)
+        assert a.at(0) == 2
+        # [3,5]: 1+2 = 3 in length 2
+        assert a.at(2) == 3
+        # [0,5]: 4 in length 5
+        assert a.at(5) == 4
+        # all: 5 in length 12
+        assert a.at(12) == 5
+
+    def test_nondecreasing_and_tail_sound(self):
+        events = [(0, 1), (4, 1), (9, 3)]
+        a = arrival_from_trace(events, 9)
+        assert a.is_nondecreasing()
+        # any repetition of window contents is covered by the tail bound
+        assert a.at(100) >= 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(CurveError):
+            arrival_from_trace([], 10)
+
+    def test_single_event(self):
+        a = arrival_from_trace([(5, 3)], 10)
+        assert a.at(0) == 3

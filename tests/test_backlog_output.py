@@ -1,0 +1,135 @@
+"""Tests for structural backlog analysis and output arrival curves."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core.backlog import structural_backlog
+from repro.core.baselines import rtc_backlog
+from repro.core.delay import structural_delay
+from repro.core.output import output_arrival_curve
+from repro.drt.utilization import utilization
+from repro.errors import UnboundedBusyWindowError
+from repro.minplus.builders import rate_latency
+from repro.sim.engine import simulate
+from repro.sim.releases import random_behaviour
+from repro.sim.service import RateLatencyServer
+
+from .conftest import service_curves, small_drt_tasks
+
+
+class TestStructuralBacklog:
+    def test_demo_value(self, demo_task):
+        beta = rate_latency(F(1, 2), 4)
+        res = structural_backlog(demo_task, beta)
+        # rtc backlog (vdev over exact rbf) coincides for a single task
+        assert res.backlog == rtc_backlog(demo_task, beta)
+        assert res.critical_tuple is not None
+
+    def test_at_least_the_burst(self, demo_task):
+        beta = rate_latency(F(1, 2), 4)
+        res = structural_backlog(demo_task, beta)
+        assert res.backlog >= 3  # heaviest single job with no service yet
+
+    def test_zero_latency_fast_service(self, loop_task):
+        res = structural_backlog(loop_task, rate_latency(100, 0))
+        assert res.backlog == 2  # just the instantaneous release
+
+    def test_simulation_never_exceeds(self, demo_task):
+        beta = rate_latency(F(1, 2), 4)
+        res = structural_backlog(demo_task, beta)
+        model = RateLatencyServer(F(1, 2), 4)
+        rng = random.Random(3)
+        for _ in range(30):
+            rels = random_behaviour(demo_task, 120, rng, eagerness=0.9)
+            sim = simulate(rels, model)
+            assert sim.max_backlog <= res.backlog
+
+    def test_overload_raises(self, demo_task):
+        with pytest.raises(UnboundedBusyWindowError):
+            structural_backlog(demo_task, rate_latency(F(1, 10), 0))
+
+
+class TestOutputArrivalCurve:
+    def test_methods_agree_on_soundness(self, demo_task):
+        beta = rate_latency(F(1, 2), 4)
+        best = output_arrival_curve(demo_task, beta)
+        deconv = output_arrival_curve(demo_task, beta, method="deconvolution")
+        delay = output_arrival_curve(demo_task, beta, method="delay")
+        for t in [0, 2, 5, 10, 20]:
+            assert best.at(t) == min(deconv.at(t), delay.at(t))
+
+    def test_unknown_method(self, demo_task):
+        with pytest.raises(ValueError):
+            output_arrival_curve(demo_task, rate_latency(1, 0), method="x")
+
+    def test_output_is_nondecreasing(self, demo_task):
+        out = output_arrival_curve(demo_task, rate_latency(F(1, 2), 4))
+        assert out.is_nondecreasing()
+
+    def test_output_bounds_departures(self, demo_task):
+        """Measured departures in sliding windows stay under the curve."""
+        beta = rate_latency(F(1, 2), 4)
+        out = output_arrival_curve(demo_task, beta)
+        model = RateLatencyServer(F(1, 2), 4)
+        rng = random.Random(9)
+        for _ in range(15):
+            rels = random_behaviour(demo_task, 100, rng, eagerness=0.9)
+            sim = simulate(rels, model)
+            finishes = [(j.finish, j.release.work) for j in sim.jobs]
+            for i, (t0, _) in enumerate(finishes):
+                acc = F(0)
+                for t1, w in finishes[i:]:
+                    delta = t1 - t0
+                    acc += w
+                    assert acc <= out.at(delta), (t0, t1, acc, out.at(delta))
+
+    def test_feeds_downstream_gpc(self, demo_task):
+        from repro.rtc.gpc import gpc
+
+        beta1 = rate_latency(F(1, 2), 4)
+        out = output_arrival_curve(demo_task, beta1)
+        hop2 = gpc(out, rate_latency(1, 1))
+        assert hop2.delay >= 0
+
+
+class TestCurveAdvance:
+    def test_basic(self):
+        from repro.minplus.builders import staircase
+
+        s = staircase(2, 5, 20)
+        a = s.advance(7)
+        for t in [0, 1, 3, 8, 13]:
+            assert a.at(t) == s.at(t + 7)
+
+    def test_zero_identity(self):
+        from repro.minplus.builders import affine
+
+        f = affine(1, 2)
+        assert f.advance(0) is f
+
+    def test_negative_rejected(self):
+        from repro.errors import CurveDomainError
+        from repro.minplus.builders import affine
+
+        with pytest.raises(CurveDomainError):
+            affine(1, 2).advance(-1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(task=small_drt_tasks(), beta=service_curves())
+def test_backlog_bracket_random(task, beta):
+    """Property: simulated backlog <= structural backlog bound."""
+    assume(utilization(task) < beta.tail_rate)
+    try:
+        res = structural_backlog(task, beta)
+    except UnboundedBusyWindowError:
+        assume(False)
+    model = RateLatencyServer(beta.tail_rate, beta.segments[-1].start)
+    rng = random.Random(1)
+    for _ in range(5):
+        rels = random_behaviour(task, 60, rng, eagerness=0.9)
+        sim = simulate(rels, model)
+        assert sim.max_backlog <= res.backlog

@@ -1,0 +1,135 @@
+"""Unit tests for the curve builders."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import CurveDomainError
+from repro.minplus.builders import (
+    affine,
+    constant,
+    from_points,
+    rate_latency,
+    staircase,
+    step,
+    token_bucket,
+    zero,
+)
+
+
+class TestSimpleBuilders:
+    def test_zero(self):
+        z = zero()
+        assert z.at(0) == 0 and z.at(100) == 0
+
+    def test_constant(self):
+        c = constant(F(7, 2))
+        assert c.at(0) == F(7, 2) and c.at(9) == F(7, 2)
+
+    def test_affine(self):
+        a = affine(2, F(1, 3))
+        assert a.at(0) == 2
+        assert a.at(3) == 3
+
+    def test_token_bucket_alias(self):
+        assert token_bucket(2, 3) == affine(2, 3)
+
+    def test_step(self):
+        s = step(4, 10)
+        assert s.at(9) == 0 and s.at(10) == 4 and s.at(11) == 4
+
+    def test_step_at_zero(self):
+        assert step(4, 0).at(0) == 4
+
+
+class TestRateLatency:
+    def test_values(self):
+        b = rate_latency(2, 3)
+        assert b.at(0) == 0
+        assert b.at(3) == 0
+        assert b.at(5) == 4
+
+    def test_zero_latency(self):
+        b = rate_latency(2, 0)
+        assert b.at(1) == 2
+        assert len(b.segments) == 1
+
+    def test_invalid(self):
+        with pytest.raises(CurveDomainError):
+            rate_latency(-1, 0)
+        with pytest.raises(CurveDomainError):
+            rate_latency(1, -1)
+
+
+class TestStaircaseUpper:
+    def test_exact_values(self):
+        s = staircase(2, 5, 20)
+        # f(t) = 2 * (floor(t/5) + 1)
+        for t, v in [(0, 2), (4, 2), (5, 4), (9, 4), (10, 6), (19, 8), (20, 10)]:
+            assert s.at(t) == v, t
+
+    def test_exact_extends_to_next_jump(self):
+        s = staircase(2, 5, 20)
+        assert s.at(24) == 10  # still exact
+        assert s.at(25) == 12  # corner: tail touches
+
+    def test_tail_upper_bounds(self):
+        s = staircase(2, 5, 20)
+        for t in [26, 30, 41, 100]:
+            exact = 2 * (t // 5 + 1)
+            assert s.at(t) >= exact
+
+    def test_offset(self):
+        s = staircase(3, 4, 20, offset=2)
+        assert s.at(0) == 0
+        assert s.at(1) == 0
+        assert s.at(2) == 3
+        assert s.at(6) == 6
+
+    def test_horizon_smaller_than_offset(self):
+        s = staircase(3, 10, 2, offset=5)
+        assert s.at(0) == 0
+        assert s.at(5) == 3
+        assert s.at(15) >= 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CurveDomainError):
+            staircase(0, 5, 10)
+        with pytest.raises(CurveDomainError):
+            staircase(1, 0, 10)
+        with pytest.raises(CurveDomainError):
+            staircase(1, 5, -1)
+        with pytest.raises(ValueError):
+            staircase(1, 5, 10, side="middle")
+
+
+class TestStaircaseLower:
+    def test_exact_then_lower_tail(self):
+        s = staircase(2, 5, 20, side="lower")
+        for t, v in [(0, 2), (4, 2), (5, 4), (20, 10), (24, 10)]:
+            assert s.at(t) == v, t
+        # tail passes through pre-jump corners
+        assert s.at(25) == 10
+        for t in [26, 30, 50]:
+            exact = 2 * (t // 5 + 1)
+            assert s.at(t) <= exact
+
+    def test_tail_rate(self):
+        s = staircase(2, 5, 20, side="lower")
+        assert s.tail_rate == F(2, 5)
+
+
+class TestFromPoints:
+    def test_interpolation(self):
+        c = from_points([(0, 0), (2, 4), (6, 6)], 1)
+        assert c.at(1) == 2
+        assert c.at(4) == 5
+        assert c.at(8) == 8
+
+    def test_errors(self):
+        with pytest.raises(CurveDomainError):
+            from_points([], 0)
+        with pytest.raises(CurveDomainError):
+            from_points([(1, 0)], 0)
+        with pytest.raises(CurveDomainError):
+            from_points([(0, 0), (0, 1)], 0)

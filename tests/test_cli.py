@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.cli import main
+from repro.io.json_io import save_task
+
+
+@pytest.fixture
+def task_file(demo_task, tmp_path):
+    p = tmp_path / "task.json"
+    save_task(demo_task, p)
+    return str(p)
+
+
+class TestCli:
+    def test_basic_analysis(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "structural worst-case delay: 10" in out
+        assert "busy window: 14" in out
+
+    def test_per_job(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4", "--per-job"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-job delays:" in out
+        assert "a:" in out
+
+    def test_baselines(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4", "--baselines"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "token bucket" in out
+        assert "sporadic delay bound: unbounded" in out
+
+    def test_tdma(self, task_file, capsys):
+        rc = main(
+            [task_file, "--rate", "1", "--tdma-slot", "2", "--tdma-frame", "5"]
+        )
+        assert rc == 0
+        assert "structural worst-case delay: 9" in capsys.readouterr().out
+
+    def test_tdma_needs_frame(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1", "--tdma-slot", "2"])
+        assert rc == 2
+
+    def test_dot_output(self, task_file, tmp_path, capsys):
+        dot = tmp_path / "g.dot"
+        rc = main([task_file, "--rate", "1", "--dot", str(dot)])
+        assert rc == 0
+        assert dot.read_text().startswith("digraph")
+
+    def test_missing_file_error(self, tmp_path, capsys):
+        rc = main([str(tmp_path / "nope.json"), "--rate", "1"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_overloaded_service_error(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/10"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_backlog_flag(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4", "--backlog"])
+        assert rc == 0
+        assert "worst-case backlog:" in capsys.readouterr().out
+
+    def test_min_rate_flag(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4",
+                   "--min-rate", "12"])
+        assert rc == 0
+        assert "minimal service rate" in capsys.readouterr().out
+
+    def test_plot_flag(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "busy window = 14" in out
+        assert "r = rbf" in out
+
+    def test_min_rate_infeasible_reports_error(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "100",
+                   "--min-rate", "1"])
+        assert rc == 1

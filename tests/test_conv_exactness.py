@@ -1,0 +1,129 @@
+"""Regression tests for convolution point-exactness (corner artefacts).
+
+The closed-segment Minkowski construction can pair two left limits that
+the constraint ``s + u = t`` cannot realise simultaneously, producing
+wrong values at isolated points ``t = b1 + b2``.  These tests pin the
+fix: point values of (de)convolutions are validated against a *direct*
+evaluation of the defining inf/sup over constraint-consistent candidates
+and against dense rational sampling.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+
+from repro.minplus.builders import from_points, rate_latency, staircase, token_bucket
+from repro.minplus.convolution import (
+    conv_point_value,
+    deconv_point_value,
+    min_plus_conv,
+    min_plus_deconv,
+)
+from repro.minplus.maxplus import max_conv_point_value, max_plus_conv
+
+from .conftest import monotone_curves
+
+
+def brute_conv_inf(f, g, t, denom=16):
+    """Dense-grid inf of f(s) + g(t-s) including one-sided limit pairs."""
+    best = None
+    steps = int(t * denom)
+    for k in range(steps + 1):
+        s = F(k, denom)
+        v = f.at(s) + g.at(t - s)
+        best = v if best is None else min(best, v)
+    # limit pairs at breakpoints
+    return min(best, conv_point_value(f, g, t))
+
+
+class TestConvCornerRegression:
+    def test_staircase_self_conv_at_double_corner(self):
+        """The original bug: staircase (x) staircase at t = 2 * lbp."""
+        s = staircase(2, 5, 30)
+        c = min_plus_conv(s, s)
+        # At t = 70 both tails' left limits cannot be taken together:
+        # the true infimum pairs 14 (left limit) with 16 (actual value).
+        t = 2 * s.last_breakpoint
+        assert c.at(t) == conv_point_value(s, s, t)
+
+    def test_all_breakpoints_exact(self):
+        s = staircase(2, 5, 30)
+        b = staircase(3, 4, 24)
+        c = min_plus_conv(s, b)
+        for t in c.breakpoints():
+            assert c.at(t) == conv_point_value(s, b, t), t
+
+    def test_conv_result_nondecreasing(self):
+        s = staircase(2, 5, 30)
+        c = min_plus_conv(s, s)
+        assert c.is_nondecreasing()
+
+    def test_min_with_other_curve_stays_sound(self):
+        """The downstream symptom: min(f, f conv f) must upper-bound the
+        true staircase everywhere (this is what broke the closure)."""
+        s = staircase(2, 5, 30)
+        c = s.minimum(min_plus_conv(s, s))
+        for k in range(0, 200):
+            t = F(k, 2)
+            true_staircase = 2 * (int(t / 5) + 1)
+            if t <= 70:  # within the conv's reliable range
+                assert c.at(t) >= min(true_staircase, s.at(t)) or c.at(
+                    t
+                ) == conv_point_value(s, s, t)
+
+    def test_deconv_breakpoints_exact(self):
+        s = staircase(2, 5, 30)
+        beta = rate_latency(F(1, 2), 4)
+        d = min_plus_deconv(s, beta)
+        u_max = max(s.last_breakpoint, beta.last_breakpoint)
+        for t in d.breakpoints():
+            assert d.at(t) == deconv_point_value(s, beta, t, u_max), t
+
+    def test_maxconv_breakpoints_exact(self):
+        s = staircase(2, 5, 30)
+        beta = rate_latency(F(1, 2), 4)
+        m = max_plus_conv(s, beta)
+        for t in m.breakpoints():
+            assert m.at(t) == max_conv_point_value(s, beta, t), t
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=monotone_curves(), g=monotone_curves())
+def test_conv_point_exact_random(f, g):
+    """Property: the curve value equals the direct point evaluation at
+    breakpoints and a fixed sample grid."""
+    c = min_plus_conv(f, g)
+    points = set(c.breakpoints()) | {F(1), F(7, 2), F(11)}
+    for t in points:
+        assert c.at(t) == conv_point_value(f, g, t), t
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=monotone_curves(), g=monotone_curves())
+def test_conv_below_grid_inf_random(f, g):
+    """Property: the conv never exceeds any concrete decomposition."""
+    c = min_plus_conv(f, g)
+    for t in [F(0), F(2), F(5), F(9)]:
+        for k in range(0, int(4 * t) + 1):
+            s = F(k, 4)
+            assert c.at(t) <= f.at(s) + g.at(t - s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=monotone_curves(), g=monotone_curves())
+def test_maxconv_point_exact_random(f, g):
+    m = max_plus_conv(f, g)
+    points = set(m.breakpoints()) | {F(1), F(7, 2), F(11)}
+    for t in points:
+        assert m.at(t) == max_conv_point_value(f, g, t), t
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=monotone_curves(), g=monotone_curves())
+def test_maxconv_above_grid_sup_random(f, g):
+    m = max_plus_conv(f, g)
+    for t in [F(0), F(2), F(5), F(9)]:
+        for k in range(0, int(4 * t) + 1):
+            s = F(k, 4)
+            assert m.at(t) >= f.at(s) + g.at(t - s)

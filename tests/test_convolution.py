@@ -1,0 +1,164 @@
+"""Tests for min-plus convolution and deconvolution.
+
+Closed forms from the network-calculus literature are checked exactly;
+general cases are checked against brute-force evaluation of the defining
+inf/sup on fine rational grids.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import CurveError
+from repro.minplus.builders import (
+    affine,
+    constant,
+    from_points,
+    rate_latency,
+    staircase,
+    token_bucket,
+    zero,
+)
+from repro.minplus.convolution import min_plus_conv, min_plus_deconv
+
+
+def brute_conv(f, g, t, denom=8):
+    """min over s in a grid of f(s) + g(t - s)."""
+    steps = int(t * denom)
+    return min(
+        f.at(F(k, denom)) + g.at(t - F(k, denom)) for k in range(steps + 1)
+    )
+
+
+def brute_deconv(f, g, t, u_max, denom=8):
+    steps = int(u_max * denom)
+    return max(
+        f.at(t + F(k, denom)) - g.at(F(k, denom)) for k in range(steps + 1)
+    )
+
+
+class TestConvClosedForms:
+    def test_rate_latency_compose(self):
+        # beta_{R1,T1} (*) beta_{R2,T2} = beta_{min(R1,R2), T1+T2}
+        c = min_plus_conv(rate_latency(2, 3), rate_latency(1, 4))
+        expected = rate_latency(1, 7)
+        for t in [0, 3, 7, 8, 10, 20]:
+            assert c.at(t) == expected.at(t)
+
+    def test_affine_conv(self):
+        c = min_plus_conv(affine(2, 3), affine(5, 1))
+        # = 7 + t (burst sum, min rate)
+        assert c.at(0) == 7
+        assert c.at(4) == 11
+
+    def test_token_bucket_with_rate_latency(self):
+        # classic: gamma_{b,r} (*) beta_{R,T} with r < R:
+        # 0 until T... actually starts at value 0? our tb has f(0)=b, so
+        # conv(0) = min(b + 0, 0 + beta(0)) = 0 iff beta(0)=0? beta(0)=0 and
+        # tb(t)... conv(0) = tb(0)+beta(0) = b. Check against brute force.
+        tb, rl = token_bucket(5, 1), rate_latency(2, 3)
+        c = min_plus_conv(tb, rl)
+        for t in [0, 1, 3, 4, 5, 8, 12]:
+            assert c.at(t) == brute_conv(tb, rl, F(t))
+
+    def test_conv_with_zero_flattens(self):
+        # conv with the zero curve is the running infimum: for a
+        # nondecreasing f it is the constant f(0).
+        c = min_plus_conv(affine(3, 1), zero())
+        assert c.at(0) == 3
+        assert c.at(10) == 3
+        assert c.tail_rate == 0
+
+    def test_commutative(self):
+        a, b = staircase(2, 5, 25), rate_latency(1, 2)
+        assert min_plus_conv(a, b) == min_plus_conv(b, a)
+
+    def test_staircase_self_conv_brute(self):
+        s = staircase(2, 5, 30)
+        c = min_plus_conv(s, s)
+        for t in range(0, 20):
+            assert c.at(t) == brute_conv(s, s, F(t), denom=4)
+
+    def test_mixed_brute(self):
+        a = from_points([(0, 1), (3, 4), (5, 5)], F(1, 2))
+        b = rate_latency(2, 1)
+        c = min_plus_conv(a, b)
+        for t in [0, F(1, 2), 1, 2, 3, 4, 6, 9]:
+            assert c.at(t) == brute_conv(a, b, t)
+
+    def test_tail_rate(self):
+        c = min_plus_conv(affine(1, 3), staircase(1, 2, 10))
+        assert c.tail_rate == F(1, 2)
+
+
+class TestDeconv:
+    def test_token_bucket_through_rate_latency(self):
+        # gamma_{b,r} (/) beta_{R,T} = gamma_{b + r*T, r}
+        d = min_plus_deconv(token_bucket(5, 1), rate_latency(2, 3))
+        assert d.at(0) == 8
+        assert d.at(4) == 12
+        assert d.tail_rate == 1
+
+    def test_diverging_rejected(self):
+        with pytest.raises(CurveError):
+            min_plus_deconv(affine(0, 2), affine(0, 1))
+
+    def test_self_deconv_staircase_brute(self):
+        s = staircase(2, 5, 30)
+        d = min_plus_deconv(s, rate_latency(1, 2))
+        for t in [0, 1, 2, 5, 7, 10]:
+            assert d.at(t) == brute_deconv(s, rate_latency(1, 2), F(t), u_max=35)
+
+    def test_affine_f(self):
+        # f affine: closed-form branch
+        d = min_plus_deconv(affine(2, 1), rate_latency(2, 4))
+        # sup_u [2 + (t+u) - 2*max(0,u-4)] = 2 + t + sup_u [u - 2(u-4)^+]
+        # sup at u where derivative flips: u=4..8: at u=8: 8-8=0? u=4: 4-0=4
+        # wait: u - 2*max(0,u-4): increasing until u=4 (value 4), then slope -1.
+        # sup = 4 at u=4. d(t) = 6 + t.
+        assert d.at(0) == 6
+        assert d.at(3) == 9
+
+    def test_continuous_inputs_no_dip_error(self):
+        a = from_points([(0, 0), (4, 4)], F(1, 4))
+        b = rate_latency(1, 1)
+        d = min_plus_deconv(a, b, on_dip="raise")
+        for t in [0, 2, 5]:
+            assert d.at(t) == brute_deconv(a, b, F(t), u_max=10)
+
+    def test_output_dominates_input_for_service(self):
+        # alpha (/) beta >= alpha when beta(0) = 0
+        a = staircase(1, 3, 15)
+        b = rate_latency(2, 1)
+        d = min_plus_deconv(a, b)
+        for t in [0, 1, 3, 5, 9, 14]:
+            assert d.at(t) >= a.at(t)
+
+
+class TestConvProperties:
+    def test_conv_dominated_by_both_plus_origin(self):
+        # conv(t) <= f(0) + g(t) and <= f(t) + g(0)
+        f = staircase(2, 4, 20)
+        g = rate_latency(1, 3)
+        c = min_plus_conv(f, g)
+        for t in [0, 2, 5, 9, 15]:
+            assert c.at(t) <= f.at(0) + g.at(t)
+            assert c.at(t) <= f.at(t) + g.at(0)
+
+    def test_associativity_samples(self):
+        a = token_bucket(3, 1)
+        b = rate_latency(2, 2)
+        c = staircase(1, 3, 15)
+        left = min_plus_conv(min_plus_conv(a, b), c)
+        right = min_plus_conv(a, min_plus_conv(b, c))
+        for t in [0, 1, 2, 4, 7, 11, 16]:
+            assert left.at(t) == right.at(t)
+
+    def test_monotone(self):
+        # f1 <= f2 implies f1 (*) g <= f2 (*) g
+        f1 = staircase(1, 5, 20)
+        f2 = staircase(2, 5, 20)
+        g = rate_latency(1, 1)
+        c1, c2 = min_plus_conv(f1, g), min_plus_conv(f2, g)
+        for t in [0, 2, 5, 12, 19, 30]:
+            assert c1.at(t) <= c2.at(t)

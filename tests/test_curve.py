@@ -1,0 +1,236 @@
+"""Unit tests for the Curve class (construction, queries, pointwise ops)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import CurveDomainError, EmptyCurveError
+from repro.minplus.builders import from_points, rate_latency, staircase, zero
+from repro.minplus.curve import Curve
+from repro.minplus.segment import Segment
+
+
+def pwl(*triples):
+    return Curve(Segment(F(a), F(b), F(c)) for a, b, c in triples)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCurveError):
+            Curve([])
+
+    def test_domain_must_start_at_zero(self):
+        with pytest.raises(CurveDomainError):
+            Curve([Segment(F(1), F(0), F(0))])
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(CurveDomainError):
+            Curve([Segment(F(0), F(0), F(0)), Segment(F(0), F(1), F(0))])
+
+    def test_collinear_segments_merged(self):
+        c = pwl((0, 0, 1), (5, 5, 1))
+        assert len(c.segments) == 1
+
+    def test_non_collinear_kept(self):
+        c = pwl((0, 0, 1), (5, 5, 2))
+        assert len(c.segments) == 2
+
+    def test_jump_prevents_merge(self):
+        c = pwl((0, 0, 1), (5, 6, 1))
+        assert len(c.segments) == 2
+
+    def test_segments_sorted(self):
+        c = Curve([Segment(F(5), F(5), F(0)), Segment(F(0), F(0), F(1))])
+        assert [s.start for s in c.segments] == [0, 5]
+
+
+class TestEvaluation:
+    def test_at_simple(self):
+        c = pwl((0, 1, 2))
+        assert c.at(0) == 1
+        assert c.at(F(3, 2)) == 4
+
+    def test_at_negative_rejected(self):
+        with pytest.raises(CurveDomainError):
+            pwl((0, 0, 0)).at(-1)
+
+    def test_right_continuity_at_jump(self):
+        c = pwl((0, 0, 0), (5, 3, 0))
+        assert c.at(5) == 3
+        assert c.left_limit(5) == 0
+
+    def test_left_limit_requires_positive_t(self):
+        with pytest.raises(CurveDomainError):
+            pwl((0, 0, 0)).left_limit(0)
+
+    def test_jump_at(self):
+        c = pwl((0, 0, 1), (2, 5, 0))
+        assert c.jump_at(2) == 3
+        assert c.jump_at(1) == 0
+        assert c.jump_at(0) == 0
+
+    def test_call_alias(self):
+        c = pwl((0, 1, 0))
+        assert c(7) == 1
+
+    def test_sample(self):
+        c = pwl((0, 0, 1))
+        assert c.sample([0, 1, 2]) == [0, 1, 2]
+
+
+class TestShapeQueries:
+    def test_is_continuous(self):
+        assert pwl((0, 0, 1), (2, 2, 0)).is_continuous()
+        assert not pwl((0, 0, 1), (2, 3, 0)).is_continuous()
+
+    def test_is_nondecreasing(self):
+        assert pwl((0, 0, 1)).is_nondecreasing()
+        assert not pwl((0, 5, -1)).is_nondecreasing()
+        assert not pwl((0, 5, 0), (2, 3, 0)).is_nondecreasing()
+
+    def test_is_nonnegative(self):
+        assert pwl((0, 0, 1)).is_nonnegative()
+        assert not pwl((0, 1, -1)).is_nonnegative()
+        assert not pwl((0, -1, 2)).is_nonnegative()
+
+    def test_tail_properties(self):
+        c = pwl((0, 0, 0), (4, 2, 3))
+        assert c.tail_rate == 3
+        assert c.last_breakpoint == 4
+        assert c.breakpoints() == [0, 4]
+
+    def test_sup_inf_on_interval(self):
+        c = pwl((0, 4, -1), (3, 10, 2))  # dips then jumps
+        assert c.sup_on(0, 3) == 10
+        assert c.inf_on(0, 3) == 1  # left limit 4-3=1 at t=3
+        assert c.sup_on(0, 2) == 4
+        assert c.inf_on(1, 2) == 2
+
+    def test_sup_on_invalid_interval(self):
+        with pytest.raises(CurveDomainError):
+            pwl((0, 0, 0)).sup_on(3, 2)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = pwl((0, 1, 1))
+        b = pwl((0, 0, 0), (2, 4, 0))
+        s = a + b
+        d = a - b
+        for t in [0, 1, 2, 3, F(5, 2)]:
+            assert s.at(t) == a.at(t) + b.at(t)
+            assert d.at(t) == a.at(t) - b.at(t)
+
+    def test_neg(self):
+        a = pwl((0, 1, 2))
+        assert (-a).at(3) == -7
+
+    def test_scale(self):
+        a = pwl((0, 1, 2))
+        assert a.scale(F(1, 2)).at(4) == F(9, 2)
+
+    def test_vshift(self):
+        assert pwl((0, 1, 0)).vshift(2).at(0) == 3
+
+    def test_hshift(self):
+        a = pwl((0, 1, 1))
+        g = a.hshift(3)
+        assert g.at(0) == 0
+        assert g.at(3) == 1
+        assert g.at(5) == 3
+
+    def test_hshift_zero_identity(self):
+        a = pwl((0, 1, 1))
+        assert a.hshift(0) is a
+
+    def test_hshift_negative_rejected(self):
+        with pytest.raises(CurveDomainError):
+            pwl((0, 0, 0)).hshift(-1)
+
+    def test_hshift_fill(self):
+        g = pwl((0, 5, 0)).hshift(2, fill=1)
+        assert g.at(1) == 1
+        assert g.at(2) == 5
+
+    def test_add_type_error(self):
+        with pytest.raises(TypeError):
+            pwl((0, 0, 0)) + 3
+
+
+class TestMinMax:
+    def test_crossing_split(self):
+        a = pwl((0, 0, 2))
+        b = pwl((0, 3, 0))
+        m = a.minimum(b)
+        M = a.maximum(b)
+        for t in [0, 1, F(3, 2), 2, 5]:
+            assert m.at(t) == min(a.at(t), b.at(t))
+            assert M.at(t) == max(a.at(t), b.at(t))
+        # crossing at t = 3/2 becomes a breakpoint
+        assert F(3, 2) in m.breakpoints()
+
+    def test_min_with_jumps(self):
+        a = staircase(2, 5, 20)
+        b = rate_latency(1, 2)
+        m = a.minimum(b)
+        for t in [0, 1, 2, 4, 5, 7, 10, 19, 25, 30]:
+            assert m.at(t) == min(a.at(t), b.at(t))
+
+    def test_nonneg(self):
+        c = pwl((0, -2, 1))
+        n = c.nonneg()
+        assert n.at(0) == 0
+        assert n.at(1) == 0
+        assert n.at(2) == 0
+        assert n.at(3) == 1
+
+    def test_min_equal_curves(self):
+        a = pwl((0, 1, 1))
+        assert a.minimum(a) == a
+
+
+class TestRunningMax:
+    def test_already_monotone(self):
+        a = pwl((0, 0, 1))
+        assert a.running_max() == a
+
+    def test_decreasing_becomes_constant(self):
+        a = pwl((0, 5, -1))
+        r = a.running_max()
+        assert r.at(0) == 5
+        assert r.at(100) == 5
+
+    def test_dip_then_recover(self):
+        a = from_points([(0, 0), (2, 4), (4, 1), (6, 5)], 1)
+        r = a.running_max()
+        assert r.at(2) == 4
+        assert r.at(4) == 4
+        assert r.at(5) == 4  # recovery crosses old max at t=5.5
+        assert r.at(F(11, 2)) == 4
+        assert r.at(6) == 5
+
+    def test_jump_down(self):
+        a = pwl((0, 3, 0), (2, 1, 1))
+        r = a.running_max()
+        assert r.at(2) == 3
+        assert r.at(4) == 3
+        assert r.at(5) == 4
+
+
+class TestEqualityRepr:
+    def test_equality_normalized(self):
+        a = pwl((0, 0, 1), (3, 3, 1))
+        b = pwl((0, 0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert pwl((0, 0, 1)) != pwl((0, 0, 2))
+
+    def test_eq_other_type(self):
+        assert pwl((0, 0, 1)) != "curve"
+
+    def test_repr_and_describe(self):
+        c = staircase(1, 2, 10)
+        assert "Curve[" in repr(c)
+        assert "f(t)" in c.describe()

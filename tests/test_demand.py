@@ -1,0 +1,111 @@
+"""Tests for the demand-bound machinery vs brute force."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+
+from repro.drt.demand import dbf_curve, dbf_value, demand_frontier
+from repro.drt.model import DRTTask
+from repro.drt.paths import enumerate_paths
+from repro.drt.request import rbf_value
+from repro.drt.validate import is_constrained_deadline
+from repro.errors import ModelError
+
+from .conftest import small_drt_tasks
+
+
+def brute_dbf(task: DRTTask, delta) -> F:
+    """Max work of paths whose every job deadline falls within delta."""
+    best = F(0)
+    for p in enumerate_paths(task, delta):
+        deadlines = [t + task.deadline(v) for v, t in zip(p.vertices, p.releases)]
+        if max(deadlines) <= delta:
+            best = max(best, p.total_work)
+    return best
+
+
+@pytest.fixture
+def constrained_task() -> DRTTask:
+    return DRTTask.build(
+        "ct",
+        jobs={"a": (1, 5), "b": (3, 8), "c": (2, 10)},
+        edges=[("a", "b", 10), ("b", "c", 8), ("c", "a", 12), ("a", "a", 5)],
+    )
+
+
+class TestDemandFrontier:
+    def test_empty_below_min_deadline(self, constrained_task):
+        assert demand_frontier(constrained_task, 4) == []
+
+    def test_tuples_within_horizon(self, constrained_task):
+        for t in demand_frontier(constrained_task, 30):
+            assert t.window <= 30
+
+    def test_negative_horizon_rejected(self, constrained_task):
+        with pytest.raises(ModelError):
+            demand_frontier(constrained_task, -2)
+
+    def test_pareto_per_vertex(self, constrained_task):
+        by_vertex = {}
+        for t in demand_frontier(constrained_task, 60):
+            by_vertex.setdefault(t.vertex, []).append(t)
+        for ts in by_vertex.values():
+            ts.sort(key=lambda d: d.window)
+            for a, b in zip(ts, ts[1:]):
+                assert a.window < b.window and a.work < b.work
+
+
+class TestDbfValue:
+    @pytest.mark.parametrize("delta", [0, 1, 5, 8, 13, 20, 26, 31, 40])
+    def test_matches_brute_force(self, constrained_task, delta):
+        assert dbf_value(constrained_task, delta) == brute_dbf(
+            constrained_task, delta
+        )
+
+    def test_zero_when_nothing_fits(self, constrained_task):
+        assert dbf_value(constrained_task, 2) == 0
+
+    def test_never_exceeds_rbf(self, constrained_task):
+        for d in [0, 5, 10, 20, 30]:
+            assert dbf_value(constrained_task, d) <= rbf_value(
+                constrained_task, d
+            )
+
+
+class TestDbfCurve:
+    def test_exact_region(self, constrained_task):
+        c = dbf_curve(constrained_task, 30)
+        for d in [0, 2, 5, 8, 13, 20, F(51, 2), 29]:
+            assert c.at(d) == brute_dbf(constrained_task, d), d
+
+    def test_tail_sound(self, constrained_task):
+        c = dbf_curve(constrained_task, 30)
+        for d in [30, 33, 45, 60]:
+            assert c.at(d) >= brute_dbf(constrained_task, d)
+
+    def test_nondecreasing(self, constrained_task):
+        assert dbf_curve(constrained_task, 30).is_nondecreasing()
+
+    def test_starts_at_zero(self, constrained_task):
+        assert dbf_curve(constrained_task, 30).at(0) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(task=small_drt_tasks())
+def test_dbf_sound_random(task):
+    """Property: dbf_value upper-bounds the true demand (exact when
+    deadlines are constrained)."""
+    for delta in [0, 6, 13, 21]:
+        v = dbf_value(task, delta)
+        b = brute_dbf(task, delta)
+        assert v >= b
+        if is_constrained_deadline(task):
+            assert v == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(task=small_drt_tasks())
+def test_dbf_below_rbf_random(task):
+    for delta in [0, 6, 13, 21]:
+        assert dbf_value(task, delta) <= rbf_value(task, delta)

@@ -1,0 +1,145 @@
+"""Tests for pseudo-inverses, deviations, and crossings."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro._numeric import INF, is_inf
+from repro.errors import CurveError
+from repro.minplus.builders import (
+    affine,
+    constant,
+    from_points,
+    rate_latency,
+    staircase,
+    token_bucket,
+    zero,
+)
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import (
+    first_crossing,
+    horizontal_deviation,
+    lower_pseudo_inverse,
+    upper_pseudo_inverse,
+    vertical_deviation,
+)
+from repro.minplus.segment import Segment
+
+
+class TestLowerPseudoInverse:
+    def test_rate_latency(self):
+        b = rate_latency(2, 3)
+        assert lower_pseudo_inverse(b, 0) == 0
+        assert lower_pseudo_inverse(b, 4) == 5
+
+    def test_staircase_jump(self):
+        s = staircase(2, 5, 20)
+        assert lower_pseudo_inverse(s, 1) == 0
+        assert lower_pseudo_inverse(s, 2) == 0
+        assert lower_pseudo_inverse(s, 3) == 5  # attained at the jump
+        assert lower_pseudo_inverse(s, 4) == 5
+
+    def test_unreachable_is_inf(self):
+        assert is_inf(lower_pseudo_inverse(constant(3), 4))
+
+    def test_exact_at_segment_end(self):
+        b = from_points([(0, 0), (2, 4)], 0)  # plateau at 4 after t=2
+        assert lower_pseudo_inverse(b, 4) == 2
+
+
+class TestUpperPseudoInverse:
+    def test_differs_on_plateau(self):
+        # plateau at value 4 on [2, 6], then ramps again
+        b = from_points([(0, 0), (2, 4), (6, 4), (8, 8)], 1)
+        assert lower_pseudo_inverse(b, 4) == 2
+        assert upper_pseudo_inverse(b, 4) == 6
+
+    def test_equal_on_strictly_increasing(self):
+        b = affine(0, 2)
+        assert lower_pseudo_inverse(b, 6) == 3
+        assert upper_pseudo_inverse(b, 6) == 3
+
+    def test_jump_over_value(self):
+        s = staircase(2, 5, 20)
+        assert upper_pseudo_inverse(s, 3) == 5
+        assert upper_pseudo_inverse(s, 2) == 5  # f > 2 first at the jump
+
+    def test_never_exceeds(self):
+        assert is_inf(upper_pseudo_inverse(constant(3), 3))
+
+
+class TestHorizontalDeviation:
+    def test_token_bucket_rate_latency_closed_form(self):
+        # hdev(gamma_{b,r}, beta_{R,T}) = T + b/R for r <= R
+        d = horizontal_deviation(token_bucket(5, 1), rate_latency(2, 3))
+        assert d == 3 + F(5, 2)
+
+    def test_staircase_vs_rate_latency(self):
+        s = staircase(2, 5, 20)
+        d = horizontal_deviation(s, rate_latency(2, 3))
+        # worst at t=0: beta^{-1}(2) - 0 = 3 + 1 = 4
+        assert d == 4
+
+    def test_overload_is_inf(self):
+        assert is_inf(horizontal_deviation(affine(0, 2), affine(0, 1)))
+
+    def test_service_plateau_is_inf_when_value_unreachable(self):
+        assert is_inf(horizontal_deviation(affine(1, 0), zero()))
+
+    def test_requires_monotone(self):
+        dipper = Curve([Segment(F(0), F(5), F(-1))])
+        with pytest.raises(CurveError):
+            horizontal_deviation(dipper, rate_latency(1, 0))
+
+    def test_zero_when_service_dominates(self):
+        d = horizontal_deviation(affine(0, 1), affine(5, 2))
+        assert d == 0
+
+    def test_continuous_crossing_of_plateau_value(self):
+        # Regression: continuous alpha crossing a TDMA-style plateau value
+        # must pick up the supremum approached from the right.
+        # beta ramps to 4 at t=2, flat until t=6, ramps again.
+        beta = from_points([(0, 0), (2, 4), (6, 4), (8, 8)], 1)
+        alpha = affine(2, F(1, 2))  # crosses value 4 at t=4
+        # For t slightly > 4, alpha(t) > 4 -> inverse jumps to >= 6:
+        # sup d -> upper_inv(4) - 4 = 6 - 4 = 2.
+        d = horizontal_deviation(alpha, beta)
+        assert d == 2
+
+    def test_equal_rates_finite(self):
+        d = horizontal_deviation(affine(2, 1), affine(0, 1))
+        assert d == 2
+
+
+class TestVerticalDeviation:
+    def test_token_bucket_rate_latency_closed_form(self):
+        # vdev = b + r*T
+        v = vertical_deviation(token_bucket(5, 1), rate_latency(2, 3))
+        assert v == 8
+
+    def test_unbounded(self):
+        assert is_inf(vertical_deviation(affine(0, 2), affine(0, 1)))
+
+    def test_negative_maximum_reported(self):
+        v = vertical_deviation(affine(0, 1), affine(5, 1))
+        assert v == -5
+
+
+class TestFirstCrossing:
+    def test_basic(self):
+        s = staircase(2, 5, 20)
+        assert first_crossing(s, rate_latency(2, 3)) == 4
+
+    def test_never(self):
+        assert first_crossing(affine(1, 1), affine(0, 1)) is None
+
+    def test_at_zero(self):
+        assert first_crossing(zero(), affine(0, 1)) == 0
+
+    def test_with_start(self):
+        s = staircase(2, 5, 20)
+        beta = rate_latency(2, 3)
+        # at t=9/2 the difference is already non-positive
+        assert first_crossing(s, beta, start=F(9, 2)) == F(9, 2)
+        # exactly at the jump the service has caught up again
+        assert first_crossing(s, beta, start=F(5)) == 5

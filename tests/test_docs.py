@@ -1,0 +1,94 @@
+"""Documentation integrity: the README quickstart must actually run, and
+every experiment file referenced in the docs must exist."""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _read(name):
+    with open(os.path.join(ROOT, name)) as fh:
+        return fh.read()
+
+
+class TestReadme:
+    def test_quickstart_block_executes(self, tmp_path):
+        readme = _read("README.md")
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.S)
+        assert blocks, "README must contain a python quickstart block"
+        script = tmp_path / "quickstart_readme.py"
+        script.write_text(blocks[0])
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_experiment_files_exist(self):
+        readme = _read("README.md")
+        for name in re.findall(r"`(bench_\w+)`", readme):
+            path = os.path.join(ROOT, "benchmarks", f"{name}.py")
+            assert os.path.exists(path), name
+
+    def test_example_files_exist(self):
+        readme = _read("README.md")
+        for name in re.findall(r"`(\w+\.py)`", readme):
+            if name.startswith(("bench_", "test_")):
+                continue
+            path = os.path.join(ROOT, "examples", name)
+            assert os.path.exists(path), name
+
+
+class TestDesignDoc:
+    def test_mismatch_notice_present(self):
+        design = _read("DESIGN.md")
+        assert "Source-text mismatch notice" in design
+
+    def test_bench_targets_exist(self):
+        design = _read("DESIGN.md")
+        for rel in re.findall(r"`benchmarks/(bench_\w+\.py)`", design):
+            assert os.path.exists(os.path.join(ROOT, "benchmarks", rel)), rel
+
+    def test_modules_mentioned_exist(self):
+        design = _read("DESIGN.md")
+        for mod in set(re.findall(r"`(repro(?:\.\w+)+)`", design)):
+            parts = mod.split(".")
+            # A reference may include a trailing attribute; some prefix of
+            # it must resolve to a real module or package.
+            ok = False
+            for cut in range(len(parts), 0, -1):
+                path = os.path.join(ROOT, "src", *parts[:cut])
+                if os.path.exists(path + ".py") or os.path.isdir(path):
+                    ok = True
+                    break
+            assert ok, mod
+
+
+class TestExperimentsDoc:
+    def test_every_benchmark_has_a_section(self):
+        experiments = _read("EXPERIMENTS.md")
+        bench_dir = os.path.join(ROOT, "benchmarks")
+        for fname in sorted(os.listdir(bench_dir)):
+            if fname.startswith("bench_") and fname.endswith(".py"):
+                assert fname in experiments, f"{fname} undocumented"
+
+
+class TestApiReference:
+    def test_api_doc_is_current(self):
+        sys.path.insert(0, os.path.join(ROOT, "tools"))
+        import gen_api_docs
+
+        assert gen_api_docs.render() == _read(os.path.join("docs", "API.md"))
+
+    def test_api_doc_mentions_core_entry_points(self):
+        api = _read(os.path.join("docs", "API.md"))
+        for item in ["structural_delay", "rbf_curve", "min_plus_conv",
+                     "StructuralAnalysis", "edf_structural_delays"]:
+            assert item in api, item

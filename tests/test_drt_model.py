@@ -1,0 +1,118 @@
+"""Unit tests for the DRT task model."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.drt.model import DRTTask, Edge, Job, SporadicTask
+from repro.errors import ModelError
+
+
+class TestJob:
+    def test_make_defaults_deadline_to_wcet(self):
+        j = Job.make("a", 3)
+        assert j.deadline == 3
+
+    def test_make_converts(self):
+        j = Job.make("a", 0.5, "3/2")
+        assert j.wcet == F(1, 2) and j.deadline == F(3, 2)
+
+
+class TestEdge:
+    def test_make(self):
+        e = Edge.make("a", "b", 5)
+        assert e.separation == 5
+
+
+class TestDRTTaskConstruction:
+    def test_build(self, demo_task):
+        assert len(demo_task.jobs) == 3
+        assert len(demo_task.edges) == 4
+
+    def test_duplicate_job_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask("t", [Job("a", F(1), F(1)), Job("a", F(2), F(2))], [])
+
+    def test_nonpositive_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask("t", [Job("a", F(0), F(1))], [])
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask("t", [Job("a", F(1), F(0))], [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask("t", [Job("a", F(1), F(1))], [Edge("a", "b", F(1))])
+
+    def test_nonpositive_separation_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask("t", [Job("a", F(1), F(1))], [Edge("a", "a", F(0))])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask(
+                "t",
+                [Job("a", F(1), F(1))],
+                [Edge("a", "a", F(1)), Edge("a", "a", F(2))],
+            )
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ModelError):
+            DRTTask("t", [], [])
+
+
+class TestDRTTaskQueries:
+    def test_successors_predecessors(self, demo_task):
+        succ = {e.dst for e in demo_task.successors("a")}
+        assert succ == {"a", "b"}
+        pred = {e.src for e in demo_task.predecessors("a")}
+        assert pred == {"a", "c"}
+
+    def test_job_lookup_error(self, demo_task):
+        with pytest.raises(ModelError):
+            demo_task.job("zz")
+
+    def test_wcet_deadline(self, demo_task):
+        assert demo_task.wcet("b") == 3
+        assert demo_task.deadline("c") == 10
+
+    def test_max_wcet_min_separation(self, demo_task):
+        assert demo_task.max_wcet == 3
+        assert demo_task.min_separation == 5
+
+    def test_min_separation_requires_edges(self):
+        t = DRTTask("t", [Job("a", F(1), F(1))], [])
+        with pytest.raises(ModelError):
+            t.min_separation
+
+    def test_has_cycle(self, demo_task, chain_task):
+        assert demo_task.has_cycle()
+        assert not chain_task.has_cycle()
+
+    def test_repr(self, demo_task):
+        assert "demo" in repr(demo_task)
+
+    def test_jobs_copy_isolated(self, demo_task):
+        jobs = demo_task.jobs
+        jobs.clear()
+        assert len(demo_task.jobs) == 3
+
+
+class TestSporadicTask:
+    def test_make_defaults(self):
+        sp = SporadicTask.make("s", 2, 10)
+        assert sp.deadline == 10
+        assert sp.utilization == F(1, 5)
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            SporadicTask.make("s", 0, 10)
+
+    def test_to_drt_roundtrip_semantics(self):
+        sp = SporadicTask.make("s", 2, 10, 8)
+        t = sp.to_drt()
+        assert t.wcet("s") == 2
+        assert t.min_separation == 10
+        assert t.deadline("s") == 8
+        assert t.has_cycle()

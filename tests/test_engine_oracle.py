@@ -1,0 +1,100 @@
+"""Engine correctness against closed-form oracles.
+
+For FIFO on a constant-rate server the finish times have an exact
+recurrence (``finish_i = max(release_i, finish_{i-1}) + work_i / R``);
+for the rate-latency adversary the recurrence additionally restarts the
+latency whenever the queue empties.  The event-driven engine must match
+these oracles exactly on arbitrary workloads.
+"""
+
+from fractions import Fraction as F
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import simulate
+from repro.sim.releases import Release
+from repro.sim.service import ConstantRate, RateLatencyServer
+
+
+def fifo_constant_oracle(jobs: List[Tuple[F, F]], rate: F) -> List[F]:
+    finishes = []
+    prev = F(0)
+    for release, work in jobs:
+        start = max(release, prev)
+        prev = start + work / rate
+        finishes.append(prev)
+    return finishes
+
+
+def fifo_rate_latency_oracle(
+    jobs: List[Tuple[F, F]], rate: F, latency: F
+) -> List[F]:
+    finishes = []
+    prev_finish = F(0)
+    server_ready = None  # time the server finishes stalling
+    for release, work in jobs:
+        if release >= prev_finish:
+            # Queue was empty: new busy period, latency restarts.
+            server_ready = release + latency
+            start = server_ready
+        else:
+            start = max(prev_finish, server_ready)
+        prev_finish = start + work / rate
+        finishes.append(prev_finish)
+    return finishes
+
+
+release_lists = st.lists(
+    st.tuples(
+        st.fractions(min_value=F(0), max_value=F(60), max_denominator=4),
+        st.fractions(min_value=F(1, 4), max_value=F(8), max_denominator=4),
+    ),
+    min_size=1,
+    max_size=12,
+).map(lambda xs: sorted(xs, key=lambda p: p[0]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(jobs=release_lists, rate=st.sampled_from([F(1, 2), F(1), F(3)]))
+def test_fifo_constant_rate_matches_oracle(jobs, rate):
+    rels = [
+        Release(t, w, f"j{i}", "t") for i, (t, w) in enumerate(jobs)
+    ]
+    sim = simulate(rels, ConstantRate(rate))
+    got = [j.finish for j in sim.jobs]
+    assert got == fifo_constant_oracle(jobs, rate)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    jobs=release_lists,
+    rate=st.sampled_from([F(1, 2), F(1)]),
+    latency=st.sampled_from([F(0), F(2), F(7, 2)]),
+)
+def test_fifo_rate_latency_matches_oracle(jobs, rate, latency):
+    rels = [
+        Release(t, w, f"j{i}", "t") for i, (t, w) in enumerate(jobs)
+    ]
+    sim = simulate(rels, RateLatencyServer(rate, latency))
+    got = [j.finish for j in sim.jobs]
+    assert got == fifo_rate_latency_oracle(jobs, rate, latency)
+
+
+@settings(max_examples=50, deadline=None)
+@given(jobs=release_lists)
+def test_policies_conserve_work(jobs):
+    """All policies finish all jobs at the same total-work-driven final
+    instant on a work-conserving unit server."""
+    rels = [
+        Release(t, w, f"j{i}", "t", deadline=t + 100)
+        for i, (t, w) in enumerate(jobs)
+    ]
+    ends = {}
+    for policy in ("fifo", "edf"):
+        sim = simulate(rels, ConstantRate(1), policy=policy)
+        assert len(sim.jobs) == len(jobs)
+        ends[policy] = max(j.finish for j in sim.jobs)
+    assert ends["fifo"] == ends["edf"]

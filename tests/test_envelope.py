@@ -1,0 +1,130 @@
+"""Tests for the envelope engine underlying convolution/deconvolution."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import CurveError
+from repro.minplus.envelope import Piece, envelope, envelope_to_segments
+
+
+def P(lo, hi, v, s):
+    return Piece(F(lo), F(hi), F(v), F(s))
+
+
+def eval_envelope(pieces, t, lower=True):
+    vals = [p.value_at(F(t)) for p in pieces if p.lo <= t <= p.hi]
+    return (min if lower else max)(vals)
+
+
+class TestPiece:
+    def test_value_at(self):
+        p = P(1, 3, 2, 1)
+        assert p.value_at(F(2)) == 3
+
+    def test_degenerate(self):
+        assert P(2, 2, 1, 0).degenerate
+        assert not P(1, 2, 1, 0).degenerate
+
+    def test_clipped(self):
+        p = P(0, 10, 0, 1)
+        c = p.clipped(F(2), F(5))
+        assert (c.lo, c.hi, c.value) == (2, 5, 2)
+        assert p.clipped(F(11), F(12)) is None
+
+
+class TestLowerEnvelope:
+    def test_two_crossing_segments(self):
+        pieces = [P(0, 10, 0, 1), P(0, 10, 5, 0)]
+        env = envelope(pieces, lower=True)
+        for t in [0, 2, 5, 7, 10]:
+            assert eval_envelope(env, t) == min(t, 5)
+
+    def test_disjoint_domains_preserved(self):
+        pieces = [P(0, 2, 0, 0), P(5, 8, 1, 0)]
+        env = envelope(pieces, lower=True)
+        assert eval_envelope(env, 1) == 0
+        assert eval_envelope(env, 6) == 1
+
+    def test_nested_domination(self):
+        pieces = [P(0, 10, 3, 0), P(2, 4, 1, 0)]
+        env = envelope(pieces, lower=True)
+        assert eval_envelope(env, 1) == 3
+        assert eval_envelope(env, 3) == 1
+        assert eval_envelope(env, 5) == 3
+
+    def test_degenerate_point_kept_when_informative(self):
+        pieces = [P(0, 4, 3, 0), P(2, 2, 1, 0)]
+        env = envelope(pieces, lower=True)
+        assert eval_envelope(env, 2) == 1
+        assert eval_envelope(env, F(5, 2)) == 3
+
+    def test_many_random_segments_vs_brute(self):
+        import random
+
+        rng = random.Random(3)
+        pieces = []
+        for _ in range(25):
+            lo = F(rng.randint(0, 16), 2)
+            hi = lo + F(rng.randint(0, 8), 2)
+            pieces.append(
+                P(lo, hi, F(rng.randint(0, 20), 2), F(rng.randint(-4, 4), 2))
+            )
+        env = envelope(pieces, lower=True)
+        for k in range(0, 49):
+            t = F(k, 4)
+            covered = [p for p in pieces if p.lo <= t <= p.hi]
+            if covered:
+                assert eval_envelope(env, t) == min(
+                    p.value_at(t) for p in covered
+                ), t
+
+    def test_upper_envelope(self):
+        pieces = [P(0, 10, 0, 1), P(0, 10, 5, 0)]
+        env = envelope(pieces, lower=False)
+        for t in [0, 2, 5, 7, 10]:
+            assert eval_envelope(env, t, lower=False) == max(t, 5)
+
+    def test_empty(self):
+        assert envelope([], lower=True) == []
+
+
+class TestEnvelopeToSegments:
+    def test_simple_conversion(self):
+        env = envelope([P(0, 3, 0, 1), P(3, 6, 3, 0)], lower=True)
+        segs = envelope_to_segments(env, F(6))
+        assert segs[0].start == 0 and segs[0].slope == 1
+
+    def test_gap_raises(self):
+        env = [P(0, 2, 0, 0), P(4, 6, 0, 0)]
+        with pytest.raises(CurveError):
+            envelope_to_segments(env, F(6))
+
+    def test_short_coverage_raises(self):
+        env = [P(0, 2, 0, 0)]
+        with pytest.raises(CurveError):
+            envelope_to_segments(env, F(6))
+
+    def test_dip_policy_raise(self):
+        # Isolated lower point value at t=2 not matched by any full piece.
+        env = envelope([P(0, 4, 3, 0), P(2, 2, 1, 0)], lower=True)
+        with pytest.raises(CurveError):
+            envelope_to_segments(env, F(4), on_dip="raise")
+
+    def test_dip_policy_fill(self):
+        env = envelope([P(0, 4, 3, 0), P(2, 2, 1, 0)], lower=True)
+        segs = envelope_to_segments(env, F(4), on_dip="fill")
+        # the dip at t=2 is dropped; the represented function is constant 3
+        from repro.minplus.curve import Curve
+
+        assert Curve(segs).at(2) == 3 and Curve(segs).at(1) == 3
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            envelope_to_segments([], F(1), on_dip="ignore")
+
+    def test_representable_point_ok(self):
+        # Point value equals the left limit: representable, no error.
+        env = envelope([P(0, 2, 0, 1), P(2, 2, 2, 0), P(2, 4, 5, 0)], lower=True)
+        segs = envelope_to_segments(env, F(4), on_dip="raise")
+        assert segs[-1].value == 5

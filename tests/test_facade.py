@@ -1,0 +1,62 @@
+"""Tests for the StructuralAnalysis facade."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.facade import StructuralAnalysis
+from repro.minplus.builders import rate_latency
+
+
+@pytest.fixture
+def analysis(demo_task):
+    return StructuralAnalysis(demo_task, rate_latency(F(1, 2), 4))
+
+
+class TestFacade:
+    def test_matches_standalone_functions(self, demo_task, analysis):
+        from repro.core.backlog import structural_backlog
+        from repro.core.delay import structural_delay, structural_delays_per_job
+
+        beta = rate_latency(F(1, 2), 4)
+        assert analysis.delay() == structural_delay(demo_task, beta).delay
+        assert analysis.per_job() == structural_delays_per_job(demo_task, beta)
+        assert analysis.backlog() == structural_backlog(demo_task, beta).backlog
+
+    def test_caching_returns_same_objects(self, analysis):
+        assert analysis.delay_result() is analysis.delay_result()
+        assert analysis.busy_window() is analysis.busy_window()
+        assert analysis.witness() is analysis.witness()
+
+    def test_per_job_copy_isolated(self, analysis):
+        d = analysis.per_job()
+        d.clear()
+        assert analysis.per_job()
+
+    def test_witness_consistent(self, analysis):
+        w = analysis.witness()
+        assert w.total_work == analysis.delay_result().critical_tuple.work
+
+    def test_meets_deadlines(self, analysis, demo_task):
+        # demo task misses deadlines at R=1/2, meets them at R=2
+        assert not analysis.meets_deadlines()
+        fast = StructuralAnalysis(demo_task, rate_latency(4, 0))
+        assert fast.meets_deadlines()
+
+    def test_baselines_keys(self, analysis):
+        b = analysis.baselines()
+        assert set(b) == {"structural", "concave-hull", "token-bucket", "sporadic"}
+        assert b["sporadic"] == "unbounded"
+
+    def test_output_curve_methods(self, analysis):
+        best = analysis.output_curve()
+        deconv = analysis.output_curve(method="deconvolution")
+        for t in [0, 5, 10]:
+            assert best.at(t) <= deconv.at(t)
+
+    def test_report_contents(self, analysis):
+        r = analysis.report()
+        assert "worst-case delay:  10" in r
+        assert "busy window:       14" in r
+        assert "witness path:" in r
+        assert "sporadic: unbounded" in r

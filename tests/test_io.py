@@ -1,0 +1,94 @@
+"""Tests for JSON serialisation and DOT export."""
+
+import json
+from fractions import Fraction as F
+
+import pytest
+
+from repro.drt.model import DRTTask
+from repro.errors import SerializationError
+from repro.io.dot import task_to_dot
+from repro.io.json_io import (
+    curve_from_dict,
+    curve_to_dict,
+    load_task,
+    save_task,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.minplus.builders import rate_latency, staircase
+
+
+class TestTaskRoundtrip:
+    def test_roundtrip_preserves_everything(self, demo_task):
+        data = task_to_dict(demo_task)
+        back = task_from_dict(data)
+        assert back.name == demo_task.name
+        assert back.jobs == demo_task.jobs
+        assert {(e.src, e.dst, e.separation) for e in back.edges} == {
+            (e.src, e.dst, e.separation) for e in demo_task.edges
+        }
+
+    def test_rationals_exact(self):
+        t = DRTTask.build("q", jobs={"a": (F(1, 3), F(7, 2))}, edges=[("a", "a", F(22, 7))])
+        back = task_from_dict(task_to_dict(t))
+        assert back.wcet("a") == F(1, 3)
+        assert back.edges[0].separation == F(22, 7)
+
+    def test_file_roundtrip(self, demo_task, tmp_path):
+        p = tmp_path / "task.json"
+        save_task(demo_task, p)
+        back = load_task(p)
+        assert back.jobs == demo_task.jobs
+
+    def test_json_is_plain(self, demo_task, tmp_path):
+        p = tmp_path / "task.json"
+        save_task(demo_task, p)
+        data = json.loads(p.read_text())
+        assert data["name"] == "demo"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(SerializationError):
+            task_from_dict({"name": "x", "jobs": {}})
+
+    def test_bad_rational_raises(self):
+        with pytest.raises(SerializationError):
+            task_from_dict(
+                {
+                    "name": "x",
+                    "jobs": {"a": {"wcet": "zz", "deadline": "1"}},
+                    "edges": [],
+                }
+            )
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_task(tmp_path / "absent.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_task(p)
+
+
+class TestCurveRoundtrip:
+    @pytest.mark.parametrize(
+        "curve", [rate_latency(F(1, 2), 4), staircase(2, 5, 20)]
+    )
+    def test_roundtrip(self, curve):
+        assert curve_from_dict(curve_to_dict(curve)) == curve
+
+    def test_missing_key(self):
+        with pytest.raises(SerializationError):
+            curve_from_dict({"segments": [{"start": "0", "value": "1"}]})
+
+
+class TestDot:
+    def test_contains_jobs_and_edges(self, demo_task):
+        dot = task_to_dot(demo_task)
+        assert dot.startswith('digraph "demo"')
+        for name in demo_task.job_names:
+            assert f'"{name}"' in dot
+        assert '"a" -> "b"' in dot
+        assert "label=\"10\"" in dot

@@ -1,0 +1,139 @@
+"""Tests for max-plus convolution and subadditivity utilities."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.minplus.builders import (
+    affine,
+    from_points,
+    rate_latency,
+    staircase,
+    token_bucket,
+    zero,
+)
+from repro.minplus.maxplus import is_subadditive, max_plus_conv, subadditive_closure
+
+
+def brute_maxconv(f, g, t, denom=8):
+    steps = int(t * denom)
+    return max(
+        f.at(F(k, denom)) + g.at(t - F(k, denom)) for k in range(steps + 1)
+    )
+
+
+class TestMaxPlusConv:
+    def test_affine(self):
+        c = max_plus_conv(affine(2, 3), affine(5, 1))
+        # sup over decompositions: burst sum, max rate
+        assert c.at(0) == 7
+        assert c.at(4) == 7 + 12
+
+    def test_rate_latency_pair(self):
+        c = max_plus_conv(rate_latency(2, 3), rate_latency(1, 4))
+        for t in [0, 3, 7, 9, 12]:
+            assert c.at(t) == brute_maxconv(
+                rate_latency(2, 3), rate_latency(1, 4), F(t)
+            )
+
+    def test_vs_brute_force_staircase(self):
+        s = staircase(2, 5, 25)
+        b = rate_latency(1, 2)
+        c = max_plus_conv(s, b)
+        for t in range(0, 18):
+            assert c.at(t) == brute_maxconv(s, b, F(t), denom=4)
+
+    def test_commutative(self):
+        a, b = staircase(1, 3, 15), rate_latency(2, 1)
+        x, y = max_plus_conv(a, b), max_plus_conv(b, a)
+        for t in [0, 1, 4, 9, 14, 20]:
+            assert x.at(t) == y.at(t)
+
+    def test_tail_rate_is_max(self):
+        c = max_plus_conv(affine(0, 1), staircase(1, 4, 12))
+        assert c.tail_rate == 1
+
+    def test_dominates_min_plus(self):
+        from repro.minplus.convolution import min_plus_conv
+
+        f, g = staircase(2, 5, 25), rate_latency(1, 2)
+        lo = min_plus_conv(f, g)
+        hi = max_plus_conv(f, g)
+        for t in [0, 1, 3, 7, 12, 20]:
+            assert hi.at(t) >= lo.at(t)
+
+
+class TestIsSubadditive:
+    def test_token_bucket(self):
+        assert is_subadditive(token_bucket(3, 1))
+
+    def test_staircase_is_subadditive(self):
+        assert is_subadditive(staircase(2, 5, 30))
+
+    def test_rate_latency_is_not(self):
+        # beta(2T) = R*T > beta(T) + beta(T) = 0 for T > 0
+        assert not is_subadditive(rate_latency(1, 4), horizon=16)
+
+    def test_superadditive_counterexample(self):
+        f = from_points([(0, 0), (2, 1), (4, 4)], 2)
+        assert not is_subadditive(f, horizon=4)
+
+
+class TestSubadditiveClosure:
+    def test_fixed_point_of_subadditive(self):
+        s = staircase(2, 5, 30)
+        assert subadditive_closure(s) == s
+
+    def test_dominated_by_input(self):
+        f = from_points([(0, 1), (3, 4), (6, 9)], 2)
+        closed = subadditive_closure(f)
+        for t in [0, 1, 3, 5, 8, 12]:
+            assert closed.at(t) <= f.at(t)
+
+    def test_result_is_subadditive_on_exact_region(self):
+        f = from_points([(0, 1), (3, 4), (6, 9)], 2)
+        closed = subadditive_closure(f)
+        # The finitary closure guarantees subadditivity on [0, lbp).
+        assert is_subadditive(closed, horizon=F(59, 10))
+
+    def test_tail_upper_bounds_true_closure(self):
+        f = from_points([(0, 1), (3, 4), (6, 9)], 2)
+        closed = subadditive_closure(f)
+        # True closure values at sample points via explicit k-fold sums.
+        def true_closure(t, depth=4):
+            best = f.at(t)
+            pts = [F(k, 2) for k in range(int(2 * t) + 1)]
+            vals = {0: {F(0): F(0)}}
+            cur = {F(0): F(0)}
+            for _ in range(depth):
+                nxt = {}
+                for base, v in cur.items():
+                    for p in pts:
+                        tt = base + p
+                        if tt <= t:
+                            cand = v + f.at(p)
+                            if tt not in nxt or cand < nxt[tt]:
+                                nxt[tt] = cand
+                cur = nxt
+                for tt, v in cur.items():
+                    rest = t - tt
+                    cand = v + f.at(rest) if rest >= 0 else None
+                    if cand is not None and cand < best:
+                        best = cand
+            return best
+
+        for t in [F(7), F(9), F(12)]:
+            assert closed.at(t) >= true_closure(t), t
+
+    def test_closure_preserves_delay_soundness(self, demo_task):
+        """Closing the rbf never loosens (and may tighten) the hdev bound."""
+        from repro.core.busy_window import busy_window_bound
+        from repro.minplus.builders import rate_latency as rl
+        from repro.minplus.deviation import horizontal_deviation
+
+        beta = rl(F(1, 2), 4)
+        bw = busy_window_bound(demo_task, beta)
+        closed = subadditive_closure(bw.rbf)
+        assert horizontal_deviation(closed, beta) <= horizontal_deviation(
+            bw.rbf, beta
+        )

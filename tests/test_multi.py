@@ -1,0 +1,124 @@
+"""Tests for multi-task composition (leftover service, SP, FIFO)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.delay import structural_delay
+from repro.core.multi import (
+    aggregate_rbf,
+    fifo_rtc_delay,
+    leftover_service,
+    sp_structural_delays,
+)
+from repro.drt.model import DRTTask
+from repro.drt.request import rbf_curve
+from repro.errors import AnalysisError, UnboundedBusyWindowError
+from repro.minplus.builders import affine, rate_latency, staircase
+
+
+class TestLeftoverService:
+    def test_rate_reduced_by_interference(self):
+        beta = rate_latency(1, 0)
+        alpha = staircase(1, 4, 40)  # rate 1/4
+        left = leftover_service(beta, alpha)
+        assert left.tail_rate == F(3, 4)
+
+    def test_nondecreasing_and_nonnegative(self):
+        left = leftover_service(rate_latency(1, 2), staircase(2, 5, 30))
+        assert left.is_nondecreasing()
+        assert left.is_nonnegative()
+
+    def test_never_exceeds_original(self):
+        beta = rate_latency(1, 2)
+        left = leftover_service(beta, staircase(1, 6, 30))
+        for k in range(0, 80):
+            t = F(k, 2)
+            assert left.at(t) <= beta.at(t)
+
+    def test_zero_when_interference_saturates(self):
+        left = leftover_service(rate_latency(1, 0), affine(5, 2))
+        assert left.at(10) == 0
+        assert left.tail_rate == 0
+
+    def test_matches_pointwise_definition(self):
+        """left(t) == sup_{0<=s<=t} (beta - alpha)(s), clipped at 0.
+
+        The sup includes left limits at the staircase jumps (the standard
+        leftover formula is a supremum, approached just before each
+        interference burst), so the reference uses the independent
+        ``sup_on`` implementation rather than grid sampling.
+        """
+        beta = rate_latency(1, 2)
+        alpha = staircase(2, 5, 30)
+        left = leftover_service(beta, alpha)
+        diff = beta - alpha
+        for k in range(0, 60):
+            t = F(k, 2)
+            assert left.at(t) == max(F(0), diff.sup_on(0, t)), t
+
+    def test_hand_computed_values(self):
+        # beta = (t-2)^+, alpha jumps 2 at 0, 5, 10...
+        left = leftover_service(rate_latency(1, 2), staircase(2, 5, 30))
+        assert left.at(0) == 0
+        assert left.at(4) == 0
+        # sup approached just before the jump at 5: beta(5-)-alpha(5-) = 1
+        assert left.at(5) == 1
+        assert left.at(7) == 1  # frozen until beta - alpha recovers
+        assert left.at(9) == 3  # beta(9)-alpha(9) = 7 - 4
+
+
+class TestAggregateRbf:
+    def test_sum(self, demo_task, loop_task):
+        agg = aggregate_rbf([demo_task, loop_task], 30)
+        a = rbf_curve(demo_task, 30)
+        b = rbf_curve(loop_task, 30)
+        for t in [0, 5, 10, 25]:
+            assert agg.at(t) == a.at(t) + b.at(t)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            aggregate_rbf([], 10)
+
+
+class TestSpStructuralDelays:
+    def test_highest_priority_unaffected(self, demo_task, loop_task):
+        beta = rate_latency(1, 0)
+        rs = sp_structural_delays([demo_task, loop_task], beta)
+        alone = structural_delay(demo_task, beta)
+        assert rs["demo"].delay == alone.delay
+
+    def test_lower_priority_worse(self, demo_task, loop_task):
+        beta = rate_latency(1, 0)
+        rs = sp_structural_delays([demo_task, loop_task], beta)
+        alone = structural_delay(loop_task, beta)
+        assert rs["lo" if "lo" in rs else "loop"].delay >= alone.delay
+
+    def test_priority_order_matters(self, demo_task, loop_task):
+        beta = rate_latency(1, 0)
+        ab = sp_structural_delays([demo_task, loop_task], beta)
+        ba = sp_structural_delays([loop_task, demo_task], beta)
+        assert ab["loop"].delay >= ba["loop"].delay
+
+    def test_saturation_raises(self, demo_task, loop_task):
+        # total utilization 1/5 + 1/5 = 2/5 > 1/4
+        with pytest.raises(UnboundedBusyWindowError):
+            sp_structural_delays([demo_task, loop_task], rate_latency(F(1, 4), 0))
+
+
+class TestFifoRtcDelay:
+    def test_single_task_matches_rtc(self, demo_task):
+        from repro.core.baselines import rtc_delay
+
+        beta = rate_latency(1, 0)
+        assert fifo_rtc_delay([demo_task], beta) == rtc_delay(demo_task, beta)
+
+    def test_two_tasks_worse_than_one(self, demo_task, loop_task):
+        beta = rate_latency(1, 0)
+        d1 = fifo_rtc_delay([demo_task], beta)
+        d2 = fifo_rtc_delay([demo_task, loop_task], beta)
+        assert d2 >= d1
+
+    def test_overload_raises(self, demo_task, loop_task):
+        with pytest.raises(UnboundedBusyWindowError):
+            fifo_rtc_delay([demo_task, loop_task], rate_latency(F(1, 4), 0))

@@ -1,0 +1,116 @@
+"""Unit tests for the exact-arithmetic helpers."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro._numeric import INF, as_q, ceil_div, is_inf, q_max, q_min
+
+
+class TestAsQ:
+    def test_int(self):
+        assert as_q(3) == F(3)
+
+    def test_fraction_passthrough(self):
+        q = F(3, 7)
+        assert as_q(q) is q
+
+    def test_float_decimal_faithful(self):
+        assert as_q(0.1) == F(1, 10)
+        assert as_q(2.5) == F(5, 2)
+
+    def test_string(self):
+        assert as_q("3/7") == F(3, 7)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_q(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_q(float("nan"))
+
+    def test_inf_float_rejected(self):
+        with pytest.raises(ValueError):
+            as_q(float("inf"))
+
+    def test_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            as_q([1])
+
+
+class TestInfinity:
+    def test_ordering(self):
+        assert INF > F(10**9)
+        assert not (INF < F(0))
+        assert INF >= INF
+        assert INF <= INF
+        assert F(5) < INF
+
+    def test_equality(self):
+        assert INF == INF
+        assert INF == float("inf")
+        assert not (INF == F(3))
+
+    def test_is_inf(self):
+        assert is_inf(INF)
+        assert is_inf(float("inf"))
+        assert not is_inf(F(10**12))
+
+    def test_addition_absorbs(self):
+        assert INF + F(5) is INF
+        assert F(5) + INF is INF
+
+    def test_subtracting_inf_from_inf_fails(self):
+        with pytest.raises(ArithmeticError):
+            INF - INF
+
+    def test_sub_finite(self):
+        assert INF - F(3) is INF
+
+    def test_negation_fails(self):
+        with pytest.raises(ArithmeticError):
+            -INF
+
+    def test_mul(self):
+        assert INF * F(2) is INF
+        with pytest.raises(ArithmeticError):
+            INF * 0
+
+    def test_float_conversion(self):
+        assert float(INF) == float("inf")
+
+    def test_singleton(self):
+        assert type(INF)() is INF
+
+    def test_hashable(self):
+        assert hash(INF) == hash(float("inf"))
+
+
+class TestMinMax:
+    def test_q_min(self):
+        assert q_min(F(3), F(1, 2), INF) == F(1, 2)
+
+    def test_q_max_with_inf(self):
+        assert q_max(F(3), INF) is INF
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            q_min()
+        with pytest.raises(ValueError):
+            q_max()
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_negative_numerator(self):
+        assert ceil_div(-11, 5) == -2
+
+    def test_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)

@@ -1,0 +1,65 @@
+"""Unit tests for path semantics."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.drt.paths import Path, enumerate_paths, iter_paths
+
+
+class TestPath:
+    def test_extended(self, demo_task):
+        p = Path(("a",), (F(0),), (F(1),))
+        q = p.extended(demo_task, "b", F(10))
+        assert q.vertices == ("a", "b")
+        assert q.releases == (0, 10)
+        assert q.work == (1, 4)
+        assert q.span == 10
+        assert q.total_work == 4
+        assert q.length == 2
+
+    def test_repr(self, demo_task):
+        p = Path(("a",), (F(0),), (F(1),))
+        assert "a@0" in repr(p)
+
+
+class TestIterPaths:
+    def test_horizon_zero_gives_single_jobs(self, demo_task):
+        paths = enumerate_paths(demo_task, 0)
+        assert {p.vertices for p in paths} == {("a",), ("b",), ("c",)}
+
+    def test_horizon_includes_boundary(self, demo_task):
+        paths = enumerate_paths(demo_task, 5)
+        assert ("a", "a") in {p.vertices for p in paths}
+
+    def test_all_spans_within_horizon(self, demo_task):
+        for p in iter_paths(demo_task, 23):
+            assert p.span <= 23
+
+    def test_start_restriction(self, demo_task):
+        paths = enumerate_paths(demo_task, 10, start="b")
+        assert all(p.vertices[0] == "b" for p in paths)
+
+    def test_max_length(self, demo_task):
+        paths = enumerate_paths(demo_task, 100, max_length=2)
+        assert max(p.length for p in paths) == 2
+
+    def test_release_times_follow_separations(self, demo_task):
+        for p in iter_paths(demo_task, 30):
+            for (u, v), (t0, t1) in zip(
+                zip(p.vertices, p.vertices[1:]), zip(p.releases, p.releases[1:])
+            ):
+                sep = next(
+                    e.separation for e in demo_task.successors(u) if e.dst == v
+                )
+                assert t1 - t0 == sep
+
+    def test_work_accumulates_wcets(self, demo_task):
+        for p in iter_paths(demo_task, 30):
+            total = sum(demo_task.wcet(v) for v in p.vertices)
+            assert p.total_work == total
+
+    def test_acyclic_terminates_without_horizon_pressure(self, chain_task):
+        paths = enumerate_paths(chain_task, 1000)
+        # p, p-q, p-q-r, q, q-r, r
+        assert len(paths) == 6

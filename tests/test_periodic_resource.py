@@ -1,0 +1,96 @@
+"""Tests for the periodic resource model (hierarchical scheduling)."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.curves.service import periodic_resource_service
+from repro.errors import CurveError
+from repro.sim.service import TraceRateServer
+
+
+def random_placement_server(
+    budget: F, period: F, n_periods: int, rng: random.Random
+) -> TraceRateServer:
+    """A unit-speed server granting *budget* somewhere in each period."""
+    schedule = []
+    prev_end = F(0)
+    for k in range(n_periods):
+        offset = F(rng.randrange(0, int(8 * (period - budget)) + 1), 8)
+        start = k * period + offset
+        if start > prev_end:
+            schedule.append((start, F(0)))
+        schedule.append((start + budget, F(1)))
+        prev_end = start + budget
+    return TraceRateServer(schedule, final_rate=1)
+
+
+class TestSupplyBoundFunction:
+    def test_closed_form_values(self):
+        s = periodic_resource_service(2, 5, 40)
+        assert s.at(6) == 0       # latency 2*(period-budget)
+        assert s.at(8) == 2       # first full chunk
+        assert s.at(11) == 2      # gap
+        assert s.at(13) == 4
+        assert s.tail_rate == F(2, 5)
+
+    def test_full_budget_is_dedicated(self):
+        s = periodic_resource_service(5, 5, 20)
+        assert s.at(7) == 7
+
+    def test_invalid(self):
+        with pytest.raises(CurveError):
+            periodic_resource_service(0, 5, 10)
+        with pytest.raises(CurveError):
+            periodic_resource_service(6, 5, 10)
+
+    def test_nondecreasing(self):
+        assert periodic_resource_service(2, 7, 60).is_nondecreasing()
+
+    def test_sbf_lower_bounds_every_placement(self):
+        """Property: any legal budget placement supplies at least sbf(D)
+        in every window of length D."""
+        budget, period = F(2), F(5)
+        sbf = periodic_resource_service(budget, period, 80)
+        rng = random.Random(12)
+        for _ in range(15):
+            server = random_placement_server(budget, period, 16, rng)
+            for s8 in range(0, 40 * 8, 7):
+                s = F(s8, 8)
+                for d8 in range(0, 30 * 8, 11):
+                    d = F(d8, 8)
+                    provided = server.cumulative(s + d) - server.cumulative(s)
+                    assert provided >= sbf.at(d), (s, d, provided, sbf.at(d))
+
+    def test_sbf_is_tight_for_worst_placement(self):
+        """The adversarial placement (budget early, then late) realises
+        the bound's latency exactly."""
+        budget, period = F(2), F(5)
+        sbf = periodic_resource_service(budget, period, 80)
+        # budget at the start of period 0 and the end of period 1
+        schedule = [(budget, F(1)), (2 * period - budget, F(0))]
+        server = TraceRateServer(schedule, final_rate=1)
+        # window starting right after the first chunk
+        s = budget
+        for d in [F(0), F(3), F(6)]:
+            provided = server.cumulative(s + d) - server.cumulative(s)
+            if d <= 2 * (period - budget):
+                assert provided == sbf.at(d) == 0
+
+
+class TestDelayOnPeriodicResource:
+    def test_structural_delay_covers_placements(self, demo_task):
+        from repro.core.delay import structural_delay
+        from repro.sim.engine import simulate
+        from repro.sim.releases import random_behaviour
+
+        budget, period = F(3), F(5)
+        sbf = periodic_resource_service(budget, period, 400)
+        res = structural_delay(demo_task, sbf)
+        rng = random.Random(31)
+        for _ in range(10):
+            server = random_placement_server(budget, period, 60, rng)
+            rels = random_behaviour(demo_task, 200, rng, eagerness=0.9)
+            sim = simulate(rels, server)
+            assert sim.max_delay <= res.delay

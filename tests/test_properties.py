@@ -1,0 +1,219 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These are the library's deep invariants, checked on randomly generated
+curves and tasks:
+
+* curve algebra is consistent with pointwise sampling;
+* the busy-window/frontier analysis equals brute force and is bracketed
+  by simulation;
+* every abstraction in the precision spectrum dominates the finer ones.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay import structural_delay
+from repro.drt.utilization import utilization
+from repro.errors import UnboundedBusyWindowError
+from repro.minplus.builders import rate_latency
+from repro.minplus.convolution import min_plus_conv
+from repro.minplus.deviation import (
+    horizontal_deviation,
+    lower_pseudo_inverse,
+    upper_pseudo_inverse,
+)
+from repro._numeric import is_inf
+
+from .conftest import monotone_curves, sample_grid, service_curves, small_drt_tasks
+
+GRID = sample_grid(F(30), F(1))
+
+
+class TestCurveAlgebraProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_add_commutes(self, f, g):
+        assert f + g == g + f
+
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_min_max_pointwise(self, f, g):
+        m, M = f.minimum(g), f.maximum(g)
+        for t in GRID[:20]:
+            assert m.at(t) == min(f.at(t), g.at(t))
+            assert M.at(t) == max(f.at(t), g.at(t))
+
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves())
+    def test_running_max_of_monotone_is_identity(self, f):
+        assume(f.is_nondecreasing())
+        assert f.running_max() == f
+
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_sub_then_add_roundtrip(self, f, g):
+        assert (f - g) + g == f
+
+    @settings(max_examples=40, deadline=None)
+    @given(f=monotone_curves())
+    def test_pseudo_inverse_galois(self, f):
+        """f(lower_inv(w)) >= w whenever the inverse is finite."""
+        for w in [F(0), F(1), F(5), F(17)]:
+            t = lower_pseudo_inverse(f, w)
+            if not is_inf(t):
+                assert f.at(t) >= w
+
+    @settings(max_examples=40, deadline=None)
+    @given(f=monotone_curves())
+    def test_upper_inverse_dominates_lower(self, f):
+        for w in [F(0), F(2), F(9)]:
+            lo = lower_pseudo_inverse(f, w)
+            hi = upper_pseudo_inverse(f, w)
+            if not is_inf(hi):
+                assert not is_inf(lo)
+                assert lo <= hi
+
+
+class TestConvolutionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_conv_below_both_decompositions(self, f, g):
+        c = min_plus_conv(f, g)
+        for t in GRID[:12]:
+            assert c.at(t) <= f.at(0) + g.at(t)
+            assert c.at(t) <= f.at(t) + g.at(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_conv_commutes(self, f, g):
+        a, b = min_plus_conv(f, g), min_plus_conv(g, f)
+        for t in GRID[:12]:
+            assert a.at(t) == b.at(t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_conv_vs_brute_force(self, f, g):
+        c = min_plus_conv(f, g)
+        for t in [F(0), F(3), F(7), F(11)]:
+            brute = min(
+                f.at(F(k, 4)) + g.at(t - F(k, 4)) for k in range(4 * int(t) + 1)
+            )
+            assert c.at(t) <= brute
+
+
+class TestDelayProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(task=small_drt_tasks(), beta=service_curves())
+    def test_delay_bracketed_by_simulation(self, task, beta):
+        """Random legal runs under the adversarial server never exceed the
+        structural bound."""
+        from repro.sim.engine import simulate
+        from repro.sim.releases import random_behaviour
+        from repro.sim.service import RateLatencyServer
+
+        assume(utilization(task) < beta.tail_rate)
+        try:
+            res = structural_delay(task, beta)
+        except UnboundedBusyWindowError:
+            assume(False)
+        rate = beta.tail_rate
+        latency = beta.segments[-1].start
+        model = RateLatencyServer(rate, latency)
+        rng = random.Random(0)
+        for _ in range(5):
+            rels = random_behaviour(task, 80, rng, eagerness=0.9)
+            sim = simulate(rels, model)
+            assert sim.max_delay <= res.delay
+
+    @settings(max_examples=20, deadline=None)
+    @given(task=small_drt_tasks(), beta=service_curves())
+    def test_busy_window_contains_critical_tuple(self, task, beta):
+        assume(utilization(task) < beta.tail_rate)
+        try:
+            res = structural_delay(task, beta)
+        except UnboundedBusyWindowError:
+            assume(False)
+        if res.critical_tuple is not None:
+            assert res.critical_tuple.time <= res.busy_window
+
+    @settings(max_examples=20, deadline=None)
+    @given(task=small_drt_tasks())
+    def test_delay_antitone_in_service(self, task):
+        """More service never increases the delay bound."""
+        slow = rate_latency(F(3, 2), 4)
+        fast = rate_latency(F(2), 2)
+        assume(utilization(task) < F(3, 2))
+        try:
+            d_slow = structural_delay(task, slow).delay
+            d_fast = structural_delay(task, fast).delay
+        except UnboundedBusyWindowError:
+            assume(False)
+        assert d_fast <= d_slow
+
+
+class TestLeftoverProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(f=monotone_curves(), beta=service_curves())
+    def test_leftover_sound_shape(self, f, beta):
+        from repro.core.multi import leftover_service
+
+        left = leftover_service(beta, f)
+        assert left.is_nondecreasing()
+        assert left.is_nonnegative()
+        for t in GRID[:12]:
+            assert left.at(t) <= max(F(0), beta.at(t))
+
+
+class TestDeviationOracles:
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves(), beta=service_curves())
+    def test_hdev_dominates_every_grid_deviation(self, f, beta):
+        """hdev is an upper bound of the pointwise deviation everywhere."""
+        from repro.minplus.deviation import (
+            horizontal_deviation,
+            lower_pseudo_inverse,
+        )
+
+        d = horizontal_deviation(f, beta)
+        if is_inf(d):
+            return
+        for t in GRID[:16]:
+            inv = lower_pseudo_inverse(beta, f.at(t))
+            if not is_inf(inv):
+                assert inv - t <= d
+
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves(), beta=service_curves())
+    def test_hdev_attained_at_some_candidate(self, f, beta):
+        """hdev is tight: some breakpoint (value or left limit) of f
+        realises it against rate-latency service (affine inverse)."""
+        from repro.minplus.deviation import (
+            horizontal_deviation,
+            lower_pseudo_inverse,
+        )
+
+        d = horizontal_deviation(f, beta)
+        if is_inf(d) or d == 0:
+            return
+        candidates = []
+        for t in f.breakpoints():
+            for v in ([f.at(t)] + ([f.left_limit(t)] if t > 0 else [])):
+                inv = lower_pseudo_inverse(beta, v)
+                if not is_inf(inv):
+                    candidates.append(inv - t)
+        assert max(candidates) == d
+
+    @settings(max_examples=50, deadline=None)
+    @given(f=monotone_curves(), beta=service_curves())
+    def test_vdev_dominates_grid(self, f, beta):
+        from repro.minplus.deviation import vertical_deviation
+
+        v = vertical_deviation(f, beta)
+        if is_inf(v):
+            return
+        for t in GRID[:16]:
+            assert f.at(t) - beta.at(t) <= v

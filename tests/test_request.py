@@ -1,0 +1,147 @@
+"""Tests for the request-bound machinery (frontier, rbf) vs brute force."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+
+from repro.drt.model import DRTTask
+from repro.drt.paths import enumerate_paths
+from repro.drt.request import (
+    FrontierStats,
+    RequestTuple,
+    rbf_curve,
+    rbf_value,
+    request_frontier,
+)
+from repro.errors import ModelError
+
+from .conftest import small_drt_tasks
+
+
+def brute_rbf(task: DRTTask, delta) -> F:
+    return max(
+        (p.total_work for p in enumerate_paths(task, delta) if p.span <= delta),
+        default=F(0),
+    )
+
+
+class TestRequestFrontier:
+    def test_contains_initial_tuples(self, demo_task):
+        tuples = request_frontier(demo_task, 0)
+        times = {(t.vertex, t.time) for t in tuples}
+        # At horizon 0, the heaviest job dominates per vertex.
+        assert all(t.time == 0 for t in tuples)
+
+    def test_pareto_invariant_per_vertex(self, demo_task):
+        tuples = request_frontier(demo_task, 40)
+        by_vertex = {}
+        for t in tuples:
+            by_vertex.setdefault(t.vertex, []).append(t)
+        for vertex, ts in by_vertex.items():
+            ts.sort(key=lambda r: r.time)
+            for a, b in zip(ts, ts[1:]):
+                assert a.time < b.time and a.work < b.work, vertex
+
+    def test_negative_horizon_rejected(self, demo_task):
+        with pytest.raises(ModelError):
+            request_frontier(demo_task, -1)
+
+    def test_prune_false_superset(self, demo_task):
+        pruned = request_frontier(demo_task, 25)
+        unpruned = request_frontier(demo_task, 25, prune=False)
+        pruned_set = {(t.time, t.work, t.vertex) for t in pruned}
+        unpruned_set = {(t.time, t.work, t.vertex) for t in unpruned}
+        assert pruned_set <= unpruned_set
+        # max work agree
+        assert max(t.work for t in pruned) == max(t.work for t in unpruned)
+
+    def test_stats_collected(self, demo_task):
+        stats = FrontierStats()
+        request_frontier(demo_task, 40, stats=stats)
+        assert stats.expanded > 0
+        assert stats.kept > 0
+        assert stats.expanded >= stats.kept
+
+    def test_pruning_reduces_kept(self, demo_task):
+        s1, s2 = FrontierStats(), FrontierStats()
+        request_frontier(demo_task, 40, prune=True, stats=s1)
+        request_frontier(demo_task, 40, prune=False, stats=s2)
+        assert s1.kept <= s2.kept
+
+
+class TestRbfValue:
+    @pytest.mark.parametrize("delta", [0, 1, 5, 8, 10, 15, 20, 25, 30])
+    def test_matches_brute_force_demo(self, demo_task, delta):
+        assert rbf_value(demo_task, delta) == brute_rbf(demo_task, delta)
+
+    def test_acyclic(self, chain_task):
+        assert rbf_value(chain_task, 0) == 2
+        assert rbf_value(chain_task, 4) == 3
+        assert rbf_value(chain_task, 10) == 4
+
+    def test_loop(self, loop_task):
+        for k in range(5):
+            assert rbf_value(loop_task, 10 * k) == 2 * (k + 1)
+
+
+class TestRbfCurve:
+    def test_exact_region(self, demo_task):
+        c = rbf_curve(demo_task, 30)
+        for d in [0, F(1, 2), 3, 5, 8, 10, 17, 25, F(59, 2)]:
+            assert c.at(d) == brute_rbf(demo_task, d), d
+
+    def test_tail_sound(self, demo_task):
+        c = rbf_curve(demo_task, 30)
+        for d in [30, 35, 40, 55, 70]:
+            assert c.at(d) >= brute_rbf(demo_task, d), d
+
+    def test_tail_rate_is_utilization(self, demo_task):
+        from repro.drt.utilization import utilization
+
+        c = rbf_curve(demo_task, 30)
+        assert c.tail_rate == utilization(demo_task)
+
+    def test_nondecreasing(self, demo_task):
+        assert rbf_curve(demo_task, 30).is_nondecreasing()
+
+    def test_zero_horizon(self, demo_task):
+        c = rbf_curve(demo_task, 0)
+        assert c.at(0) >= 3  # at least the heaviest job
+        assert c.is_nondecreasing()
+
+    def test_acyclic_curve_flattens(self, chain_task):
+        c = rbf_curve(chain_task, 20)
+        assert c.tail_rate == 0
+        assert c.at(100) == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(task=small_drt_tasks())
+def test_rbf_matches_brute_force_random(task):
+    """Property: frontier rbf equals exhaustive enumeration."""
+    for delta in [0, 5, 11, F(33, 2), 24]:
+        assert rbf_value(task, delta) == brute_rbf(task, delta)
+
+
+@settings(max_examples=30, deadline=None)
+@given(task=small_drt_tasks())
+def test_rbf_subadditive_random(task):
+    """Property: rbf(a + b) <= rbf(a) + rbf(b)."""
+    pts = [F(3), F(7), F(12)]
+    for a in pts:
+        for b in pts:
+            assert rbf_value(task, a + b) <= rbf_value(task, a) + rbf_value(
+                task, b
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(task=small_drt_tasks())
+def test_linear_bound_dominates_rbf_random(task):
+    """Property: rbf(t) <= B + rho*t for the exact linear bound."""
+    from repro.drt.utilization import linear_request_bound
+
+    burst, rho = linear_request_bound(task)
+    for d in [0, 4, 9, 15, 22, 30]:
+        assert brute_rbf(task, d) <= burst + rho * d

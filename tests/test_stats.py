@@ -1,0 +1,56 @@
+"""Tests for task graph statistics."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.drt.stats import task_statistics, to_networkx
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges(self, demo_task):
+        g = to_networkx(demo_task)
+        assert set(g.nodes) == {"a", "b", "c"}
+        assert g.number_of_edges() == 4
+        assert g.nodes["b"]["wcet"] == 3
+        assert g.edges["a", "b"]["separation"] == 10
+
+    def test_roundtrip_independent(self, demo_task):
+        g = to_networkx(demo_task)
+        g.remove_node("a")
+        assert "a" in demo_task.job_names  # task untouched
+
+
+class TestTaskStatistics:
+    def test_demo(self, demo_task):
+        s = task_statistics(demo_task)
+        assert s.vertices == 3
+        assert s.edges == 4
+        assert s.mean_out_degree == pytest.approx(4 / 3)
+        assert s.strongly_connected_components == 1
+        assert s.largest_scc == 3
+        assert s.cyclic
+        assert s.utilization == F(1, 5)
+        assert s.burst == F(17, 5)
+        assert s.constrained_deadlines
+        assert s.wcet_range == (1, 3)
+        assert s.separation_range == (5, 12)
+
+    def test_acyclic_chain(self, chain_task):
+        s = task_statistics(chain_task)
+        assert not s.cyclic
+        assert s.strongly_connected_components == 3
+        assert s.largest_scc == 1
+        assert s.utilization == 0
+
+    def test_generator_output_shape(self):
+        import random
+
+        from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
+
+        cfg = RandomDrtConfig(vertices=12, branching=2.5)
+        task = random_drt_task(random.Random(4), cfg)
+        s = task_statistics(task)
+        assert s.vertices == 12
+        assert s.strongly_connected_components == 1  # backbone cycle
+        assert s.mean_out_degree >= 2.0

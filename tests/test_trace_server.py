@@ -1,0 +1,65 @@
+"""Tests for the trace-driven service model."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import simulate
+from repro.sim.releases import Release
+from repro.sim.service import TraceRateServer
+
+
+def rel(t, w):
+    return Release(F(t), F(w), "j", "t")
+
+
+class TestTraceRateServer:
+    def test_schedule_replay(self):
+        # rate 2 until t=3, rate 0 until t=5, rate 1 after
+        model = TraceRateServer([(3, 2), (5, 0)], final_rate=1)
+        r = simulate([rel(0, 8)], model)
+        # 6 units by t=3, stalled to 5, remaining 2 at rate 1 -> 7
+        assert r.jobs[0].finish == 7
+
+    def test_cumulative(self):
+        model = TraceRateServer([(3, 2), (5, 0)], final_rate=1)
+        assert model.cumulative(F(3)) == 6
+        assert model.cumulative(F(5)) == 6
+        assert model.cumulative(F(7)) == 8
+        assert model.cumulative(F(2)) == 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TraceRateServer([(3, 1), (2, 1)], final_rate=1)
+        with pytest.raises(SimulationError):
+            TraceRateServer([(3, -1)], final_rate=1)
+        with pytest.raises(SimulationError):
+            TraceRateServer([], final_rate=0)
+
+    def test_service_curve_is_sound_for_windows(self):
+        """beta(D) lower-bounds the capacity of every window in the trace."""
+        model = TraceRateServer([(2, 0), (6, 1), (8, 0), (20, 2)], final_rate=1)
+        beta = model.service_curve(40)
+        for s8 in range(0, 160, 3):  # window starts, eighths
+            s = F(s8, 8)
+            for d8 in range(0, 160, 5):
+                d = F(d8, 8)
+                provided = model.cumulative(s + d) - model.cumulative(s)
+                assert provided >= beta.at(d), (s, d)
+
+    def test_simulated_delay_below_curve_analysis(self, demo_task):
+        """Delays under the trace never exceed the analysis against the
+        trace's compliant service curve."""
+        from repro.core.delay import structural_delay
+        from repro.sim.releases import random_behaviour
+
+        model = TraceRateServer([(5, 0), (30, 1)], final_rate=1)
+        beta = model.service_curve(200)
+        res = structural_delay(demo_task, beta)
+        rng = random.Random(2)
+        for _ in range(20):
+            rels = random_behaviour(demo_task, 80, rng, eagerness=0.9)
+            sim = simulate(rels, model)
+            assert sim.max_delay <= res.delay

@@ -1,0 +1,60 @@
+"""Tests for model transformations."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.drt.model import DRTTask
+from repro.drt.transform import arrival_curve_of, scale_wcets, sporadic_abstraction
+from repro.drt.utilization import utilization
+from repro.errors import ModelError
+
+
+class TestSporadicAbstraction:
+    def test_parameters(self, demo_task):
+        sp = sporadic_abstraction(demo_task)
+        assert sp.wcet == 3
+        assert sp.period == 5
+        assert sp.deadline == 5
+
+    def test_requires_edges(self):
+        t = DRTTask.build("one", jobs={"a": (1, 2)}, edges=[])
+        with pytest.raises(ModelError):
+            sporadic_abstraction(t)
+
+    def test_over_approximates_utilization(self, demo_task):
+        sp = sporadic_abstraction(demo_task)
+        assert sp.utilization >= utilization(demo_task)
+
+    def test_over_approximates_rbf(self, demo_task):
+        """Every window's sporadic request bound dominates the DRT's."""
+        from repro.drt.request import rbf_value
+
+        sp = sporadic_abstraction(demo_task)
+        for d in [0, 3, 5, 12, 20]:
+            sporadic_rbf = sp.wcet * (d // sp.period + 1)
+            assert sporadic_rbf >= rbf_value(demo_task, d)
+
+
+class TestScaleWcets:
+    def test_scales_utilization_linearly(self, demo_task):
+        u = utilization(demo_task)
+        t2 = scale_wcets(demo_task, F(3, 2))
+        assert utilization(t2) == u * F(3, 2)
+
+    def test_preserves_structure(self, demo_task):
+        t2 = scale_wcets(demo_task, 2)
+        assert t2.job_names == demo_task.job_names
+        assert len(t2.edges) == len(demo_task.edges)
+        assert t2.deadline("a") == demo_task.deadline("a")
+
+    def test_invalid_factor(self, demo_task):
+        with pytest.raises(ModelError):
+            scale_wcets(demo_task, 0)
+
+
+class TestArrivalCurveOf:
+    def test_is_rbf(self, demo_task):
+        from repro.drt.request import rbf_curve
+
+        assert arrival_curve_of(demo_task, 30) == rbf_curve(demo_task, 30)

@@ -1,0 +1,58 @@
+"""Tests for well-formedness validation."""
+
+import pytest
+
+from repro.drt.model import DRTTask
+from repro.drt.validate import is_constrained_deadline, reachable_from, validate_task
+from repro.errors import ValidationError
+
+
+class TestConstrainedDeadline:
+    def test_constrained(self, demo_task):
+        assert is_constrained_deadline(demo_task)
+
+    def test_unconstrained(self):
+        t = DRTTask.build(
+            "u", jobs={"a": (1, 20)}, edges=[("a", "a", 5)]
+        )
+        assert not is_constrained_deadline(t)
+
+    def test_sink_vertices_ignored(self):
+        t = DRTTask.build(
+            "s",
+            jobs={"a": (1, 4), "b": (1, 100)},
+            edges=[("a", "b", 5)],
+        )
+        assert is_constrained_deadline(t)
+
+
+class TestReachable:
+    def test_reachable(self, demo_task):
+        assert reachable_from(demo_task, "a") == ["a", "b", "c"]
+
+    def test_sink(self, chain_task):
+        assert reachable_from(chain_task, "r") == ["r"]
+
+
+class TestValidateTask:
+    def test_ok(self, demo_task):
+        validate_task(demo_task)
+
+    def test_isolated_job_rejected(self):
+        t = DRTTask.build(
+            "iso",
+            jobs={"a": (1, 5), "z": (1, 5)},
+            edges=[("a", "a", 5)],
+        )
+        with pytest.raises(ValidationError):
+            validate_task(t)
+
+    def test_single_job_ok(self):
+        t = DRTTask.build("one", jobs={"a": (1, 5)}, edges=[])
+        validate_task(t)
+
+    def test_require_constrained(self):
+        t = DRTTask.build("u", jobs={"a": (1, 20)}, edges=[("a", "a", 5)])
+        validate_task(t)  # fine without the flag
+        with pytest.raises(ValidationError):
+            validate_task(t, require_constrained=True)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.minplus.builders import rate_latency, staircase
+from repro.viz import render_curves, render_delay_analysis
+
+
+class TestRenderCurves:
+    def test_contains_glyphs_and_axes(self):
+        out = render_curves(
+            {"rbf": staircase(2, 5, 30), "beta": rate_latency(1, 2)},
+            horizon=30,
+        )
+        assert "r = rbf" in out
+        assert "b = beta" in out
+        assert "|" in out and "+" in out
+        assert "r" in out.replace("r = rbf", "")
+
+    def test_dimensions(self):
+        out = render_curves({"f": rate_latency(1, 0)}, 10, width=40, height=8)
+        lines = out.splitlines()
+        # 8 rows + axis + label + legend
+        assert len(lines) == 11
+        assert all(len(l) <= 10 + 40 + 2 for l in lines[:8])
+
+    def test_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            render_curves({"f": rate_latency(1, 0)}, 0)
+
+    def test_requires_curves(self):
+        with pytest.raises(ValueError):
+            render_curves({}, 10)
+
+    def test_zero_curve_handled(self):
+        from repro.minplus.builders import zero
+
+        out = render_curves({"z": zero()}, 5)
+        assert "z = z" in out
+
+
+class TestRenderDelayAnalysis:
+    def test_annotations(self, demo_task):
+        from repro.core.busy_window import busy_window_bound
+        from repro.core.delay import structural_delay
+
+        beta = rate_latency(F(1, 2), 4)
+        bw = busy_window_bound(demo_task, beta)
+        res = structural_delay(demo_task, beta)
+        out = render_delay_analysis(bw.rbf, beta, res.busy_window, res.delay)
+        assert "busy window = 14" in out
+        assert "worst-case delay = 10" in out

@@ -1,0 +1,147 @@
+"""Tests for workload generators and case studies."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.drt.utilization import max_cycle_ratio, utilization
+from repro.drt.validate import validate_task
+from repro.errors import ModelError
+from repro.workloads.case_studies import (
+    CASE_STUDIES,
+    can_gateway,
+    engine_control,
+    video_decoder,
+)
+from repro.workloads.random_drt import (
+    RandomDrtConfig,
+    random_drt_task,
+    random_task_set,
+)
+
+
+class TestRandomDrt:
+    def test_deterministic_given_seed(self):
+        cfg = RandomDrtConfig(vertices=6, branching=2.0)
+        t1 = random_drt_task(random.Random(5), cfg)
+        t2 = random_drt_task(random.Random(5), cfg)
+        assert {(e.src, e.dst, e.separation) for e in t1.edges} == {
+            (e.src, e.dst, e.separation) for e in t2.edges
+        }
+        assert {j.wcet for j in t1.jobs.values()} == {
+            j.wcet for j in t2.jobs.values()
+        }
+
+    def test_vertex_count(self):
+        cfg = RandomDrtConfig(vertices=9)
+        t = random_drt_task(random.Random(0), cfg)
+        assert len(t.jobs) == 9
+
+    def test_strongly_connected_backbone(self):
+        from repro.drt.validate import reachable_from
+
+        cfg = RandomDrtConfig(vertices=7, branching=1.0)
+        t = random_drt_task(random.Random(1), cfg)
+        for v in t.job_names:
+            assert len(reachable_from(t, v)) == 7
+
+    def test_target_utilization_exact(self):
+        cfg = RandomDrtConfig(vertices=5, target_utilization=F(7, 20))
+        for seed in range(5):
+            t = random_drt_task(random.Random(seed), cfg)
+            assert max_cycle_ratio(t) == F(7, 20)
+
+    def test_branching_increases_edges(self):
+        lo = RandomDrtConfig(vertices=10, branching=1.0)
+        hi = RandomDrtConfig(vertices=10, branching=3.0)
+        t_lo = random_drt_task(random.Random(2), lo)
+        t_hi = random_drt_task(random.Random(2), hi)
+        assert len(t_hi.edges) > len(t_lo.edges)
+
+    def test_constrained_deadlines_by_default(self):
+        from repro.drt.validate import is_constrained_deadline
+
+        cfg = RandomDrtConfig(vertices=6, deadline_factor=F(1))
+        t = random_drt_task(random.Random(3), cfg)
+        assert is_constrained_deadline(t)
+
+    def test_single_vertex(self):
+        cfg = RandomDrtConfig(vertices=1)
+        t = random_drt_task(random.Random(0), cfg)
+        assert t.has_cycle()
+
+    def test_invalid_configs(self):
+        with pytest.raises(ModelError):
+            random_drt_task(random.Random(0), RandomDrtConfig(vertices=0))
+        with pytest.raises(ModelError):
+            random_drt_task(random.Random(0), RandomDrtConfig(branching=0.5))
+        with pytest.raises(ModelError):
+            random_drt_task(
+                random.Random(0), RandomDrtConfig(wcet_range=(5, 2))
+            )
+
+    def test_validates(self):
+        cfg = RandomDrtConfig(vertices=8, branching=2.5)
+        t = random_drt_task(random.Random(9), cfg)
+        validate_task(t)
+
+
+class TestRandomTaskSet:
+    def test_total_utilization(self):
+        cfg = RandomDrtConfig(vertices=4)
+        tasks = random_task_set(random.Random(0), 3, F(6, 10), cfg)
+        assert sum(utilization(t) for t in tasks) == F(6, 10)
+
+    def test_count_and_names(self):
+        cfg = RandomDrtConfig(vertices=3)
+        tasks = random_task_set(random.Random(1), 4, F(1, 2), cfg)
+        assert len(tasks) == 4
+        assert len({t.name for t in tasks}) == 4
+
+    def test_invalid(self):
+        cfg = RandomDrtConfig()
+        with pytest.raises(ModelError):
+            random_task_set(random.Random(0), 0, F(1, 2), cfg)
+        with pytest.raises(ModelError):
+            random_task_set(random.Random(0), 2, 0, cfg)
+
+
+class TestCaseStudies:
+    @pytest.mark.parametrize("name", list(CASE_STUDIES))
+    def test_well_formed(self, name):
+        cs = CASE_STUDIES[name]()
+        validate_task(cs.task)
+        assert cs.description
+        assert cs.service.is_nondecreasing()
+
+    @pytest.mark.parametrize("name", list(CASE_STUDIES))
+    def test_analysable(self, name):
+        from repro.core.delay import structural_delay
+        from repro.drt.utilization import utilization as util
+
+        cs = CASE_STUDIES[name]()
+        assert util(cs.task) < cs.service.tail_rate
+        res = structural_delay(cs.task, cs.service)
+        assert res.delay > 0
+
+    def test_structural_beats_sporadic_on_gateway(self):
+        """The headline narrative: the coarse abstraction saturates, the
+        structural analysis does not."""
+        from repro.core.baselines import sporadic_delay
+        from repro.errors import UnboundedBusyWindowError
+
+        cs = can_gateway()
+        with pytest.raises(UnboundedBusyWindowError):
+            sporadic_delay(cs.task, cs.service)
+
+    def test_heavy_paths_are_exclusive(self):
+        """Engine control: heavy jobs recur only at the slow rate."""
+        cs = engine_control()
+        heavy_edges = [e for e in cs.task.edges if e.src == "full"]
+        assert all(e.separation >= 40 for e in heavy_edges)
+
+    def test_video_decoder_gop_cycle(self):
+        cs = video_decoder()
+        assert cs.task.has_cycle()
+        assert cs.task.wcet("I") > cs.task.wcet("P1") > cs.task.wcet("B1")
