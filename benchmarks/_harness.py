@@ -4,15 +4,172 @@ Every experiment writes its paper-style table/series to
 ``benchmarks/out/<experiment>.txt`` (and echoes it to stdout, visible
 with ``pytest -s``), so the rows survive pytest's output capturing and
 can be pasted into EXPERIMENTS.md.
+
+Two additions seed the perf trajectory of the incremental frontier
+engine:
+
+* :func:`write_json` persists machine-readable results as
+  ``benchmarks/out/BENCH_<experiment>.json`` (timings, speedups, perf
+  counters) so successive PRs can be compared mechanically;
+* :func:`parallel_map` fans independent random-instance sweeps across
+  worker processes with :mod:`concurrent.futures` — every instance of a
+  sweep is analysed in its own process (its own analysis caches), so
+  parallelism can never leak exploration state between instances.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from concurrent.futures import ProcessPoolExecutor
 from fractions import Fraction
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_json(experiment: str, payload: dict) -> str:
+    """Persist *payload* as ``benchmarks/out/BENCH_<experiment>.json``.
+
+    Fractions are serialised as strings (exact), floats as-is.  Returns
+    the path written.
+    """
+
+    def _default(obj):
+        if isinstance(obj, Fraction):
+            return str(obj)
+        raise TypeError(f"not JSON-serialisable: {obj!r}")
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"BENCH_{experiment}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=_default)
+        fh.write("\n")
+    return path
+
+
+def parallel_map(
+    fn: Callable, items: Sequence, max_workers: Optional[int] = None
+) -> List:
+    """``[fn(item) for item in items]`` across worker processes.
+
+    Results keep the order of *items*.  Falls back to the serial loop
+    when only one worker is available or the pool cannot start (e.g.
+    restricted sandboxes), so benchmarks never fail on parallelism.
+    """
+    if max_workers is None:
+        max_workers = min(len(items), os.cpu_count() or 1)
+    if max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
+        return [fn(item) for item in items]
+
+
+def sensitivity_suite(task, beta, reuse: bool) -> dict:
+    """One service-sensitivity analysis pass over every entry point.
+
+    Runs the eight delay/backlog analyses an evaluation sweep performs
+    per ``(task, beta)`` pair — structural delay, per-job delays,
+    backlog, the three RTC baselines, a request-bound query and the
+    output bound.  With ``reuse=True`` the shared incremental engine
+    serves all of them from one exploration; with ``reuse=False`` each
+    entry point pays the historical from-scratch cost.  Returns the
+    exact bounds so callers can assert the two modes agree bit-for-bit.
+    """
+    from repro.core.backlog import structural_backlog
+    from repro.core.baselines import (
+        concave_hull_delay,
+        rtc_backlog,
+        rtc_delay,
+    )
+    from repro.core.delay import structural_delay, structural_delays_per_job
+    from repro.core.output import output_arrival_curve
+    from repro.drt.request import rbf_value
+
+    out = {}
+    res = structural_delay(task, beta, reuse=reuse)
+    out["delay"] = res.delay
+    out["per_job"] = structural_delays_per_job(task, beta, reuse=reuse)
+    out["backlog"] = structural_backlog(task, beta, reuse=reuse).backlog
+    out["rtc_delay"] = rtc_delay(task, beta, reuse=reuse)
+    out["rtc_backlog"] = rtc_backlog(task, beta, reuse=reuse)
+    out["hull_delay"] = concave_hull_delay(task, beta, reuse=reuse)
+    out["rbf_at_bw"] = rbf_value(task, res.busy_window, reuse=reuse)
+    oc = output_arrival_curve(task, beta, method="delay", reuse=reuse)
+    out["output_at_50"] = oc.at(50)
+    return out
+
+
+def speedup_case(spec: dict) -> dict:
+    """Measure one scratch-vs-incremental sensitivity sweep.
+
+    *spec* is a plain (picklable, JSON-friendly) dict::
+
+        {"vertices": 10, "branching": 2.0, "separation_range": [10, 80],
+         "util": [3, 5], "seed": 0, "latencies": [5, 10, 20]}
+
+    Generates the random instance, runs :func:`sensitivity_suite` for a
+    rate-1 service curve at every latency — once with ``reuse=False``
+    (every entry point re-explores, the pre-incremental cost model) and
+    once with ``reuse=True`` on a fresh task object (one shared
+    exploration) — asserts both modes agree exactly, and returns the
+    timings plus the exact structural bounds.  Each mode is timed
+    ``repeats`` times (default 2) on fresh task objects and the best
+    wall-clock is kept, the usual defence against scheduler noise.
+    """
+    import random
+    import time
+    from fractions import Fraction
+
+    from repro.minplus.builders import rate_latency
+    from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
+
+    util = Fraction(*spec["util"])
+    repeats = spec.get("repeats", 2)
+    cfg = RandomDrtConfig(
+        vertices=spec["vertices"],
+        branching=spec["branching"],
+        separation_range=tuple(spec["separation_range"]),
+        target_utilization=util,
+    )
+    betas = [rate_latency(1, lat) for lat in spec["latencies"]]
+
+    def _timed(reuse: bool):
+        best, results = None, None
+        for _ in range(repeats):
+            task = random_drt_task(random.Random(spec["seed"]), cfg)
+            t0 = time.perf_counter()
+            results = [sensitivity_suite(task, b, reuse=reuse) for b in betas]
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        return best, results
+
+    t_scratch, scratch = _timed(reuse=False)
+    t_inc, incremental = _timed(reuse=True)
+
+    assert scratch == incremental, (
+        "incremental engine changed a bound on "
+        f"util={util} seed={spec['seed']}"
+    )
+    return {
+        "util": str(util),
+        "seed": spec["seed"],
+        "scratch_s": t_scratch,
+        "incremental_s": t_inc,
+        "speedup": t_scratch / t_inc,
+        "bit_identical": True,
+        "bounds": {
+            f"T={lat}": {
+                "delay": res["delay"],
+                "backlog": res["backlog"],
+                "rtc_delay": res["rtc_delay"],
+            }
+            for lat, res in zip(spec["latencies"], incremental)
+        },
+    }
 
 
 def fmt(value) -> str:

@@ -7,6 +7,13 @@ the unpruned exploration enumerates paths, so its tuple count grows
 exponentially with the busy window; the pruned frontier grows only
 linearly.  Pruning is the algorithmic core that makes the structural
 analysis practical.
+
+A second ablation targets the incremental layer on top of pruning: the
+shared frontier engine vs the historical from-scratch cost model on the
+same instances (every analysis entry point at four service latencies).
+At utilization >= 0.6 the engine must be at least 5x faster with
+bit-identical bounds — asserted and recorded in
+``out/BENCH_ablation_pruning.json``.
 """
 
 import random
@@ -19,9 +26,12 @@ from repro.core.delay import structural_delay
 from repro.minplus.builders import rate_latency
 from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
 
-from _harness import report
+from _harness import report, speedup_case, write_json
 
 UTILS = [F(30, 100), F(50, 100), F(65, 100), F(75, 100)]
+SPEEDUP_UTILS = [F(60, 100), F(65, 100), F(75, 100)]
+SPEEDUP_LATENCIES = [8, 12, 16, 24]
+MIN_SPEEDUP = 5.0
 
 
 def _task(util: F, seed: int = 1):
@@ -74,3 +84,52 @@ def test_bench_ablation_pruning(benchmark):
     last = rows[-1][3] / max(1, rows[-1][2])
     assert last >= 10 * first, "pruning must matter at depth"
     benchmark(lambda: _measure(_task(F(65, 100)), beta, prune=True))
+
+
+def test_bench_ablation_incremental():
+    """Second ablation layer: incremental engine vs from-scratch."""
+    cases = []
+    rows = []
+    for util in SPEEDUP_UTILS:
+        case = speedup_case(
+            {
+                "vertices": 6,
+                "branching": 2.5,
+                "separation_range": [5, 15],
+                "util": [util.numerator, util.denominator],
+                "seed": 1,
+                "latencies": SPEEDUP_LATENCIES,
+            }
+        )
+        cases.append(case)
+        rows.append(
+            [
+                float(util),
+                1000 * case["scratch_s"],
+                1000 * case["incremental_s"],
+                f"{case['speedup']:.2f}x",
+            ]
+        )
+    report(
+        "ablation_incremental",
+        "incremental engine ablation (6 vertices, branching 2.5, R=1, "
+        "T in {8, 12, 16, 24}, 8 analyses per beta)",
+        ["utilization", "scratch ms", "incremental ms", "speedup"],
+        rows,
+    )
+    write_json(
+        "ablation_pruning",
+        {
+            "experiment": "E7",
+            "suite": "sensitivity sweep: 8 analysis entry points x "
+                     f"latencies {SPEEDUP_LATENCIES}",
+            "min_required_speedup": MIN_SPEEDUP,
+            "cases": cases,
+        },
+    )
+    assert all(c["bit_identical"] for c in cases)
+    for util, case in zip(SPEEDUP_UTILS, cases):
+        if util >= F(3, 5):
+            assert case["speedup"] >= MIN_SPEEDUP, (
+                f"speedup at util {util} is only {case['speedup']:.2f}x"
+            )

@@ -1,15 +1,22 @@
 """Experiment E3 (Fig. 3): analysis runtime scaling.
 
-Two sweeps, matching the calibration note "slow fixpoint search on
+Three sweeps, matching the calibration note "slow fixpoint search on
 benchmarks":
 
 (a) runtime vs graph size at fixed utilization — the frontier grows with
     the graph but domination pruning keeps it polynomial in practice;
 (b) runtime vs utilization at fixed size — the busy-window fixpoint
-    stretches as ``1/(R - rho)``, which dominates cost near saturation.
+    stretches as ``1/(R - rho)``, which dominates cost near saturation;
+(c) the incremental frontier engine vs the historical from-scratch cost
+    model on a service-sensitivity sweep (every analysis entry point at
+    three service latencies).  The engine must be at least 5x faster at
+    utilization >= 0.6 while producing bit-identical bounds — asserted
+    here and recorded in ``out/BENCH_fig3_runtime.json``.
 
 Expected shape: (a) mild growth; (b) super-linear blow-up as utilization
-approaches the service rate — the structural analysis' price.
+approaches the service rate — the structural analysis' price; (c) the
+speedup *grows* with utilization because the shared exploration is the
+part that stretches near saturation.
 """
 
 import random
@@ -22,11 +29,18 @@ from repro.core.delay import structural_delay
 from repro.minplus.builders import rate_latency
 from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
 
-from _harness import report
+from _harness import report, speedup_case, write_json
 
 SIZES = [5, 10, 20, 40, 80]
 UTILS = [F(1, 10), F(3, 10), F(5, 10), F(7, 10), F(17, 20)]
 N_REPEAT = 5
+
+# The (c) sweep: utilizations at and above the 0.6 acceptance threshold,
+# a few instances each, every entry point at three service latencies.
+SPEEDUP_UTILS = [F(12, 20), F(14, 20), F(17, 20)]
+SPEEDUP_SEEDS = [0, 1, 2]
+SPEEDUP_LATENCIES = [5, 10, 20]
+MIN_SPEEDUP = 5.0
 
 
 def _task(vertices: int, util: F, seed: int):
@@ -93,3 +107,69 @@ def test_bench_fig3b_utilization(benchmark):
     # Shape: the busy window (the fixpoint) stretches with utilization.
     assert rows[-1][3] > rows[0][3]
     benchmark(lambda: _time_one(_task(10, F(7, 10), 0), beta))
+
+
+def test_bench_fig3c_incremental_speedup():
+    """Incremental engine vs from-scratch, bit-identical, >= 5x."""
+    cases = []
+    rows = []
+    for util in SPEEDUP_UTILS:
+        per_util = []
+        for seed in SPEEDUP_SEEDS:
+            case = speedup_case(
+                {
+                    "vertices": 10,
+                    "branching": 2.0,
+                    "separation_range": [10, 80],
+                    "util": [util.numerator, util.denominator],
+                    "seed": seed,
+                    "latencies": SPEEDUP_LATENCIES,
+                }
+            )
+            per_util.append(case)
+            cases.append(case)
+        scratch = sum(c["scratch_s"] for c in per_util)
+        inc = sum(c["incremental_s"] for c in per_util)
+        rows.append(
+            [
+                float(util),
+                1000 * scratch,
+                1000 * inc,
+                f"{scratch / inc:.2f}x",
+                min(c["speedup"] for c in per_util),
+            ]
+        )
+    report(
+        "fig3c_incremental_speedup",
+        "incremental engine vs from-scratch "
+        "(10 vertices, R=1, T in {5, 10, 20}, 8 analyses per beta)",
+        ["utilization", "scratch ms", "incremental ms", "speedup",
+         "min per-instance"],
+        rows,
+    )
+    write_json(
+        "fig3_runtime",
+        {
+            "experiment": "E3",
+            "suite": "sensitivity sweep: 8 analysis entry points x "
+                     f"latencies {SPEEDUP_LATENCIES}",
+            "min_required_speedup": MIN_SPEEDUP,
+            "cases": cases,
+            "per_utilization": [
+                {
+                    "util": str(util),
+                    "scratch_s": row[1] / 1000,
+                    "incremental_s": row[2] / 1000,
+                    "speedup": row[1] / row[2],
+                }
+                for util, row in zip(SPEEDUP_UTILS, rows)
+            ],
+        },
+    )
+    assert all(c["bit_identical"] for c in cases)
+    for util, row in zip(SPEEDUP_UTILS, rows):
+        if util >= F(3, 5):
+            assert row[1] / row[2] >= MIN_SPEEDUP, (
+                f"aggregate speedup at util {util} is only "
+                f"{row[1] / row[2]:.2f}x"
+            )

@@ -1,0 +1,264 @@
+"""Parallel driver for the random-instance experiment sweeps.
+
+The heavyweight experiments are embarrassingly parallel across random
+instances: E3's runtime/speedup cases, E6's soundness-bracket
+validation, E13's cross-policy grand validation and Fig. 5's acceptance
+sweeps each analyse independent random tasks/sets.  This driver fans
+that per-instance work across worker processes with
+:func:`_harness.parallel_map` — every instance runs in its own process
+with its own analysis caches, so parallelism cannot leak incremental
+exploration state between instances — and writes one machine-readable
+summary to ``benchmarks/out/BENCH_parallel_sweeps.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/run_parallel.py [--workers N]
+
+Intentionally *not* named ``bench_*.py``: it is a driver over the
+experiments, not an experiment of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from fractions import Fraction as F
+
+from _harness import parallel_map, speedup_case, write_json
+
+E3_UTILS = [(12, 20), (17, 20)]
+E3_SEEDS = [0, 1]
+E6_INSTANCES = 20
+E6_RANDOM_RUNS = 5
+E13_SETS = 8
+FIG5_UTILS = [(2, 10), (4, 10), (6, 10), (8, 10)]
+FIG5_SETS = 6
+
+
+def e3_case(spec: dict) -> dict:
+    """One incremental-vs-scratch speedup case (worker process)."""
+    t0 = time.perf_counter()
+    out = speedup_case(spec)
+    out["elapsed_s"] = time.perf_counter() - t0
+    return out
+
+
+def e6_case(seed: int) -> dict:
+    """One soundness-bracket validation instance (worker process)."""
+    from repro.core.baselines import (
+        concave_hull_delay,
+        rtc_delay,
+        token_bucket_delay,
+    )
+    from repro.core.delay import critical_path_of, structural_delay
+    from repro.errors import UnboundedBusyWindowError
+    from repro.minplus.builders import rate_latency
+    from repro.sim.engine import simulate
+    from repro.sim.releases import behaviour_from_path, random_behaviour
+    from repro.sim.service import RateLatencyServer
+    from repro.workloads.random_drt import RandomDrtConfig, random_drt_task
+
+    t0 = time.perf_counter()
+    rng = random.Random(seed)
+    cfg = RandomDrtConfig(
+        vertices=rng.choice([4, 6, 8]),
+        branching=rng.choice([1.5, 2.0, 3.0]),
+        separation_range=(8, 50),
+        target_utilization=F(rng.randint(10, 45), 100),
+    )
+    task = random_drt_task(rng, cfg, name=f"inst{seed}")
+    latency = F(rng.randint(0, 12))
+    beta = rate_latency(1, latency)
+    out = {
+        "seed": seed,
+        "checked": 0,
+        "witness_tight": 0,
+        "violations": [],
+    }
+    try:
+        res = structural_delay(task, beta)
+    except UnboundedBusyWindowError:
+        out["elapsed_s"] = time.perf_counter() - t0
+        return out
+    out["checked"] = 1
+    s = res.delay
+    if rtc_delay(task, beta) != s:
+        out["violations"].append("rtc != structural")
+    h = concave_hull_delay(task, beta)
+    b = token_bucket_delay(task, beta)
+    if not (s <= h <= b):
+        out["violations"].append("ordering broken")
+    model = RateLatencyServer(1, latency)
+    witness = critical_path_of(task, res)
+    if witness is not None:
+        sim = simulate(behaviour_from_path(task, witness), model)
+        if sim.max_delay == s:
+            out["witness_tight"] = 1
+        elif sim.max_delay > s:
+            out["violations"].append("simulation exceeds bound")
+    sim_rng = random.Random(seed + 10_000)
+    for _ in range(E6_RANDOM_RUNS):
+        rels = random_behaviour(task, 150, sim_rng, eagerness=0.9)
+        if simulate(rels, model).max_delay > s:
+            out["violations"].append("random run exceeds bound")
+            break
+    out["elapsed_s"] = time.perf_counter() - t0
+    return out
+
+
+def e13_case(seed: int) -> dict:
+    """One cross-policy grand-validation set (worker process)."""
+    from repro.core.multi import fifo_rtc_delay, sp_structural_delays
+    from repro.errors import UnboundedBusyWindowError, ValidationError
+    from repro.minplus.builders import rate_latency
+    from repro.sched.edf_delay import edf_structural_delays
+    from repro.sim.engine import simulate
+    from repro.sim.releases import random_behaviour
+    from repro.sim.service import RateLatencyServer
+    from repro.workloads.random_drt import RandomDrtConfig, random_task_set
+
+    t0 = time.perf_counter()
+    cfg = RandomDrtConfig(
+        vertices=4,
+        branching=2.0,
+        separation_range=(10, 50),
+        deadline_factor=F(1),
+    )
+    rng = random.Random(seed)
+    tasks = random_task_set(rng, 2, F(5, 10), cfg)
+    beta = rate_latency(1, 2)
+    priorities = {t.name: i for i, t in enumerate(tasks)}
+    out = {"seed": seed, "analysed": 0, "violations": 0, "runs": 0}
+    try:
+        fifo_bound = fifo_rtc_delay(tasks, beta)
+        sp_bounds = sp_structural_delays(tasks, beta)
+        edf_bounds = edf_structural_delays(tasks, beta)
+    except (UnboundedBusyWindowError, ValidationError):
+        out["elapsed_s"] = time.perf_counter() - t0
+        return out
+    out["analysed"] = 1
+    for _ in range(4):
+        rels = []
+        for t in tasks:
+            rels += random_behaviour(t, 150, rng, eagerness=1.0)
+        runs = {
+            "fifo": simulate(rels, RateLatencyServer(1, 2), policy="fifo"),
+            "sp": simulate(
+                rels, RateLatencyServer(1, 2), policy="sp",
+                priorities=priorities,
+            ),
+            "edf": simulate(rels, RateLatencyServer(1, 2), policy="edf"),
+        }
+        out["runs"] += 1
+        for job in runs["fifo"].jobs:
+            if job.delay > fifo_bound:
+                out["violations"] += 1
+        for job in runs["sp"].jobs:
+            if job.delay > sp_bounds[job.release.task].delay:
+                out["violations"] += 1
+        for job in runs["edf"].jobs:
+            bound = edf_bounds.job_delays[job.release.task][job.release.job]
+            if job.delay > bound:
+                out["violations"] += 1
+    out["elapsed_s"] = time.perf_counter() - t0
+    return out
+
+
+def fig5_case(spec: tuple) -> dict:
+    """One task set judged by the three acceptance tests (worker)."""
+    from repro.minplus.builders import rate_latency
+    from repro.sched.edf import edf_schedulable
+    from repro.sched.sp import sp_schedulable
+    from repro.workloads.random_drt import RandomDrtConfig, random_task_set
+
+    util_num, util_den, seed = spec
+    t0 = time.perf_counter()
+    cfg = RandomDrtConfig(
+        vertices=5,
+        branching=2.0,
+        separation_range=(10, 60),
+        deadline_factor=F(1),
+    )
+    rng = random.Random(seed)
+    tasks = random_task_set(rng, 2, F(util_num, util_den), cfg)
+    beta = rate_latency(1, 0)
+    out = {"util": f"{util_num}/{util_den}", "seed": seed}
+    out["structural_sp"] = sp_schedulable(tasks, beta).schedulable
+    out["edf"] = edf_schedulable(tasks, beta).schedulable
+    out["elapsed_s"] = time.perf_counter() - t0
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU, capped by #cases)",
+    )
+    args = parser.parse_args()
+
+    sweeps = {
+        "e3_speedup": (
+            e3_case,
+            [
+                {
+                    "vertices": 10,
+                    "branching": 2.0,
+                    "separation_range": [10, 80],
+                    "util": list(util),
+                    "seed": seed,
+                    "latencies": [5, 10, 20],
+                    "repeats": 1,
+                }
+                for util in E3_UTILS
+                for seed in E3_SEEDS
+            ],
+        ),
+        "e6_validation": (e6_case, list(range(E6_INSTANCES))),
+        "e13_grand_validation": (e13_case, list(range(E13_SETS))),
+        "fig5_acceptance": (
+            fig5_case,
+            [
+                (num, den, seed)
+                for num, den in FIG5_UTILS
+                for seed in range(FIG5_SETS)
+            ],
+        ),
+    }
+
+    payload = {"workers": args.workers, "experiments": {}}
+    for name, (fn, items) in sweeps.items():
+        t0 = time.perf_counter()
+        results = parallel_map(fn, items, max_workers=args.workers)
+        wall = time.perf_counter() - t0
+        serial = sum(r["elapsed_s"] for r in results)
+        payload["experiments"][name] = {
+            "cases": len(items),
+            "wall_s": wall,
+            "serial_estimate_s": serial,
+            "parallel_gain": serial / wall if wall else 1.0,
+            "results": results,
+        }
+        print(
+            f"{name}: {len(items)} cases, wall {wall:.1f}s "
+            f"(serial work {serial:.1f}s, gain {serial / max(wall, 1e-9):.1f}x)"
+        )
+
+    # Cross-experiment invariants the serial benchmarks also assert.
+    e6 = payload["experiments"]["e6_validation"]["results"]
+    assert not any(r["violations"] for r in e6), "soundness violation"
+    assert all(
+        r["witness_tight"] == r["checked"] for r in e6
+    ), "witness replay must realise the bound"
+    e13 = payload["experiments"]["e13_grand_validation"]["results"]
+    assert sum(r["violations"] for r in e13) == 0, "policy bound violation"
+    e3 = payload["experiments"]["e3_speedup"]["results"]
+    assert all(r["bit_identical"] for r in e3)
+
+    path = write_json("parallel_sweeps", payload)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

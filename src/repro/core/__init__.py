@@ -24,6 +24,7 @@ from repro.core.baselines import (
     rtc_backlog,
 )
 from repro.core.backlog import BacklogResult, structural_backlog
+from repro.core.context import AnalysisContext
 from repro.core.facade import StructuralAnalysis
 from repro.core.output import output_arrival_curve
 from repro.core.sensitivity import (
@@ -56,6 +57,7 @@ __all__ = [
     "fifo_rtc_delay",
     "aggregate_rbf",
     "StructuralAnalysis",
+    "AnalysisContext",
     "BacklogResult",
     "structural_backlog",
     "output_arrival_curve",

@@ -50,20 +50,38 @@ def structural_backlog(
     task: DRTTask,
     beta: Curve,
     initial_horizon: Optional[NumLike] = None,
+    reuse: bool = True,
 ) -> BacklogResult:
     """Worst-case backlog of structural workload *task* on service *beta*.
 
     Args:
         task: The structural workload.
         beta: Lower service curve of the resource.
+        reuse: Serve the busy window and the frontier from the shared
+            per-``(task, beta)``
+            :class:`~repro.core.context.AnalysisContext` (default).
+            ``False`` recomputes both from scratch — the benchmarks'
+            reference; same result.
 
     Raises:
         UnboundedBusyWindowError: if the workload saturates the service.
     """
-    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
+    if reuse and initial_horizon is None:
+        from repro.core.context import AnalysisContext
+
+        return AnalysisContext.of(task, beta).backlog_result()
+    bw = busy_window_bound(
+        task, beta, initial_horizon=initial_horizon, reuse=reuse
+    )
+    if reuse:
+        tuples = request_frontier(task, bw.length)
+    else:
+        from repro.drt.request import FrontierExplorer
+
+        tuples = FrontierExplorer(task).tuples(bw.length)
     best = Q(0)
     critical: Optional[RequestTuple] = None
-    for tup in request_frontier(task, bw.length):
+    for tup in tuples:
         b = tup.work - beta.at(tup.time)
         if b > best:
             best = b

@@ -20,23 +20,39 @@ is therefore never smaller and often much larger.
 :func:`exhaustive_delay` (brute-force path enumeration) returns the same
 value, and the discrete-event simulator realises it with the witness path
 under an adversarial service process.
+
+By default the analysis runs on the incremental engine: the busy window,
+the frontier (from the task's shared
+:class:`~repro.drt.request.FrontierExplorer`) and the batched per-tuple
+pseudo-inverses are memoized per ``(task, beta)`` in
+:class:`~repro.core.context.AnalysisContext`.  ``reuse=False`` runs the
+historical from-scratch pipeline — private exploration per call, scalar
+pseudo-inverse per tuple — which the benchmarks use as the reference the
+incremental engine must match bound-for-bound.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro._numeric import INF, Q, NumLike, as_q, is_inf
+from repro._numeric import Q, NumLike, is_inf
 from repro.core.busy_window import BusyWindow, busy_window_bound
-from repro.core.frontier import pareto_front
 from repro.drt.model import DRTTask
 from repro.drt.paths import Path, iter_paths
-from repro.drt.request import FrontierStats, RequestTuple, request_frontier
+from repro.drt.request import (
+    FrontierExplorer,
+    FrontierStats,
+    RequestTuple,
+    request_frontier,
+)
 from repro.errors import AnalysisError
 from repro.minplus.curve import Curve
-from repro.minplus.deviation import lower_pseudo_inverse
+from repro.minplus.deviation import (
+    lower_pseudo_inverse,
+    lower_pseudo_inverse_batch,
+)
 
 __all__ = [
     "DelayResult",
@@ -78,11 +94,23 @@ def _delay_of_tuple(beta: Curve, time: Q, work: Q) -> Q:
     return inv - time
 
 
+def _tuple_delays(beta: Curve, tuples: List[RequestTuple]) -> List[Q]:
+    """Batched ``beta^{-1}(w) - t`` for every tuple, in tuple order."""
+    invs = lower_pseudo_inverse_batch(beta, [t.work for t in tuples])
+    for tup, inv in zip(tuples, invs):
+        if is_inf(inv):
+            raise AnalysisError(
+                f"service curve never provides {tup.work} units of work"
+            )
+    return [inv - tup.time for tup, inv in zip(tuples, invs)]
+
+
 def structural_delay(
     task: DRTTask,
     beta: Curve,
     initial_horizon: Optional[NumLike] = None,
     prune: bool = True,
+    reuse: bool = True,
 ) -> DelayResult:
     """Worst-case delay of structural workload *task* on service *beta*.
 
@@ -95,17 +123,34 @@ def structural_delay(
             fixpoint (see :func:`repro.core.busy_window.busy_window_bound`).
         prune: Apply Pareto domination pruning (disable only for the
             ablation experiment; exponentially slower).
+        reuse: Serve the busy window, the frontier and the batched
+            pseudo-inverses from the shared per-``(task, beta)``
+            :class:`~repro.core.context.AnalysisContext` (default).
+            ``False`` recomputes everything from scratch with the scalar
+            pseudo-inverse — the benchmarks' reference; same result.
 
     Raises:
         UnboundedBusyWindowError: if the workload saturates the service.
     """
-    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
+    if reuse and prune and initial_horizon is None:
+        from repro.core.context import AnalysisContext
+
+        return AnalysisContext.of(task, beta).delay_result()
+    bw = busy_window_bound(
+        task, beta, initial_horizon=initial_horizon, reuse=reuse
+    )
     stats = FrontierStats()
-    tuples = request_frontier(task, bw.length, prune=prune, stats=stats)
+    if reuse:
+        tuples = request_frontier(task, bw.length, prune=prune, stats=stats)
+        delays = _tuple_delays(beta, tuples)
+    else:
+        ex = FrontierExplorer(task, prune=prune)
+        tuples = ex.tuples(bw.length)
+        stats.add(ex.stats_at(bw.length))
+        delays = [_delay_of_tuple(beta, t.time, t.work) for t in tuples]
     best = Q(0)
     critical: Optional[RequestTuple] = None
-    for tup in tuples:
-        d = _delay_of_tuple(beta, tup.time, tup.work)
+    for tup, d in zip(tuples, delays):
         if d > best:
             best = d
             critical = tup
@@ -123,6 +168,7 @@ def structural_delays_per_job(
     task: DRTTask,
     beta: Curve,
     initial_horizon: Optional[NumLike] = None,
+    reuse: bool = True,
 ) -> Dict[str, Fraction]:
     """Worst-case delay of each job *type* (graph vertex).
 
@@ -132,11 +178,21 @@ def structural_delays_per_job(
     Returns:
         Mapping from job name to its delay bound.
     """
-    bw = busy_window_bound(task, beta, initial_horizon=initial_horizon)
-    tuples = request_frontier(task, bw.length)
+    if reuse and initial_horizon is None:
+        from repro.core.context import AnalysisContext
+
+        return AnalysisContext.of(task, beta).per_job()
+    bw = busy_window_bound(
+        task, beta, initial_horizon=initial_horizon, reuse=reuse
+    )
+    if reuse:
+        tuples = request_frontier(task, bw.length)
+        delay_list = _tuple_delays(beta, tuples)
+    else:
+        tuples = FrontierExplorer(task).tuples(bw.length)
+        delay_list = [_delay_of_tuple(beta, t.time, t.work) for t in tuples]
     delays: Dict[str, Fraction] = {v: Q(0) for v in task.job_names}
-    for tup in tuples:
-        d = _delay_of_tuple(beta, tup.time, tup.work)
+    for tup, d in zip(tuples, delay_list):
         if d > delays[tup.vertex]:
             delays[tup.vertex] = d
     return delays
@@ -167,9 +223,15 @@ def critical_path_of(
 ) -> Optional[Path]:
     """A witness path realising the critical tuple of *result*.
 
-    Reconstructs, by bounded backward search, a path ending at the
+    Reconstructs, by bounded forward search, a path ending at the
     critical tuple's vertex with exactly its span and total work.  The
     witness is what the simulator replays to demonstrate tightness.
+
+    The search memoizes visited ``(vertex, span, work)`` states: distinct
+    paths that converge on the same state (diamond-shaped graphs) reach
+    exactly the same set of target states, so re-expanding the state
+    cannot change whether a witness exists — only make the search
+    exponential.
 
     Returns:
         A :class:`~repro.drt.paths.Path`, or None when the result has no
@@ -180,12 +242,17 @@ def critical_path_of(
         return None
     # Forward DFS from every start vertex, pruned by span and work bounds.
     target_v, target_t, target_w = tup.vertex, tup.time, tup.work
+    seen: Set[Tuple[str, Q, Q]] = set()
     stack: List[Path] = []
     for v in task.job_names:
         p = Path((v,), (Q(0),), (task.wcet(v),))
         stack.append(p)
     while stack:
         path = stack.pop()
+        state = (path.vertices[-1], path.span, path.total_work)
+        if state in seen:
+            continue
+        seen.add(state)
         if (
             path.vertices[-1] == target_v
             and path.span == target_t

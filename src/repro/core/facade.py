@@ -1,10 +1,12 @@
 """One-stop analysis facade for a (task, service) pair.
 
 Most workflows ask several questions about the same pair — delay, per-job
-delays, backlog, witness, output curve, baselines.  Each standalone
-function recomputes the busy-window fixpoint and the frontier;
-:class:`StructuralAnalysis` computes them once and caches every derived
-result, which is both faster and more convenient::
+delays, backlog, witness, output curve, baselines.
+:class:`StructuralAnalysis` answers every one from the shared
+per-``(task, beta)`` :class:`~repro.core.context.AnalysisContext` (the
+busy-window fixpoint, the frontier and the batched per-tuple
+pseudo-inverses are each computed once) and additionally caches the
+derived results per instance::
 
     analysis = StructuralAnalysis(task, beta)
     analysis.delay()             # worst-case delay
@@ -85,7 +87,7 @@ class StructuralAnalysis:
             self._delay = structural_delay(
                 self.task,
                 self.beta,
-                initial_horizon=self.busy_window().horizon,
+                initial_horizon=self._initial_horizon,
             )
         return self._delay
 
@@ -101,7 +103,7 @@ class StructuralAnalysis:
             self._per_job = structural_delays_per_job(
                 self.task,
                 self.beta,
-                initial_horizon=self.busy_window().horizon,
+                initial_horizon=self._initial_horizon,
             )
         return dict(self._per_job)
 
@@ -111,7 +113,7 @@ class StructuralAnalysis:
             self._backlog = structural_backlog(
                 self.task,
                 self.beta,
-                initial_horizon=self.busy_window().horizon,
+                initial_horizon=self._initial_horizon,
             )
         return self._backlog.backlog
 
@@ -127,7 +129,7 @@ class StructuralAnalysis:
             curve = output_arrival_curve(
                 self.task,
                 self.beta,
-                initial_horizon=self.busy_window().horizon,
+                initial_horizon=self._initial_horizon,
                 method=method,
             )
             if method == "best":

@@ -11,16 +11,29 @@ raw material of the structural delay analysis in :mod:`repro.core.delay`,
 which is what makes that analysis strictly more precise than the
 arrival-curve abstraction: it never mixes ``t`` from one path with ``w``
 from another.
+
+Exploration is *incremental*: a :class:`FrontierExplorer` keeps its heap,
+its per-vertex frontiers and the successors deferred beyond the explored
+horizon between calls, so ``extend_to(h2)`` after ``extend_to(h1)`` only
+expands the tuples in ``(h1, h2]``.  Each task caches one shared explorer
+(tasks are immutable), which every analysis layer — busy-window horizon
+iteration, delay, backlog, EDF, multi-task aggregation — reuses instead
+of re-exploring from scratch.  Queries truncated at any ``h`` below the
+explored horizon are exact: exploration is best-first by release time, so
+the frontier state restricted to ``time <= h`` coincides with a
+from-scratch run at horizon ``h`` (evictions only ever happen among
+equal-time tuples, which both runs process identically).
 """
 
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro._numeric import Q, NumLike, as_q
 from repro.drt.model import DRTTask
 from repro.errors import ModelError
@@ -29,6 +42,8 @@ from repro.minplus.segment import Segment
 
 __all__ = [
     "RequestTuple",
+    "FrontierExplorer",
+    "frontier_explorer",
     "request_frontier",
     "rbf_curve",
     "rbf_value",
@@ -53,11 +68,23 @@ class RequestTuple:
 
 @dataclass
 class FrontierStats:
-    """Exploration statistics (used by the pruning ablation experiment)."""
+    """Exploration statistics (used by the pruning ablation experiment).
+
+    The invariant ``expanded == kept + pruned`` holds at every horizon:
+    a generated tuple is either on the frontier (*kept*) or was discarded
+    (*pruned*) — at the pre-push domination check, at the pop check, or by
+    a later eviction from :meth:`_VertexFrontier.insert`.
+    """
 
     expanded: int = 0
     kept: int = 0
     pruned: int = 0
+
+    def add(self, other: "FrontierStats") -> None:
+        """Accumulate *other* into this collector."""
+        self.expanded += other.expanded
+        self.kept += other.kept
+        self.pruned += other.pruned
 
 
 class _VertexFrontier:
@@ -81,26 +108,284 @@ class _VertexFrontier:
         idx = bisect_right(self.times, time) - 1
         return idx >= 0 and self.works[idx] >= work
 
-    def insert(self, time: Q, work: Q) -> List[Tuple[Q, Q]]:
-        """Insert a non-dominated tuple; return the tuples it evicts."""
+    def insert(self, time: Q, work: Q) -> int:
+        """Insert a non-dominated tuple; return how many it evicts."""
         idx = bisect_left(self.times, time)
-        evicted: List[Tuple[Q, Q]] = []
         # Remove stored tuples dominated by the new one: time' >= time
         # and work' <= work.
         j = idx
         while j < len(self.times) and self.works[j] <= work:
-            evicted.append((self.times[j], self.works[j]))
             j += 1
+        evicted = j - idx
         del self.times[idx:j]
         del self.works[idx:j]
         self.times.insert(idx, time)
         self.works.insert(idx, work)
         return evicted
 
-    def tuples(self, vertex: str) -> List[RequestTuple]:
+    def tuples(self, vertex: str, horizon: Optional[Q] = None) -> List[RequestTuple]:
+        hi = (
+            len(self.times)
+            if horizon is None
+            else bisect_right(self.times, horizon)
+        )
         return [
-            RequestTuple(t, w, vertex) for t, w in zip(self.times, self.works)
+            RequestTuple(t, w, vertex)
+            for t, w in zip(self.times[:hi], self.works[:hi])
         ]
+
+
+class FrontierExplorer:
+    """Resumable best-first exploration of a task's request tuples.
+
+    The explorer owns the exploration state — heap, per-vertex Pareto
+    frontiers, and successors deferred beyond the explored horizon — and
+    extends it monotonically: :meth:`extend_to` expands exactly the tuples
+    the requested horizon adds.  All query methods (:meth:`tuples`,
+    :meth:`rbf_curve`, :meth:`stats_at`) accept any horizon at or below
+    the explored one and answer exactly as a from-scratch run at that
+    horizon would.
+
+    A shared per-task instance is available via :func:`frontier_explorer`;
+    unpruned explorations (the ablation) always use a private instance.
+
+    Args:
+        task: The structural workload (immutable after construction).
+        prune: Apply Pareto domination pruning (default).  Disabling it
+            keeps every distinct tuple — exponentially slower, for the
+            pruning-ablation experiment only.
+    """
+
+    __slots__ = (
+        "task",
+        "prune",
+        "_frontiers",
+        "_heap",
+        "_deferred",
+        "_tiebreak",
+        "_explored",
+        "_all",
+        "_all_times",
+        "_pop_times",
+        "_popdom_times",
+        "_evict_times",
+        "_evict_counts",
+        "_pushprune_times",
+        "_pushprune_sorted",
+        "_new_kept_since_query",
+    )
+
+    def __init__(self, task: DRTTask, prune: bool = True) -> None:
+        self.task = task
+        self.prune = prune
+        self._frontiers: Dict[str, _VertexFrontier] = {
+            v: _VertexFrontier() for v in task.job_names
+        }
+        # Heap of (time, tiebreak, work, vertex); best-first by release
+        # time so that domination checks see the strongest tuples early.
+        self._heap: List[Tuple[Q, int, Q, str]] = []
+        # Successors released beyond the explored horizon, waiting for a
+        # later extend_to to reactivate them (same entry layout).
+        self._deferred: List[Tuple[Q, int, Q, str]] = []
+        self._tiebreak = 0
+        self._explored: Optional[Q] = None
+        # Unpruned mode keeps every popped tuple (time-ordered).
+        self._all: List[RequestTuple] = []
+        self._all_times: List[Q] = []
+        # Event logs for exact truncated statistics; every list is
+        # nondecreasing except _pushprune_times (sorted on demand).
+        self._pop_times: List[Q] = []
+        self._popdom_times: List[Q] = []
+        self._evict_times: List[Q] = []
+        self._evict_counts: List[int] = []
+        self._pushprune_times: List[Q] = []
+        self._pushprune_sorted = True
+        self._new_kept_since_query = 0
+        for v in task.job_names:
+            heapq.heappush(
+                self._heap, (Q(0), self._tiebreak, task.wcet(v), v)
+            )
+            self._tiebreak += 1
+
+    # -- exploration -----------------------------------------------------
+
+    @property
+    def explored_horizon(self) -> Optional[Fraction]:
+        """Largest horizon explored so far (None before the first call)."""
+        return self._explored
+
+    def extend_to(self, horizon: NumLike) -> None:
+        """Ensure every request tuple with ``time <= horizon`` is explored.
+
+        Re-entrant and monotone: horizons at or below the explored one
+        return immediately; larger ones resume from the saved heap and the
+        deferred successors instead of restarting.
+        """
+        hz = as_q(horizon)
+        if hz < 0:
+            raise ModelError("horizon must be non-negative")
+        perf.record("frontier.extend_calls")
+        if self._explored is not None and hz <= self._explored:
+            perf.record("frontier.extend_noop")
+            return
+        task = self.task
+        heap = self._heap
+        deferred = self._deferred
+        frontiers = self._frontiers
+        # Event-log sizes before the sweep; counters are recorded once at
+        # the end (per-tuple perf calls would dominate the hot loop).
+        pops0 = len(self._pop_times)
+        popdom0 = len(self._popdom_times)
+        evicted0 = sum(self._evict_counts)
+        pushprune0 = len(self._pushprune_times)
+        # Reactivate deferred successors that the new horizon admits.
+        while deferred and deferred[0][0] <= hz:
+            heapq.heappush(heap, heapq.heappop(deferred))
+        while heap:
+            time, _, work, vertex = heapq.heappop(heap)
+            self._pop_times.append(time)
+            if self.prune:
+                front = frontiers[vertex]
+                if front.dominated(time, work):
+                    self._popdom_times.append(time)
+                    continue
+                evicted = front.insert(time, work)
+                if evicted:
+                    # Evictions happen only among equal-time tuples (pops
+                    # are time-ordered), so the event time is exact.
+                    self._evict_times.append(time)
+                    self._evict_counts.append(evicted)
+                self._new_kept_since_query += 1 - evicted
+            else:
+                self._all.append(RequestTuple(time, work, vertex))
+                self._all_times.append(time)
+                self._new_kept_since_query += 1
+            for edge in task.successors(vertex):
+                t2 = time + edge.separation
+                w2 = work + task.wcet(edge.dst)
+                if t2 > hz:
+                    heapq.heappush(
+                        deferred, (t2, self._tiebreak, w2, edge.dst)
+                    )
+                    self._tiebreak += 1
+                    continue
+                if self.prune and frontiers[edge.dst].dominated(t2, w2):
+                    self._pushprune_times.append(t2)
+                    self._pushprune_sorted = False
+                    continue
+                heapq.heappush(heap, (t2, self._tiebreak, w2, edge.dst))
+                self._tiebreak += 1
+        self._explored = hz
+        pops = len(self._pop_times) - pops0
+        pushpruned = len(self._pushprune_times) - pushprune0
+        pruned = (
+            (len(self._popdom_times) - popdom0)
+            + (sum(self._evict_counts) - evicted0)
+            + pushpruned
+        )
+        perf.record("frontier.tuples_expanded", pops + pushpruned)
+        perf.record("frontier.tuples_pruned", pruned)
+
+    # -- queries ---------------------------------------------------------
+
+    def tuples(self, horizon: NumLike) -> List[RequestTuple]:
+        """All non-dominated request tuples with ``time <= horizon``.
+
+        Extends the exploration if needed.  Returns tuples sorted by time
+        (ties by work descending), Pareto-merged per vertex but *not*
+        across vertices — the per-vertex structure is what downstream
+        structural analysis needs.
+        """
+        hz = as_q(horizon)
+        self.extend_to(hz)
+        if self.prune:
+            out = [
+                t
+                for v, f in self._frontiers.items()
+                for t in f.tuples(v, hz)
+            ]
+        else:
+            hi = bisect_right(self._all_times, hz)
+            out = list(self._all[:hi])
+        out.sort(key=lambda r: (r.time, -r.work))
+        served = len(out)
+        reused = max(0, served - self._new_kept_since_query)
+        self._new_kept_since_query = 0
+        perf.record("frontier.tuples_served", served)
+        perf.record("frontier.tuples_reused", reused)
+        return out
+
+    def stats_at(self, horizon: NumLike) -> FrontierStats:
+        """Exploration statistics truncated at *horizon*.
+
+        Exactly the statistics a from-scratch exploration at *horizon*
+        would report: exploration is best-first by time, so the event
+        stream restricted to times at or below *horizon* is identical.
+        """
+        hz = as_q(horizon)
+        self.extend_to(hz)
+        pops = bisect_right(self._pop_times, hz)
+        popdom = bisect_right(self._popdom_times, hz)
+        evict_events = bisect_right(self._evict_times, hz)
+        evicted = sum(self._evict_counts[:evict_events])
+        if not self._pushprune_sorted:
+            self._pushprune_times.sort()
+            self._pushprune_sorted = True
+        pushpruned = bisect_right(self._pushprune_times, hz)
+        return FrontierStats(
+            expanded=pops + pushpruned,
+            kept=pops - popdom - evicted,
+            pruned=popdom + evicted + pushpruned,
+        )
+
+    def rbf_curve(self, horizon: NumLike) -> Curve:
+        """The request bound function as a finitary staircase curve.
+
+        Exact on ``[0, horizon)`` with the tight affine tail of
+        :func:`repro.drt.utilization.linear_request_bound` beyond — see
+        :func:`rbf_curve` (module level) for the full contract.
+        """
+        hz = as_q(horizon)
+        tuples = self.tuples(hz)
+        # Merge per-vertex frontiers into the global staircase: cumulative
+        # max of work by time.
+        segs: List[Segment] = []
+        best = Q(0)
+        for t in tuples:
+            if t.work > best:
+                if segs and segs[-1].start == t.time:
+                    segs[-1] = Segment(t.time, t.work, Q(0))
+                else:
+                    segs.append(Segment(t.time, t.work, Q(0)))
+                best = t.work
+        if not segs or segs[0].start != 0:
+            raise ModelError("request frontier must contain a tuple at time 0")
+        # Tight affine tail from the exact linear bound rbf(D) <= B + rho*D
+        # (see repro.drt.utilization.linear_request_bound): sound for every
+        # window length and exact in rate, which guarantees that busy-window
+        # horizon iteration terminates whenever the service rate exceeds rho.
+        from repro.drt.utilization import linear_request_bound
+
+        burst, rho = linear_request_bound(self.task)
+        segs = [s for s in segs if s.start < hz]
+        # B + rho*hz >= rbf(hz) >= every exact step value, so the curve
+        # stays nondecreasing across the tail joint.
+        segs.append(Segment(hz, burst + rho * hz, rho))
+        return Curve(segs)
+
+
+def frontier_explorer(task: DRTTask) -> FrontierExplorer:
+    """The task's shared (pruned) explorer, created on first use.
+
+    Tasks are immutable after construction, so the exploration state never
+    needs invalidation; it simply grows monotonically with the largest
+    horizon any analysis has asked for.
+    """
+    ex = task._analysis_cache.get("frontier_explorer")
+    if ex is None:
+        ex = FrontierExplorer(task, prune=True)
+        task._analysis_cache["frontier_explorer"] = ex
+    return ex
 
 
 def request_frontier(
@@ -108,80 +393,53 @@ def request_frontier(
     horizon: NumLike,
     prune: bool = True,
     stats: Optional[FrontierStats] = None,
+    reuse: bool = True,
 ) -> List[RequestTuple]:
     """All non-dominated request tuples with ``time <= horizon``.
 
-    Explores abstract path prefixes best-first (by release time) from
-    every start vertex, pruning tuples dominated at their end vertex.
-    With ``prune=False`` the exploration keeps every distinct tuple (used
-    by the pruning ablation; exponentially slower).
+    Served from the task's shared :class:`FrontierExplorer` (pruned mode),
+    so repeated calls — busy-window iterations, the delay/backlog/EDF
+    analyses, multi-task aggregation — reuse exploration state instead of
+    restarting.  With ``prune=False`` a private explorer keeps every
+    distinct tuple (used by the pruning ablation; exponentially slower).
 
     Args:
         task: The structural workload.
         horizon: Window bound; tuples beyond it are not expanded.
         prune: Apply Pareto domination pruning (default).
-        stats: Optional mutable statistics collector.
+        stats: Optional mutable statistics collector; receives the
+            statistics of a from-scratch exploration at *horizon* (the
+            truncated view of the shared explorer's event log).
+        reuse: Serve from the task's shared explorer (default).
+            ``False`` explores a private one from scratch — the
+            benchmarks' historical cost model; same result.
 
     Returns:
         Request tuples sorted by time (ties by work descending), Pareto-
-        merged per vertex but *not* across vertices — the per-vertex
-        structure is what downstream structural analysis needs.
+        merged per vertex but *not* across vertices.
     """
     hz = as_q(horizon)
     if hz < 0:
         raise ModelError("horizon must be non-negative")
-    frontiers: Dict[str, _VertexFrontier] = {v: _VertexFrontier() for v in task.job_names}
-    # Heap of (time, tiebreak, work, vertex); best-first by release time so
-    # that domination checks see the strongest tuples early.
-    heap: List[Tuple[Q, int, Q, str]] = []
-    tiebreak = 0
-    all_tuples: List[RequestTuple] = []
-    for v in task.job_names:
-        heapq.heappush(heap, (Q(0), tiebreak, task.wcet(v), v))
-        tiebreak += 1
-    while heap:
-        time, _, work, vertex = heapq.heappop(heap)
-        if stats is not None:
-            stats.expanded += 1
-        if prune:
-            front = frontiers[vertex]
-            if front.dominated(time, work):
-                if stats is not None:
-                    stats.pruned += 1
-                continue
-            front.insert(time, work)
-        else:
-            all_tuples.append(RequestTuple(time, work, vertex))
-        if stats is not None:
-            stats.kept += 1
-        for edge in task.successors(vertex):
-            t2 = time + edge.separation
-            if t2 > hz:
-                continue
-            w2 = work + task.wcet(edge.dst)
-            if prune and frontiers[edge.dst].dominated(t2, w2):
-                if stats is not None:
-                    stats.pruned += 1
-                continue
-            heapq.heappush(heap, (t2, tiebreak, w2, edge.dst))
-            tiebreak += 1
     if prune:
-        all_tuples = [
-            t for v, f in frontiers.items() for t in f.tuples(v)
-        ]
-    all_tuples.sort(key=lambda r: (r.time, -r.work))
-    return all_tuples
+        ex = frontier_explorer(task) if reuse else FrontierExplorer(task)
+    else:
+        ex = FrontierExplorer(task, prune=False)
+    out = ex.tuples(hz)
+    if stats is not None:
+        stats.add(ex.stats_at(hz))
+    return out
 
 
-def rbf_value(task: DRTTask, delta: NumLike) -> Fraction:
+def rbf_value(task: DRTTask, delta: NumLike, reuse: bool = True) -> Fraction:
     """Exact ``rbf(delta)``: maximum work in a closed window of length
     *delta* (the window start coincides with some job release)."""
     d = as_q(delta)
-    tuples = request_frontier(task, d)
+    tuples = request_frontier(task, d, reuse=reuse)
     return max(t.work for t in tuples)
 
 
-def rbf_curve(task: DRTTask, horizon: NumLike) -> Curve:
+def rbf_curve(task: DRTTask, horizon: NumLike, reuse: bool = True) -> Curve:
     """The request bound function as a finitary staircase curve.
 
     Exact on ``[0, horizon)``.  Beyond the horizon the curve continues
@@ -191,34 +449,18 @@ def rbf_curve(task: DRTTask, horizon: NumLike) -> Curve:
     cycle ratio), so busy-window horizon iteration terminates whenever
     the service outpaces the workload.
 
+    Served from the task's shared :class:`FrontierExplorer`: growing
+    horizons (the busy-window doubling loop, multi-task aggregation)
+    only pay for the exploration the new horizon adds.
+
     Args:
         task: The structural workload.
         horizon: Exactness horizon (must be >= 0).
+        reuse: Serve from the task's shared explorer (default);
+            ``False`` explores a private one from scratch.
     """
     hz = as_q(horizon)
-    tuples = request_frontier(task, hz)
-    # Merge per-vertex frontiers into the global staircase: cumulative max
-    # of work by time.
-    segs: List[Segment] = []
-    best = Q(0)
-    for t in tuples:
-        if t.work > best:
-            if segs and segs[-1].start == t.time:
-                segs[-1] = Segment(t.time, t.work, Q(0))
-            else:
-                segs.append(Segment(t.time, t.work, Q(0)))
-            best = t.work
-    if not segs or segs[0].start != 0:
-        raise ModelError("request frontier must contain a tuple at time 0")
-    # Tight affine tail from the exact linear bound rbf(D) <= B + rho*D
-    # (see repro.drt.utilization.linear_request_bound): sound for every
-    # window length and exact in rate, which guarantees that busy-window
-    # horizon iteration terminates whenever the service rate exceeds rho.
-    from repro.drt.utilization import linear_request_bound
-
-    burst, rho = linear_request_bound(task)
-    segs = [s for s in segs if s.start < hz]
-    # B + rho*hz >= rbf(hz) >= every exact step value, so the curve stays
-    # nondecreasing across the tail joint.
-    segs.append(Segment(hz, burst + rho * hz, rho))
-    return Curve(segs)
+    if hz < 0:
+        raise ModelError("horizon must be non-negative")
+    ex = frontier_explorer(task) if reuse else FrontierExplorer(task)
+    return ex.rbf_curve(hz)

@@ -1,0 +1,119 @@
+"""Lightweight performance instrumentation for the analysis engine.
+
+The incremental frontier engine (see :mod:`repro.drt.request` and
+:mod:`repro.core.context`) is justified by *measured* reuse: these
+counters and phase timers are how the benchmarks attribute wall-clock
+time and prove that exploration state is actually shared rather than
+recomputed.  Everything here is cheap enough to stay enabled — counters
+are plain integer additions and timers are only placed around whole
+analysis phases, never inside per-tuple loops.
+
+Counters maintained by the engine:
+
+* ``frontier.tuples_expanded`` — request tuples generated and examined;
+* ``frontier.tuples_pruned`` — tuples discarded by domination pruning;
+* ``frontier.tuples_reused`` — tuples served from a previously explored
+  frontier without any new expansion;
+* ``frontier.extend_calls`` / ``frontier.extend_noop`` — exploration
+  requests, and how many were fully answered by cached state;
+* ``pinv.evaluations`` / ``pinv.batches`` — pseudo-inverse queries and
+  how many batched sweeps served them.
+
+Phase timers (``perf.timed``): ``busy_window``, ``frontier``, ``delay``.
+
+Usage::
+
+    from repro import perf
+
+    perf.reset()
+    ...  # run analyses
+    print(perf.report())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = [
+    "PerfRegistry",
+    "registry",
+    "record",
+    "timed",
+    "counters",
+    "timers",
+    "snapshot",
+    "reset",
+    "report",
+]
+
+
+class PerfRegistry:
+    """A process-local bag of named counters and accumulated timers."""
+
+    __slots__ = ("_counters", "_timers")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, float] = {}
+
+    # -- counters --------------------------------------------------------
+
+    def record(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def counters(self) -> Dict[str, int]:
+        """A snapshot copy of every counter."""
+        return dict(self._counters)
+
+    # -- timers ----------------------------------------------------------
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        """Accumulate wall-clock time of the enclosed block under *phase*."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._timers[phase] = (
+                self._timers.get(phase, 0.0) + time.perf_counter() - t0
+            )
+
+    def timers(self) -> Dict[str, float]:
+        """A snapshot copy of every accumulated phase timer (seconds)."""
+        return dict(self._timers)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters and timers in one JSON-friendly dict."""
+        return {"counters": self.counters(), "timers": self.timers()}
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self._counters.clear()
+        self._timers.clear()
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = ["perf counters:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name}: {self._counters[name]}")
+        lines.append("perf timers:")
+        for name in sorted(self._timers):
+            lines.append(f"  {name}: {1000 * self._timers[name]:.3f} ms")
+        return "\n".join(lines)
+
+
+#: The process-wide registry the analysis engine reports into.
+registry = PerfRegistry()
+
+record = registry.record
+timed = registry.timed
+counters = registry.counters
+timers = registry.timers
+snapshot = registry.snapshot
+reset = registry.reset
+report = registry.report

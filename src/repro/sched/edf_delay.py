@@ -41,11 +41,11 @@ from repro._numeric import Q, NumLike, as_q, is_inf
 from repro.core.busy_window import last_positive_time
 from repro.drt.demand import dbf_curve
 from repro.drt.model import DRTTask
-from repro.drt.request import rbf_curve, request_frontier
+from repro.drt.request import RequestTuple, rbf_curve, request_frontier
 from repro.drt.validate import validate_task
 from repro.errors import AnalysisError, UnboundedBusyWindowError
 from repro.minplus.curve import Curve
-from repro.minplus.deviation import lower_pseudo_inverse
+from repro.minplus.deviation import lower_pseudo_inverse_batch
 
 __all__ = ["EdfDelayResult", "edf_structural_delays"]
 
@@ -71,6 +71,7 @@ def edf_structural_delays(
     beta: Curve,
     initial_horizon: Optional[NumLike] = None,
     max_iterations: int = 40,
+    reuse: bool = True,
 ) -> EdfDelayResult:
     """Per-job-type delay bounds under preemptive EDF.
 
@@ -81,6 +82,10 @@ def edf_structural_delays(
         initial_horizon: Optional starting exactness horizon.
         max_iterations: Cap on horizon doublings for the aggregate
             busy-window fixpoint.
+        reuse: Serve each task's frontier from its shared resumable
+            explorer (default).  ``False`` re-explores every task from
+            scratch — the historical cost model the benchmarks compare
+            against.
 
     Raises:
         ValidationError: if a task does not have constrained deadlines.
@@ -94,9 +99,9 @@ def edf_structural_delays(
     horizon = as_q(initial_horizon) if initial_horizon is not None else Q(64)
     busy = None
     for _ in range(max_iterations):
-        total_rbf = rbf_curve(tasks[0], horizon)
+        total_rbf = rbf_curve(tasks[0], horizon, reuse=reuse)
         for task in tasks[1:]:
-            total_rbf = total_rbf + rbf_curve(task, horizon)
+            total_rbf = total_rbf + rbf_curve(task, horizon, reuse=reuse)
         try:
             last = last_positive_time(total_rbf - beta)
         except UnboundedBusyWindowError:
@@ -143,16 +148,18 @@ def edf_structural_delays(
             )
 
         delays: Dict[str, Fraction] = {v: Q(0) for v in task.job_names}
-        tuples = request_frontier(task, busy)
+        tuples = request_frontier(task, busy, reuse=reuse)
+        # The busy window may start with *another task's* job: the
+        # analysed task's path begins at an unknown anchor offset
+        # a >= 0 and the job sits at s = a + t.  Its interference
+        # window is s + d(v); maximise the delay over the anchor.
+        # Between jumps of the aggregate dbf the expression strictly
+        # decreases in a, so only a = 0 and the pull-backs of the
+        # dbf jump points need to be checked.  All (tuple, anchor)
+        # demands go through one batched pseudo-inverse sweep.
+        queries: List[Tuple[RequestTuple, Q, Q]] = []
         for tup in tuples:
             deadline = task.deadline(tup.vertex)
-            # The busy window may start with *another task's* job: the
-            # analysed task's path begins at an unknown anchor offset
-            # a >= 0 and the job sits at s = a + t.  Its interference
-            # window is s + d(v); maximise the delay over the anchor.
-            # Between jumps of the aggregate dbf the expression strictly
-            # decreases in a, so only a = 0 and the pull-backs of the
-            # dbf jump points need to be checked.
             anchors = [Q(0)]
             base = tup.time + deadline
             a_max = busy - tup.time
@@ -160,18 +167,17 @@ def edf_structural_delays(
                 a = bp - base
                 if 0 < a <= a_max:
                     anchors.append(a)
-            best = delays[tup.vertex]
             for a in anchors:
-                demand = tup.work + interference_at(base + a)
-                inv = lower_pseudo_inverse(beta, demand)
-                if is_inf(inv):
-                    raise UnboundedBusyWindowError(
-                        f"service never provides {demand} units"
-                    )
-                d = inv - tup.time - a
-                if d > best:
-                    best = d
-            delays[tup.vertex] = best
+                queries.append((tup, a, tup.work + interference_at(base + a)))
+        invs = lower_pseudo_inverse_batch(beta, [q[2] for q in queries])
+        for (tup, a, demand), inv in zip(queries, invs):
+            if is_inf(inv):
+                raise UnboundedBusyWindowError(
+                    f"service never provides {demand} units"
+                )
+            d = inv - tup.time - a
+            if d > delays[tup.vertex]:
+                delays[tup.vertex] = d
         job_delays[task.name] = delays
         for v, d in delays.items():
             if d > task.deadline(v):

@@ -122,6 +122,52 @@ class TestCriticalPath:
         if res.critical_tuple is None:
             assert critical_path_of(loop_task, res) is None
 
+    def test_diamond_graph_stays_polynomial(self):
+        """Regression: the witness DFS used to revisit exponentially many
+        ``(vertex, span, work)`` states on diamond chains — 2^n distinct
+        paths all share the same state sequence.  With state memoization
+        the search is linear in the number of states."""
+        import time as _time
+
+        from repro.core.delay import DelayResult
+        from repro.drt.request import FrontierStats, RequestTuple
+
+        n = 20  # 2^20 concrete paths without memoization
+        jobs = {}
+        edges = []
+        for i in range(n):
+            jobs[f"v{i}"] = (1, 1000)
+            jobs[f"a{i}"] = (1, 1000)
+            jobs[f"b{i}"] = (1, 1000)
+            edges += [
+                (f"v{i}", f"a{i}", 1),
+                (f"v{i}", f"b{i}", 1),
+                (f"a{i}", f"v{i + 1}", 1),
+                (f"b{i}", f"v{i + 1}", 1),
+            ]
+        jobs[f"v{n}"] = (1, 1000)
+        task = DRTTask.build("diamond", jobs=jobs, edges=edges)
+        # The deepest tuple: v0 -> {a|b}0 -> v1 -> ... -> vn.
+        target = RequestTuple(F(2 * n), F(2 * n + 1), f"v{n}")
+        res = DelayResult(
+            delay=F(1),
+            busy_window=F(2 * n),
+            horizon=F(2 * n),
+            critical_tuple=target,
+            tuple_count=1,
+            stats=FrontierStats(),
+        )
+        t0 = _time.perf_counter()
+        path = critical_path_of(task, res)
+        elapsed = _time.perf_counter() - t0
+        assert path is not None
+        assert path.span == target.time
+        assert path.total_work == target.work
+        assert path.vertices[-1] == target.vertex
+        # Memoized search touches ~3n states; the unmemoized DFS would
+        # walk ~2^n paths and time out by orders of magnitude.
+        assert elapsed < 5.0
+
 
 class TestBaselineOrdering:
     def test_rtc_equals_structural(self, demo_task):

@@ -190,10 +190,12 @@ class TestDeviationOracles:
     @given(f=monotone_curves(), beta=service_curves())
     def test_hdev_attained_at_some_candidate(self, f, beta):
         """hdev is tight: some breakpoint (value or left limit) of f
-        realises it against rate-latency service (affine inverse)."""
+        realises it, or it is approached in the right-limit where f
+        climbs through a plateau value of beta."""
         from repro.minplus.deviation import (
             horizontal_deviation,
             lower_pseudo_inverse,
+            upper_pseudo_inverse,
         )
 
         d = horizontal_deviation(f, beta)
@@ -205,6 +207,27 @@ class TestDeviationOracles:
                 inv = lower_pseudo_inverse(beta, v)
                 if not is_inf(inv):
                     candidates.append(inv - t)
+        # Where f increases strictly through a plateau value w of beta the
+        # deviation tends to upper_pseudo_inverse(beta, w) - t from the
+        # right of the crossing without being attained at any breakpoint.
+        beta_values = set()
+        for t in beta.breakpoints():
+            beta_values.add(beta.at(t))
+            if t > 0:
+                beta_values.add(beta.left_limit(t))
+        starts = f.breakpoints()
+        for i, seg in enumerate(f.segments):
+            if seg.slope <= 0:
+                continue
+            end = starts[i + 1] if i + 1 < len(starts) else None
+            v_hi = seg.value_at(end) if end is not None else None
+            for w in beta_values:
+                if w < seg.value or (v_hi is not None and w >= v_hi):
+                    continue
+                t_w = seg.start + (w - seg.value) / seg.slope
+                inv_up = upper_pseudo_inverse(beta, w)
+                if not is_inf(inv_up):
+                    candidates.append(inv_up - t_w)
         assert max(candidates) == d
 
     @settings(max_examples=50, deadline=None)
@@ -217,3 +240,121 @@ class TestDeviationOracles:
             return
         for t in GRID[:16]:
             assert f.at(t) - beta.at(t) <= v
+
+
+class TestIncrementalFrontierProperties:
+    """The incremental engine must be indistinguishable from scratch runs.
+
+    These are the exactness guarantees of the resumable
+    :class:`~repro.drt.request.FrontierExplorer` and the batched
+    pseudo-inverse sweep — every value is compared with exact
+    ``Fraction`` equality, no tolerances.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        task=small_drt_tasks(),
+        h1=st.integers(min_value=0, max_value=40),
+        h2=st.integers(min_value=0, max_value=80),
+    )
+    def test_extend_then_extend_equals_scratch(self, task, h1, h2):
+        """extend_to(h1); extend_to(h2) == one-shot exploration at h2."""
+        from repro.drt.request import FrontierExplorer
+
+        incremental = FrontierExplorer(task)
+        incremental.extend_to(h1)
+        incremental.extend_to(max(h1, h2))
+        scratch = FrontierExplorer(task)
+        tuples_inc = incremental.tuples(h2)
+        tuples_scr = scratch.tuples(h2)
+        assert tuples_inc == tuples_scr
+        assert incremental.stats_at(h2) == scratch.stats_at(h2)
+        assert incremental.rbf_curve(h2) == scratch.rbf_curve(h2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        task=small_drt_tasks(),
+        horizons=st.lists(
+            st.integers(min_value=0, max_value=60), min_size=1, max_size=5
+        ),
+    )
+    def test_any_extension_schedule_equals_scratch(self, task, horizons):
+        """Any growth schedule yields the scratch frontier at every step."""
+        from repro.drt.request import FrontierExplorer
+
+        incremental = FrontierExplorer(task)
+        for hz in horizons:
+            tuples_inc = incremental.tuples(hz)
+            fresh = FrontierExplorer(task)
+            assert tuples_inc == fresh.tuples(hz), hz
+
+    @settings(max_examples=40, deadline=None)
+    @given(task=small_drt_tasks(), beta=service_curves())
+    def test_reused_analyses_equal_scratch(self, task, beta):
+        """Every cached analysis equals its from-scratch counterpart."""
+        from repro.core.backlog import structural_backlog
+        from repro.core.delay import structural_delay, structural_delays_per_job
+        from repro.errors import UnboundedBusyWindowError
+
+        try:
+            scratch = structural_delay(task, beta, reuse=False)
+        except UnboundedBusyWindowError:
+            assume(False)
+        cached = structural_delay(task, beta)
+        assert cached.delay == scratch.delay
+        assert cached.busy_window == scratch.busy_window
+        assert cached.critical_tuple == scratch.critical_tuple
+        assert cached.stats == scratch.stats
+        assert structural_delays_per_job(
+            task, beta
+        ) == structural_delays_per_job(task, beta, reuse=False)
+        cached_b = structural_backlog(task, beta)
+        scratch_b = structural_backlog(task, beta, reuse=False)
+        assert cached_b.backlog == scratch_b.backlog
+        assert cached_b.critical_tuple == scratch_b.critical_tuple
+
+
+class TestBatchedPseudoInverseProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        f=monotone_curves(),
+        works=st.lists(
+            st.fractions(min_value=F(0), max_value=F(80), max_denominator=8),
+            max_size=12,
+        ),
+    )
+    def test_batch_equals_scalar_on_curves(self, f, works):
+        from repro.minplus.deviation import (
+            lower_pseudo_inverse,
+            lower_pseudo_inverse_batch,
+        )
+
+        batch = lower_pseudo_inverse_batch(f, works)
+        for w, got in zip(works, batch):
+            expected = lower_pseudo_inverse(f, w)
+            if is_inf(expected):
+                assert is_inf(got), w
+            else:
+                assert got == expected, w
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        beta=service_curves(),
+        works=st.lists(
+            st.fractions(min_value=F(0), max_value=F(200), max_denominator=4),
+            max_size=16,
+        ),
+    )
+    def test_batch_equals_scalar_on_service(self, beta, works):
+        from repro.minplus.deviation import (
+            lower_pseudo_inverse,
+            lower_pseudo_inverse_batch,
+        )
+
+        batch = lower_pseudo_inverse_batch(beta, works)
+        for w, got in zip(works, batch):
+            expected = lower_pseudo_inverse(beta, w)
+            if is_inf(expected):
+                assert is_inf(got), w
+            else:
+                assert got == expected, w

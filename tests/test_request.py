@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from repro.drt.model import DRTTask
 from repro.drt.paths import enumerate_paths
 from repro.drt.request import (
+    FrontierExplorer,
     FrontierStats,
     RequestTuple,
     rbf_curve,
@@ -68,6 +69,62 @@ class TestRequestFrontier:
         request_frontier(demo_task, 40, prune=True, stats=s1)
         request_frontier(demo_task, 40, prune=False, stats=s2)
         assert s1.kept <= s2.kept
+
+
+class TestFrontierStatsAccounting:
+    """Regression: tuples evicted by a later insert must move from *kept*
+    to *pruned*, keeping ``expanded == kept + pruned`` exact."""
+
+    @pytest.fixture
+    def eviction_task(self) -> DRTTask:
+        # Two paths reach "c" simultaneously with different work: the
+        # lighter tuple is kept first, then evicted by the heavier one.
+        return DRTTask.build(
+            "evict",
+            jobs={"a": (1, 100), "b": (3, 100), "c": (1, 100)},
+            edges=[("a", "c", 5), ("b", "c", 5)],
+        )
+
+    def test_eviction_counts_as_pruned(self, eviction_task):
+        stats = FrontierStats()
+        tuples = request_frontier(eviction_task, 5, stats=stats)
+        # 3 initial pops + both successors of "c"; the lighter (5, 2, c)
+        # is evicted by (5, 4, c).
+        assert stats.expanded == 5
+        assert stats.pruned == 1
+        assert stats.kept == len(tuples) == 4
+        assert stats.expanded == stats.kept + stats.pruned
+
+    def test_invariant_demo(self, demo_task):
+        stats = FrontierStats()
+        tuples = request_frontier(demo_task, 60, stats=stats)
+        assert stats.expanded == stats.kept + stats.pruned
+        assert stats.kept == len(tuples)
+
+    def test_invariant_unpruned(self, demo_task):
+        stats = FrontierStats()
+        tuples = request_frontier(demo_task, 40, prune=False, stats=stats)
+        assert stats.pruned == 0
+        assert stats.expanded == stats.kept == len(tuples)
+
+    def test_truncated_stats_match_fresh_run(self, eviction_task):
+        # Exploring far and asking for a smaller horizon must report the
+        # same statistics as a fresh exploration of that horizon.
+        ex = FrontierExplorer(eviction_task)
+        ex.extend_to(50)
+        for hz in (0, 3, 5, 20, 50):
+            fresh = FrontierExplorer(eviction_task)
+            fresh.extend_to(hz)
+            assert ex.stats_at(hz) == fresh.stats_at(hz), hz
+
+    @settings(max_examples=40, deadline=None)
+    @given(task=small_drt_tasks())
+    def test_invariant_random(self, task):
+        for prune in (True, False):
+            stats = FrontierStats()
+            tuples = request_frontier(task, 30, prune=prune, stats=stats)
+            assert stats.expanded == stats.kept + stats.pruned
+            assert stats.kept == len(tuples)
 
 
 class TestRbfValue:
