@@ -1,0 +1,223 @@
+"""Micro-benchmarks of the vectorized min-plus kernel backend.
+
+Times the four kernel-screened operations — min-plus convolution,
+deconvolution (both ``on_dip="fill"``, the RTC production path where
+pair pruning is sound), horizontal deviation, and the batched
+pseudo-inverse delay maximisation — under the ``exact`` and ``hybrid``
+backends across segment counts {10, 100, 1000}, asserting bit-identical
+results every time.
+
+Workloads are the canonical RTC shapes: concave staircase arrival
+curves (flat treads with upward bursts, sublinear long-run rate) and a
+convex ramp-up service curve whose rate dominates the arrival rate —
+the regime in which output-curve deconvolution and delay deviations are
+actually computed.
+
+Two modes:
+
+* full (default): all sizes, writes ``out/BENCH_minplus_kernels.json``
+  and asserts the >= 3x acceptance speedup on the 1000-segment
+  conv/deconv/hdev cases;
+* smoke (``REPRO_BENCH_SMOKE=1``, the CI job): sizes {10, 100} only,
+  does *not* rewrite the committed JSON — instead it fails when any
+  measured speedup regresses more than 25% below the committed value
+  (speedup ratios compare two runs on the same machine, so they are
+  robust to runner hardware, unlike absolute timings).
+"""
+
+import json
+import os
+import random
+import time
+from fractions import Fraction as F
+
+from repro._numeric import Q
+from repro.minplus import (
+    horizontal_deviation,
+    min_plus_conv,
+    min_plus_deconv,
+    use_backend,
+)
+from repro.minplus import kernels
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import lower_pseudo_inverse_batch
+from repro.minplus.segment import Segment
+
+from _harness import OUT_DIR, report, write_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = [10, 100] if SMOKE else [10, 100, 1000]
+ACCEPT_OPS = ("conv", "deconv", "hdev")
+MIN_SPEEDUP_1000 = 3.0
+SMOKE_REGRESSION = 0.75  # fail below 75% of the committed speedup
+N_PINV_QUERIES = 4000
+N_PINV_GROUPS = 8
+
+
+def concave_stair(n, seed, scale=1):
+    """Concave-ish staircase arrival curve with ``n`` segments."""
+    rng = random.Random(seed)
+    segs = []
+    t, v = F(0), F(0)
+    for i in range(n - 1):
+        segs.append(Segment(t, v, F(0)))
+        t += F(rng.randint(1, 3))
+        v += F(max(1, 2 * (n - i) // n * scale + rng.randint(0, 1)), 2)
+    segs.append(Segment(t, v, F(1, 2)))
+    return Curve(segs)
+
+
+def convex_service(n, seed):
+    """Convex ramp-up service curve with ``n`` segments (rate 2 tail)."""
+    rng = random.Random(seed)
+    segs = [Segment(F(0), F(0), F(0))]
+    t, v = F(2), F(0)
+    for i in range(1, n - 1):
+        slope = F(i, n)
+        segs.append(Segment(t, v, slope))
+        dt = F(rng.randint(1, 2))
+        v += slope * dt
+        t += dt
+    segs.append(Segment(t, v, F(2)))
+    return Curve(segs)
+
+
+def _pinv_queries(beta, n_queries, seed):
+    """Delay-maximisation queries against ``beta`` (all reachable)."""
+    rng = random.Random(seed)
+    top = beta.at(beta.last_breakpoint) + 100
+    offsets, works, gids = [], [], []
+    for k in range(n_queries):
+        works.append(top * F(rng.randint(1, 200), 200))
+        offsets.append(Q(rng.randint(0, 5)))
+        gids.append(k % N_PINV_GROUPS)
+    return offsets, works, gids
+
+
+def _pinv_exact(beta, offsets, works, gids):
+    invs = lower_pseudo_inverse_batch(beta, works)
+    best = [Q(0)] * N_PINV_GROUPS
+    for off, g, inv in zip(offsets, gids, invs):
+        d = inv - off
+        if d > best[g]:
+            best[g] = d
+    return best
+
+
+def _pinv_hybrid(beta, offsets, works, gids):
+    screened = kernels.screened_pinv_delay_groups(
+        beta, offsets, works, gids, N_PINV_GROUPS
+    )
+    assert screened is not None, "pinv screen unexpectedly unavailable"
+    inf_idx, results = screened
+    assert inf_idx is None, "benchmark queries must all be reachable"
+    return [best for best, _ in results]
+
+
+def _median_time(fn):
+    """Median wall-clock over an adaptive repeat count."""
+    t0 = time.perf_counter()
+    result = fn()
+    first = time.perf_counter() - t0
+    reps = 5 if first < 0.5 else (3 if first < 5.0 else 1)
+    times = [first]
+    for _ in range(reps - 1):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2], result
+
+
+def _cases(n):
+    """The four benchmarked operations at segment count ``n``."""
+    alpha = concave_stair(n, 1)
+    alpha2 = concave_stair(n, 2, scale=2)
+    beta = convex_service(n, 3)
+    offsets, works, gids = _pinv_queries(beta, N_PINV_QUERIES, 4)
+    return [
+        ("conv", lambda: min_plus_conv(alpha, alpha2, on_dip="fill"),
+         lambda: min_plus_conv(alpha, alpha2, on_dip="fill")),
+        ("deconv", lambda: min_plus_deconv(alpha, beta, on_dip="fill"),
+         lambda: min_plus_deconv(alpha, beta, on_dip="fill")),
+        ("hdev", lambda: horizontal_deviation(alpha, beta),
+         lambda: horizontal_deviation(alpha, beta)),
+        ("pinv", lambda: _pinv_exact(beta, offsets, works, gids),
+         lambda: _pinv_hybrid(beta, offsets, works, gids)),
+    ]
+
+
+def test_bench_minplus_kernels():
+    """Exact vs hybrid throughput; identical results; speedup gates."""
+    results = []
+    for n in SIZES:
+        for op, exact_fn, hybrid_fn in _cases(n):
+            with use_backend("exact"):
+                t_exact, r_exact = _median_time(exact_fn)
+
+            def _cold_hybrid():
+                kernels.op_cache_clear()
+                return hybrid_fn()
+
+            with use_backend("hybrid"):
+                t_hybrid, r_hybrid = _median_time(_cold_hybrid)
+            assert r_exact == r_hybrid, f"{op} n={n}: hybrid changed result"
+            results.append(
+                {
+                    "op": op,
+                    "n": n,
+                    "exact_s": t_exact,
+                    "hybrid_s": t_hybrid,
+                    "speedup": t_exact / t_hybrid,
+                }
+            )
+    report(
+        "minplus_kernels",
+        "min-plus kernel backend: exact vs hybrid (identical results)",
+        ["op", "segments", "exact s", "hybrid s", "speedup"],
+        [
+            [r["op"], r["n"], r["exact_s"], r["hybrid_s"],
+             f"{r['speedup']:.2f}x"]
+            for r in results
+        ],
+    )
+    if SMOKE:
+        _check_regression(results)
+        return
+    for r in results:
+        if r["n"] == 1000 and r["op"] in ACCEPT_OPS:
+            assert r["speedup"] >= MIN_SPEEDUP_1000, (
+                f"{r['op']} at 1000 segments: {r['speedup']:.2f}x "
+                f"< required {MIN_SPEEDUP_1000}x"
+            )
+    write_json(
+        "minplus_kernels",
+        {
+            "suite": "min-plus kernel micro-benchmarks "
+                     "(conv/deconv on_dip=fill, hdev, batched pinv)",
+            "sizes": SIZES,
+            "min_required_speedup_1000": MIN_SPEEDUP_1000,
+            "results": results,
+        },
+    )
+
+
+def _check_regression(results):
+    """Smoke gate: speedups within 25% of the committed baseline."""
+    path = os.path.join(OUT_DIR, "BENCH_minplus_kernels.json")
+    with open(path) as fh:
+        committed = json.load(fh)
+    baseline = {
+        (r["op"], r["n"]): r["speedup"] for r in committed["results"]
+    }
+    for r in results:
+        base = baseline.get((r["op"], r["n"]))
+        # Sub-1.2x baselines are dominated by constant overhead at tiny
+        # sizes; ratios that small are noise, not signal.
+        if base is None or base < 1.2:
+            continue
+        floor = SMOKE_REGRESSION * base
+        assert r["speedup"] >= floor, (
+            f"{r['op']} n={r['n']}: speedup {r['speedup']:.2f}x regressed "
+            f">25% below committed {base:.2f}x"
+        )

@@ -25,6 +25,7 @@ from repro.drt.utilization import linear_request_bound, utilization
 from repro.errors import ReproError, UnboundedBusyWindowError
 from repro.io.dot import task_to_dot
 from repro.io.json_io import load_task
+from repro.minplus import backend as backend_mod
 
 __all__ = ["main"]
 
@@ -60,6 +61,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="render an ASCII chart of the analysis"
     )
     parser.add_argument("--dot", help="write the task graph to this DOT file")
+    parser.add_argument(
+        "--backend",
+        choices=backend_mod.BACKENDS,
+        help=(
+            "min-plus kernel backend: 'exact' (pure rational arithmetic) "
+            "or 'hybrid' (vectorized float64 screens with certified exact "
+            "fallback; identical results, default when numpy is available)"
+        ),
+    )
     return parser
 
 
@@ -67,6 +77,8 @@ def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     try:
+        if args.backend:
+            backend_mod.set_backend(args.backend)
         task = load_task(args.task)
         if args.tdma_slot:
             if not args.tdma_frame:

@@ -44,6 +44,8 @@ from repro.drt.request import (
     frontier_explorer,
 )
 from repro.errors import AnalysisError
+from repro.minplus import backend as backend_mod
+from repro.minplus import kernels
 from repro.minplus.curve import Curve
 from repro.minplus.deviation import lower_pseudo_inverse_batch
 
@@ -157,10 +159,17 @@ class AnalysisContext:
             tuples = self.frontier()
             best = Q(0)
             critical: Optional[RequestTuple] = None
-            for tup, d in zip(tuples, self.tuple_delays()):
-                if d > best:
-                    best = d
-                    critical = tup
+            screened = self._screened_max(
+                [tup.time for tup in tuples], [0] * len(tuples), 1
+            )
+            if screened is not None:
+                (best, idx) = screened[0]
+                critical = tuples[idx] if idx is not None else None
+            else:
+                for tup, d in zip(tuples, self.tuple_delays()):
+                    if d > best:
+                        best = d
+                        critical = tup
             self._delay_result = DelayResult(
                 delay=best,
                 busy_window=bw.length,
@@ -174,26 +183,81 @@ class AnalysisContext:
     def per_job(self) -> Dict[str, Fraction]:
         """Worst-case delay per job type (computed once)."""
         if self._per_job is None:
-            delays: Dict[str, Fraction] = {
-                v: Q(0) for v in self.task.job_names
-            }
-            for tup, d in zip(self.frontier(), self.tuple_delays()):
-                if d > delays[tup.vertex]:
-                    delays[tup.vertex] = d
+            names = list(self.task.job_names)
+            delays: Dict[str, Fraction] = {v: Q(0) for v in names}
+            tuples = self.frontier()
+            group_of = {v: i for i, v in enumerate(names)}
+            screened = self._screened_max(
+                [tup.time for tup in tuples],
+                [group_of[tup.vertex] for tup in tuples],
+                len(names),
+            )
+            if screened is not None:
+                for v, (best, _) in zip(names, screened):
+                    delays[v] = best
+            else:
+                for tup, d in zip(tuples, self.tuple_delays()):
+                    if d > delays[tup.vertex]:
+                        delays[tup.vertex] = d
             self._per_job = delays
         return dict(self._per_job)
+
+    def _screened_max(self, offsets, group_ids, n_groups):
+        """Kernel-screened per-group maximum of the tuple delays.
+
+        Returns ``[(best, first_attainer_index), ...]`` per group with the
+        exact loop's semantics — strict-improvement maxima from 0, the
+        first unreachable work raising :class:`AnalysisError` with the
+        exact path's message — or None when the screen is unavailable
+        (exact backend, no NumPy, non-monotone beta, or delays already
+        computed, in which case the exact list is at hand anyway).
+        """
+        if self._delays is not None:
+            return None
+        if backend_mod.get_backend() != "hybrid":
+            return None
+        tuples = self.frontier()
+        with perf.timed("delay"):
+            screened = kernels.screened_pinv_delay_groups(
+                self.beta,
+                offsets,
+                [tup.work for tup in tuples],
+                group_ids,
+                n_groups,
+            )
+        if screened is None:
+            return None
+        inf_idx, results = screened
+        if inf_idx is not None:
+            raise AnalysisError(
+                f"service curve never provides {tuples[inf_idx].work} "
+                "units of work"
+            )
+        return results
 
     def backlog_result(self) -> BacklogResult:
         """The structural backlog analysis result (computed once)."""
         if self._backlog_result is None:
             bw = self.busy_window()
+            tuples = self.frontier()
             best = Q(0)
             critical: Optional[RequestTuple] = None
-            for tup in self.frontier():
-                b = tup.work - self.beta.at(tup.time)
-                if b > best:
-                    best = b
-                    critical = tup
+            screened = None
+            if backend_mod.get_backend() == "hybrid":
+                screened = kernels.screened_backlog_max(
+                    self.beta,
+                    [tup.time for tup in tuples],
+                    [tup.work for tup in tuples],
+                )
+            if screened is not None:
+                best, idx = screened
+                critical = tuples[idx] if idx is not None else None
+            else:
+                for tup in tuples:
+                    b = tup.work - self.beta.at(tup.time)
+                    if b > best:
+                        best = b
+                        critical = tup
             self._backlog_result = BacklogResult(
                 backlog=best, busy_window=bw.length, critical_tuple=critical
             )

@@ -20,6 +20,7 @@ derived results per instance::
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from fractions import Fraction
 from typing import Dict, Optional
 
@@ -41,6 +42,7 @@ from repro.core.output import output_arrival_curve
 from repro.drt.model import DRTTask
 from repro.drt.paths import Path
 from repro.errors import UnboundedBusyWindowError
+from repro.minplus import backend as backend_mod
 from repro.minplus.curve import Curve
 
 __all__ = ["StructuralAnalysis"]
@@ -53,6 +55,9 @@ class StructuralAnalysis:
         task: The structural workload.
         beta: Lower service curve of the resource.
         initial_horizon: Optional starting horizon for the fixpoints.
+        backend: Kernel backend used for every analysis this instance
+            runs (see :mod:`repro.minplus.backend`); ``None`` follows the
+            ambient setting.  Bounds are identical under both backends.
     """
 
     def __init__(
@@ -60,10 +65,12 @@ class StructuralAnalysis:
         task: DRTTask,
         beta: Curve,
         initial_horizon: Optional[NumLike] = None,
+        backend: Optional[str] = None,
     ):
         self.task = task
         self.beta = beta
         self._initial_horizon = initial_horizon
+        self._backend = backend_mod.resolve_backend(backend) if backend else None
         self._busy: Optional[BusyWindow] = None
         self._delay: Optional[DelayResult] = None
         self._per_job: Optional[Dict[str, Fraction]] = None
@@ -73,22 +80,30 @@ class StructuralAnalysis:
 
     # -- cached building blocks -----------------------------------------
 
+    def _scoped(self):
+        """Backend scope for one analysis call (no-op when unset)."""
+        if self._backend is None:
+            return nullcontext()
+        return backend_mod.use_backend(self._backend)
+
     def busy_window(self) -> BusyWindow:
         """The busy-window fixpoint (cached)."""
         if self._busy is None:
-            self._busy = busy_window_bound(
-                self.task, self.beta, initial_horizon=self._initial_horizon
-            )
+            with self._scoped():
+                self._busy = busy_window_bound(
+                    self.task, self.beta, initial_horizon=self._initial_horizon
+                )
         return self._busy
 
     def delay_result(self) -> DelayResult:
         """The full delay analysis result (cached)."""
         if self._delay is None:
-            self._delay = structural_delay(
-                self.task,
-                self.beta,
-                initial_horizon=self._initial_horizon,
-            )
+            with self._scoped():
+                self._delay = structural_delay(
+                    self.task,
+                    self.beta,
+                    initial_horizon=self._initial_horizon,
+                )
         return self._delay
 
     # -- the questions ----------------------------------------------------
@@ -100,21 +115,23 @@ class StructuralAnalysis:
     def per_job(self) -> Dict[str, Fraction]:
         """Worst-case delay per job type (cached)."""
         if self._per_job is None:
-            self._per_job = structural_delays_per_job(
-                self.task,
-                self.beta,
-                initial_horizon=self._initial_horizon,
-            )
+            with self._scoped():
+                self._per_job = structural_delays_per_job(
+                    self.task,
+                    self.beta,
+                    initial_horizon=self._initial_horizon,
+                )
         return dict(self._per_job)
 
     def backlog(self) -> Fraction:
         """Worst-case buffered work."""
         if self._backlog is None:
-            self._backlog = structural_backlog(
-                self.task,
-                self.beta,
-                initial_horizon=self._initial_horizon,
-            )
+            with self._scoped():
+                self._backlog = structural_backlog(
+                    self.task,
+                    self.beta,
+                    initial_horizon=self._initial_horizon,
+                )
         return self._backlog.backlog
 
     def witness(self) -> Optional[Path]:
@@ -126,12 +143,13 @@ class StructuralAnalysis:
     def output_curve(self, method: str = "best") -> Curve:
         """Departure arrival curve for a downstream component."""
         if self._output is None or method != "best":
-            curve = output_arrival_curve(
-                self.task,
-                self.beta,
-                initial_horizon=self._initial_horizon,
-                method=method,
-            )
+            with self._scoped():
+                curve = output_arrival_curve(
+                    self.task,
+                    self.beta,
+                    initial_horizon=self._initial_horizon,
+                    method=method,
+                )
             if method == "best":
                 self._output = curve
             return curve

@@ -14,6 +14,13 @@ the real-time calculus literature once periodic staircases are represented
 the representation choice of Finitary RTC (Guan & Yi, RTSS 2013).
 """
 
+from repro.minplus.backend import (
+    BACKENDS,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from repro.minplus.segment import Segment
 from repro.minplus.curve import Curve
 from repro.minplus.builders import (
@@ -38,10 +45,16 @@ from repro.minplus.deviation import (
     vertical_deviation,
     lower_pseudo_inverse,
     upper_pseudo_inverse,
+    upper_pseudo_inverse_batch,
     first_crossing,
 )
 
 __all__ = [
+    "BACKENDS",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
     "Segment",
     "Curve",
     "zero",
@@ -64,5 +77,6 @@ __all__ = [
     "vertical_deviation",
     "lower_pseudo_inverse",
     "upper_pseudo_inverse",
+    "upper_pseudo_inverse_batch",
     "first_crossing",
 ]

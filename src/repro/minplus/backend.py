@@ -1,0 +1,111 @@
+"""Kernel backend selection for the min-plus algebra.
+
+Two backends compute every min-plus operation:
+
+* ``"exact"`` — the historical pure-:class:`~fractions.Fraction` pairwise
+  segment algorithms, bit-identical to every release before the kernel
+  layer existed;
+* ``"hybrid"`` — the same exact algorithms steered by the vectorized
+  float64 screens of :mod:`repro.minplus.kernels`: curves are lowered
+  once into packed breakpoint arrays with *outward rounding*, cheap
+  certified interval arithmetic settles the overwhelming majority of
+  comparisons/prunes, and the exact rational path runs only for the
+  queries the float certificate cannot decide.  Hybrid results are
+  therefore **identical** (same Fractions, same tie-breaking, same
+  exceptions) to exact results — the screens never decide anything, they
+  only *skip work whose outcome is already certified*.
+
+Resolution order for the active backend:
+
+1. an explicit ``backend=`` keyword argument on the API entry point;
+2. the innermost :func:`use_backend` context / :func:`set_backend` call;
+3. the ``REPRO_BACKEND`` environment variable;
+4. the default, ``"hybrid"`` when NumPy is importable, else ``"exact"``.
+
+NumPy is optional: without it every resolution collapses to ``"exact"``
+(requesting ``"hybrid"`` explicitly raises, so misconfiguration is loud).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "BACKENDS",
+    "HAVE_NUMPY",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]
+
+BACKENDS = ("exact", "hybrid")
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only without numpy
+    HAVE_NUMPY = False
+
+#: Process-wide override installed by :func:`set_backend` (None = unset).
+_override: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKENDS}"
+        )
+    if name == "hybrid" and not HAVE_NUMPY:
+        raise RuntimeError(
+            "backend 'hybrid' requires numpy, which is not importable"
+        )
+    return name
+
+
+def get_backend() -> str:
+    """The currently active backend name (no keyword argument in play)."""
+    if _override is not None:
+        return _override
+    env = os.environ.get("REPRO_BACKEND")
+    if env:
+        if env not in BACKENDS:
+            raise ValueError(
+                f"REPRO_BACKEND={env!r} is not one of {BACKENDS}"
+            )
+        if env == "hybrid" and not HAVE_NUMPY:
+            return "exact"
+        return env
+    return "hybrid" if HAVE_NUMPY else "exact"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve an API-level ``backend=`` keyword to a concrete backend.
+
+    ``None`` defers to :func:`get_backend`; an explicit name wins over
+    every ambient setting.
+    """
+    if backend is None:
+        return get_backend()
+    return _validate(backend)
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Install a process-wide backend override (``None`` clears it)."""
+    global _override
+    _override = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Context manager scoping a backend override to a ``with`` block."""
+    global _override
+    prev = _override
+    _override = _validate(name)
+    try:
+        yield
+    finally:
+        _override = prev

@@ -17,10 +17,12 @@ segments; see :mod:`repro.minplus.envelope` for the dip policies.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro._numeric import Q
 from repro.errors import CurveError
+from repro.minplus import backend as backend_mod
+from repro.minplus import kernels
 from repro.minplus.curve import Curve
 from repro.minplus.envelope import Piece, envelope, envelope_to_segments
 from repro.minplus.segment import Segment
@@ -137,7 +139,9 @@ def _ultimate_horizon(f: Curve, g: Curve, lower: bool) -> Q:
     return max(h0, crossing)
 
 
-def min_plus_conv(f: Curve, g: Curve, on_dip: str = "fill") -> Curve:
+def min_plus_conv(
+    f: Curve, g: Curve, on_dip: str = "fill", backend: Optional[str] = None
+) -> Curve:
     """Min-plus convolution ``f (*) g``.
 
     Args:
@@ -147,7 +151,19 @@ def min_plus_conv(f: Curve, g: Curve, on_dip: str = "fill") -> Curve:
             default ``"fill"`` is sound when the result is used as an upper
             bound; continuous inputs never produce dips, so either policy
             is exact for service-curve composition.
+        backend: Kernel backend override (see :mod:`repro.minplus.backend`).
+            The ``"hybrid"`` backend memoizes on curve fingerprints,
+            prunes certifiably dominated segment pairs before the exact
+            envelope, and screens the exact point evaluations; the
+            resulting curve is identical to the ``"exact"`` backend's.
     """
+    mode = backend_mod.resolve_backend(backend)
+    hybrid = mode == "hybrid"
+    if hybrid:
+        memo_key = ("conv", f.interned(), g.interned(), on_dip)
+        hit = kernels.op_cache_get(memo_key)
+        if hit is not None:
+            return hit
     h0 = _ultimate_horizon(f, g, lower=True)
     tail_rate = min(f.tail_rate, g.tail_rate)
     if h0 == 0:
@@ -155,13 +171,28 @@ def min_plus_conv(f: Curve, g: Curve, on_dip: str = "fill") -> Curve:
         return Curve([Segment(Q(0), f.at(0) + g.at(0), tail_rate)])
     fp = _closed_segments(f, h0)
     gp = _closed_segments(g, h0)
+    keep = None
+    if hybrid and on_dip == "fill":
+        # Sound domination pruning: dropped pairs provably never supply
+        # the lower envelope, so the computed curve is unchanged.  (The
+        # "raise" policy walks every piece's event points, so it keeps
+        # the full pair set.)
+        keep = kernels.conv_prune_mask(f, g, fp, gp, h0)
     pieces: List[Piece] = []
-    for a in fp:
-        for b in gp:
+    for i, a in enumerate(fp):
+        row = keep[i] if keep is not None else None
+        for j, b in enumerate(gp):
+            if row is not None and not row[j]:
+                continue
             pieces.extend(_conv_pair(a, b, h0))
     env = envelope(pieces, lower=True)
     segs = envelope_to_segments(env, h0, on_dip="fill")
-    point_value = lambda t: conv_point_value(f, g, t)
+    if hybrid:
+        def point_value(t, _f=f, _g=g):
+            v = kernels.conv_point_value_screened(_f, _g, t)
+            return v if v is not None else conv_point_value(_f, _g, t)
+    else:
+        point_value = lambda t: conv_point_value(f, g, t)
     # Exact affine tail beyond T_f + T_g; the joint value must be the
     # exact point evaluation (the envelope's left limit at h0 can differ
     # at an isolated point, and clipped tail pieces may be degenerate).
@@ -171,6 +202,8 @@ def min_plus_conv(f: Curve, g: Curve, on_dip: str = "fill") -> Curve:
     result = Curve(segs)
     if on_dip == "raise":
         _verify_point_exactness(result, pieces, point_value, h0, lower=True)
+    if hybrid:
+        kernels.op_cache_put(memo_key, result)
     return result
 
 
@@ -221,8 +254,16 @@ def _conv_pair(a: Piece, b: Piece, cap: Q) -> List[Piece]:
     return out
 
 
-def min_plus_deconv(f: Curve, g: Curve, on_dip: str = "raise") -> Curve:
+def min_plus_deconv(
+    f: Curve, g: Curve, on_dip: str = "raise", backend: Optional[str] = None
+) -> Curve:
     """Min-plus deconvolution ``f (/) g``.
+
+    Args:
+        f, g: Ultimately-affine curves.
+        on_dip: Dip policy for isolated unattained suprema.
+        backend: Kernel backend override (see :mod:`repro.minplus.backend`);
+            ``"hybrid"`` results are identical to ``"exact"``.
 
     Raises:
         CurveError: if ``f.tail_rate > g.tail_rate`` (the supremum is
@@ -234,13 +275,29 @@ def min_plus_deconv(f: Curve, g: Curve, on_dip: str = "raise") -> Curve:
             "deconvolution diverges: long-run rate of f exceeds that of g "
             f"({f.tail_rate} > {g.tail_rate})"
         )
+    mode = backend_mod.resolve_backend(backend)
+    hybrid = mode == "hybrid"
+    if hybrid:
+        memo_key = ("deconv", f.interned(), g.interned(), on_dip)
+        hit = kernels.op_cache_get(memo_key)
+        if hit is not None:
+            return hit
     u_max = max(f.last_breakpoint, g.last_breakpoint)
     t_max = f.last_breakpoint  # result is affine with rate r_f beyond T_f
     fp = _closed_segments(f, t_max + u_max + 1)
     gp = _closed_segments(g, u_max)
+    keep = None
+    if hybrid and on_dip == "fill":
+        # Dual of the convolution pruning: dropped pairs provably stay
+        # below the upper envelope everywhere ("raise" again needs the
+        # full pair set for its event walk).
+        keep = kernels.deconv_prune_mask(f, g, fp, gp, u_max, t_max)
     pieces: List[Piece] = []
-    for a in fp:
-        for b in gp:
+    for i, a in enumerate(fp):
+        row = keep[i] if keep is not None else None
+        for j, b in enumerate(gp):
+            if row is not None and not row[j]:
+                continue
             pieces.extend(_deconv_pair(a, b, t_max))
     env = envelope(pieces, lower=False)
     segs = envelope_to_segments(env, t_max, on_dip="fill") if t_max > 0 else []
@@ -248,13 +305,20 @@ def min_plus_deconv(f: Curve, g: Curve, on_dip: str = "raise") -> Curve:
         # f affine: sup_u [f(0) + rf*(t+u) - g(u)] = f(t) + sup_u [rf*u - g(u)].
         boost = _sup_rate_minus(f.tail_rate, gp)
         return Curve([Segment(Q(0), f.at(0) + boost, f.tail_rate)])
-    point_value = lambda t: deconv_point_value(f, g, t, u_max)
+    if hybrid:
+        def point_value(t, _f=f, _g=g, _u=u_max):
+            v = kernels.deconv_point_value_screened(_f, _g, t, _u)
+            return v if v is not None else deconv_point_value(_f, _g, t, _u)
+    else:
+        point_value = lambda t: deconv_point_value(f, g, t, u_max)
     segs = [s for s in segs if s.start < t_max]
     segs.append(Segment(t_max, point_value(t_max), f.tail_rate))
     segs = _correct_breakpoints(segs, point_value, lower=False, on_dip=on_dip)
     result = Curve(segs)
     if on_dip == "raise":
         _verify_point_exactness(result, pieces, point_value, t_max, lower=False)
+    if hybrid:
+        kernels.op_cache_put(memo_key, result)
     return result
 
 

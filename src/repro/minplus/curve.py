@@ -14,14 +14,21 @@ Curves are immutable.  All operations return new, normalized curves.
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro._numeric import Q, NumLike, as_q
 from repro.errors import CurveDomainError, EmptyCurveError
 from repro.minplus.segment import Segment
 
 __all__ = ["Curve"]
+
+#: Interning table: fingerprint -> equality-checked bucket of curves
+#: (LRU, so long-running sweeps cannot grow it without bound).
+_INTERN_CAP = 4096
+_intern_table: "OrderedDict[int, List[Curve]]" = OrderedDict()
 
 
 class Curve:
@@ -38,7 +45,7 @@ class Curve:
             starts are not strictly increasing.
     """
 
-    __slots__ = ("_segments", "_starts")
+    __slots__ = ("_segments", "_starts", "_fp", "_lowered")
 
     def __init__(self, segments: Iterable[Segment]):
         segs = _normalize(list(segments))
@@ -50,6 +57,8 @@ class Curve:
             )
         self._segments: Tuple[Segment, ...] = tuple(segs)
         self._starts: List[Q] = [s.start for s in segs]
+        self._fp: Optional[int] = None
+        self._lowered = None  # kernel-backend lowering cache (see kernels.py)
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -323,13 +332,69 @@ class Curve:
     # Equality / hashing / repr
     # ------------------------------------------------------------------
 
+    def fingerprint(self) -> int:
+        """Structural hash of the normalized segment tuple (cached).
+
+        Hashes the raw ``(numerator, denominator)`` integer pairs of every
+        segment coefficient once, then reuses the value forever (curves
+        are immutable) — so dict-keyed analysis caches stop re-hashing
+        full :class:`~fractions.Fraction` tuples on every lookup.
+        """
+        fp = self._fp
+        if fp is None:
+            fp = hash(
+                tuple(
+                    (
+                        s.start.numerator,
+                        s.start.denominator,
+                        s.value.numerator,
+                        s.value.denominator,
+                        s.slope.numerator,
+                        s.slope.denominator,
+                    )
+                    for s in self._segments
+                )
+            )
+            self._fp = fp
+        return fp
+
+    def interned(self) -> "Curve":
+        """The canonical representative of this curve's structure.
+
+        Structurally equal curves map to one shared object (LRU table,
+        fingerprint-keyed with equality-checked buckets), so expensive
+        per-curve derived state — the kernel backend's lowered arrays in
+        particular — is computed once per *structure*, not once per
+        object.
+        """
+        fp = self.fingerprint()
+        bucket = _intern_table.get(fp)
+        if bucket is None:
+            _intern_table[fp] = [self]
+            while len(_intern_table) > _INTERN_CAP:
+                _intern_table.popitem(last=False)
+            return self
+        _intern_table.move_to_end(fp)
+        for canon in bucket:
+            if canon is self:
+                return self
+            if canon._segments == self._segments:
+                perf.record("curve.intern_hits")
+                return canon
+        bucket.append(self)
+        return self
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Curve):
             return NotImplemented
+        if self is other:
+            return True
+        if self.fingerprint() != other.fingerprint():
+            return False
         return self._segments == other._segments
 
     def __hash__(self) -> int:
-        return hash(self._segments)
+        return self.fingerprint()
 
     def __repr__(self) -> str:
         pieces = ", ".join(

@@ -19,6 +19,7 @@ __all__ = [
     "lower_pseudo_inverse",
     "lower_pseudo_inverse_batch",
     "upper_pseudo_inverse",
+    "upper_pseudo_inverse_batch",
     "horizontal_deviation",
     "vertical_deviation",
     "first_crossing",
@@ -100,6 +101,37 @@ def lower_pseudo_inverse_batch(f: Curve, works: Sequence) -> List[MaybeInf]:
     return out
 
 
+def upper_pseudo_inverse_batch(f: Curve, works: Sequence) -> List[MaybeInf]:
+    """:func:`upper_pseudo_inverse` of *f* at every value in *works*.
+
+    Same single-sweep construction as :func:`lower_pseudo_inverse_batch`
+    with the strict comparisons of the upper pseudo-inverse; bit-identical
+    to the scalar function on every query.
+    """
+    from repro._numeric import as_q
+
+    ws = [as_q(w) for w in works]
+    order = sorted(range(len(ws)), key=lambda i: ws[i])
+    out: List[MaybeInf] = [INF] * len(ws)
+    starts = f.breakpoints()
+    j, n = 0, len(ws)
+    for i, seg in enumerate(f.segments):
+        if j >= n:
+            break
+        while j < n and ws[order[j]] < seg.value:
+            out[order[j]] = seg.start
+            j += 1
+        if seg.slope > 0:
+            end = starts[i + 1] if i + 1 < len(starts) else None
+            v_end = seg.value_at(end) if end is not None else None
+            while j < n and (v_end is None or ws[order[j]] < v_end):
+                wq = ws[order[j]]
+                t = seg.start + (wq - seg.value) / seg.slope
+                out[order[j]] = seg.start if t < seg.start else t
+                j += 1
+    return out
+
+
 def upper_pseudo_inverse(f: Curve, w) -> MaybeInf:
     """``inf { t >= 0 : f(t) > w }`` for a nondecreasing curve *f*.
 
@@ -166,7 +198,7 @@ def vertical_deviation(f: Curve, g: Curve) -> MaybeInf:
     return diff.sup_on(0, horizon)
 
 
-def horizontal_deviation(f: Curve, g: Curve) -> MaybeInf:
+def horizontal_deviation(f: Curve, g: Curve, backend: Optional[str] = None) -> MaybeInf:
     """``sup_t inf { d >= 0 : f(t) <= g(t + d) }`` — the delay bound.
 
     *f* plays the role of an upper request/arrival curve and *g* of a
@@ -177,12 +209,33 @@ def horizontal_deviation(f: Curve, g: Curve) -> MaybeInf:
     finitely many candidate times where ``h`` can change slope: the
     breakpoints of *f* and the pull-backs of *g*'s breakpoint values
     through each affine piece of *f*.
+
+    Args:
+        f: Upper request/arrival curve.
+        g: Lower service curve.
+        backend: Kernel backend override (see :mod:`repro.minplus.backend`).
+            The ``"hybrid"`` backend enumerates the same pull-back pairs
+            through float64 window screens and memoizes on curve
+            fingerprints; its result is identical to ``"exact"``.
     """
+    from repro.minplus import backend as backend_mod
+
     if not f.is_nondecreasing() or not g.is_nondecreasing():
         raise CurveError("horizontal_deviation requires nondecreasing curves")
     if f.tail_rate > g.tail_rate:
         return INF
-    candidates: List[Q] = list(f.breakpoints())
+    mode = backend_mod.resolve_backend(backend)
+    if mode == "hybrid":
+        from repro.minplus import kernels
+
+        key = ("hdev", f.interned(), g.interned())
+        hit = kernels.op_cache_get(key)
+        if hit is not None:
+            return hit[0]
+        result = _horizontal_deviation_hybrid(f, g)
+        if result is not None:
+            kernels.op_cache_put(key, (result,))
+            return result
     # Values at which g's pseudo-inverse changes slope: values of g at and
     # just before each of its breakpoints.
     g_values = set()
@@ -190,6 +243,7 @@ def horizontal_deviation(f: Curve, g: Curve) -> MaybeInf:
         g_values.add(g.at(t))
         if t > 0:
             g_values.add(g.left_limit(t))
+    candidates: List[Q] = list(f.breakpoints())
     # Supremum candidates approached from the right: where f crosses a
     # plateau value of g with positive slope, d(t) tends to
     # upper_pseudo_inverse(g, v) - t as t decreases to the crossing.
@@ -214,6 +268,13 @@ def horizontal_deviation(f: Curve, g: Curve) -> MaybeInf:
                 if is_inf(inv_up):
                     return INF
                 limit_candidates.append(inv_up - t_w)
+    return _hdev_from_candidates(f, g, candidates, limit_candidates)
+
+
+def _hdev_from_candidates(
+    f: Curve, g: Curve, candidates: List[Q], limit_candidates: List[Q]
+) -> MaybeInf:
+    """Shared supremum sweep over the assembled candidate times."""
     best: MaybeInf = Q(0)
     # One batched sweep over g's segments answers every candidate value
     # (identical results to the scalar per-candidate loop).
@@ -233,6 +294,74 @@ def horizontal_deviation(f: Curve, g: Curve) -> MaybeInf:
         if d > best:
             best = d
     return best
+
+
+def _horizontal_deviation_hybrid(f: Curve, g: Curve) -> Optional[MaybeInf]:
+    """Kernel-screened horizontal deviation (None -> run the exact path).
+
+    Builds the *same* candidate set as the exact algorithm, but locates
+    the pull-back pairs ``(f segment, g value)`` through vectorized
+    ``searchsorted`` windows on the lowered arrays instead of the exact
+    ``O(n_f * n_g)`` double loop: the float window is a certified
+    superset of the in-range pairs (one-ulp outward bounds on both
+    sides), and each windowed pair is confirmed with the exact rational
+    comparisons before use.  Downstream sweeps reuse the exact batched
+    pseudo-inverses, so the returned value is identical to the exact
+    backend's.
+    """
+    from repro.minplus import kernels
+
+    if not kernels.AVAILABLE:
+        return None
+    np = kernels.np
+    fl = kernels.lowered(f)
+    # Exact g values (the pseudo-inverse's slope-change levels), sorted so
+    # their float bounds are monotone and searchsorted applies.
+    g_values_set = set()
+    for t in g.breakpoints():
+        g_values_set.add(g.at(t))
+        if t > 0:
+            g_values_set.add(g.left_limit(t))
+    g_values = sorted(g_values_set)
+    gv_lo, gv_hi = kernels.q_bounds(g_values)
+    m = len(g_values)
+    # Window per f segment: g values j with certainly(w < v_lo) excluded
+    # on the left and certainly(w > v_hi) on the right.
+    win_lo = np.searchsorted(gv_hi, fl.V_lo, side="left")
+    win_hi = np.searchsorted(gv_lo, fl.VE_hi, side="right")
+    win_hi[-1] = m  # last segment has no end value: every w >= v_lo pairs
+    perf.record(
+        "kernel.screen_hits",
+        int(fl.n * m - np.sum(np.maximum(win_hi - win_lo, 0))),
+    )
+    candidates: List[Q] = list(f.breakpoints())
+    limit_candidates: List[Q] = []
+    strict_ws: List[Q] = []
+    strict_ts: List[Q] = []
+    starts = f.breakpoints()
+    for i, seg in enumerate(f.segments):
+        if seg.slope <= 0:
+            continue
+        end = starts[i + 1] if i + 1 < len(starts) else None
+        v_lo = seg.value
+        v_hi = seg.value_at(end) if end is not None else None
+        for j in range(int(win_lo[i]), int(min(win_hi[i], m))):
+            w = g_values[j]
+            if w < v_lo or (v_hi is not None and w > v_hi):
+                perf.record("kernel.exact_fallbacks")
+                continue
+            t_w = seg.start + (w - v_lo) / seg.slope
+            candidates.append(t_w)
+            if v_hi is None or w < v_hi:
+                strict_ws.append(w)
+                strict_ts.append(t_w)
+    for t_w, inv_up in zip(
+        strict_ts, upper_pseudo_inverse_batch(g, strict_ws)
+    ):
+        if is_inf(inv_up):
+            return INF
+        limit_candidates.append(inv_up - t_w)
+    return _hdev_from_candidates(f, g, candidates, limit_candidates)
 
 
 def _values_around(f: Curve, t: Q) -> List[Q]:

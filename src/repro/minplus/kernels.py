@@ -1,0 +1,857 @@
+"""Vectorized float64 min-plus kernels with certified outward rounding.
+
+This module is the fast tier of the two-tier (*fast-filter / exact-verify*)
+kernel design selected by :mod:`repro.minplus.backend`:
+
+* a :class:`Curve` is *lowered* once into packed breakpoint arrays
+  (``starts / values / slopes`` plus segment-end values) stored as **pairs
+  of float64 arrays** — a lower and an upper bound per coordinate,
+  produced by outward rounding (``math.nextafter`` guard bands around the
+  correctly-rounded float of each exact rational);
+* every derived quantity is computed with **interval arithmetic** whose
+  every float operation is re-widened outward by one ulp, so each result
+  interval is a *certificate*: the exact rational value provably lies
+  inside it;
+* screens answer vectorized queries (pseudo-inverse sweeps, curve
+  evaluation, envelope-piece domination, extremum candidates) with such
+  intervals.  A query whose interval does not overlap the decision
+  boundary is settled by the float tier (``kernel.screen_hits``); the
+  remainder — typically a handful of near-ties — fall back to the exact
+  :class:`~fractions.Fraction` path (``kernel.exact_fallbacks``), so the
+  hybrid backend's final results are **identical** to the exact backend's.
+
+Lowering is cached per curve object and deduplicated across structurally
+equal curves through the interning table of
+:meth:`repro.minplus.curve.Curve.interned` (``curve.intern_hits``), and
+whole operations (convolution, deconvolution, horizontal deviation) are
+memoized on curve fingerprints (``kernel.memo_hits``).
+
+Everything here degrades gracefully: without NumPy (:data:`AVAILABLE` is
+False) every helper returns ``None`` and callers run the exact path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro import perf
+from repro._numeric import Q
+
+try:  # pragma: no cover - the import either works or it doesn't
+    import numpy as np
+
+    AVAILABLE = True
+except ImportError:  # pragma: no cover
+    np = None
+    AVAILABLE = False
+
+__all__ = [
+    "AVAILABLE",
+    "Lowered",
+    "lowered",
+    "op_cache_get",
+    "op_cache_put",
+    "op_cache_clear",
+    "screened_pinv_delay_groups",
+    "screened_backlog_max",
+    "conv_prune_mask",
+    "deconv_prune_mask",
+    "conv_point_value_screened",
+    "deconv_point_value_screened",
+]
+
+_NEG = float("-inf")
+_POS = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Outward-rounded interval primitives
+# ----------------------------------------------------------------------
+
+def _down(a):
+    """One-ulp-down guard band (sound lower bound after a float op)."""
+    return np.nextafter(a, _NEG)
+
+
+def _up(a):
+    """One-ulp-up guard band (sound upper bound after a float op)."""
+    return np.nextafter(a, _POS)
+
+
+def _q_floats(qs: Sequence) -> "np.ndarray":
+    """Correctly-rounded float64 of each exact rational."""
+    return np.array([float(q) for q in qs], dtype=np.float64)
+
+
+def q_bounds(qs: Sequence) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Certified (lower, upper) float64 bounds of exact rationals.
+
+    ``float(Fraction)`` rounds to nearest, so the true value lies within
+    one ulp of it; widening both ways is always sound (and exact inputs
+    merely get a one-ulp slack that no screen decision can miss by,
+    because screens only certify *strict* separations).
+    """
+    mids = _q_floats(qs)
+    return _down(mids), _up(mids)
+
+
+def _imul(alo, ahi, blo, bhi):
+    """Outward-rounded interval product of two interval arrays."""
+    p1, p2, p3, p4 = alo * blo, alo * bhi, ahi * blo, ahi * bhi
+    lo = np.minimum(np.minimum(p1, p2), np.minimum(p3, p4))
+    hi = np.maximum(np.maximum(p1, p2), np.maximum(p3, p4))
+    return _down(lo), _up(hi)
+
+
+# ----------------------------------------------------------------------
+# Lowered curves
+# ----------------------------------------------------------------------
+
+class Lowered:
+    """Packed breakpoint-array form of one curve, outward rounded.
+
+    Attributes:
+        n: Segment count.
+        nondecreasing: Exact monotonicity flag (screens that rely on
+            monotone reasoning are gated on it).
+        tail_sign: Exact sign (-1/0/1) of the curve's tail rate.
+        S_lo/S_hi: Bounds on segment start abscissae.
+        V_lo/V_hi: Bounds on segment start values.
+        SL_lo/SL_hi: Bounds on segment slopes.
+        VE_lo/VE_hi: Bounds on segment *end* values (left limit at the
+            next start); the last entry encodes the tail limit
+            (``+inf`` for a positive tail rate).
+        VE_lo_rm/VE_hi_rm: Running maxima of the end-value bounds
+            (restores the sortedness float noise can break, so
+            ``searchsorted`` stays valid; see :meth:`pinv_bounds`).
+    """
+
+    __slots__ = (
+        "n",
+        "nondecreasing",
+        "tail_sign",
+        "S_lo",
+        "S_hi",
+        "V_lo",
+        "V_hi",
+        "SL_lo",
+        "SL_hi",
+        "VE_lo",
+        "VE_hi",
+        "VE_lo_rm",
+        "VE_hi_rm",
+        "S_lo_ext",
+        "S_hi_ext",
+    )
+
+    def __init__(self, curve) -> None:
+        segs = curve.segments
+        self.n = len(segs)
+        self.nondecreasing = curve.is_nondecreasing()
+        rate = curve.tail_rate
+        self.tail_sign = (rate > 0) - (rate < 0)
+        self.S_lo, self.S_hi = q_bounds([s.start for s in segs])
+        self.V_lo, self.V_hi = q_bounds([s.value for s in segs])
+        self.SL_lo, self.SL_hi = q_bounds([s.slope for s in segs])
+        # Segment-end values: v + slope * (next_start - start).
+        ve_lo = np.empty(self.n)
+        ve_hi = np.empty(self.n)
+        if self.n > 1:
+            dt_lo = np.maximum(_down(self.S_lo[1:] - self.S_hi[:-1]), 0.0)
+            dt_hi = np.maximum(_up(self.S_hi[1:] - self.S_lo[:-1]), 0.0)
+            m_lo, m_hi = _imul(
+                self.SL_lo[:-1], self.SL_hi[:-1], dt_lo, dt_hi
+            )
+            ve_lo[:-1] = _down(self.V_lo[:-1] + m_lo)
+            ve_hi[:-1] = _up(self.V_hi[:-1] + m_hi)
+        if self.tail_sign > 0:
+            ve_lo[-1] = _POS
+            ve_hi[-1] = _POS
+        elif self.tail_sign < 0:
+            ve_lo[-1] = _NEG
+            ve_hi[-1] = _NEG
+        else:
+            ve_lo[-1] = self.V_lo[-1]
+            ve_hi[-1] = self.V_hi[-1]
+        self.VE_lo = ve_lo
+        self.VE_hi = ve_hi
+        self.VE_lo_rm = np.maximum.accumulate(ve_lo)
+        self.VE_hi_rm = np.maximum.accumulate(ve_hi)
+        self.S_lo_ext = np.append(self.S_lo, _POS)
+        self.S_hi_ext = np.append(self.S_hi, _POS)
+
+    # -- evaluation -----------------------------------------------------
+
+    def eval_bounds(self, t_lo, t_hi):
+        """Certified bounds on ``f(t)`` for interval times (nondecreasing
+        curves only): true ``f(t) in [lo, hi]`` for every ``t`` in the
+        given time interval intersected with ``[0, oo)``."""
+        # Lower: the segment k with s_k <= t_lo gives f(t) >= f(s_k); the
+        # affine extension evaluated downward is valid while t stays in
+        # segment k, and capping at the segment-end value keeps the bound
+        # sound when t has already moved past it (f nondecreasing).
+        k = np.searchsorted(self.S_hi, t_lo, side="right") - 1
+        k0 = np.clip(k, 0, self.n - 1)
+        dt = np.maximum(_down(t_lo - self.S_hi[k0]), 0.0)
+        m_lo, _ = _imul(
+            np.maximum(self.SL_lo[k0], 0.0),
+            np.maximum(self.SL_hi[k0], 0.0),
+            dt,
+            dt,
+        )
+        lo = np.minimum(_down(self.V_lo[k0] + m_lo), self.VE_lo[k0])
+        # Upper: the last segment j with a start bound <= t_hi; its
+        # upward affine extension dominates every earlier segment's value.
+        j = np.searchsorted(self.S_lo, t_hi, side="right") - 1
+        j0 = np.clip(j, 0, self.n - 1)
+        dt2 = np.maximum(_up(t_hi - self.S_lo[j0]), 0.0)
+        _, m_hi = _imul(
+            np.maximum(self.SL_lo[j0], 0.0),
+            np.maximum(self.SL_hi[j0], 0.0),
+            dt2,
+            dt2,
+        )
+        hi = _up(self.V_hi[j0] + m_hi)
+        return lo, hi
+
+    def llim_bounds(self, t_lo, t_hi):
+        """Certified bounds on the left limit ``f(t-)`` (nondecreasing
+        curves, ``t > 0``)."""
+        # Upper: f(t-) <= f(t) (jumps are upward).
+        _, hi = self.eval_bounds(t_lo, t_hi)
+        # Lower: like eval_bounds but through the segment *strictly*
+        # before t_lo, so a jump exactly at t is excluded.
+        kl = np.searchsorted(self.S_hi, t_lo, side="left") - 1
+        valid = kl >= 0
+        k0 = np.clip(kl, 0, self.n - 1)
+        dt = np.maximum(_down(t_lo - self.S_hi[k0]), 0.0)
+        m_lo, _ = _imul(
+            np.maximum(self.SL_lo[k0], 0.0),
+            np.maximum(self.SL_hi[k0], 0.0),
+            dt,
+            dt,
+        )
+        lo = np.minimum(_down(self.V_lo[k0] + m_lo), self.VE_lo[k0])
+        return np.where(valid, lo, _NEG), hi
+
+    # -- pseudo-inverse -------------------------------------------------
+
+    def pinv_bounds(self, w_lo, w_hi):
+        """Certified bounds on ``inf { t : f(t) >= w }`` (nondecreasing).
+
+        Returns ``(t_lo, t_hi, certain_inf, possible_inf)``.  Where
+        ``certain_inf`` the curve provably never reaches ``w``; where
+        ``possible_inf`` the float tier cannot decide and the caller must
+        consult the exact path.
+        """
+        n = self.n
+        # First segment that possibly reaches w by its end, and first
+        # that certainly does.  The running max only repairs float-level
+        # sortedness: the index found is the first segment whose own
+        # end-value bound clears the threshold.
+        i0 = np.searchsorted(self.VE_hi_rm, w_lo, side="left")
+        i1 = np.searchsorted(self.VE_lo_rm, w_hi, side="left")
+        certain_inf = i0 >= n
+        possible_inf = (i1 >= n) & ~certain_inf
+        i0c = np.minimum(i0, n - 1)
+        i1c = np.minimum(i1, n - 1)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            # Lower bound: nothing before segment i0 answers.  If the
+            # answer may sit at i0's start, that start is the bound;
+            # otherwise the crossing is no earlier than the downward
+            # division, and never later than the next start.
+            num_lo = _down(w_lo - self.V_hi[i0c])
+            div_lo = _down(num_lo / self.SL_hi[i0c])
+            div_lo = np.where(np.isfinite(div_lo), div_lo, 0.0)
+            t_lo = np.where(
+                self.V_hi[i0c] >= w_lo,
+                self.S_lo[i0c],
+                np.minimum(
+                    np.maximum(_down(self.S_lo[i0c] + div_lo), self.S_lo[i0c]),
+                    self.S_lo_ext[i0c + 1],
+                ),
+            )
+            # Upper bound: segment i1 certainly reaches w by its end, so
+            # the answer is at most its next start; if i1's start value
+            # already certainly clears w, its start is the bound, else
+            # the upward division refines it.
+            num_hi = _up(w_hi - self.V_lo[i1c])
+            sl = np.maximum(self.SL_lo[i1c], 0.0)
+            div_hi = _up(num_hi / sl)
+            div_hi = np.where(np.isnan(div_hi), _POS, div_hi)
+            t_hi = np.where(
+                self.V_lo[i1c] >= w_hi,
+                self.S_hi[i1c],
+                np.minimum(_up(self.S_hi[i1c] + div_hi), self.S_hi_ext[i1c + 1]),
+            )
+        t_lo = np.where(certain_inf, _POS, t_lo)
+        t_hi = np.where(certain_inf | possible_inf, _POS, t_hi)
+        return t_lo, t_hi, certain_inf, possible_inf
+
+    def upinv_bounds(self, w_lo, w_hi):
+        """Certified bounds on ``inf { t : f(t) > w }`` (nondecreasing).
+
+        Same contract as :meth:`pinv_bounds` with strict comparisons:
+        ``certain_inf`` means the curve provably never exceeds ``w``.
+        """
+        n = self.n
+        i0 = np.searchsorted(self.VE_hi_rm, w_lo, side="right")
+        i1 = np.searchsorted(self.VE_lo_rm, w_hi, side="right")
+        certain_inf = i0 >= n
+        possible_inf = (i1 >= n) & ~certain_inf
+        i0c = np.minimum(i0, n - 1)
+        i1c = np.minimum(i1, n - 1)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            num_lo = _down(w_lo - self.V_hi[i0c])
+            div_lo = _down(num_lo / self.SL_hi[i0c])
+            div_lo = np.where(np.isfinite(div_lo), div_lo, 0.0)
+            t_lo = np.where(
+                self.V_hi[i0c] > w_lo,
+                self.S_lo[i0c],
+                np.minimum(
+                    np.maximum(_down(self.S_lo[i0c] + div_lo), self.S_lo[i0c]),
+                    self.S_lo_ext[i0c + 1],
+                ),
+            )
+            num_hi = _up(w_hi - self.V_lo[i1c])
+            sl = np.maximum(self.SL_lo[i1c], 0.0)
+            div_hi = _up(num_hi / sl)
+            div_hi = np.where(np.isnan(div_hi), _POS, div_hi)
+            t_hi = np.where(
+                self.V_lo[i1c] > w_hi,
+                self.S_hi[i1c],
+                np.minimum(_up(self.S_hi[i1c] + div_hi), self.S_hi_ext[i1c + 1]),
+            )
+        t_lo = np.where(certain_inf, _POS, t_lo)
+        t_hi = np.where(certain_inf | possible_inf, _POS, t_hi)
+        return t_lo, t_hi, certain_inf, possible_inf
+
+
+def lowered(curve) -> Optional[Lowered]:
+    """The cached :class:`Lowered` form of *curve* (None without NumPy).
+
+    Per-object lowering is cached on the curve; structurally equal curves
+    share one lowering through the interning table
+    (:meth:`~repro.minplus.curve.Curve.interned`).
+    """
+    if not AVAILABLE:
+        return None
+    lw = curve._lowered
+    if lw is not None:
+        return lw
+    canon = curve.interned()
+    if canon is not curve and canon._lowered is not None:
+        curve._lowered = canon._lowered
+        return canon._lowered
+    perf.record("kernel.lowerings")
+    lw = Lowered(curve)
+    curve._lowered = lw
+    canon._lowered = lw
+    return lw
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-keyed operation memo
+# ----------------------------------------------------------------------
+
+_OP_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_OP_CACHE_CAP = 4096
+
+
+def op_cache_get(key: tuple):
+    """Memoized result of a prior min-plus operation, or None."""
+    hit = _OP_CACHE.get(key)
+    if hit is not None:
+        _OP_CACHE.move_to_end(key)
+        perf.record("kernel.memo_hits")
+    return hit
+
+
+def op_cache_put(key: tuple, value) -> None:
+    """Memoize an operation result under a fingerprint key (LRU)."""
+    _OP_CACHE[key] = value
+    _OP_CACHE.move_to_end(key)
+    while len(_OP_CACHE) > _OP_CACHE_CAP:
+        _OP_CACHE.popitem(last=False)
+
+
+def op_cache_clear() -> None:
+    """Drop every memoized operation result (benchmarks / tests)."""
+    _OP_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Screened maximum selectors (delay / backlog hot paths)
+# ----------------------------------------------------------------------
+
+def screened_pinv_delay_groups(
+    beta,
+    offsets: Sequence,
+    works: Sequence,
+    group_ids: Sequence[int],
+    n_groups: int,
+):
+    """Two-tier per-group maximum of ``beta^{-1}(work) - offset``.
+
+    Replicates the exact per-tuple loop — strict-improvement maxima
+    starting from 0, first-attainer tie-breaking, and the position of the
+    first unreachable work — while evaluating exactly only the queries
+    the float certificate cannot eliminate.
+
+    Returns ``None`` when the screen is unavailable (no NumPy, or a
+    service curve the monotone reasoning does not cover); otherwise
+    ``(first_inf_index, results)`` where ``first_inf_index`` is the index
+    of the first query whose work the service never provides (or None)
+    and ``results[g] = (best, first_index)`` per group, ``first_index``
+    being None when the group's maximum is 0.
+    """
+    gl = lowered(beta)
+    if gl is None or not gl.nondecreasing:
+        return None
+    n = len(works)
+    if n == 0:
+        return None, [(Q(0), None) for _ in range(n_groups)]
+    from repro.minplus.deviation import (
+        lower_pseudo_inverse,
+        lower_pseudo_inverse_batch,
+    )
+    from repro._numeric import is_inf
+
+    w_lo, w_hi = q_bounds(works)
+    o_lo, o_hi = q_bounds(offsets)
+    t_lo, t_hi, certain_inf, possible_inf = gl.pinv_bounds(w_lo, w_hi)
+    # Reachability first: the exact loop reports the first unreachable
+    # work in query order, before any maximum is taken.
+    inf_idx = None
+    if certain_inf.any() or possible_inf.any():
+        amb = np.flatnonzero(possible_inf)
+        truly_inf = np.array(
+            [is_inf(lower_pseudo_inverse(beta, works[i])) for i in amb]
+        )
+        perf.record("kernel.exact_fallbacks", len(amb))
+        inf_mask = certain_inf.copy()
+        if len(amb):
+            inf_mask[amb] = truly_inf
+            refined = amb[~truly_inf]
+            for i in refined:
+                exact_t = lower_pseudo_inverse(beta, works[i])
+                t_lo[i] = np.nextafter(float(exact_t), _NEG)
+                t_hi[i] = np.nextafter(float(exact_t), _POS)
+        hits = np.flatnonzero(inf_mask)
+        if len(hits):
+            inf_idx = int(hits[0])
+    d_lo = _down(t_lo - o_hi)
+    d_hi = _up(t_hi - o_lo)
+    gid = np.asarray(group_ids)
+    best_lo = np.zeros(n_groups)
+    np.maximum.at(best_lo, gid, np.where(np.isfinite(d_lo), d_lo, _NEG))
+    survivors = np.flatnonzero((d_hi >= best_lo[gid]) & (d_hi > 0.0))
+    perf.record("kernel.screen_hits", n - len(survivors))
+    results: List[Tuple[Q, Optional[int]]] = [
+        (Q(0), None) for _ in range(n_groups)
+    ]
+    if len(survivors):
+        extra = len(survivors) - len(set(int(gid[i]) for i in survivors))
+        if extra > 0:
+            perf.record("kernel.exact_fallbacks", extra)
+        invs = lower_pseudo_inverse_batch(
+            beta, [works[int(i)] for i in survivors]
+        )
+        for i, inv in zip(survivors, invs):
+            i = int(i)
+            if is_inf(inv):  # pragma: no cover - caught by the inf pass
+                continue
+            d = inv - offsets[i]
+            g = int(gid[i])
+            if d > results[g][0]:
+                results[g] = (d, i)
+    return inf_idx, results
+
+
+def screened_backlog_max(beta, times: Sequence, works: Sequence):
+    """Two-tier maximum of ``work - beta(time)`` over request tuples.
+
+    Same contract shape as :func:`screened_pinv_delay_groups` restricted
+    to one group: returns ``None`` when unavailable, else
+    ``(best, first_index)`` with exact strict-improvement semantics.
+    """
+    gl = lowered(beta)
+    if gl is None or not gl.nondecreasing:
+        return None
+    n = len(works)
+    if n == 0:
+        return Q(0), None
+    w_lo, w_hi = q_bounds(works)
+    t_lo, t_hi = q_bounds(times)
+    v_lo, v_hi = gl.eval_bounds(np.maximum(t_lo, 0.0), t_hi)
+    b_lo = _down(w_lo - v_hi)
+    b_hi = _up(w_hi - v_lo)
+    best_lo = max(0.0, float(np.max(b_lo)))
+    survivors = np.flatnonzero((b_hi >= best_lo) & (b_hi > 0.0))
+    perf.record("kernel.screen_hits", n - len(survivors))
+    if len(survivors) > 1:
+        perf.record("kernel.exact_fallbacks", len(survivors) - 1)
+    best: Q = Q(0)
+    best_idx: Optional[int] = None
+    for i in survivors:
+        i = int(i)
+        b = works[i] - beta.at(times[i])
+        if b > best:
+            best = b
+            best_idx = i
+    return best, best_idx
+
+
+# ----------------------------------------------------------------------
+# Envelope-piece domination pruning (convolution / deconvolution)
+# ----------------------------------------------------------------------
+
+def _piece_arrays(pieces):
+    lo_lo, lo_hi = q_bounds([p.lo for p in pieces])
+    hi_lo, hi_hi = q_bounds([p.hi for p in pieces])
+    v_lo, v_hi = q_bounds([p.value for p in pieces])
+    return lo_lo, lo_hi, hi_lo, hi_hi, v_lo, v_hi
+
+
+def conv_prune_mask(f, g, fp, gp, cap):
+    """Keep-mask over segment pairs for ``f (*) g`` (lower envelope).
+
+    A pair's Minkowski pieces all start at value ``f_i + g_j`` and are
+    nondecreasing (both curves nondecreasing), while the true convolution
+    ``C`` is nondecreasing and bounded above by the *subset envelope*
+    ``UB(t) = min(f(0) + g(t), g(0) + f(t))`` (any subset of pieces
+    upper-bounds a lower envelope).  A pair whose certified start value
+    exceeds the certified ``UB`` at its domain's right end therefore lies
+    strictly above ``C`` everywhere it is defined and can never supply
+    the envelope — dropping it provably leaves the computed curve (and
+    its breakpoint corrections) unchanged.
+
+    Returns a boolean ``(len(fp), len(gp))`` keep-mask, or None when the
+    screen is unavailable or unsound (non-monotone inputs).
+    """
+    fl = lowered(f)
+    gl = lowered(g)
+    if fl is None or gl is None:
+        return None
+    if not (fl.nondecreasing and gl.nondecreasing):
+        return None
+    if not fp or not gp:
+        return None
+    a_lo_lo, _, a_hi_lo, a_hi_hi, a_v_lo, a_v_hi = _piece_arrays(fp)
+    b_lo_lo, _, b_hi_lo, b_hi_hi, b_v_lo, b_v_hi = _piece_arrays(gp)
+    cap_lo, cap_hi = q_bounds([cap])
+    f0_hi = float(_up(np.array([float(f.at(0))]))[0])
+    g0_hi = float(_up(np.array([float(g.at(0))]))[0])
+    # Pair start values (certified lower) and domain right ends
+    # (certified upper, clipped at the cap).
+    v0_lo = _down(a_v_lo[:, None] + b_v_lo[None, :])
+    end_hi = np.minimum(_up(a_hi_hi[:, None] + b_hi_hi[None, :]), cap_hi[0])
+    shape = end_hi.shape
+    ends = end_hi.ravel()
+    _, g_at_end_hi = gl.eval_bounds(ends, ends)
+    _, f_at_end_hi = fl.eval_bounds(ends, ends)
+    ub_hi = _up(
+        np.minimum(f0_hi + g_at_end_hi, g0_hi + f_at_end_hi)
+    ).reshape(shape)
+    keep = ~(v0_lo > ub_hi)
+    # Pairs that provably start beyond the cap contribute nothing.
+    lo_lo = _down(a_lo_lo[:, None] + b_lo_lo[None, :])
+    keep &= ~(lo_lo > cap_hi[0])
+    pruned = int(keep.size - keep.sum())
+    perf.record("kernel.pairs_pruned", pruned)
+    perf.record("kernel.pairs_kept", int(keep.sum()))
+    return keep
+
+
+_DECONV_PROBES = 64
+_DECONV_GRID = 512
+_DECONV_SPLITS = 4
+
+
+def _deconv_witness_grid(fl, gl, u_probe, cap_hi):
+    """Certified staircase lower bound of ``D(t) = sup_u f(t+u) - g(u)``.
+
+    Every probe offset ``u`` (an exact machine float ``>= 0``) yields the
+    witness ``f(tau + u) - g(u) <= D(tau)``; evaluating f downward and g
+    upward keeps the bound sound, and a running maximum over the grid
+    makes the staircase nondecreasing like ``D`` itself, so looking up
+    the step at-or-before ``t`` lower-bounds ``D(t)``.
+    """
+    tau = np.linspace(0.0, max(cap_hi, 0.0), _DECONV_GRID)
+    best = np.full(tau.shape, _NEG)
+    for u in u_probe:
+        x = _down(tau + u)
+        f_lo, _ = fl.eval_bounds(x, x)
+        ua = np.array([u])
+        g_hi = gl.eval_bounds(ua, ua)[1][0]
+        best = np.maximum(best, _down(f_lo - g_hi))
+    return tau, np.maximum.accumulate(best)
+
+
+def deconv_prune_mask(f, g, fp, gp, u_max, cap):
+    """Keep-mask over segment pairs for ``f (/) g`` (upper envelope).
+
+    Dual of :func:`conv_prune_mask` with two refinements.  The true
+    deconvolution ``D(t) = sup_u f(t+u) - g(u)`` is nondecreasing and
+    lower-bounded by *any* probe witness ``f(t+u) - g(u)``; a staircase
+    of such witnesses on a time grid (:func:`_deconv_witness_grid`)
+    gives a certified floor ``D_lo``.  A pair's value at time ``t`` is
+    at most ``V(t) = f(min(a.hi, t + b.hi)) - g(max(b.lo, a.lo - t))``,
+    nondecreasing in ``t``.  Subdividing the pair's domain into
+    checkpoints ``c_0 <= ... <= c_m`` and requiring
+    ``V(c_{i+1}) < D_lo(c_i)`` on every sub-interval certifies the pair
+    strictly below the envelope everywhere — comparing only the global
+    peak against the domain's left end would spare every wide pair.
+    """
+    fl = lowered(f)
+    gl = lowered(g)
+    if fl is None or gl is None:
+        return None
+    if not (fl.nondecreasing and gl.nondecreasing):
+        return None
+    if not fp or not gp:
+        return None
+    a_lo_lo, a_lo_hi, _, a_hi_hi, _, _ = _piece_arrays(fp)
+    b_lo_lo, b_lo_hi, _, b_hi_hi, _, _ = _piece_arrays(gp)
+    cap_lo, cap_hi = q_bounds([cap])
+    # Probe offsets: u = 0, g's breakpoints and u_max (any float >= 0 is
+    # a valid witness offset), subsampled evenly.
+    u_all = np.unique(
+        np.concatenate(
+            [
+                np.array([0.0, max(float(u_max), 0.0)]),
+                np.maximum(gl.S_lo, 0.0),
+            ]
+        )
+    )
+    u_all = u_all[np.isfinite(u_all)]
+    if len(u_all) > _DECONV_PROBES:
+        idx = np.linspace(0, len(u_all) - 1, _DECONV_PROBES).astype(int)
+        u_all = u_all[idx]
+    tau, d_lo = _deconv_witness_grid(fl, gl, u_all, float(cap_hi[0]))
+    # Pair domains [t0, t1] (outward-rounded floats).
+    t0_lo = np.maximum(_down(a_lo_lo[:, None] - b_hi_hi[None, :]), 0.0)
+    t1_hi = np.minimum(
+        _up(a_hi_hi[:, None] - b_lo_lo[None, :]), cap_hi[0]
+    )
+    t1_hi = np.maximum(t1_hi, t0_lo)
+    a_lo_b = a_lo_lo[:, None] + np.zeros_like(t0_lo)
+    a_hi_b = a_hi_hi[:, None] + np.zeros_like(t0_lo)
+    b_lo_b = b_lo_lo[None, :] + np.zeros_like(t0_lo)
+    b_hi_b = b_hi_hi[None, :] + np.zeros_like(t0_lo)
+    prune = np.ones(t0_lo.shape, dtype=bool)
+    for i in range(_DECONV_SPLITS):
+        w0 = i / _DECONV_SPLITS
+        w1 = (i + 1) / _DECONV_SPLITS
+        c0 = t0_lo + _down(w0 * (t1_hi - t0_lo)) if i else t0_lo
+        c1 = t1_hi if i == _DECONV_SPLITS - 1 else _up(
+            t0_lo + w1 * (t1_hi - t0_lo)
+        )
+        # Pair value upper bound at the sub-interval's right end.
+        s_arg = np.minimum(a_hi_b, _up(c1 + b_hi_b)).ravel()
+        _, f_hi = fl.eval_bounds(s_arg, s_arg)
+        u_arg = np.maximum(
+            b_lo_b, np.maximum(_down(a_lo_b - c1), 0.0)
+        ).ravel()
+        g_lo, _ = gl.eval_bounds(u_arg, u_arg)
+        v_hi = _up(f_hi - g_lo).reshape(t0_lo.shape)
+        # Envelope floor at the sub-interval's left end.
+        k = np.searchsorted(tau, c0.ravel(), side="right") - 1
+        floor = np.where(k >= 0, d_lo[np.clip(k, 0, len(tau) - 1)], _NEG)
+        prune &= v_hi < floor.reshape(t0_lo.shape)
+    keep = ~prune
+    # Pairs entirely outside [0, cap] contribute nothing.
+    t_hi_lo = _down(a_lo_lo[:, None] - b_hi_hi[None, :])
+    keep &= ~(t_hi_lo > cap_hi[0])
+    t_hi_hi = _up(a_hi_hi[:, None] - b_lo_lo[None, :])
+    keep &= ~(t_hi_hi < 0.0)
+    pruned = int(keep.size - keep.sum())
+    perf.record("kernel.pairs_pruned", pruned)
+    perf.record("kernel.pairs_kept", int(keep.sum()))
+    return keep
+
+
+# ----------------------------------------------------------------------
+# Screened exact point values (breakpoint correction / tail joints)
+# ----------------------------------------------------------------------
+
+def _min_survivors(lo, hi, certain, possible):
+    """Indices that can still attain the minimum.
+
+    ``certain``/``possible`` flag candidate feasibility; the threshold is
+    the smallest upper bound among certainly-feasible candidates, and
+    every possibly-feasible candidate whose lower bound does not exceed
+    it survives (so the set provably contains every feasible argmin).
+    """
+    if not certain.any():
+        return np.flatnonzero(possible)
+    thresh = np.min(hi[certain])
+    return np.flatnonzero(possible & (lo <= thresh))
+
+
+def conv_point_value_screened(f, g, t) -> Optional[Q]:
+    """Exact ``inf { f(s) + g(t-s) : 0 <= s <= t }`` via the float screen.
+
+    Enumerates the same candidate set as
+    :func:`repro.minplus.convolution.conv_point_value`, certifies away
+    candidates that provably do not attain the infimum, and evaluates the
+    survivors exactly.  Returns None when the screen is unavailable.
+    """
+    fl = lowered(f)
+    gl = lowered(g)
+    if fl is None or gl is None or not (fl.nondecreasing and gl.nondecreasing):
+        return None
+    t_lo, t_hi = q_bounds([t])
+    t_lo, t_hi = t_lo[0], t_hi[0]
+
+    def _one_side(al, bl):
+        # Candidates s at al's breakpoints: al.at(s) + bl(t - s), plus the
+        # left-limit variant al(s-) for s > 0.
+        u_lo = _down(t_lo - al.S_hi)
+        u_hi = _up(t_hi - al.S_lo)
+        feas_certain = al.S_hi <= t_lo
+        feas_possible = al.S_lo <= t_hi
+        bu_lo, bu_hi = bl.eval_bounds(np.maximum(u_lo, 0.0), u_hi)
+        v_lo = _down(al.V_lo + bu_lo)
+        v_hi = _up(al.V_hi + bu_hi)
+        # Left limits: al(s_k-) = end value of segment k-1.
+        ll_lo = np.concatenate(([_POS], _down(al.VE_lo[:-1] + bu_lo[1:])))
+        ll_hi = np.concatenate(([_POS], _up(al.VE_hi[:-1] + bu_hi[1:])))
+        return (
+            np.concatenate((v_lo, ll_lo)),
+            np.concatenate((v_hi, ll_hi)),
+            np.concatenate((feas_certain, feas_certain)),
+            np.concatenate((feas_possible, feas_possible)),
+        )
+
+    fv_lo, fv_hi, fc, fp_ = _one_side(fl, gl)
+    gv_lo, gv_hi, gc, gp_ = _one_side(gl, fl)
+    lo = np.concatenate((fv_lo, gv_lo))
+    hi = np.concatenate((fv_hi, gv_hi))
+    certain = np.concatenate((fc, gc)) & np.isfinite(hi)
+    possible = np.concatenate((fp_, gp_)) & np.isfinite(lo)
+    survivors = _min_survivors(lo, hi, certain, possible)
+    total = len(lo)
+    perf.record("kernel.screen_hits", total - len(survivors))
+    if len(survivors) > 1:
+        perf.record("kernel.exact_fallbacks", len(survivors) - 1)
+    nf = fl.n
+    best: Optional[Q] = None
+    f_bps = [s.start for s in f.segments]
+    g_bps = [s.start for s in g.segments]
+    for idx in survivors:
+        idx = int(idx)
+        if idx < 2 * nf:
+            s = f_bps[idx % nf]
+            if not (0 <= s <= t):
+                continue
+            left = idx >= nf
+            if left and s == 0:
+                continue
+            fs = f.left_limit(s) if left else f.at(s)
+            val = fs + g.at(t - s)
+        else:
+            j = idx - 2 * nf
+            ng = gl.n
+            u = g_bps[j % ng]
+            if not (0 <= u <= t):
+                continue
+            left = j >= ng
+            if left and u == 0:
+                continue
+            gu = g.left_limit(u) if left else g.at(u)
+            val = f.at(t - u) + gu
+        if best is None or val < best:
+            best = val
+    return best
+
+
+def deconv_point_value_screened(f, g, t, u_max) -> Optional[Q]:
+    """Exact ``sup { f(t+u) - g(u) : 0 <= u <= u_max }`` via the screen.
+
+    Mirrors :func:`repro.minplus.convolution.deconv_point_value`'s
+    candidate set (g's breakpoints, f's breakpoints pulled back by ``t``,
+    and the interval ends, each with its paired-left-limit variant).
+    Returns None when the screen is unavailable.
+    """
+    fl = lowered(f)
+    gl = lowered(g)
+    if fl is None or gl is None or not (fl.nondecreasing and gl.nondecreasing):
+        return None
+    t_lo, t_hi = q_bounds([t])
+    t_lo, t_hi = t_lo[0], t_hi[0]
+    u_lo_b, u_hi_b = q_bounds([u_max])
+    u_max_lo, u_max_hi = u_lo_b[0], u_hi_b[0]
+
+    # Candidate u values: g's breakpoints, f's breakpoints - t, 0, u_max.
+    cand_lo = np.concatenate(
+        (gl.S_lo, _down(fl.S_lo - t_hi), [0.0], [u_max_lo])
+    )
+    cand_hi = np.concatenate(
+        (gl.S_hi, _up(fl.S_hi - t_lo), [0.0], [u_max_hi])
+    )
+    feas_certain = (cand_lo >= 0.0) & (cand_hi <= u_max_lo)
+    feas_possible = (cand_hi >= 0.0) & (cand_lo <= u_max_hi)
+    tu_lo = _down(t_lo + cand_lo)
+    tu_hi = _up(t_hi + cand_hi)
+    fv_lo, fv_hi = fl.eval_bounds(np.maximum(tu_lo, 0.0), tu_hi)
+    gv_lo, gv_hi = gl.eval_bounds(np.maximum(cand_lo, 0.0), cand_hi)
+    d_lo = _down(fv_lo - gv_hi)
+    d_hi = _up(fv_hi - gv_lo)
+    # Paired left-limit variants (u > 0): both arguments from the left.
+    fll_lo, fll_hi = fl.llim_bounds(np.maximum(tu_lo, 0.0), tu_hi)
+    gll_lo, gll_hi = gl.llim_bounds(np.maximum(cand_lo, 0.0), cand_hi)
+    l_lo = _down(fll_lo - gll_hi)
+    l_hi = _up(fll_hi - gll_lo)
+    pos_possible = cand_hi > 0.0
+    lo = np.concatenate((d_lo, l_lo))
+    hi = np.concatenate((d_hi, l_hi))
+    certain = np.concatenate((feas_certain, feas_certain & (cand_lo > 0.0)))
+    possible = np.concatenate((feas_possible, feas_possible & pos_possible))
+    certain &= np.isfinite(lo)
+    possible &= np.isfinite(hi)
+    # Max screen: survivors are possibly-feasible candidates whose upper
+    # bound reaches the best certainly-feasible lower bound.
+    if certain.any():
+        thresh = np.max(lo[certain])
+        survivors = np.flatnonzero(possible & (hi >= thresh))
+    else:
+        survivors = np.flatnonzero(possible)
+    total = len(lo)
+    perf.record("kernel.screen_hits", total - len(survivors))
+    if len(survivors) > 1:
+        perf.record("kernel.exact_fallbacks", len(survivors) - 1)
+    m = gl.n + fl.n + 2
+    g_bps = [s.start for s in g.segments]
+    f_bps = [s.start for s in f.segments]
+    best: Optional[Q] = None
+    seen = set()
+    for idx in survivors:
+        idx = int(idx)
+        base = idx % m
+        left = idx >= m
+        if base < gl.n:
+            u = g_bps[base]
+        elif base < gl.n + fl.n:
+            u = f_bps[base - gl.n] - t
+        elif base == gl.n + fl.n:
+            u = Q(0)
+        else:
+            u = u_max
+        if not (0 <= u <= u_max):
+            continue
+        if left and u == 0:
+            continue
+        key = (u, left)
+        if key in seen:
+            continue
+        seen.add(key)
+        if left:
+            val = f.left_limit(t + u) - g.left_limit(u)
+        else:
+            val = f.at(t + u) - g.at(u)
+        if best is None or val > best:
+            best = val
+    return best

@@ -52,11 +52,14 @@ __all__ = [
 class PerfRegistry:
     """A process-local bag of named counters and accumulated timers."""
 
-    __slots__ = ("_counters", "_timers")
+    __slots__ = ("_counters", "_timers", "_phase_stack")
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, float] = {}
+        # Innermost-phase attribution for nested timed() blocks:
+        # [phase_name, resume_timestamp] per active frame.
+        self._phase_stack: list = []
 
     # -- counters --------------------------------------------------------
 
@@ -72,14 +75,31 @@ class PerfRegistry:
 
     @contextmanager
     def timed(self, phase: str) -> Iterator[None]:
-        """Accumulate wall-clock time of the enclosed block under *phase*."""
-        t0 = time.perf_counter()
+        """Accumulate wall-clock time of the enclosed block under *phase*.
+
+        Re-entrant: while a nested ``timed`` block runs, the enclosing
+        phase's clock is paused, so every wall-clock instant is booked to
+        exactly one phase — the innermost one.  Phase totals therefore
+        add up to real elapsed time even when phases nest (a nested
+        ``timed("frontier")`` inside ``timed("delay")`` no longer
+        double-books its interval under both names).
+        """
+        now = time.perf_counter()
+        if self._phase_stack:
+            parent = self._phase_stack[-1]
+            self._timers[parent[0]] = (
+                self._timers.get(parent[0], 0.0) + now - parent[1]
+            )
+        frame = [phase, now]
+        self._phase_stack.append(frame)
         try:
             yield
         finally:
-            self._timers[phase] = (
-                self._timers.get(phase, 0.0) + time.perf_counter() - t0
-            )
+            now = time.perf_counter()
+            self._phase_stack.pop()
+            self._timers[phase] = self._timers.get(phase, 0.0) + now - frame[1]
+            if self._phase_stack:
+                self._phase_stack[-1][1] = now
 
     def timers(self) -> Dict[str, float]:
         """A snapshot copy of every accumulated phase timer (seconds)."""
@@ -92,9 +112,12 @@ class PerfRegistry:
         return {"counters": self.counters(), "timers": self.timers()}
 
     def reset(self) -> None:
-        """Zero every counter and timer."""
+        """Zero every counter and timer (active phase frames restart now)."""
         self._counters.clear()
         self._timers.clear()
+        now = time.perf_counter()
+        for frame in self._phase_stack:
+            frame[1] = now
 
     def report(self) -> str:
         """Human-readable multi-line summary."""

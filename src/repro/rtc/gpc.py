@@ -35,12 +35,17 @@ class GpcResult:
     remaining_service: Curve
 
 
-def gpc(alpha: Curve, beta: Curve) -> GpcResult:
+def gpc(
+    alpha: Curve, beta: Curve, backend: Optional[str] = None
+) -> GpcResult:
     """Analyse one greedy processing component.
 
     Args:
         alpha: Upper arrival curve of the input stream.
         beta: Lower service curve of the resource.
+        backend: Kernel backend override (see
+            :mod:`repro.minplus.backend`); bounds are identical under
+            both backends.
 
     Returns:
         Delay/backlog bounds and the output curves:
@@ -59,9 +64,9 @@ def gpc(alpha: Curve, beta: Curve) -> GpcResult:
             f"arrival rate {alpha.tail_rate} exceeds service rate "
             f"{beta.tail_rate}; component overloaded"
         )
-    delay = horizontal_deviation(alpha, beta)
+    delay = horizontal_deviation(alpha, beta, backend=backend)
     backlog = vertical_deviation(alpha, beta)
-    output = min_plus_deconv(alpha, beta, on_dip="fill")
+    output = min_plus_deconv(alpha, beta, on_dip="fill", backend=backend)
     remaining = (beta - alpha).running_max().nonneg()
     return GpcResult(
         delay=delay,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro._numeric import Q, is_inf
 from repro.errors import AnalysisError
@@ -32,7 +32,9 @@ class ChainResult:
     end_to_end_delay: Fraction
 
 
-def end_to_end_service(betas: Sequence[Curve]) -> Curve:
+def end_to_end_service(
+    betas: Sequence[Curve], backend: Optional[str] = None
+) -> Curve:
     """The service curve of a tandem of resources: min-plus convolution.
 
     A flow traversing resources with lower service curves ``beta_1 ...
@@ -43,11 +45,13 @@ def end_to_end_service(betas: Sequence[Curve]) -> Curve:
         raise AnalysisError("end_to_end_service needs at least one curve")
     acc = betas[0]
     for b in betas[1:]:
-        acc = min_plus_conv(acc, b, on_dip="raise")
+        acc = min_plus_conv(acc, b, on_dip="raise", backend=backend)
     return acc
 
 
-def chain_analysis(alpha: Curve, betas: Sequence[Curve]) -> ChainResult:
+def chain_analysis(
+    alpha: Curve, betas: Sequence[Curve], backend: Optional[str] = None
+) -> ChainResult:
     """Analyse a flow through a chain of greedy components.
 
     Args:
@@ -62,14 +66,14 @@ def chain_analysis(alpha: Curve, betas: Sequence[Curve]) -> ChainResult:
     current = alpha
     total = Q(0)
     for beta in betas:
-        result = gpc(current, beta)
+        result = gpc(current, beta, backend=backend)
         if is_inf(result.delay):
             raise AnalysisError("a hop has an infinite delay bound")
         hops.append(result)
         total += result.delay
         current = result.output_arrival
-    e2e_beta = end_to_end_service(betas)
-    e2e = horizontal_deviation(alpha, e2e_beta)
+    e2e_beta = end_to_end_service(betas, backend=backend)
+    e2e = horizontal_deviation(alpha, e2e_beta, backend=backend)
     if is_inf(e2e):
         raise AnalysisError("end-to-end deviation is infinite")
     return ChainResult(hops=hops, sum_of_delays=total, end_to_end_delay=e2e)

@@ -44,6 +44,8 @@ from repro.drt.model import DRTTask
 from repro.drt.request import RequestTuple, rbf_curve, request_frontier
 from repro.drt.validate import validate_task
 from repro.errors import AnalysisError, UnboundedBusyWindowError
+from repro.minplus import backend as backend_mod
+from repro.minplus import kernels
 from repro.minplus.curve import Curve
 from repro.minplus.deviation import lower_pseudo_inverse_batch
 
@@ -72,6 +74,7 @@ def edf_structural_delays(
     initial_horizon: Optional[NumLike] = None,
     max_iterations: int = 40,
     reuse: bool = True,
+    backend: Optional[str] = None,
 ) -> EdfDelayResult:
     """Per-job-type delay bounds under preemptive EDF.
 
@@ -86,6 +89,9 @@ def edf_structural_delays(
             explorer (default).  ``False`` re-explores every task from
             scratch — the historical cost model the benchmarks compare
             against.
+        backend: Kernel backend override (see :mod:`repro.minplus.backend`);
+            ``"hybrid"`` screens the per-vertex delay maximisation and
+            returns identical bounds.
 
     Raises:
         ValidationError: if a task does not have constrained deadlines.
@@ -169,15 +175,35 @@ def edf_structural_delays(
                     anchors.append(a)
             for a in anchors:
                 queries.append((tup, a, tup.work + interference_at(base + a)))
-        invs = lower_pseudo_inverse_batch(beta, [q[2] for q in queries])
-        for (tup, a, demand), inv in zip(queries, invs):
-            if is_inf(inv):
+        screened = None
+        if backend_mod.resolve_backend(backend) == "hybrid":
+            names = list(task.job_names)
+            group_of = {v: i for i, v in enumerate(names)}
+            screened = kernels.screened_pinv_delay_groups(
+                beta,
+                [tup.time + a for tup, a, _ in queries],
+                [demand for _, _, demand in queries],
+                [group_of[tup.vertex] for tup, _, _ in queries],
+                len(names),
+            )
+        if screened is not None:
+            inf_idx, results = screened
+            if inf_idx is not None:
                 raise UnboundedBusyWindowError(
-                    f"service never provides {demand} units"
+                    f"service never provides {queries[inf_idx][2]} units"
                 )
-            d = inv - tup.time - a
-            if d > delays[tup.vertex]:
-                delays[tup.vertex] = d
+            for v, (best, _) in zip(names, results):
+                delays[v] = best
+        else:
+            invs = lower_pseudo_inverse_batch(beta, [q[2] for q in queries])
+            for (tup, a, demand), inv in zip(queries, invs):
+                if is_inf(inv):
+                    raise UnboundedBusyWindowError(
+                        f"service never provides {demand} units"
+                    )
+                d = inv - tup.time - a
+                if d > delays[tup.vertex]:
+                    delays[tup.vertex] = d
         job_delays[task.name] = delays
         for v, d in delays.items():
             if d > task.deadline(v):

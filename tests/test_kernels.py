@@ -1,0 +1,194 @@
+"""Property tests for the vectorized kernel backend (hybrid == exact).
+
+The ``hybrid`` backend may only *screen*: every final artefact — curves,
+bounds, tie-breaking, raised exceptions — must be bit-identical to the
+pure-``Fraction`` ``exact`` backend.  These tests drive both backends
+over random curves/tasks and assert full equality, plus directed cases
+for the one-ulp ties that force the certified intervals to overlap and
+the nested-phase accounting of ``repro.perf``.
+"""
+
+import copy
+import time
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro._numeric import Q, is_inf
+from repro.core.facade import StructuralAnalysis
+from repro.minplus import (
+    horizontal_deviation,
+    min_plus_conv,
+    min_plus_deconv,
+    use_backend,
+)
+from repro.minplus import kernels
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import lower_pseudo_inverse_batch
+from repro.minplus.segment import Segment
+
+from .conftest import monotone_curves, service_curves, small_drt_tasks
+
+pytestmark = pytest.mark.skipif(
+    not kernels.AVAILABLE, reason="hybrid backend needs numpy"
+)
+
+
+def _both(fn):
+    """Run ``fn`` under both backends; capture result or exception."""
+    try:
+        with use_backend("exact"):
+            exact = ("ok", fn())
+    except Exception as exc:
+        exact = ("err", type(exc), str(exc))
+    kernels.op_cache_clear()
+    try:
+        with use_backend("hybrid"):
+            hybrid = ("ok", fn())
+    except Exception as exc:
+        hybrid = ("err", type(exc), str(exc))
+    return exact, hybrid
+
+
+class TestHybridEqualsExact:
+    @settings(max_examples=60, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves(),
+           on_dip=st.sampled_from(["fill", "raise"]))
+    def test_conv(self, f, g, on_dip):
+        exact, hybrid = _both(lambda: min_plus_conv(f, g, on_dip=on_dip))
+        assert exact == hybrid
+
+    @settings(max_examples=60, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves(),
+           on_dip=st.sampled_from(["fill", "raise"]))
+    def test_deconv(self, f, g, on_dip):
+        if f.tail_rate > g.tail_rate:
+            f, g = g, f
+        exact, hybrid = _both(
+            lambda: min_plus_deconv(f, g, on_dip=on_dip)
+        )
+        assert exact == hybrid
+
+    @settings(max_examples=60, deadline=None)
+    @given(f=monotone_curves(), g=service_curves())
+    def test_horizontal_deviation(self, f, g):
+        exact, hybrid = _both(lambda: horizontal_deviation(f, g))
+        assert exact == hybrid
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        beta=service_curves(),
+        works=st.lists(
+            st.fractions(min_value=F(0), max_value=F(80), max_denominator=16),
+            min_size=1,
+            max_size=12,
+        ),
+        offsets_seed=st.integers(min_value=0, max_value=7),
+    )
+    def test_pinv_batch_screen(self, beta, works, offsets_seed):
+        """The screened group maximisation replays the exact loop."""
+        n_groups = 3
+        offsets = [Q((i * offsets_seed) % 5) for i in range(len(works))]
+        gids = [i % n_groups for i in range(len(works))]
+        screened = kernels.screened_pinv_delay_groups(
+            beta, offsets, works, gids, n_groups
+        )
+        assume(screened is not None)
+        inf_idx, results = screened
+        # Exact mirror: first unreachable work in query order, then
+        # strict-improvement maxima from 0 with first-attainer indices.
+        invs = lower_pseudo_inverse_batch(beta, works)
+        exact_inf = next(
+            (i for i, inv in enumerate(invs) if is_inf(inv)), None
+        )
+        assert inf_idx == exact_inf
+        if exact_inf is None:
+            best = [(Q(0), None)] * n_groups
+            for i, (off, g, inv) in enumerate(zip(offsets, gids, invs)):
+                d = inv - off
+                if d > best[g][0]:
+                    best[g] = (d, i)
+            assert results == best
+
+    @settings(max_examples=25, deadline=None)
+    @given(task=small_drt_tasks(), beta=service_curves())
+    def test_delay_bound_facade(self, task, beta):
+        """End-to-end: delay/per-job/backlog identical across backends."""
+        def run(t, backend):
+            a = StructuralAnalysis(t, beta, backend=backend)
+            return (a.delay(), a.per_job(), a.backlog())
+
+        # Deep copies so the per-task analysis caches cannot leak
+        # results from one backend's run into the other's.
+        exact, hybrid = _both(
+            lambda: run(copy.deepcopy(task), None)
+        )
+        with use_backend("exact"):
+            try:
+                want = ("ok", run(copy.deepcopy(task), "exact"))
+            except Exception as exc:
+                want = ("err", type(exc), str(exc))
+        assert exact == want
+        assert hybrid == exact
+
+
+class TestUlpTieFallback:
+    def test_one_ulp_tie_falls_back_to_exact(self):
+        """Works one ulp apart defeat the float screen; the exact path
+        must settle the maximum (and be counted doing so)."""
+        beta = Curve([Segment(F(0), F(0), F(1))])
+        w = F(1, 3)
+        tie = w + F(1, 2**60)  # float(w) == float(tie)
+        offsets = [Q(0), Q(0)]
+        works = [w, tie]
+        perf.reset()
+        screened = kernels.screened_pinv_delay_groups(
+            beta, offsets, works, [0, 0], 1
+        )
+        assert screened is not None
+        inf_idx, results = screened
+        assert inf_idx is None
+        # beta^-1 is the identity here; the later, one-ulp-larger work
+        # wins strictly — only exact arithmetic can see that.
+        assert results == [(tie, 1)]
+        assert perf.counters().get("kernel.exact_fallbacks", 0) > 0
+
+    def test_conv_with_ulp_close_values_stays_exact(self):
+        eps = F(1, 2**58)
+        f = Curve([Segment(F(0), F(0), F(1)), Segment(F(2), F(2) + eps, F(0))])
+        g = Curve([Segment(F(0), F(0), F(1)), Segment(F(2), F(2), F(0))])
+        exact, hybrid = _both(lambda: min_plus_conv(f, g, on_dip="fill"))
+        assert exact[0] == "ok"
+        assert exact == hybrid
+
+
+class TestTimedNestedPhases:
+    def test_child_time_attributed_to_innermost(self):
+        reg = perf.PerfRegistry()
+        with reg.timed("outer"):
+            time.sleep(0.02)
+            with reg.timed("inner"):
+                time.sleep(0.06)
+            time.sleep(0.01)
+        timers = reg.timers()
+        assert timers["inner"] >= 0.06
+        # The outer phase books only its own ~0.03s, not the child's.
+        assert 0.03 <= timers["outer"] < 0.06
+
+    def test_reentrant_same_phase_counts_once(self):
+        reg = perf.PerfRegistry()
+        with reg.timed("phase"):
+            with reg.timed("phase"):
+                time.sleep(0.04)
+        assert 0.04 <= reg.timers()["phase"] < 0.08
+
+    def test_sequential_phases_unchanged(self):
+        reg = perf.PerfRegistry()
+        with reg.timed("a"):
+            time.sleep(0.01)
+        with reg.timed("a"):
+            time.sleep(0.01)
+        assert reg.timers()["a"] >= 0.02

@@ -73,6 +73,52 @@ instead of recomputing its inputs privately:
   busy-window/frontier/delay phases; `perf.report()` renders a summary.
 """
 
+KERNEL_BACKENDS_SECTION = """\
+## Kernel backends
+
+The min-plus operations run on one of two backends selected by
+`repro.minplus.backend` (explicit `backend=` keyword > `set_backend` /
+`use_backend` override > `REPRO_BACKEND` environment variable > default,
+which is `hybrid` when NumPy is importable and `exact` otherwise; the CLI
+exposes `--backend {exact,hybrid}`):
+
+- **`exact`** — the pure-`fractions.Fraction` pairwise-segment
+  algorithms, bit-identical to every release before the kernel layer.
+- **`hybrid`** — the same exact algorithms steered by the vectorized
+  float64 screens of `repro.minplus.kernels`.  Final results (curves,
+  bounds, critical tuples, raised exceptions) are **identical** to
+  `exact`: the screens never decide an outcome, they only skip work
+  whose outcome is already certified.
+
+**Lowering format.**  A `Curve` lowers once into packed breakpoint
+arrays — segment starts, start values, slopes, and segment-end values as
+*pairs* of float64 arrays (a certified lower and upper bound per
+coordinate) plus exact tail metadata (tail-rate sign, exact
+monotonicity flag).  Lowerings are cached per curve object and shared
+across structurally equal curves through the fingerprint-keyed
+interning table (`Curve.fingerprint()` / `Curve.interned()`, counter
+`curve.intern_hits`).
+
+**Outward-rounding certificate.**  `float(Fraction)` rounds to nearest,
+so the exact value lies within one ulp; every lowered coordinate is
+widened one `nextafter` step in each direction, and every derived float
+operation re-widens its result outward.  Each screened quantity is
+therefore an interval `[lo, hi]` that provably contains the exact
+rational value — lower curves rounded down, upper curves rounded up.
+
+**Fallback rules.**  A screen settles a decision only when the
+certified intervals *strictly* separate: a comparison whose intervals
+overlap, a pseudo-inverse whose feasibility the floats cannot decide,
+or an extremum with more than one surviving candidate falls back to the
+exact `Fraction` path for just those queries (counters
+`kernel.screen_hits` vs `kernel.exact_fallbacks`).  Domination pruning
+in convolution/deconvolution only drops a segment pair when its pieces
+are certified *strictly* above (below) a sound envelope bound, so the
+computed curve is unchanged.  Whole operations are additionally
+memoized on curve fingerprints (`kernel.memo_hits`); without NumPy every
+resolution collapses to `exact`.
+"""
+
 
 def render() -> str:
     lines = [
@@ -82,6 +128,7 @@ def render() -> str:
         "One line per public item (`__all__`) of every module.",
         "",
         PERFORMANCE_SECTION,
+        KERNEL_BACKENDS_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
         public = getattr(module, "__all__", None)
