@@ -12,18 +12,21 @@ engine:
   ``benchmarks/out/BENCH_<experiment>.json`` (timings, speedups, perf
   counters) so successive PRs can be compared mechanically;
 * :func:`parallel_map` fans independent random-instance sweeps across
-  worker processes with :mod:`concurrent.futures` — every instance of a
-  sweep is analysed in its own process (its own analysis caches), so
-  parallelism can never leak exploration state between instances.
+  worker processes through the library's own execution plane
+  (:mod:`repro.parallel`), with per-instance cache isolation
+  (``fresh_caches=True``): every instance is analysed with pristine
+  process-local caches, so parallelism can never leak exploration state
+  between instances.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
 from fractions import Fraction
 from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.parallel import parallel_map as _plane_map
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -53,19 +56,20 @@ def parallel_map(
 ) -> List:
     """``[fn(item) for item in items]`` across worker processes.
 
-    Results keep the order of *items*.  Falls back to the serial loop
-    when only one worker is available or the pool cannot start (e.g.
-    restricted sandboxes), so benchmarks never fail on parallelism.
+    A thin veneer over :func:`repro.parallel.parallel_map` that keeps
+    the historical ``max_workers=None`` = one-per-CPU default and always
+    requests ``fresh_caches=True``: every sweep instance is analysed
+    with pristine process-local caches, so results never depend on which
+    instances happened to share a worker.  Results keep the order of
+    *items*; pools that cannot start degrade to the serial loop inside
+    the plane itself.
     """
-    if max_workers is None:
-        max_workers = min(len(items), os.cpu_count() or 1)
-    if max_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, items))
-    except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
-        return [fn(item) for item in items]
+    return _plane_map(
+        fn,
+        items,
+        jobs="auto" if max_workers is None else max_workers,
+        fresh_caches=True,
+    )
 
 
 def sensitivity_suite(task, beta, reuse: bool) -> dict:

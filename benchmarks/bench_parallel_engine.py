@@ -1,0 +1,179 @@
+"""Benchmark of the parallel analysis engine + persistent result cache.
+
+Runs two representative multi-case sweeps — E13-style cross-policy set
+analyses (SP + EDF structural delays per random task set) and
+Fig. 5-style acceptance cells — through :func:`repro.parallel.parallel_map`
+in three modes:
+
+* **cold serial**: persistent cache off, ``jobs=1`` — the historical
+  cost model;
+* **cold jobs=4**: an empty on-disk cache, four worker processes — the
+  fan-out path populating the cache;
+* **warm jobs=4**: the now-populated cache, four workers — the engine's
+  steady state, where every whole-set analysis is served from disk.
+
+All three modes must agree bit-for-bit (exact Fraction equality of every
+``SpResult``/``EdfDelayResult``).  Every mode runs with per-case cache
+isolation (``fresh_caches=True``), so process-local memo state never
+leaks between cases and the warm-mode gain is attributable to the
+persistent cache alone.
+
+Gates (full mode):
+
+* warm jobs=4 vs cold jobs=4: >= 5x (pure persistent-cache effect at
+  the same worker count);
+* warm jobs=4 vs cold serial: >= 3x (engine steady state at 4 workers
+  against the historical serial cold run).
+
+``cpu_count`` is recorded in the JSON: on single-core runners the cold
+jobs=4 mode cannot beat serial (no parallel hardware), so the committed
+speedups deliberately gate the steady state, not the cold fan-out; the
+per-mode wall-clocks are all present for machines with real cores.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, the CI job) runs a reduced Fig. 5
+sweep cold-then-warm and asserts the warm re-run is >= 5x faster; it
+does not rewrite the committed JSON.
+"""
+
+import os
+import random
+import shutil
+import tempfile
+import time
+from fractions import Fraction as F
+
+from repro.minplus.builders import rate_latency
+from repro.parallel import cache as result_cache
+from repro.parallel import parallel_map
+from repro.sched.edf_delay import edf_structural_delays
+from repro.sched.sp import sp_schedulable
+from repro.workloads.random_drt import RandomDrtConfig, random_task_set
+
+from _harness import report, write_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+E13_SEEDS = list(range(3)) if SMOKE else list(range(6))
+FIG5_UTILS = [(4, 10), (6, 10)] if SMOKE else [(2, 10), (4, 10), (6, 10), (8, 10)]
+FIG5_SEEDS = list(range(2)) if SMOKE else list(range(4))
+MIN_WARM_SPEEDUP = 5.0
+MIN_JOBS4_SPEEDUP = 3.0
+JOBS = 4
+
+
+def _e13_case(seed: int):
+    """One cross-policy set analysis (SP + EDF bounds; both cached)."""
+    cfg = RandomDrtConfig(
+        vertices=4,
+        branching=2.0,
+        separation_range=(10, 50),
+        deadline_factor=F(1),
+    )
+    rng = random.Random(seed)
+    tasks = random_task_set(rng, 2, F(5, 10), cfg)
+    beta = rate_latency(1, 2)
+    return (
+        sp_schedulable(tasks, beta),
+        edf_structural_delays(tasks, beta),
+    )
+
+
+def _fig5_cell(spec):
+    """One acceptance cell: both structural verdicts for one set."""
+    util_num, util_den, seed = spec
+    cfg = RandomDrtConfig(
+        vertices=5,
+        branching=2.0,
+        separation_range=(10, 60),
+        deadline_factor=F(1),
+    )
+    rng = random.Random(seed)
+    tasks = random_task_set(rng, 2, F(util_num, util_den), cfg)
+    beta = rate_latency(1, 0)
+    sp = sp_schedulable(tasks, beta)
+    edf = edf_structural_delays(tasks, beta)
+    return (sp.schedulable, sp.job_delays, edf.schedulable, edf.job_delays)
+
+
+def _sweep(fn, items, jobs):
+    t0 = time.perf_counter()
+    results = parallel_map(fn, items, jobs=jobs, fresh_caches=True)
+    return time.perf_counter() - t0, results
+
+
+def _run_modes(fn, items, cache_dir):
+    """The three benchmark modes over one sweep; asserts bit-identity."""
+    result_cache.configure(None)
+    t_serial, r_serial = _sweep(fn, items, jobs=1)
+    assert result_cache.configure(cache_dir), "bench cache dir must be usable"
+    t_cold4, r_cold4 = _sweep(fn, items, jobs=JOBS)
+    t_warm4, r_warm4 = _sweep(fn, items, jobs=JOBS)
+    result_cache.configure(None)
+    assert r_serial == r_cold4 == r_warm4, "mode changed an analysis result"
+    return {
+        "cases": len(items),
+        "cold_serial_s": t_serial,
+        "cold_jobs4_s": t_cold4,
+        "warm_jobs4_s": t_warm4,
+        "warm_speedup_vs_cold_jobs4": t_cold4 / t_warm4,
+        "steady_speedup_vs_cold_serial": t_serial / t_warm4,
+        "bit_identical": True,
+    }
+
+
+def test_bench_parallel_engine():
+    """Cold/warm, serial/fan-out sweeps; identical bounds; speedup gates."""
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        sweeps = {}
+        if not SMOKE:
+            sweeps["e13_sets"] = _run_modes(
+                _e13_case, E13_SEEDS, os.path.join(cache_root, "e13")
+            )
+        sweeps["fig5_acceptance"] = _run_modes(
+            _fig5_cell,
+            [(n, d, s) for n, d in FIG5_UTILS for s in FIG5_SEEDS],
+            os.path.join(cache_root, "fig5"),
+        )
+    finally:
+        result_cache.configure(None)
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    report(
+        "parallel_engine",
+        "parallel engine: cold/warm sweeps (identical bounds)",
+        ["sweep", "cases", "cold 1w s", "cold 4w s", "warm 4w s",
+         "warm/cold4", "steady/serial"],
+        [
+            [name, s["cases"], s["cold_serial_s"], s["cold_jobs4_s"],
+             s["warm_jobs4_s"],
+             f"{s['warm_speedup_vs_cold_jobs4']:.1f}x",
+             f"{s['steady_speedup_vs_cold_serial']:.1f}x"]
+            for name, s in sweeps.items()
+        ],
+    )
+
+    for name, s in sweeps.items():
+        assert s["warm_speedup_vs_cold_jobs4"] >= MIN_WARM_SPEEDUP, (
+            f"{name}: warm cache {s['warm_speedup_vs_cold_jobs4']:.1f}x "
+            f"< required {MIN_WARM_SPEEDUP}x"
+        )
+    if SMOKE:
+        return
+    for name, s in sweeps.items():
+        assert s["steady_speedup_vs_cold_serial"] >= MIN_JOBS4_SPEEDUP, (
+            f"{name}: steady state at {JOBS} workers "
+            f"{s['steady_speedup_vs_cold_serial']:.1f}x "
+            f"< required {MIN_JOBS4_SPEEDUP}x"
+        )
+    write_json(
+        "parallel_engine",
+        {
+            "suite": "parallel analysis engine + persistent result cache "
+                     "(E13-style sets, Fig.5-style acceptance cells)",
+            "jobs": JOBS,
+            "cpu_count": os.cpu_count(),
+            "min_required_warm_speedup": MIN_WARM_SPEEDUP,
+            "min_required_steady_speedup": MIN_JOBS4_SPEEDUP,
+            "sweeps": sweeps,
+        },
+    )

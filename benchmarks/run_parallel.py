@@ -4,11 +4,12 @@ The heavyweight experiments are embarrassingly parallel across random
 instances: E3's runtime/speedup cases, E6's soundness-bracket
 validation, E13's cross-policy grand validation and Fig. 5's acceptance
 sweeps each analyse independent random tasks/sets.  This driver fans
-that per-instance work across worker processes with
-:func:`_harness.parallel_map` — every instance runs in its own process
-with its own analysis caches, so parallelism cannot leak incremental
-exploration state between instances — and writes one machine-readable
-summary to ``benchmarks/out/BENCH_parallel_sweeps.json``.
+that per-instance work across worker processes through the library's
+own execution plane (:func:`_harness.parallel_map` delegates to
+:mod:`repro.parallel` with per-instance cache isolation, so parallelism
+cannot leak incremental exploration state between instances) and writes
+one machine-readable summary to
+``benchmarks/out/BENCH_parallel_sweeps.json``.
 
 Run with::
 

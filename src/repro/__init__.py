@@ -23,7 +23,8 @@ The public API re-exports the main entry points of each subpackage;
 import the subpackages directly for the full surface
 (:mod:`repro.minplus`, :mod:`repro.curves`, :mod:`repro.drt`,
 :mod:`repro.core`, :mod:`repro.rtc`, :mod:`repro.sched`,
-:mod:`repro.sim`, :mod:`repro.workloads`, :mod:`repro.io`).
+:mod:`repro.sim`, :mod:`repro.workloads`, :mod:`repro.io`,
+:mod:`repro.parallel`).
 """
 
 from repro._numeric import INF, Q
@@ -77,13 +78,22 @@ from repro.core import (
 from repro.core.baselines import concave_hull_delay, token_bucket_delay
 from repro.core import (
     StructuralAnalysis,
+    TaskAnalysisSummary,
+    analyze_many,
     structural_backlog,
     output_arrival_curve,
     min_service_rate,
+    min_service_rates,
     max_service_latency,
     max_wcet_scale,
 )
-from repro.rtc import chain_analysis, gpc
+from repro.parallel import (
+    configure_cache,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.rtc import analyze_chains, chain_analysis, gpc
 from repro.sched import edf_schedulable, edf_structural_delays, sp_schedulable
 from repro.sim import (
     ConstantRate,
@@ -142,15 +152,23 @@ __all__ = [
     "token_bucket_delay",
     "concave_hull_delay",
     "StructuralAnalysis",
+    "TaskAnalysisSummary",
+    "analyze_many",
     "structural_backlog",
     "output_arrival_curve",
     "min_service_rate",
+    "min_service_rates",
     "max_service_latency",
     "max_wcet_scale",
     "leftover_service",
     "sp_structural_delays",
     "fifo_rtc_delay",
+    "configure_cache",
+    "parallel_map",
+    "resolve_jobs",
+    "set_default_jobs",
     "gpc",
+    "analyze_chains",
     "chain_analysis",
     "edf_schedulable",
     "edf_structural_delays",

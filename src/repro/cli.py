@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from fractions import Fraction
 
 from repro._numeric import Q
@@ -26,6 +27,8 @@ from repro.errors import ReproError, UnboundedBusyWindowError
 from repro.io.dot import task_to_dot
 from repro.io.json_io import load_task
 from repro.minplus import backend as backend_mod
+from repro.parallel import cache as result_cache
+from repro.parallel import plane
 
 __all__ = ["main"]
 
@@ -70,6 +73,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "fallback; identical results, default when numpy is available)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        help=(
+            "worker processes for fan-out analyses ('auto' = one per "
+            "CPU; default: REPRO_JOBS or serial); results are "
+            "bit-identical to serial runs"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persistent result cache directory (default: REPRO_CACHE_DIR "
+            "or off); an unwritable directory falls back to an in-memory "
+            "cache with a warning"
+        ),
+    )
     return parser
 
 
@@ -79,6 +100,22 @@ def main(argv=None) -> int:
     try:
         if args.backend:
             backend_mod.set_backend(args.backend)
+        if args.jobs:
+            try:
+                plane.set_default_jobs(args.jobs)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        if args.cache_dir:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result_cache.configure(args.cache_dir)
+            for w in caught:
+                print(f"warning: {w.message}", file=sys.stderr)
+        print(
+            f"engine: backend={backend_mod.get_backend()} "
+            f"jobs={plane.resolve_jobs()} cache={result_cache.describe()}"
+        )
         task = load_task(args.task)
         if args.tdma_slot:
             if not args.tdma_frame:

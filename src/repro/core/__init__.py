@@ -25,12 +25,17 @@ from repro.core.baselines import (
 )
 from repro.core.backlog import BacklogResult, structural_backlog
 from repro.core.context import AnalysisContext
-from repro.core.facade import StructuralAnalysis
+from repro.core.facade import (
+    StructuralAnalysis,
+    TaskAnalysisSummary,
+    analyze_many,
+)
 from repro.core.output import output_arrival_curve
 from repro.core.sensitivity import (
     max_service_latency,
     max_wcet_scale,
     min_service_rate,
+    min_service_rates,
 )
 from repro.core.multi import (
     leftover_service,
@@ -57,11 +62,14 @@ __all__ = [
     "fifo_rtc_delay",
     "aggregate_rbf",
     "StructuralAnalysis",
+    "TaskAnalysisSummary",
+    "analyze_many",
     "AnalysisContext",
     "BacklogResult",
     "structural_backlog",
     "output_arrival_curve",
     "min_service_rate",
+    "min_service_rates",
     "max_service_latency",
     "max_wcet_scale",
 ]

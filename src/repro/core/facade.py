@@ -16,13 +16,20 @@ derived results per instance::
     analysis.output_curve()      # departures for the next hop
     analysis.baselines()         # the abstraction spectrum
     analysis.report()            # human-readable summary
+
+Batch workloads — analysing many tasks against one service curve — go
+through :func:`analyze_many`, which fans the independent per-task
+analyses out over the :mod:`repro.parallel` execution plane and returns
+one pickle-friendly :class:`TaskAnalysisSummary` per task, in input
+order, bit-identical to a serial loop.
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro._numeric import Q, NumLike
 from repro.core.backlog import BacklogResult, structural_backlog
@@ -44,8 +51,9 @@ from repro.drt.paths import Path
 from repro.errors import UnboundedBusyWindowError
 from repro.minplus import backend as backend_mod
 from repro.minplus.curve import Curve
+from repro.parallel.plane import JobsLike, parallel_map
 
-__all__ = ["StructuralAnalysis"]
+__all__ = ["StructuralAnalysis", "TaskAnalysisSummary", "analyze_many"]
 
 
 class StructuralAnalysis:
@@ -205,3 +213,80 @@ class StructuralAnalysis:
                 "witness path: " + " -> ".join(witness.vertices)
             )
         return "\n".join(lines)
+
+    def summary(self) -> "TaskAnalysisSummary":
+        """The headline bounds as one pickle-friendly record."""
+        witness = self.witness()
+        return TaskAnalysisSummary(
+            task=self.task.name,
+            delay=self.delay(),
+            backlog=self.backlog(),
+            busy_window=self.busy_window().length,
+            per_job=self.per_job(),
+            meets_deadlines=self.meets_deadlines(),
+            witness_vertices=(
+                tuple(witness.vertices) if witness is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TaskAnalysisSummary:
+    """Headline structural bounds of one task on one service curve.
+
+    Attributes:
+        task: Task name.
+        delay: Worst-case delay of any job.
+        backlog: Worst-case buffered work.
+        busy_window: Busy-window length bound.
+        per_job: ``{job: delay bound}``.
+        meets_deadlines: True iff every per-job bound is within its own
+            relative deadline.
+        witness_vertices: Vertex sequence of a delay-realising path, or
+            None when no job is delayed.
+    """
+
+    task: str
+    delay: Fraction
+    backlog: Fraction
+    busy_window: Fraction
+    per_job: Dict[str, Fraction]
+    meets_deadlines: bool
+    witness_vertices: Optional[tuple]
+
+
+def _analyze_one(item) -> TaskAnalysisSummary:
+    """One task's full summary (module-level: ships to plane workers)."""
+    task, beta, initial_horizon, backend = item
+    return StructuralAnalysis(
+        task, beta, initial_horizon=initial_horizon, backend=backend
+    ).summary()
+
+
+def analyze_many(
+    tasks: Sequence[DRTTask],
+    beta: Curve,
+    initial_horizon: Optional[NumLike] = None,
+    backend: Optional[str] = None,
+    jobs: JobsLike = None,
+) -> List[TaskAnalysisSummary]:
+    """Analyse many independent tasks against one service curve.
+
+    Args:
+        tasks: The structural workloads (analysed independently — no
+            interference between them; use the scheduling analyses for
+            shared-resource semantics).
+        beta: Lower service curve each task is analysed against.
+        initial_horizon: Optional starting horizon for the fixpoints.
+        backend: Kernel backend override applied to every analysis.
+        jobs: Fan the per-task analyses out over worker processes
+            (``REPRO_JOBS``/serial by default).  Summaries come back in
+            input order and are bit-identical to a serial run; the first
+            failing task's error (in input order) is raised, as a serial
+            loop would.
+
+    Returns:
+        One :class:`TaskAnalysisSummary` per task, in input order.
+    """
+    items = [(task, beta, initial_horizon, backend) for task in tasks]
+    return parallel_map(_analyze_one, items, jobs=jobs)

@@ -20,7 +20,7 @@ analysis run.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro._numeric import Q, NumLike, as_q
 from repro.core.delay import structural_delay
@@ -29,8 +29,14 @@ from repro.drt.transform import scale_wcets
 from repro.drt.utilization import utilization
 from repro.errors import AnalysisError, UnboundedBusyWindowError
 from repro.minplus.builders import rate_latency
+from repro.parallel.plane import JobsLike, parallel_map
 
-__all__ = ["min_service_rate", "max_service_latency", "max_wcet_scale"]
+__all__ = [
+    "min_service_rate",
+    "min_service_rates",
+    "max_service_latency",
+    "max_wcet_scale",
+]
 
 
 def _meets(task: DRTTask, rate: Q, latency: Q, budget: Q) -> bool:
@@ -82,6 +88,33 @@ def min_service_rate(
         else:
             lo = mid
     return hi
+
+
+def _rate_case(item) -> Fraction:
+    task, latency, delay_budget, precision, max_rate = item
+    return min_service_rate(task, latency, delay_budget, precision, max_rate)
+
+
+def min_service_rates(
+    tasks: Sequence[DRTTask],
+    latency: NumLike,
+    delay_budget: NumLike,
+    precision: NumLike = Q(1, 128),
+    max_rate: NumLike = 1,
+    jobs: JobsLike = None,
+) -> List[Fraction]:
+    """:func:`min_service_rate` for many tasks in one call.
+
+    The per-task bisections are independent, so with ``jobs > 1`` they
+    fan out over the :mod:`repro.parallel` execution plane; rates come
+    back in input order and are bit-identical to a serial loop, and the
+    first infeasible task's :class:`AnalysisError` (in input order) is
+    raised exactly as a serial loop would raise it.
+    """
+    items = [
+        (task, latency, delay_budget, precision, max_rate) for task in tasks
+    ]
+    return parallel_map(_rate_case, items, jobs=jobs)
 
 
 def max_service_latency(

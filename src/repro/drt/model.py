@@ -188,6 +188,20 @@ class DRTTask:
 
         return any(colors.get(v, 0) == 0 and visit(v) for v in self._jobs)
 
+    def __reduce__(self):
+        """Pickle as the task definition alone (name, jobs, edges).
+
+        The analysis cache — contexts, shared frontier explorers,
+        memoized derived quantities — is process-local state that can be
+        arbitrarily large and holds no information the receiving process
+        cannot recompute (or fetch from the persistent result cache), so
+        a worker unpickles a task with an empty cache.  Job and edge
+        order is preserved exactly: exploration tie-breaking follows
+        insertion order, so a pickled copy reproduces bit-identical
+        analysis results including reported critical tuples.
+        """
+        return (DRTTask, (self.name, list(self._jobs.values()), list(self._edges)))
+
     def __repr__(self) -> str:
         return (
             f"DRTTask({self.name!r}, jobs={len(self._jobs)}, "

@@ -14,6 +14,7 @@ Curves are immutable.  All operations return new, normalized curves.
 from __future__ import annotations
 
 import bisect
+import hashlib
 from collections import OrderedDict
 from fractions import Fraction
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -45,7 +46,7 @@ class Curve:
             starts are not strictly increasing.
     """
 
-    __slots__ = ("_segments", "_starts", "_fp", "_lowered")
+    __slots__ = ("_segments", "_starts", "_fp", "_digest", "_lowered")
 
     def __init__(self, segments: Iterable[Segment]):
         segs = _normalize(list(segments))
@@ -58,6 +59,7 @@ class Curve:
         self._segments: Tuple[Segment, ...] = tuple(segs)
         self._starts: List[Q] = [s.start for s in segs]
         self._fp: Optional[int] = None
+        self._digest: Optional[str] = None
         self._lowered = None  # kernel-backend lowering cache (see kernels.py)
 
     # ------------------------------------------------------------------
@@ -358,6 +360,37 @@ class Curve:
             self._fp = fp
         return fp
 
+    def digest(self) -> str:
+        """Stable hex content digest of the normalized segments (cached).
+
+        Unlike :meth:`fingerprint` — a Python ``hash`` meant for
+        in-process dict keys — the digest is a SHA-256 over the exact
+        decimal encoding of every coordinate, so it is stable across
+        processes, Python versions and hash seeds.  It is what the
+        persistent result cache (:mod:`repro.parallel.cache`) keys disk
+        entries by.
+        """
+        dg = self._digest
+        if dg is None:
+            h = hashlib.sha256()
+            for s in self._segments:
+                h.update(f"{s.start}|{s.value}|{s.slope};".encode("ascii"))
+            dg = h.hexdigest()
+            self._digest = dg
+        return dg
+
+    def __reduce__(self):
+        """Pickle as the bare segment tuple.
+
+        Unpickling rebuilds the curve and re-interns it, so every copy a
+        worker process receives maps back to one canonical object per
+        structure — sharing the cached fingerprint and the kernel
+        backend's lowered arrays instead of re-deriving them per copy.
+        Derived state (``_fp``, ``_digest``, ``_lowered``) is therefore
+        deliberately not shipped.
+        """
+        return (_unpickle_curve, (self._segments,))
+
     def interned(self) -> "Curve":
         """The canonical representative of this curve's structure.
 
@@ -412,6 +445,22 @@ class Curve:
                 f"  [{s.start}, {end}): f(t) = {s.value} + {s.slope}*(t - {s.start})"
             )
         return "\n".join(lines)
+
+
+def _unpickle_curve(segments: Tuple[Segment, ...]) -> Curve:
+    """Rebuild a pickled curve and map it onto the canonical interned
+    representative of its structure (see :meth:`Curve.__reduce__`)."""
+    return Curve(segments).interned()
+
+
+def clear_intern_table() -> None:
+    """Drop every interned curve (per-process cache isolation).
+
+    Used by :func:`repro.parallel.reset_process_caches` so jobs run with
+    ``fresh_caches=True`` cannot observe lowered arrays or canonical
+    objects left behind by earlier jobs in the same worker process.
+    """
+    _intern_table.clear()
 
 
 def op_slope(op: Callable[[Q, Q], Q], sa: Q, sb: Q) -> Q:

@@ -378,8 +378,15 @@ def op_cache_put(key: tuple, value) -> None:
 
 
 def op_cache_clear() -> None:
-    """Drop every memoized operation result (benchmarks / tests)."""
+    """Drop every memoized operation result (benchmarks / tests / the
+    per-job cache isolation of :func:`repro.parallel.reset_process_caches`)."""
     _OP_CACHE.clear()
+
+
+def op_cache_stats() -> Tuple[int, int]:
+    """``(entries, capacity)`` of the operation memo — lets tests and the
+    execution plane assert that cache isolation actually emptied it."""
+    return (len(_OP_CACHE), _OP_CACHE_CAP)
 
 
 # ----------------------------------------------------------------------

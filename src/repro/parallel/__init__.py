@@ -1,0 +1,35 @@
+"""Parallel analysis engine: process fan-out + persistent result cache.
+
+Two cooperating planes accelerate bulk analyses without changing any
+result bit:
+
+* the **execution plane** (:mod:`repro.parallel.plane`) fans
+  embarrassingly parallel analysis jobs out over a process pool with
+  deterministic ordering and serial-identical exception semantics, and
+* the **persistent result cache** (:mod:`repro.parallel.cache`) stores
+  whole-analysis results on disk, content-addressed by the exact inputs,
+  so warm re-runs and sibling workers skip recomputation entirely.
+
+Entry points throughout the library accept ``jobs=`` (also the
+``REPRO_JOBS`` environment variable and the CLI's ``--jobs``); the cache
+activates via ``REPRO_CACHE_DIR``, :func:`configure_cache`, or the CLI's
+``--cache-dir``.
+"""
+
+from repro.parallel import cache
+from repro.parallel.cache import configure as configure_cache
+from repro.parallel.plane import (
+    parallel_map,
+    reset_process_caches,
+    resolve_jobs,
+    set_default_jobs,
+)
+
+__all__ = [
+    "cache",
+    "configure_cache",
+    "parallel_map",
+    "reset_process_caches",
+    "resolve_jobs",
+    "set_default_jobs",
+]

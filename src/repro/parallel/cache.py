@@ -1,0 +1,381 @@
+"""Persistent, content-addressed analysis result cache.
+
+Whole-analysis results — :class:`~repro.core.delay.DelayResult`,
+per-job delay maps, :class:`~repro.core.backlog.BacklogResult`,
+:class:`~repro.sched.sp.SpResult`, :class:`~repro.sched.edf_delay.EdfDelayResult`
+— are pure functions of the task definition, the service curve, and the
+analysis parameters.  This module stores them on disk keyed by a SHA-256
+over exactly those inputs (plus the library version and the active
+kernel backend), so
+
+* a warm re-run of a sweep skips every analysis it has seen before, and
+* sibling worker processes of :mod:`repro.parallel.plane` share results
+  through the filesystem instead of recomputing them per process.
+
+Cached values are bit-identical to freshly computed ones: the key covers
+every input that influences the result, curves and tasks digest their
+exact rational coordinates (:meth:`repro.minplus.curve.Curve.digest`),
+and values round-trip through :mod:`pickle` without loss (Fractions are
+exact; curves re-intern on load).
+
+The cache is **off by default**.  It activates when the
+``REPRO_CACHE_DIR`` environment variable names a directory, when
+:func:`configure` is called (the CLI's ``--cache-dir``), or inside plane
+workers that inherit the parent's configuration.  An unwritable
+directory degrades to a bounded in-memory store with a warning — never a
+traceback.  Disk writes are atomic (temp file + ``os.replace``) and the
+directory is LRU-capped by total size (``REPRO_CACHE_MAX_BYTES``,
+default 256 MiB): stale entries are evicted oldest-access first.
+
+Layout: ``<dir>/<key[:2]>/<key>.pkl``, one pickled result per file.
+Invalidation is purely key-based — bumping the library version or
+switching backend simply addresses different entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import warnings
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro import perf
+from repro.minplus import backend as backend_mod
+
+__all__ = [
+    "configure",
+    "describe",
+    "is_enabled",
+    "active_dir",
+    "task_digest",
+    "analysis_key",
+    "get",
+    "put",
+    "get_analysis",
+    "put_analysis",
+    "clear_memory",
+    "current_config",
+    "apply_config",
+]
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+_MEMORY_CAP = 1024  # entries kept by the in-memory fallback store
+
+#: Lazily resolved state: None until first use / configure().
+_resolved = False
+_dir: Optional[str] = None
+_max_bytes = DEFAULT_MAX_BYTES
+_memory_only = False
+_memory: "dict[str, bytes]" = {}
+
+
+def _probe_dir(path: str) -> bool:
+    """True iff *path* exists (or can be created) and is writable."""
+    try:
+        os.makedirs(path, exist_ok=True)
+        with tempfile.NamedTemporaryFile(dir=path, prefix=".probe-"):
+            pass
+        return True
+    except OSError:
+        return False
+
+
+def configure(
+    cache_dir: Optional[str], max_bytes: Optional[int] = None
+) -> bool:
+    """Install the cache configuration for this process.
+
+    Args:
+        cache_dir: Directory for cached results; ``None`` disables the
+            cache entirely (and clears the in-memory fallback).
+        max_bytes: LRU size cap for the directory (default 256 MiB or
+            ``REPRO_CACHE_MAX_BYTES``).
+
+    Returns:
+        True when the on-disk cache is active; False when disabled or
+        degraded to the in-memory fallback (a :class:`RuntimeWarning` is
+        emitted for the degraded case — callers like the CLI surface it
+        without a traceback).
+    """
+    global _resolved, _dir, _max_bytes, _memory_only
+    _resolved = True
+    _memory.clear()
+    _max_bytes = _env_max_bytes() if max_bytes is None else int(max_bytes)
+    if cache_dir is None:
+        _dir = None
+        _memory_only = False
+        return False
+    if _probe_dir(cache_dir):
+        _dir = cache_dir
+        _memory_only = False
+        return True
+    _dir = None
+    _memory_only = True
+    warnings.warn(
+        f"result cache directory {cache_dir!r} is not writable; "
+        "falling back to a bounded in-memory cache",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return False
+
+
+def _env_max_bytes() -> int:
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid REPRO_CACHE_MAX_BYTES={raw!r}", RuntimeWarning
+        )
+        return DEFAULT_MAX_BYTES
+
+
+def _ensure_resolved() -> None:
+    """Adopt ``REPRO_CACHE_DIR`` on first use unless configured."""
+    global _resolved
+    if _resolved:
+        return
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        configure(env)
+    else:
+        _resolved = True
+
+
+def is_enabled() -> bool:
+    """True iff lookups/stores go anywhere (disk or memory fallback)."""
+    _ensure_resolved()
+    return _dir is not None or _memory_only
+
+
+def active_dir() -> Optional[str]:
+    """The on-disk cache directory, or None (disabled / memory-only)."""
+    _ensure_resolved()
+    return _dir
+
+
+def describe() -> str:
+    """Human-readable cache mode for status lines: ``off``, ``memory``
+    or the directory path."""
+    _ensure_resolved()
+    if _dir is not None:
+        return _dir
+    return "memory" if _memory_only else "off"
+
+
+def clear_memory() -> None:
+    """Drop the in-memory fallback store (per-job cache isolation)."""
+    _memory.clear()
+
+
+def current_config() -> Tuple[Optional[str], int, bool]:
+    """The resolved configuration, for shipping to worker processes."""
+    _ensure_resolved()
+    return (_dir, _max_bytes, _memory_only)
+
+
+def apply_config(config: Tuple[Optional[str], int, bool]) -> None:
+    """Adopt a parent process's :func:`current_config` in a worker.
+
+    A memory-only parent yields memory-only workers (each with its own
+    store); the on-disk cache is genuinely shared through the
+    filesystem.
+    """
+    global _resolved, _dir, _max_bytes, _memory_only
+    _resolved = True
+    _dir, _max_bytes, _memory_only = config
+
+
+# ----------------------------------------------------------------------
+# Keys and digests
+# ----------------------------------------------------------------------
+
+
+def task_digest(task) -> str:
+    """Stable hex digest of a task definition (memoized on the task).
+
+    Covers the name and the exact job/edge lists *in insertion order* —
+    the order steers exploration tie-breaking, so two definitions that
+    differ only in ordering address different cache entries (their
+    results may report different, equally valid, critical tuples).
+    """
+    memo = task._analysis_cache.get("content_digest")
+    if memo is None:
+        h = hashlib.sha256()
+        h.update(task.name.encode("utf-8"))
+        for job in task.jobs.values():
+            h.update(f"|j{job.name}:{job.wcet}:{job.deadline}".encode("utf-8"))
+        for e in task.edges:
+            h.update(f"|e{e.src}>{e.dst}:{e.separation}".encode("utf-8"))
+        memo = h.hexdigest()
+        task._analysis_cache["content_digest"] = memo
+    return memo
+
+
+def analysis_key(kind: str, parts: Iterable[str]) -> str:
+    """Content address for one analysis: SHA-256 over the library
+    version, the active backend, the analysis kind, and the input
+    digests/parameters."""
+    from repro import __version__  # deferred: repro imports this module
+
+    h = hashlib.sha256()
+    h.update(f"{__version__}|{backend_mod.get_backend()}|{kind}".encode())
+    for part in parts:
+        h.update(b"|")
+        h.update(str(part).encode("utf-8"))
+    return h.hexdigest()
+
+
+def get_analysis(kind: str, tasks, beta, extra: Sequence = ()) -> object:
+    """Cached result of *kind* for (*tasks*, *beta*, *extra*), or None.
+
+    *tasks* may be a single task or an ordered sequence (task sets are
+    order-sensitive: SP priorities, EDF reporting order).
+    """
+    if not is_enabled():
+        return None
+    return get(_analysis_key(kind, tasks, beta, extra))
+
+
+def put_analysis(kind: str, tasks, beta, value, extra: Sequence = ()) -> None:
+    """Store *value* as the result of *kind* for (*tasks*, *beta*, *extra*)."""
+    if not is_enabled():
+        return
+    put(_analysis_key(kind, tasks, beta, extra), value)
+
+
+def _analysis_key(kind: str, tasks, beta, extra: Sequence) -> str:
+    if not isinstance(tasks, (list, tuple)):
+        tasks = (tasks,)
+    parts = [task_digest(t) for t in tasks]
+    parts.append(beta.digest())
+    parts.extend(str(x) for x in extra)
+    return analysis_key(kind, parts)
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+
+def _path_for(key: str) -> str:
+    return os.path.join(_dir, key[:2], key + ".pkl")
+
+
+def get(key: str) -> object:
+    """The cached value under *key*, or None (miss / unreadable entry).
+
+    A disk hit refreshes the entry's access time (LRU) and counts as
+    ``rcache.hits``; unreadable or truncated entries are removed and
+    treated as misses — the cache must never turn a crash mid-write into
+    a wrong answer, and atomic replace already makes that unlikely.
+    """
+    _ensure_resolved()
+    if _memory_only:
+        blob = _memory.get(key)
+        if blob is None:
+            perf.record("rcache.misses")
+            return None
+        perf.record("rcache.hits")
+        return pickle.loads(blob)
+    if _dir is None:
+        return None
+    path = _path_for(key)
+    try:
+        with open(path, "rb") as fh:
+            value = pickle.load(fh)
+    except FileNotFoundError:
+        perf.record("rcache.misses")
+        return None
+    except Exception:
+        # Truncated/corrupt entries raise all over pickle's surface
+        # (UnpicklingError, EOFError, ValueError, ImportError, ...);
+        # whatever the shape, remove the entry and treat it as a miss.
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        perf.record("rcache.misses")
+        return None
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+    perf.record("rcache.hits")
+    return value
+
+
+def put(key: str, value: object) -> None:
+    """Store *value* under *key* (atomic write, then LRU enforcement).
+
+    Storage failures degrade silently to a no-op: the cache is an
+    accelerator, never a correctness dependency.
+    """
+    _ensure_resolved()
+    try:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return  # unpicklable results simply aren't cached
+    if _memory_only:
+        _memory[key] = blob
+        while len(_memory) > _MEMORY_CAP:
+            _memory.pop(next(iter(_memory)))
+        perf.record("rcache.puts")
+        return
+    if _dir is None:
+        return
+    path = _path_for(key)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return
+    perf.record("rcache.puts")
+    _enforce_cap()
+
+
+def _enforce_cap() -> None:
+    """Evict least-recently-used entries until the directory fits the cap."""
+    if _dir is None or _max_bytes <= 0:
+        return
+    entries = []
+    total = 0
+    try:
+        for sub in os.scandir(_dir):
+            if not sub.is_dir():
+                continue
+            for ent in os.scandir(sub.path):
+                if not ent.name.endswith(".pkl"):
+                    continue
+                st = ent.stat()
+                entries.append((st.st_mtime, st.st_size, ent.path))
+                total += st.st_size
+    except OSError:
+        return
+    if total <= _max_bytes:
+        return
+    entries.sort()  # oldest access first
+    for _, size, path in entries:
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        perf.record("rcache.evictions")
+        total -= size
+        if total <= _max_bytes:
+            break

@@ -1,0 +1,257 @@
+"""Process-level execution plane for fan-out analyses.
+
+The analyses the experiments run in bulk — per-task verdicts inside an
+SP/EDF set, per-instance points of an acceptance or sensitivity sweep,
+independent flows through component chains — are embarrassingly parallel
+and operate on pickle-safe values (tasks, curves, result dataclasses).
+This module owns the one process pool everything in :mod:`repro` fans
+out through:
+
+* **Worker count resolution** (:func:`resolve_jobs`): an explicit
+  ``jobs=`` keyword beats the process default installed by
+  :func:`set_default_jobs` (the CLI's ``--jobs``), which beats the
+  ``REPRO_JOBS`` environment variable, which beats the serial default of
+  1.  ``"auto"`` means one worker per CPU.  Inside a worker process the
+  resolution is pinned to 1, so library code can pass ``jobs=None``
+  everywhere without ever nesting pools.
+
+* **Deterministic fan-out** (:func:`parallel_map`): results keep item
+  order; when any job raises, the exception of the *earliest item in
+  submission order* is re-raised in the parent — exactly the exception a
+  sequential run would have surfaced first.  Combined with the engine's
+  exact arithmetic this makes ``jobs=N`` runs bit-identical to
+  ``jobs=1`` runs: same Fractions, same witnesses, same exceptions.
+
+* **Configuration mirroring**: each job carries the parent's resolved
+  kernel backend and persistent-cache configuration, applied in the
+  worker before the job body runs — a long-lived pool never acts on
+  stale settings.
+
+* **Perf truthfulness**: workers snapshot their
+  :class:`~repro.perf.PerfRegistry` per job; the parent merges every
+  snapshot (:func:`repro.perf.merge`), so ``perf.report()`` accounts for
+  work wherever it ran.
+
+* **Cache isolation** (``fresh_caches=True``): process-local derived
+  state — the curve interning table, the kernel operation memo, the
+  in-memory result-cache fallback — is reset before each job, so
+  sweep instances cannot leak exploration state into one another even
+  when a worker process serves many instances.  The persistent on-disk
+  result cache is *not* cleared: it is content-addressed and exact, so
+  sharing it is sound by construction.
+
+The pool is created lazily, kept for the life of the process (pool
+startup would otherwise dominate small fan-outs) and torn down atexit.
+Environments that cannot fork (restricted sandboxes) degrade to the
+serial path transparently.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro import perf
+from repro.minplus import backend as backend_mod
+from repro.parallel import cache as result_cache
+
+__all__ = [
+    "resolve_jobs",
+    "set_default_jobs",
+    "parallel_map",
+    "reset_process_caches",
+]
+
+JobsLike = Union[None, int, str]
+
+#: True in pool worker processes (set by the pool initializer); forces
+#: every nested resolve_jobs() to 1 so pools never nest.
+_in_worker = False
+
+#: Process default installed by set_default_jobs() (the CLI's --jobs).
+_default_jobs: Optional[int] = None
+
+#: Lazily created executors, one per worker count.
+_pools: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _parse_jobs(value: Union[int, str]) -> int:
+    """Normalize a jobs specification to a concrete worker count."""
+    if isinstance(value, str):
+        if value.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            value = int(value)
+        except ValueError:
+            raise ValueError(
+                f"invalid jobs value {value!r}; expected a positive "
+                "integer or 'auto'"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"invalid jobs value {value!r}")
+    if value < 1:
+        raise ValueError(f"jobs must be >= 1, got {value}")
+    return value
+
+
+def set_default_jobs(jobs: JobsLike) -> None:
+    """Install a process-wide default worker count (``None`` clears it)."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else _parse_jobs(jobs)
+
+
+def resolve_jobs(jobs: JobsLike = None, n_items: Optional[int] = None) -> int:
+    """The effective worker count for one fan-out.
+
+    Resolution order: explicit *jobs* argument, :func:`set_default_jobs`
+    default, ``REPRO_JOBS`` environment variable, serial (1).  The
+    result is capped by *n_items* when given (no idle workers) and is
+    always 1 inside a pool worker.
+    """
+    if _in_worker:
+        return 1
+    if jobs is not None:
+        n = _parse_jobs(jobs)
+    elif _default_jobs is not None:
+        n = _default_jobs
+    else:
+        env = os.environ.get("REPRO_JOBS")
+        n = _parse_jobs(env) if env else 1
+    if n_items is not None:
+        n = max(1, min(n, n_items))
+    return n
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _mark_worker() -> None:
+    """Pool initializer: pin nested fan-outs in this process to serial."""
+    global _in_worker
+    _in_worker = True
+
+
+def reset_process_caches() -> None:
+    """Clear process-local derived-state caches (job isolation).
+
+    Drops the curve interning table, the kernel operation memo and the
+    in-memory result-cache fallback.  Analyses afterwards behave exactly
+    as in a fresh process: same results (the caches are semantically
+    transparent), cold costs.
+    """
+    from repro.minplus import curve as curve_mod
+    from repro.minplus import kernels
+
+    curve_mod.clear_intern_table()
+    kernels.op_cache_clear()
+    result_cache.clear_memory()
+
+
+def _run_job(payload):
+    """Execute one job in a worker: apply config, run, snapshot perf.
+
+    Returns ``(status, result_or_exception, perf_snapshot)`` so the
+    parent can merge instrumentation and re-raise deterministically.
+    """
+    fn, item, backend, cache_config, fresh = payload
+    backend_mod.set_backend(backend)
+    result_cache.apply_config(cache_config)
+    if fresh:
+        reset_process_caches()
+    perf.reset()
+    try:
+        result = fn(item)
+    except Exception as exc:
+        return ("err", exc, perf.snapshot())
+    return ("ok", result, perf.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def _serial_map(fn: Callable, items: Sequence, fresh_caches: bool) -> List:
+    out = []
+    for item in items:
+        if fresh_caches:
+            reset_process_caches()
+        out.append(fn(item))
+    return out
+
+
+def _get_pool(n: int) -> ProcessPoolExecutor:
+    pool = _pools.get(n)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=n, initializer=_mark_worker)
+        _pools[n] = pool
+    return pool
+
+
+def _drop_pool(n: int) -> None:
+    pool = _pools.pop(n, None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+@atexit.register
+def _shutdown_pools() -> None:
+    for n in list(_pools):
+        _drop_pool(n)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: JobsLike = None,
+    fresh_caches: bool = False,
+) -> List:
+    """``[fn(item) for item in items]`` across worker processes.
+
+    Args:
+        fn: A module-level (pickle-safe) function of one item.
+        items: Pickle-safe work items; results keep their order.
+        jobs: Worker count (see :func:`resolve_jobs`); 1 runs the plain
+            serial loop in-process.
+        fresh_caches: Reset process-local caches before every job —
+            the per-instance isolation guarantee benchmark sweeps rely
+            on (see :func:`reset_process_caches`).
+
+    Raises:
+        The exception of the earliest failing item in submission order —
+        the same exception a sequential run raises first.  Perf
+        snapshots of *all* jobs (including failed ones) are merged into
+        the parent registry before raising.
+    """
+    items = list(items)
+    n = resolve_jobs(jobs, n_items=len(items))
+    if n <= 1 or len(items) <= 1:
+        return _serial_map(fn, items, fresh_caches)
+    backend = backend_mod.get_backend()
+    cache_config = result_cache.current_config()
+    payloads = [
+        (fn, item, backend, cache_config, fresh_caches) for item in items
+    ]
+    try:
+        pool = _get_pool(n)
+        outcomes = list(pool.map(_run_job, payloads))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # Pool could not start or died (restricted sandbox, OOM-killed
+        # worker): drop it and degrade to the serial path.
+        _drop_pool(n)
+        return _serial_map(fn, items, fresh_caches)
+    perf.record("plane.jobs", len(outcomes))
+    for status, out, snap in outcomes:
+        perf.merge(snap)
+    for status, out, snap in outcomes:
+        if status == "err":
+            raise out
+    return [out for _, out, _ in outcomes]

@@ -21,6 +21,15 @@ Counters maintained by the engine:
 
 Phase timers (``perf.timed``): ``busy_window``, ``frontier``, ``delay``.
 
+Under process fan-out (:mod:`repro.parallel`) every worker runs its own
+registry; the execution plane snapshots it per job and folds the deltas
+into the parent with :meth:`PerfRegistry.merge`, so ``perf.report()``
+accounts for work done in workers exactly as for in-process work.  All
+read accessors (:meth:`~PerfRegistry.counters`,
+:meth:`~PerfRegistry.timers`, :meth:`~PerfRegistry.snapshot`,
+:meth:`~PerfRegistry.report`) emit names in sorted order so cross-run
+diffs are stable regardless of which analysis touched a counter first.
+
 Usage::
 
     from repro import perf
@@ -34,7 +43,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Mapping
 
 __all__ = [
     "PerfRegistry",
@@ -44,6 +53,7 @@ __all__ = [
     "counters",
     "timers",
     "snapshot",
+    "merge",
     "reset",
     "report",
 ]
@@ -68,8 +78,8 @@ class PerfRegistry:
         self._counters[name] = self._counters.get(name, 0) + n
 
     def counters(self) -> Dict[str, int]:
-        """A snapshot copy of every counter."""
-        return dict(self._counters)
+        """A snapshot copy of every counter, in sorted name order."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
 
     # -- timers ----------------------------------------------------------
 
@@ -102,14 +112,28 @@ class PerfRegistry:
                 self._phase_stack[-1][1] = now
 
     def timers(self) -> Dict[str, float]:
-        """A snapshot copy of every accumulated phase timer (seconds)."""
-        return dict(self._timers)
+        """A snapshot copy of every accumulated phase timer (seconds),
+        in sorted name order."""
+        return {name: self._timers[name] for name in sorted(self._timers)}
 
     # -- lifecycle -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """Counters and timers in one JSON-friendly dict."""
+        """Counters and timers in one JSON-friendly dict (sorted keys)."""
         return {"counters": self.counters(), "timers": self.timers()}
+
+    def merge(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add and timers accumulate, so merging the per-job
+        snapshots of worker processes keeps the parent's totals truthful
+        under fan-out.  Unknown names are created; the snapshot's phase
+        stack (if any) is irrelevant — only the settled totals merge.
+        """
+        for name, n in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + n
+        for name, seconds in snapshot.get("timers", {}).items():
+            self._timers[name] = self._timers.get(name, 0.0) + seconds
 
     def reset(self) -> None:
         """Zero every counter and timer (active phase frames restart now)."""
@@ -138,5 +162,6 @@ timed = registry.timed
 counters = registry.counters
 timers = registry.timers
 snapshot = registry.snapshot
+merge = registry.merge
 reset = registry.reset
 report = registry.report

@@ -10,6 +10,16 @@ bound.
 """
 
 from repro.rtc.gpc import GpcResult, gpc
-from repro.rtc.network import chain_analysis, end_to_end_service
+from repro.rtc.network import (
+    analyze_chains,
+    chain_analysis,
+    end_to_end_service,
+)
 
-__all__ = ["GpcResult", "gpc", "chain_analysis", "end_to_end_service"]
+__all__ = [
+    "GpcResult",
+    "gpc",
+    "analyze_chains",
+    "chain_analysis",
+    "end_to_end_service",
+]

@@ -7,6 +7,7 @@ up directly: finer analyses accept more sets at high utilization.
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass
 from fractions import Fraction
@@ -15,6 +16,7 @@ from typing import Callable, Dict, List, Sequence
 from repro._numeric import Q, NumLike, as_q
 from repro.drt.model import DRTTask
 from repro.minplus.curve import Curve
+from repro.parallel.plane import JobsLike, parallel_map
 from repro.workloads.random_drt import RandomDrtConfig, random_task_set
 
 __all__ = ["acceptance_ratio"]
@@ -28,6 +30,7 @@ def acceptance_ratio(
     n_tasks: int,
     config: RandomDrtConfig,
     seed: int = 0,
+    jobs: JobsLike = None,
 ) -> Dict[str, List[float]]:
     """Acceptance ratio of each test across a utilization sweep.
 
@@ -42,22 +45,49 @@ def acceptance_ratio(
             overridden per set by the sweep).
         seed: Base RNG seed — each (level, set) pair gets a derived seed
             so the same sets are fed to every test.
+        jobs: Fan the (level, set) cells out over worker processes.  The
+            derived seeds make every cell self-contained, so ratios are
+            bit-identical to a serial sweep.  Tests that cannot be
+            pickled (lambdas, closures) silently fall back to the serial
+            path — the experiment still runs, just in-process.
 
     Returns:
         ``{label: [ratio per utilization level]}``.
     """
+    utilizations = list(utilizations)
+    cells = [
+        (tests, beta, u_idx, as_q(u), s_idx, seed, n_tasks, config)
+        for u_idx, u in enumerate(utilizations)
+        for s_idx in range(n_sets)
+    ]
+    try:
+        pickle.dumps((tests, config), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        jobs = 1  # unpicklable tests: keep the sweep in-process
+    verdicts = parallel_map(_acceptance_cell, cells, jobs=jobs)
     out: Dict[str, List[float]] = {label: [] for label in tests}
-    for u_idx, u in enumerate(utilizations):
-        accepted = {label: 0 for label in tests}
-        for s_idx in range(n_sets):
-            rng = random.Random((seed, u_idx, s_idx).__hash__())
-            tasks = random_task_set(rng, n_tasks, as_q(u), config)
-            for label, test in tests.items():
-                try:
-                    if test(tasks, beta):
-                        accepted[label] += 1
-                except Exception:
-                    pass  # analysis failure counts as rejection
+    per_level: Dict[int, Dict[str, int]] = {}
+    for (_, _, u_idx, _, _, _, _, _), cell in zip(cells, verdicts):
+        acc = per_level.setdefault(u_idx, {label: 0 for label in tests})
+        for label, ok in cell.items():
+            if ok:
+                acc[label] += 1
+    for u_idx in range(len(utilizations)):
         for label in tests:
-            out[label].append(accepted[label] / n_sets)
+            out[label].append(per_level[u_idx][label] / n_sets)
     return out
+
+
+def _acceptance_cell(cell) -> Dict[str, bool]:
+    """One random task set, every test's verdict (module-level so the
+    execution plane can ship it to workers)."""
+    tests, beta, u_idx, u, s_idx, seed, n_tasks, config = cell
+    rng = random.Random((seed, u_idx, s_idx).__hash__())
+    tasks = random_task_set(rng, n_tasks, u, config)
+    verdict: Dict[str, bool] = {}
+    for label, test in tests.items():
+        try:
+            verdict[label] = bool(test(tasks, beta))
+        except Exception:
+            verdict[label] = False  # analysis failure counts as rejection
+    return verdict

@@ -48,6 +48,8 @@ from repro.minplus import backend as backend_mod
 from repro.minplus import kernels
 from repro.minplus.curve import Curve
 from repro.minplus.deviation import lower_pseudo_inverse_batch
+from repro.parallel import cache as result_cache
+from repro.parallel.plane import JobsLike, parallel_map
 
 __all__ = ["EdfDelayResult", "edf_structural_delays"]
 
@@ -75,6 +77,7 @@ def edf_structural_delays(
     max_iterations: int = 40,
     reuse: bool = True,
     backend: Optional[str] = None,
+    jobs: JobsLike = None,
 ) -> EdfDelayResult:
     """Per-job-type delay bounds under preemptive EDF.
 
@@ -92,6 +95,11 @@ def edf_structural_delays(
         backend: Kernel backend override (see :mod:`repro.minplus.backend`);
             ``"hybrid"`` screens the per-vertex delay maximisation and
             returns identical bounds.
+        jobs: Fan the per-task maximisations out over worker processes.
+            After the shared aggregate busy window and demand curves are
+            fixed, each task's bound depends on nothing computed for the
+            other tasks, so the cases are independent; bounds are
+            bit-identical to ``jobs=1``.
 
     Raises:
         ValidationError: if a task does not have constrained deadlines.
@@ -100,8 +108,18 @@ def edf_structural_delays(
     """
     if not tasks:
         raise AnalysisError("edf_structural_delays needs at least one task")
+    tasks = list(tasks)
     for task in tasks:
         validate_task(task, require_constrained=True)
+    extra = (
+        "ih=" + (str(as_q(initial_horizon)) if initial_horizon is not None else "-"),
+        f"mi={max_iterations}",
+        f"reuse={reuse}",
+        f"be={backend_mod.resolve_backend(backend)}",
+    )
+    cached = result_cache.get_analysis("sched.edf", tasks, beta, extra)
+    if cached is not None:
+        return cached
     horizon = as_q(initial_horizon) if initial_horizon is not None else Q(64)
     busy = None
     for _ in range(max_iterations):
@@ -134,80 +152,95 @@ def edf_structural_delays(
     )
     dbf_horizon = busy + max_deadline + 1
     dbfs = {task.name: dbf_curve(task, dbf_horizon) for task in tasks}
+    cases = [
+        (
+            task,
+            [dbfs[other.name] for other in tasks if other.name != task.name],
+            beta,
+            busy,
+            reuse,
+            backend,
+        )
+        for task in tasks
+    ]
+    per_task = parallel_map(_edf_task_case, cases, jobs=jobs)
     job_delays: Dict[str, Dict[str, Fraction]] = {}
     schedulable = True
-    for task in tasks:
-        others = [other for other in tasks if other.name != task.name]
-        # Aggregate interference demand of the other tasks, and the jump
-        # points where increasing the anchor offset can pay off.
-        interference_jumps: List[Q] = sorted(
-            {
-                bp
-                for other in others
-                for bp in dbfs[other.name].breakpoints()
-            }
-        )
-
-        def interference_at(window: Q) -> Q:
-            return sum(
-                (dbfs[other.name].at(window) for other in others), Q(0)
-            )
-
-        delays: Dict[str, Fraction] = {v: Q(0) for v in task.job_names}
-        tuples = request_frontier(task, busy, reuse=reuse)
-        # The busy window may start with *another task's* job: the
-        # analysed task's path begins at an unknown anchor offset
-        # a >= 0 and the job sits at s = a + t.  Its interference
-        # window is s + d(v); maximise the delay over the anchor.
-        # Between jumps of the aggregate dbf the expression strictly
-        # decreases in a, so only a = 0 and the pull-backs of the
-        # dbf jump points need to be checked.  All (tuple, anchor)
-        # demands go through one batched pseudo-inverse sweep.
-        queries: List[Tuple[RequestTuple, Q, Q]] = []
-        for tup in tuples:
-            deadline = task.deadline(tup.vertex)
-            anchors = [Q(0)]
-            base = tup.time + deadline
-            a_max = busy - tup.time
-            for bp in interference_jumps:
-                a = bp - base
-                if 0 < a <= a_max:
-                    anchors.append(a)
-            for a in anchors:
-                queries.append((tup, a, tup.work + interference_at(base + a)))
-        screened = None
-        if backend_mod.resolve_backend(backend) == "hybrid":
-            names = list(task.job_names)
-            group_of = {v: i for i, v in enumerate(names)}
-            screened = kernels.screened_pinv_delay_groups(
-                beta,
-                [tup.time + a for tup, a, _ in queries],
-                [demand for _, _, demand in queries],
-                [group_of[tup.vertex] for tup, _, _ in queries],
-                len(names),
-            )
-        if screened is not None:
-            inf_idx, results = screened
-            if inf_idx is not None:
-                raise UnboundedBusyWindowError(
-                    f"service never provides {queries[inf_idx][2]} units"
-                )
-            for v, (best, _) in zip(names, results):
-                delays[v] = best
-        else:
-            invs = lower_pseudo_inverse_batch(beta, [q[2] for q in queries])
-            for (tup, a, demand), inv in zip(queries, invs):
-                if is_inf(inv):
-                    raise UnboundedBusyWindowError(
-                        f"service never provides {demand} units"
-                    )
-                d = inv - tup.time - a
-                if d > delays[tup.vertex]:
-                    delays[tup.vertex] = d
+    for task, delays in zip(tasks, per_task):
         job_delays[task.name] = delays
         for v, d in delays.items():
             if d > task.deadline(v):
                 schedulable = False
-    return EdfDelayResult(
+    result = EdfDelayResult(
         job_delays=job_delays, busy_window=busy, schedulable=schedulable
     )
+    result_cache.put_analysis("sched.edf", tasks, beta, result, extra)
+    return result
+
+
+def _edf_task_case(case) -> Dict[str, Fraction]:
+    """One task's per-job EDF delay maximisation, given the shared
+    aggregate busy window and the other tasks' demand curves
+    (module-level so the execution plane can ship it to workers)."""
+    task, other_dbfs, beta, busy, reuse, backend = case
+    # Aggregate interference demand of the other tasks, and the jump
+    # points where increasing the anchor offset can pay off.
+    interference_jumps: List[Q] = sorted(
+        {bp for dbf in other_dbfs for bp in dbf.breakpoints()}
+    )
+
+    def interference_at(window: Q) -> Q:
+        return sum((dbf.at(window) for dbf in other_dbfs), Q(0))
+
+    delays: Dict[str, Fraction] = {v: Q(0) for v in task.job_names}
+    tuples = request_frontier(task, busy, reuse=reuse)
+    # The busy window may start with *another task's* job: the
+    # analysed task's path begins at an unknown anchor offset
+    # a >= 0 and the job sits at s = a + t.  Its interference
+    # window is s + d(v); maximise the delay over the anchor.
+    # Between jumps of the aggregate dbf the expression strictly
+    # decreases in a, so only a = 0 and the pull-backs of the
+    # dbf jump points need to be checked.  All (tuple, anchor)
+    # demands go through one batched pseudo-inverse sweep.
+    queries: List[Tuple[RequestTuple, Q, Q]] = []
+    for tup in tuples:
+        deadline = task.deadline(tup.vertex)
+        anchors = [Q(0)]
+        base = tup.time + deadline
+        a_max = busy - tup.time
+        for bp in interference_jumps:
+            a = bp - base
+            if 0 < a <= a_max:
+                anchors.append(a)
+        for a in anchors:
+            queries.append((tup, a, tup.work + interference_at(base + a)))
+    screened = None
+    if backend_mod.resolve_backend(backend) == "hybrid":
+        names = list(task.job_names)
+        group_of = {v: i for i, v in enumerate(names)}
+        screened = kernels.screened_pinv_delay_groups(
+            beta,
+            [tup.time + a for tup, a, _ in queries],
+            [demand for _, _, demand in queries],
+            [group_of[tup.vertex] for tup, _, _ in queries],
+            len(names),
+        )
+    if screened is not None:
+        inf_idx, results = screened
+        if inf_idx is not None:
+            raise UnboundedBusyWindowError(
+                f"service never provides {queries[inf_idx][2]} units"
+            )
+        for v, (best, _) in zip(names, results):
+            delays[v] = best
+    else:
+        invs = lower_pseudo_inverse_batch(beta, [q[2] for q in queries])
+        for (tup, a, demand), inv in zip(queries, invs):
+            if is_inf(inv):
+                raise UnboundedBusyWindowError(
+                    f"service never provides {demand} units"
+                )
+            d = inv - tup.time - a
+            if d > delays[tup.vertex]:
+                delays[tup.vertex] = d
+    return delays

@@ -20,6 +20,8 @@ from repro.drt.model import DRTTask
 from repro.drt.request import rbf_curve
 from repro.errors import UnboundedBusyWindowError
 from repro.minplus.curve import Curve
+from repro.parallel import cache as result_cache
+from repro.parallel.plane import JobsLike, parallel_map
 
 __all__ = ["SpResult", "sp_schedulable"]
 
@@ -49,6 +51,7 @@ def sp_schedulable(
     beta: Curve,
     initial_horizon: Optional[NumLike] = None,
     max_iterations: int = 40,
+    jobs: JobsLike = None,
 ) -> SpResult:
     """Static-priority test: per-job structural delays vs. deadlines.
 
@@ -58,14 +61,29 @@ def sp_schedulable(
         beta: Lower service curve of the shared resource.
         initial_horizon: Optional starting horizon for the fixpoints.
         max_iterations: Cap on horizon doublings per task.
+        jobs: Fan the per-task analyses out over worker processes (each
+            task's analysis depends only on the fixed higher-priority
+            prefix, never on lower-priority results, so the cases are
+            independent).  Defaults to ``REPRO_JOBS``/serial; results
+            are bit-identical to ``jobs=1``.
     """
+    tasks = list(tasks)
+    extra = (
+        "ih=" + (str(as_q(initial_horizon)) if initial_horizon is not None else "-"),
+        f"mi={max_iterations}",
+    )
+    cached = result_cache.get_analysis("sched.sp", tasks, beta, extra)
+    if cached is not None:
+        return cached
+    cases = [
+        (task, tuple(tasks[:i]), beta, initial_horizon, max_iterations)
+        for i, task in enumerate(tasks)
+    ]
+    per_task = parallel_map(_sp_case, cases, jobs=jobs)
     job_delays: Dict[str, Dict[str, Fraction]] = {}
     failures: List[Tuple[str, str, Fraction, Fraction]] = []
     saturated: List[str] = []
-    for i, task in enumerate(tasks):
-        delays = _per_job_with_interference(
-            task, tasks[:i], beta, initial_horizon, max_iterations
-        )
+    for task, delays in zip(tasks, per_task):
         if delays is None:
             saturated.append(task.name)
             continue
@@ -74,11 +92,22 @@ def sp_schedulable(
             deadline = task.deadline(job)
             if delay > deadline:
                 failures.append((task.name, job, delay, deadline))
-    return SpResult(
+    result = SpResult(
         schedulable=not failures and not saturated,
         job_delays=job_delays,
         failures=failures,
         saturated=saturated,
+    )
+    result_cache.put_analysis("sched.sp", tasks, beta, result, extra)
+    return result
+
+
+def _sp_case(case) -> Optional[Dict[str, Fraction]]:
+    """One task's per-job delays under its higher-priority prefix
+    (module-level so the execution plane can ship it to workers)."""
+    task, interferers, beta, initial_horizon, max_iterations = case
+    return _per_job_with_interference(
+        task, interferers, beta, initial_horizon, max_iterations
     )
 
 

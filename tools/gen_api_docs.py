@@ -120,6 +120,67 @@ resolution collapses to `exact`.
 """
 
 
+PARALLEL_SECTION = """\
+## Parallel execution & persistent cache
+
+`repro.parallel` adds a process-level execution plane and a persistent
+result cache on top of the incremental engine.  Both preserve the
+library's core guarantee: results are **bit-identical** to a serial,
+cache-less run.
+
+**Execution plane** (`repro.parallel.plane`).  `parallel_map(fn, items)`
+fans a list of independent jobs across `fork`-based worker processes and
+returns results in item order.  The worker count resolves as: explicit
+`jobs=` keyword > `set_default_jobs()` > the `REPRO_JOBS` environment
+variable > 1 (serial); `"auto"` means the machine's CPU count, and the
+count is always capped by the number of items.  The CLI exposes
+`--jobs`.  Fan-out is a pure execution change:
+
+- every worker inherits the parent's kernel backend and cache
+  configuration (shipped per item, so pooled workers never act on stale
+  settings);
+- worker-side `repro.perf` counters/timers are snapshot and merged into
+  the parent registry, so instrumentation totals match the serial run;
+- the *first* failing item **in item order** raises in the parent —
+  exactly the exception a serial loop would have raised — even when a
+  later item failed first in wall-clock time;
+- pool breakage (fork failure, unpicklable payloads) degrades to the
+  serial path, never to an error;
+- nested fan-out is suppressed: inside a worker `resolve_jobs` pins to 1;
+- `fresh_caches=True` resets process-local memo state (curve interning,
+  kernel op memo, in-memory result cache) before each item — the
+  benchmark harness uses it to keep cost measurements honest.
+
+Batch entry points that fan out: `sp_schedulable(..., jobs=)`,
+`edf_structural_delays(..., jobs=)`, `analyze_many(tasks, beta)`,
+`min_service_rates`, `acceptance_ratio`, and the RTC network helpers
+`chain_analysis` / `analyze_chains` / `end_to_end_service` (balanced
+tree-reduce of the hop convolution, valid by associativity).
+
+**Persistent result cache** (`repro.parallel.cache`).  Whole-analysis
+results are pure functions of the task definition, the service curve and
+the analysis parameters, so they are stored on disk content-addressed by
+a SHA-256 over exactly those inputs (curve/task digests of the exact
+rational coordinates) plus the library version and the active backend.
+Off by default; enabled by `REPRO_CACHE_DIR`, `configure_cache()`, or
+the CLI's `--cache-dir`.  Writes are atomic (temp file + `os.replace`),
+the directory is LRU-capped by total size (`REPRO_CACHE_MAX_BYTES`,
+default 256 MiB), corrupt entries are evicted as misses, and an
+unwritable directory degrades to a bounded in-memory store with a
+`RuntimeWarning` — never a traceback.  `AnalysisContext` consults it per
+result kind, and `sp_schedulable`/`edf_structural_delays` additionally
+cache whole-set verdicts, so a warm re-run of a sweep skips every
+analysis it has seen before (counters `rcache.hits`/`rcache.misses`/
+`rcache.puts`/`rcache.evictions`).
+
+**Pickle transport.**  Curves re-intern on unpickle (fingerprint-keyed,
+so a round trip returns the *same* interned object and shares its
+lowered kernel arrays), tasks ship without their per-process analysis
+memo, and the `INF` sentinel preserves singleton identity — worker
+results compare exactly in the parent.
+"""
+
+
 def render() -> str:
     lines = [
         "# API reference",
@@ -129,6 +190,7 @@ def render() -> str:
         "",
         PERFORMANCE_SECTION,
         KERNEL_BACKENDS_SECTION,
+        PARALLEL_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
         public = getattr(module, "__all__", None)
