@@ -30,6 +30,7 @@ import the subpackages directly for the full surface
 from repro._numeric import INF, Q
 from repro.errors import (
     AnalysisError,
+    BudgetExhaustedError,
     CurveError,
     HorizonExceededError,
     ModelError,
@@ -38,6 +39,7 @@ from repro.errors import (
     SimulationError,
     UnboundedBusyWindowError,
     ValidationError,
+    WorkerError,
 )
 from repro.minplus import Curve, Segment
 from repro.curves import (
@@ -104,6 +106,14 @@ from repro.sim import (
     random_behaviour,
     simulate,
 )
+from repro.resilience import (
+    BoundedDelayResult,
+    Budget,
+    bounded_delay,
+    bounded_delay_many,
+    budget_scope,
+    checkpoint,
+)
 from repro.workloads import CASE_STUDIES, RandomDrtConfig, random_drt_task
 from repro.io import load_task, save_task, task_to_dot
 
@@ -121,6 +131,14 @@ __all__ = [
     "HorizonExceededError",
     "SimulationError",
     "SerializationError",
+    "BudgetExhaustedError",
+    "WorkerError",
+    "Budget",
+    "BoundedDelayResult",
+    "bounded_delay",
+    "bounded_delay_many",
+    "budget_scope",
+    "checkpoint",
     "Curve",
     "Segment",
     "constant_rate_service",

@@ -20,7 +20,7 @@ from repro.core.baselines import (
     sporadic_delay,
     token_bucket_delay,
 )
-from repro.core.delay import structural_delay, structural_delays_per_job
+from repro.core.delay import structural_delays_per_job
 from repro.curves.service import rate_latency_service, tdma_service
 from repro.drt.utilization import linear_request_bound, utilization
 from repro.errors import ReproError, UnboundedBusyWindowError
@@ -29,6 +29,7 @@ from repro.io.json_io import load_task
 from repro.minplus import backend as backend_mod
 from repro.parallel import cache as result_cache
 from repro.parallel import plane
+from repro.resilience import Budget, bounded_delay
 
 __all__ = ["main"]
 
@@ -91,7 +92,52 @@ def _build_parser() -> argparse.ArgumentParser:
             "cache with a warning"
         ),
     )
+    parser.add_argument(
+        "--deadline",
+        metavar="SECONDS",
+        help=(
+            "wall-clock analysis budget; when exhausted, a sound "
+            "over-approximate delay bound is reported instead of an "
+            "exact one (marked 'degraded')"
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        metavar="N",
+        help=(
+            "cap on analysis work units (frontier expansions and "
+            "amortised kernel charges); exhaustion degrades like "
+            "--deadline"
+        ),
+    )
+    parser.add_argument(
+        "--max-segments",
+        metavar="K",
+        help=(
+            "segment budget of the degraded request-bound approximation "
+            "(default 32; needs --deadline or --budget to matter)"
+        ),
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip semantic validation of the loaded task file",
+    )
     return parser
+
+
+def _parse_budget(args) -> "Budget | None":
+    """A Budget from --deadline/--budget/--max-segments, or None."""
+    if not (args.deadline or args.budget or args.max_segments):
+        return None
+    try:
+        return Budget(
+            deadline=float(args.deadline) if args.deadline else None,
+            max_expansions=int(args.budget) if args.budget else None,
+            max_segments=int(args.max_segments) if args.max_segments else None,
+        )
+    except ValueError as exc:
+        raise ReproError(f"invalid budget: {exc}") from exc
 
 
 def main(argv=None) -> int:
@@ -116,7 +162,8 @@ def main(argv=None) -> int:
             f"engine: backend={backend_mod.get_backend()} "
             f"jobs={plane.resolve_jobs()} cache={result_cache.describe()}"
         )
-        task = load_task(args.task)
+        task = load_task(args.task, validate=not args.no_validate)
+        budget = _parse_budget(args)
         if args.tdma_slot:
             if not args.tdma_frame:
                 print("error: --tdma-frame required with --tdma-slot", file=sys.stderr)
@@ -132,8 +179,28 @@ def main(argv=None) -> int:
         print(f"task {task.name}: {len(task.jobs)} jobs, {len(task.edges)} edges")
         burst, rho = linear_request_bound(task)
         print(f"utilization: {utilization(task)}  linear bound: {burst} + {rho}*t")
-        result = structural_delay(task, beta)
+        result = bounded_delay(task, beta, budget=budget)
+        if result.degraded:
+            print(
+                f"structural worst-case delay: <= {result.delay} "
+                "(sound over-approximation)"
+            )
+            print(f"  degraded: level={result.level} ({result.reason})")
+            if result.explored_horizon is not None:
+                print(f"  explored horizon: {result.explored_horizon}")
+            if args.per_job or args.backlog or args.plot or args.min_rate:
+                print(
+                    "  (per-job/backlog/plot/min-rate skipped: "
+                    "budget exhausted)"
+                )
+            if args.dot:
+                with open(args.dot, "w") as fh:
+                    fh.write(task_to_dot(task))
+                print(f"wrote {args.dot}")
+            return 0
         print(f"structural worst-case delay: {result.delay}")
+        if result.level != "exact":
+            print(f"  (completed on the {result.level} ladder rung)")
         print(f"  busy window: {result.busy_window}")
         print(f"  critical tuple: {result.critical_tuple}")
         print(f"  tuples explored: {result.tuple_count}")

@@ -45,6 +45,7 @@ from repro.drt.request import FrontierExplorer, rbf_curve
 from repro.drt.utilization import utilization
 from repro.errors import HorizonExceededError, UnboundedBusyWindowError
 from repro.minplus.curve import Curve
+from repro.resilience.budget import checkpoint
 
 __all__ = ["BusyWindow", "busy_window_bound", "last_positive_time"]
 
@@ -177,6 +178,10 @@ def _iterate(
         else:
             rbf = FrontierExplorer(task).rbf_curve(horizon)
         diff = rbf - beta
+        # One budget unit per doubling round plus an amortised charge for
+        # the curve arithmetic (the exploration inside rbf_curve already
+        # checkpoints per expanded tuple).
+        checkpoint(1 + len(diff.segments) // 64)
         try:
             last = last_positive_time(diff)
         except UnboundedBusyWindowError:

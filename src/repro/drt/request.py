@@ -38,6 +38,7 @@ from repro import perf
 from repro._numeric import Q, NumLike, as_q
 from repro.drt.model import DRTTask
 from repro.errors import ModelError
+from repro.resilience.budget import checkpoint
 from repro.minplus import backend as backend_mod
 from repro.minplus.curve import Curve
 from repro.minplus.segment import Segment
@@ -283,6 +284,11 @@ class FrontierExplorer:
         while deferred and deferred[0][0] <= hz:
             heapq.heappush(heap, heapq.heappop(deferred))
         while heap:
+            # Cooperative budget checkpoint: one charged unit per tuple
+            # expansion.  A BudgetExhaustedError unwinding here leaves
+            # the explorer resumable (``_explored`` is only advanced on
+            # completion; the heap and frontiers keep partial progress).
+            checkpoint()
             time, _, work, vertex = heapq.heappop(heap)
             self._pop_times.append(time)
             if self.prune:

@@ -17,8 +17,10 @@ __all__ = [
     "AnalysisError",
     "UnboundedBusyWindowError",
     "HorizonExceededError",
+    "BudgetExhaustedError",
     "SimulationError",
     "SerializationError",
+    "WorkerError",
 ]
 
 
@@ -61,6 +63,36 @@ class UnboundedBusyWindowError(AnalysisError):
 
 class HorizonExceededError(AnalysisError):
     """An exploration exceeded the configured safety horizon."""
+
+
+class BudgetExhaustedError(AnalysisError):
+    """A cooperative analysis budget ran out mid-analysis.
+
+    Raised by :func:`repro.resilience.checkpoint` when the active
+    :class:`repro.resilience.Budget` has no deadline or expansion
+    allowance left.  Entry points that accept a budget catch it and
+    degrade to a sound over-approximate bound
+    (:func:`repro.resilience.bounded_delay`); it escapes to callers only
+    when an analysis is run under :func:`repro.resilience.budget_scope`
+    directly.
+
+    Attributes:
+        reason: Which limit fired (``"deadline"`` or ``"max_expansions"``).
+    """
+
+    def __init__(self, message: str, reason: str = "deadline") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class WorkerError(ReproError):
+    """A parallel worker failed permanently (crash/hang after retries).
+
+    Raised by :func:`repro.parallel.plane.parallel_map` when an item
+    could not be completed by the worker pool *and* its serial in-parent
+    re-execution failed for infrastructure reasons.  Analysis errors
+    raised by the item body itself propagate unchanged instead.
+    """
 
 
 class SimulationError(ReproError):

@@ -12,6 +12,7 @@ from typing import Any, Dict, Union
 
 from repro._numeric import Q
 from repro.drt.model import DRTTask, Edge, Job
+from repro.drt.validate import validate_task
 from repro.errors import SerializationError
 from repro.minplus.curve import Curve
 from repro.minplus.segment import Segment
@@ -52,11 +53,20 @@ def task_to_dict(task: DRTTask) -> Dict[str, Any]:
     }
 
 
-def task_from_dict(data: Dict[str, Any]) -> DRTTask:
+def task_from_dict(data: Dict[str, Any], validate: bool = True) -> DRTTask:
     """Inverse of :func:`task_to_dict`.
+
+    Args:
+        data: Plain-dict task form.
+        validate: Run :func:`repro.drt.validate.validate_task` on the
+            result (default), so malformed inputs fail fast here — with
+            an error naming the offending job — instead of deep inside a
+            later analysis.
 
     Raises:
         SerializationError: on missing keys or malformed numbers.
+        ValidationError: when *validate* is set and the task is
+            semantically malformed (e.g. isolated jobs).
     """
     try:
         jobs = [
@@ -67,9 +77,12 @@ def task_from_dict(data: Dict[str, Any]) -> DRTTask:
             Edge(e["src"], e["dst"], _q_in(e["separation"]))
             for e in data["edges"]
         ]
-        return DRTTask(data["name"], jobs, edges)
+        task = DRTTask(data["name"], jobs, edges)
     except KeyError as exc:
         raise SerializationError(f"missing key {exc} in task JSON") from exc
+    if validate:
+        validate_task(task)
+    return task
 
 
 def curve_to_dict(curve: Curve) -> Dict[str, Any]:
@@ -102,10 +115,10 @@ def save_task(task: DRTTask, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(task_to_dict(task), indent=2))
 
 
-def load_task(path: Union[str, Path]) -> DRTTask:
-    """Read a task from a JSON file."""
+def load_task(path: Union[str, Path], validate: bool = True) -> DRTTask:
+    """Read a task from a JSON file (validated by default)."""
     try:
         data = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise SerializationError(f"cannot read task from {path}: {exc}") from exc
-    return task_from_dict(data)
+    return task_from_dict(data, validate=validate)

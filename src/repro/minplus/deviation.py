@@ -14,6 +14,7 @@ from repro import perf
 from repro._numeric import INF, Q, is_inf
 from repro.errors import CurveError
 from repro.minplus.curve import Curve
+from repro.resilience.budget import checkpoint
 
 __all__ = [
     "lower_pseudo_inverse",
@@ -81,6 +82,8 @@ def lower_pseudo_inverse_batch(f: Curve, works: Sequence) -> List[MaybeInf]:
     ws = [as_q(w) for w in works]
     perf.record("pinv.evaluations", len(ws))
     perf.record("pinv.batches")
+    # Amortised budget charge for the whole sweep (queries + segments).
+    checkpoint(1 + (len(ws) + len(f.segments)) // 64)
     order = sorted(range(len(ws)), key=lambda i: ws[i])
     out: List[MaybeInf] = [INF] * len(ws)
     starts = f.breakpoints()
@@ -111,6 +114,7 @@ def upper_pseudo_inverse_batch(f: Curve, works: Sequence) -> List[MaybeInf]:
     from repro._numeric import as_q
 
     ws = [as_q(w) for w in works]
+    checkpoint(1 + (len(ws) + len(f.segments)) // 64)
     order = sorted(range(len(ws)), key=lambda i: ws[i])
     out: List[MaybeInf] = [INF] * len(ws)
     starts = f.breakpoints()
@@ -243,6 +247,8 @@ def horizontal_deviation(f: Curve, g: Curve, backend: Optional[str] = None) -> M
         g_values.add(g.at(t))
         if t > 0:
             g_values.add(g.left_limit(t))
+    # Amortised budget charge covering the pull-back double loop below.
+    checkpoint(1 + (len(f.segments) * max(len(g_values), 1)) // 64)
     candidates: List[Q] = list(f.breakpoints())
     # Supremum candidates approached from the right: where f crosses a
     # plateau value of g with positive slope, d(t) tends to

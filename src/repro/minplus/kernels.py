@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import perf
 from repro._numeric import Q
+from repro.resilience.budget import checkpoint
 
 try:  # pragma: no cover - the import either works or it doesn't
     import numpy as np
@@ -420,6 +421,8 @@ def screened_pinv_delay_groups(
     n = len(works)
     if n == 0:
         return None, [(Q(0), None) for _ in range(n_groups)]
+    # Amortised budget charge for the vectorized sweep over n queries.
+    checkpoint(1 + n // 64)
     from repro.minplus.deviation import (
         lower_pseudo_inverse,
         lower_pseudo_inverse_batch,
@@ -490,6 +493,7 @@ def screened_backlog_max(beta, times: Sequence, works: Sequence):
     n = len(works)
     if n == 0:
         return Q(0), None
+    checkpoint(1 + n // 64)
     w_lo, w_hi = q_bounds(works)
     t_lo, t_hi = q_bounds(times)
     v_lo, v_hi = gl.eval_bounds(np.maximum(t_lo, 0.0), t_hi)

@@ -34,15 +34,18 @@ switching backend simply addresses different entries.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import pickle
 import tempfile
+import time
 import warnings
 from typing import Iterable, Optional, Sequence, Tuple
 
 from repro import perf
 from repro.minplus import backend as backend_mod
+from repro.resilience import chaos
 
 __all__ = [
     "configure",
@@ -62,6 +65,11 @@ __all__ = [
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 _MEMORY_CAP = 1024  # entries kept by the in-memory fallback store
+
+#: Attempts for one cache I/O operation before giving up (miss / no-op).
+IO_RETRIES = 3
+#: Base of the exponential backoff between I/O retries (seconds).
+IO_BACKOFF = 0.01
 
 #: Lazily resolved state: None until first use / configure().
 _resolved = False
@@ -267,13 +275,43 @@ def _path_for(key: str) -> str:
     return os.path.join(_dir, key[:2], key + ".pkl")
 
 
+_MISSING = object()
+
+
+def _read_blob(path: str):
+    """Read an entry's bytes with bounded retries on transient I/O.
+
+    Returns :data:`_MISSING` when the entry does not exist or stays
+    unreadable after :data:`IO_RETRIES` attempts (EPERM on a hardened
+    mount, EIO, ...) — an I/O problem is a *miss*, never an eviction:
+    only provably corrupt data justifies deleting an entry.
+    """
+    for attempt in range(IO_RETRIES):
+        try:
+            if chaos.should_fire("cache.eperm.read"):
+                raise PermissionError(
+                    errno.EPERM, "chaos: injected read EPERM", path
+                )
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return _MISSING
+        except OSError:
+            if attempt + 1 < IO_RETRIES:
+                perf.record("rcache.io_retries")
+                time.sleep(IO_BACKOFF * (2**attempt))
+    return _MISSING
+
+
 def get(key: str) -> object:
     """The cached value under *key*, or None (miss / unreadable entry).
 
     A disk hit refreshes the entry's access time (LRU) and counts as
-    ``rcache.hits``; unreadable or truncated entries are removed and
-    treated as misses — the cache must never turn a crash mid-write into
-    a wrong answer, and atomic replace already makes that unlikely.
+    ``rcache.hits``.  Transient read errors are retried with backoff
+    (``rcache.io_retries``) and then treated as misses; truncated or
+    corrupt entries are *evicted* and treated as misses — the cache must
+    never turn a crash mid-write into a wrong answer, and atomic replace
+    already makes that unlikely.
     """
     _ensure_resolved()
     if _memory_only:
@@ -286,12 +324,12 @@ def get(key: str) -> object:
     if _dir is None:
         return None
     path = _path_for(key)
-    try:
-        with open(path, "rb") as fh:
-            value = pickle.load(fh)
-    except FileNotFoundError:
+    blob = _read_blob(path)
+    if blob is _MISSING:
         perf.record("rcache.misses")
         return None
+    try:
+        value = pickle.loads(blob)
     except Exception:
         # Truncated/corrupt entries raise all over pickle's surface
         # (UnpicklingError, EOFError, ValueError, ImportError, ...);
@@ -300,6 +338,7 @@ def get(key: str) -> object:
             os.unlink(path)
         except OSError:
             pass
+        perf.record("rcache.corrupt_evictions")
         perf.record("rcache.misses")
         return None
     try:
@@ -310,11 +349,53 @@ def get(key: str) -> object:
     return value
 
 
+def _write_blob(path: str, blob: bytes) -> bool:
+    """Atomically write an entry with bounded retries on transient I/O."""
+    for attempt in range(IO_RETRIES):
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            if chaos.should_fire("cache.enospc"):
+                raise OSError(
+                    errno.ENOSPC, "chaos: injected disk full", path
+                )
+            if chaos.should_fire("cache.eperm.write"):
+                raise PermissionError(
+                    errno.EPERM, "chaos: injected write EPERM", path
+                )
+            data = blob
+            # Injected *silent* storage faults: the write "succeeds" but
+            # the entry is damaged.  get() must evict and recompute.
+            if chaos.should_fire("cache.truncate"):
+                data = blob[: len(blob) // 2]
+            elif chaos.should_fire("cache.corrupt") and blob:
+                data = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), prefix=".tmp-"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return True
+        except OSError:
+            if attempt + 1 < IO_RETRIES:
+                perf.record("rcache.io_retries")
+                time.sleep(IO_BACKOFF * (2**attempt))
+    return False
+
+
 def put(key: str, value: object) -> None:
     """Store *value* under *key* (atomic write, then LRU enforcement).
 
-    Storage failures degrade silently to a no-op: the cache is an
-    accelerator, never a correctness dependency.
+    Transient storage failures are retried with backoff
+    (``rcache.io_retries``); persistent ones degrade silently to a
+    no-op: the cache is an accelerator, never a correctness dependency.
     """
     _ensure_resolved()
     try:
@@ -329,21 +410,7 @@ def put(key: str, value: object) -> None:
         return
     if _dir is None:
         return
-    path = _path_for(key)
-    try:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-    except OSError:
+    if not _write_blob(_path_for(key), blob):
         return
     perf.record("rcache.puts")
     _enforce_cap()

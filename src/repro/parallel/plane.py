@@ -40,23 +40,44 @@ out through:
   result cache is *not* cleared: it is content-addressed and exact, so
   sharing it is sound by construction.
 
+* **Watchdog**: with ``timeout=`` each item gets a wall-clock allowance
+  in the pool; hung workers are killed (a stuck process never returns to
+  ``shutdown``), crashed workers are detected through the broken pool,
+  and the affected items are retried on a fresh pool with exponential
+  backoff (``parallel.worker_retries``).  Items that keep failing are
+  re-executed serially in the parent under a budget —
+  the caller's ``budget=`` or, for timed maps, a deadline budget derived
+  from ``timeout`` — so a cooperative job body degrades or raises a
+  typed error instead of hanging the parent.  Because job-body
+  exceptions travel as *values* (``("err", exc)``), any exception a
+  future *raises* is infrastructure by construction; the two failure
+  planes cannot be confused.
+
 The pool is created lazily, kept for the life of the process (pool
 startup would otherwise dominate small fan-outs) and torn down atexit.
 Environments that cannot fork (restricted sandboxes) degrade to the
-serial path transparently.
+serial path transparently — with a :class:`RuntimeWarning` and a
+``parallel.pool_degraded`` perf counter, so a silent loss of parallelism
+cannot masquerade as a slow machine.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro import perf
+from repro.errors import BudgetExhaustedError, WorkerError
 from repro.minplus import backend as backend_mod
 from repro.parallel import cache as result_cache
+from repro.resilience import chaos
+from repro.resilience.budget import Budget, budget_scope
 
 __all__ = [
     "resolve_jobs",
@@ -64,6 +85,12 @@ __all__ = [
     "parallel_map",
     "reset_process_caches",
 ]
+
+#: Pool attempts per item before the serial in-parent fallback.
+MAX_ATTEMPTS = 3
+
+#: Base of the exponential backoff between retry rounds (seconds).
+BACKOFF_BASE = 0.05
 
 JobsLike = Union[None, int, str]
 
@@ -152,15 +179,33 @@ def reset_process_caches() -> None:
     result_cache.clear_memory()
 
 
+class _Unpicklable:
+    """Chaos payload: a result the worker cannot pickle back."""
+
+    def __reduce__(self):
+        raise RuntimeError("chaos: injected unpicklable job result")
+
+
 def _run_job(payload):
     """Execute one job in a worker: apply config, run, snapshot perf.
 
     Returns ``(status, result_or_exception, perf_snapshot)`` so the
     parent can merge instrumentation and re-raise deterministically.
+    Exceptions raised by the job body are *returned*, never raised —
+    anything this future raises in the parent is infrastructure
+    (crashed worker, hung worker, unpicklable result).
     """
-    fn, item, backend, cache_config, fresh = payload
+    fn, item, backend, cache_config, fresh, chaos_config, chaos_key = payload
     backend_mod.set_backend(backend)
     result_cache.apply_config(cache_config)
+    chaos.apply_config(chaos_config)
+    # Injected worker faults, keyed by (item index, attempt) so a retry
+    # draws a fresh decision — injected faults are transient, like the
+    # real ones they model.
+    if chaos.should_fire("worker.crash", key=chaos_key):
+        os._exit(17)
+    if chaos.should_fire("worker.hang", key=chaos_key):
+        time.sleep(chaos.HANG_SECONDS)
     if fresh:
         reset_process_caches()
     perf.reset()
@@ -168,6 +213,8 @@ def _run_job(payload):
         result = fn(item)
     except Exception as exc:
         return ("err", exc, perf.snapshot())
+    if chaos.should_fire("worker.pickle", key=chaos_key):
+        return ("ok", _Unpicklable(), perf.snapshot())
     return ("ok", result, perf.snapshot())
 
 
@@ -202,10 +249,43 @@ def _drop_pool(n: int) -> None:
             pass
 
 
+def _kill_pool(n: int) -> None:
+    """Forcefully tear down a pool that may hold hung workers.
+
+    ``shutdown`` alone never returns a stuck worker process, so the
+    watchdog terminates the processes first and only then shuts the
+    executor machinery down.
+    """
+    pool = _pools.pop(n, None)
+    if pool is None:
+        return
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
 @atexit.register
 def _shutdown_pools() -> None:
     for n in list(_pools):
         _drop_pool(n)
+
+
+def _degrade_to_serial(fn, items, fresh_caches, cause: str) -> List:
+    """Pool-level serial fallback: loud, counted, then transparent."""
+    perf.record("parallel.pool_degraded")
+    warnings.warn(
+        f"process pool unavailable ({cause}); falling back to serial "
+        "execution — parallel speedup is lost for this call",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return _serial_map(fn, items, fresh_caches)
 
 
 def parallel_map(
@@ -213,6 +293,8 @@ def parallel_map(
     items: Sequence,
     jobs: JobsLike = None,
     fresh_caches: bool = False,
+    timeout: Optional[float] = None,
+    budget: Optional[Budget] = None,
 ) -> List:
     """``[fn(item) for item in items]`` across worker processes.
 
@@ -224,12 +306,26 @@ def parallel_map(
         fresh_caches: Reset process-local caches before every job —
             the per-instance isolation guarantee benchmark sweeps rely
             on (see :func:`reset_process_caches`).
+        timeout: Per-item wall-clock allowance in seconds.  An item
+            whose future does not complete in time has its pool killed
+            (hung workers never exit on their own) and is retried —
+            :data:`MAX_ATTEMPTS` pool attempts with exponential backoff,
+            then one serial in-parent re-execution.
+        budget: Budget for the serial re-execution of items whose pool
+            attempts all failed (the watchdog's last resort).  Defaults
+            to a deadline budget derived from *timeout*, so a
+            cooperative job body is cut off by its checkpoints instead
+            of hanging the parent.  The normal pool/serial paths are
+            *not* metered by this — per-item budgets belong inside *fn*
+            (see :func:`repro.resilience.bounded_delay_many`).
 
     Raises:
         The exception of the earliest failing item in submission order —
         the same exception a sequential run raises first.  Perf
         snapshots of *all* jobs (including failed ones) are merged into
-        the parent registry before raising.
+        the parent registry before raising.  :class:`WorkerError` only
+        when an item could not be completed by the pool *and* its serial
+        re-execution was cut off by the watchdog deadline.
     """
     items = list(items)
     n = resolve_jobs(jobs, n_items=len(items))
@@ -237,21 +333,86 @@ def parallel_map(
         return _serial_map(fn, items, fresh_caches)
     backend = backend_mod.get_backend()
     cache_config = result_cache.current_config()
-    payloads = [
-        (fn, item, backend, cache_config, fresh_caches) for item in items
-    ]
-    try:
-        pool = _get_pool(n)
-        outcomes = list(pool.map(_run_job, payloads))
-    except (OSError, PermissionError, BrokenProcessPool):
-        # Pool could not start or died (restricted sandbox, OOM-killed
-        # worker): drop it and degrade to the serial path.
-        _drop_pool(n)
-        return _serial_map(fn, items, fresh_caches)
+    chaos_config = chaos.current_config()
+
+    def payload(i: int, attempt: int):
+        return (
+            fn,
+            items[i],
+            backend,
+            cache_config,
+            fresh_caches,
+            chaos_config,
+            (i, attempt),
+        )
+
+    outcomes: List = [None] * len(items)
+    pending = list(range(len(items)))
+    for attempt in range(MAX_ATTEMPTS):
+        if attempt:
+            perf.record("parallel.worker_retries", len(pending))
+            time.sleep(BACKOFF_BASE * (2 ** (attempt - 1)))
+        try:
+            pool = _get_pool(n)
+            futures = {
+                i: pool.submit(_run_job, payload(i, attempt))
+                for i in pending
+            }
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            # Pool could not start (restricted sandbox, fork failure):
+            # nothing to retry against — degrade the whole call.
+            _drop_pool(n)
+            return _degrade_to_serial(
+                fn, items, fresh_caches, type(exc).__name__
+            )
+        failed: List[int] = []
+        poisoned = False
+        for i in pending:
+            try:
+                status, out, snap = futures[i].result(timeout=timeout)
+            except (_FuturesTimeout, TimeoutError):
+                perf.record("parallel.item_timeouts")
+                failed.append(i)
+                poisoned = True  # a hung worker still occupies the pool
+            except BrokenProcessPool:
+                failed.append(i)
+                poisoned = True
+            except Exception:
+                # The job body cannot raise here (its exceptions travel
+                # as values): this is a result that failed to unpickle.
+                failed.append(i)
+            else:
+                perf.merge(snap)
+                outcomes[i] = (status, out)
+        if poisoned:
+            _kill_pool(n)
+        pending = failed
+        if not pending:
+            break
+    if pending:
+        # Last resort: serial in-parent re-execution under a budget, so
+        # even a persistently hanging cooperative body terminates.
+        effective = budget
+        if effective is None and timeout is not None:
+            effective = Budget(deadline=timeout)
+        for i in pending:
+            if fresh_caches:
+                reset_process_caches()
+            try:
+                with budget_scope(effective):
+                    outcomes[i] = ("ok", fn(items[i]))
+            except BudgetExhaustedError as exc:
+                if budget is None:
+                    raise WorkerError(
+                        f"item {i} failed {MAX_ATTEMPTS} pool attempts "
+                        f"and exceeded the {timeout}s watchdog deadline "
+                        "when re-executed serially"
+                    ) from exc
+                outcomes[i] = ("err", exc)
+            except Exception as exc:
+                outcomes[i] = ("err", exc)
     perf.record("plane.jobs", len(outcomes))
-    for status, out, snap in outcomes:
-        perf.merge(snap)
-    for status, out, snap in outcomes:
+    for status, out in outcomes:
         if status == "err":
             raise out
-    return [out for _, out, _ in outcomes]
+    return [out for _, out in outcomes]

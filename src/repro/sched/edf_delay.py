@@ -50,6 +50,7 @@ from repro.minplus.curve import Curve
 from repro.minplus.deviation import lower_pseudo_inverse_batch
 from repro.parallel import cache as result_cache
 from repro.parallel.plane import JobsLike, parallel_map
+from repro.resilience.budget import checkpoint
 
 __all__ = ["EdfDelayResult", "edf_structural_delays"]
 
@@ -123,6 +124,7 @@ def edf_structural_delays(
     horizon = as_q(initial_horizon) if initial_horizon is not None else Q(64)
     busy = None
     for _ in range(max_iterations):
+        checkpoint()  # one budget unit per aggregate-horizon round
         total_rbf = rbf_curve(tasks[0], horizon, reuse=reuse)
         for task in tasks[1:]:
             total_rbf = total_rbf + rbf_curve(task, horizon, reuse=reuse)
@@ -202,6 +204,10 @@ def _edf_task_case(case) -> Dict[str, Fraction]:
     # decreases in a, so only a = 0 and the pull-backs of the
     # dbf jump points need to be checked.  All (tuple, anchor)
     # demands go through one batched pseudo-inverse sweep.
+    # Amortised charge for the (tuple x jump) anchor enumeration below.
+    checkpoint(
+        1 + (len(tuples) * max(len(interference_jumps), 1)) // 64
+    )
     queries: List[Tuple[RequestTuple, Q, Q]] = []
     for tup in tuples:
         deadline = task.deadline(tup.vertex)

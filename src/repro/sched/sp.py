@@ -22,6 +22,7 @@ from repro.errors import UnboundedBusyWindowError
 from repro.minplus.curve import Curve
 from repro.parallel import cache as result_cache
 from repro.parallel.plane import JobsLike, parallel_map
+from repro.resilience.budget import checkpoint
 
 __all__ = ["SpResult", "sp_schedulable"]
 
@@ -121,6 +122,7 @@ def _per_job_with_interference(
     horizon = as_q(initial_horizon) if initial_horizon is not None else Q(64)
     previous: Optional[Dict[str, Fraction]] = None
     for _ in range(max_iterations):
+        checkpoint()  # one budget unit per interference-horizon round
         beta_left = beta
         for other in interferers:
             beta_left = leftover_service(beta_left, rbf_curve(other, horizon))

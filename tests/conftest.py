@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from fractions import Fraction as F
 
 import pytest
@@ -12,6 +14,42 @@ from repro.drt.model import DRTTask, Edge, Job
 from repro.minplus.builders import from_points, rate_latency, staircase
 from repro.minplus.curve import Curve
 from repro.minplus.segment import Segment
+
+# ---------------------------------------------------------------------------
+# Hang protection
+# ---------------------------------------------------------------------------
+#
+# CI runs the suite under pytest-timeout; environments without the plugin
+# (the local toolchain) get a SIGALRM-based per-test fallback so a hung
+# test — the exact failure mode the resilience layer guards against —
+# fails loudly instead of wedging the whole run.
+
+_FALLBACK_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if (
+        item.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or _FALLBACK_TIMEOUT <= 0
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_FALLBACK_TIMEOUT}s fallback timeout "
+            "(set REPRO_TEST_TIMEOUT to adjust)"
+        )
+
+    old = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(_FALLBACK_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
 
 # ---------------------------------------------------------------------------
 # Example tasks

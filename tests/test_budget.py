@@ -1,0 +1,242 @@
+"""Budgets and the degradation ladder: metering, soundness, anytime bounds."""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay import structural_delay
+from repro.drt.model import DRTTask, Edge, Job
+from repro.drt.utilization import utilization
+from repro.errors import BudgetExhaustedError, UnboundedBusyWindowError
+from repro.minplus.builders import rate_latency
+from repro.resilience import (
+    BoundedDelayResult,
+    Budget,
+    bounded_delay,
+    bounded_delay_many,
+    budget_scope,
+    checkpoint,
+)
+from repro.resilience.budget import CLOCK_STRIDE, DEFAULT_MAX_SEGMENTS
+
+from tests.conftest import service_curves, small_drt_tasks
+
+
+def _clone(task: DRTTask) -> DRTTask:
+    """A structurally identical task with no shared analysis state."""
+    return DRTTask(
+        task.name,
+        [Job(j.name, j.wcet, j.deadline) for j in task.jobs.values()],
+        [Edge(e.src, e.dst, e.separation) for e in task.edges],
+    )
+
+
+def _cyclic() -> DRTTask:
+    return DRTTask(
+        "cyc",
+        [Job("a", F(2), F(10)), Job("b", F(1), F(8))],
+        [Edge("a", "b", F(5)), Edge("b", "a", F(7))],
+    )
+
+
+BETA = rate_latency(F(1, 2), F(0))
+
+
+class TestBudgetSpec:
+    def test_defaults_are_unlimited(self):
+        b = Budget()
+        assert b.deadline is None
+        assert b.max_expansions is None
+        assert b.max_segments is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=0)
+        with pytest.raises(ValueError):
+            Budget(deadline=-1.0)
+        with pytest.raises(ValueError):
+            Budget(max_expansions=-1)
+        with pytest.raises(ValueError):
+            Budget(max_segments=1)
+        Budget(max_expansions=0)  # zero expansions is a valid (hard) cap
+        Budget(max_segments=2)
+
+    def test_meter_max_segments_default(self):
+        assert Budget().start().max_segments() == DEFAULT_MAX_SEGMENTS
+        assert Budget(max_segments=5).start().max_segments() == 5
+
+
+class TestMeterAndCheckpoint:
+    def test_checkpoint_noop_without_scope(self):
+        for _ in range(10):
+            checkpoint(1000)  # must never raise
+
+    def test_expansion_cap_raises_with_reason(self):
+        meter = Budget(max_expansions=5).start()
+        with budget_scope(meter):
+            for _ in range(5):
+                checkpoint()
+            with pytest.raises(BudgetExhaustedError) as exc:
+                checkpoint()
+        assert exc.value.reason == "max_expansions"
+        assert meter.remaining_expansions() == 0
+        assert not meter.has_slack()
+
+    def test_deadline_checked_every_stride(self):
+        meter = Budget(deadline=1e-9).start()
+        time.sleep(0.01)
+        with budget_scope(meter):
+            # Under one stride of units the clock is never consulted.
+            checkpoint(CLOCK_STRIDE - 1)
+            with pytest.raises(BudgetExhaustedError) as exc:
+                checkpoint(CLOCK_STRIDE)
+        assert exc.value.reason == "deadline"
+
+    def test_scope_restores_previous(self):
+        outer = Budget(max_expansions=100).start()
+        with budget_scope(outer):
+            with budget_scope(Budget(max_expansions=10)):
+                checkpoint(4)
+            checkpoint(4)
+        # Inner work charged the outer meter too.
+        assert outer.remaining_expansions() == 100 - 8
+        checkpoint(10**9)  # scopes fully unwound
+
+    def test_nested_inner_exhaustion_leaves_outer_consistent(self):
+        outer = Budget(max_expansions=100).start()
+        with budget_scope(outer):
+            with pytest.raises(BudgetExhaustedError):
+                with budget_scope(Budget(max_expansions=3)):
+                    checkpoint(10)
+        assert outer.remaining_expansions() == 90
+
+    def test_scope_accepts_budget_meter_or_none(self):
+        with budget_scope(None) as m:
+            assert m is None
+            checkpoint(10**9)
+        with budget_scope(Budget(max_expansions=1)) as m:
+            assert m is not None
+        meter = Budget(max_expansions=7).start()
+        with budget_scope(meter) as m:
+            assert m is meter
+
+
+class TestDegradationLadder:
+    def test_no_budget_is_exact(self):
+        res = bounded_delay(_cyclic(), BETA)
+        assert isinstance(res, BoundedDelayResult)
+        assert not res.degraded
+        assert res.level == "exact"
+        assert res.reason is None
+        assert res.delay == structural_delay(_cyclic(), BETA).delay
+        assert res.busy_window is not None
+        assert res.critical_tuple is not None
+
+    def test_roomy_budget_is_exact(self):
+        res = bounded_delay(
+            _cyclic(), BETA, budget=Budget(max_expansions=10**6)
+        )
+        assert not res.degraded
+        assert res.level == "exact"
+
+    def test_zero_budget_degrades_to_rate(self):
+        res = bounded_delay(_cyclic(), BETA, budget=Budget(max_expansions=0))
+        assert res.degraded
+        assert res.level == "rate"
+        assert "max_expansions" in res.reason
+        assert res.delay >= structural_delay(_cyclic(), BETA).delay
+
+    def test_partial_exploration_yields_k_segment(self):
+        exact = structural_delay(_cyclic(), BETA).delay
+        seen = set()
+        for cap in range(0, 40):
+            res = bounded_delay(
+                _clone(_cyclic()), BETA, budget=Budget(max_expansions=cap)
+            )
+            seen.add(res.level)
+            assert res.delay >= exact
+            if res.level == "k-segment":
+                assert res.degraded
+                assert res.explored_horizon is not None
+                assert res.explored_horizon > 0
+        assert "k-segment" in seen
+        assert "exact" in seen
+
+    def test_max_segments_bounds_the_approximation(self):
+        res = bounded_delay(
+            _clone(_cyclic()),
+            BETA,
+            budget=Budget(max_expansions=10, max_segments=2),
+        )
+        assert res.delay >= structural_delay(_cyclic(), BETA).delay
+
+    def test_degraded_never_raises_budget_exhausted(self):
+        for cap in (0, 1, 2, 3):
+            bounded_delay(
+                _clone(_cyclic()), BETA, budget=Budget(max_expansions=cap)
+            )
+
+    def test_overload_still_raises_typed_error(self):
+        # Utilization 1/2 >= service rate 1/4: unbounded regardless of budget.
+        slow = rate_latency(F(1, 8), F(0))
+        task = DRTTask(
+            "hot", [Job("a", F(5), F(10))], [Edge("a", "a", F(10))]
+        )
+        with pytest.raises(UnboundedBusyWindowError):
+            bounded_delay(task, slow, budget=Budget(max_expansions=0))
+
+    def test_cached_exact_result_ignores_budget(self):
+        # A memoized exact answer costs nothing, so even a zero budget
+        # returns it: same object graph as the uncached exact result.
+        task = _cyclic()
+        exact = structural_delay(task, BETA)
+        res = bounded_delay(task, BETA, budget=Budget(max_expansions=0))
+        assert not res.degraded
+        assert res.delay == exact.delay
+
+    def test_bounded_delay_many_matches_scalar(self):
+        tasks = [_clone(_cyclic()) for _ in range(3)]
+        out = bounded_delay_many(tasks, BETA, budget=Budget(max_expansions=4))
+        assert len(out) == 3
+        scalar = bounded_delay(
+            _clone(_cyclic()), BETA, budget=Budget(max_expansions=4)
+        )
+        for res in out:
+            assert res.delay == scalar.delay
+            assert res.level == scalar.level
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(task=small_drt_tasks(), beta=service_curves(), cap=st.integers(0, 64))
+    def test_degraded_bound_dominates_exact(self, task, beta, cap):
+        """The anytime bound is sound: every rung's bound >= the exact delay."""
+        if utilization(task) >= beta.tail_rate:
+            return  # unbounded either way; typed-error case covered above
+        exact = structural_delay(_clone(task), beta).delay
+        res = bounded_delay(
+            _clone(task), beta, budget=Budget(max_expansions=cap)
+        )
+        assert res.delay >= exact
+        if not res.degraded:
+            assert res.delay == exact
+        else:
+            assert res.level in ("k-segment", "rate")
+            assert res.reason
+
+    @settings(max_examples=20, deadline=None)
+    @given(task=small_drt_tasks(), beta=service_curves())
+    def test_tight_deadline_terminates_with_sound_bound(self, task, beta):
+        """A wall-clock budget always terminates and stays sound."""
+        if utilization(task) >= beta.tail_rate:
+            return
+        exact = structural_delay(_clone(task), beta).delay
+        res = bounded_delay(
+            _clone(task), beta, budget=Budget(deadline=1e-7)
+        )
+        assert res.delay >= exact

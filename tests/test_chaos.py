@@ -1,0 +1,250 @@
+"""Deterministic fault injection: every fault ends in a sound outcome.
+
+The contract under test: an injected fault yields a bit-identical
+result, a sound degraded bound, or a typed ReproError — never a hang
+(the conftest fallback timeout would catch one) and never a raw
+traceback from infrastructure.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction as F
+
+import pytest
+
+from repro import perf
+from repro.core.delay import structural_delay
+from repro.drt.model import DRTTask, Edge, Job
+from repro.errors import ReproError
+from repro.minplus.builders import rate_latency
+from repro.parallel import cache as result_cache
+from repro.parallel.plane import parallel_map
+from repro.resilience import chaos
+from repro.resilience.chaos import (
+    DEFAULT_PROBABILITY,
+    KNOWN_SITES,
+    _parse_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    saved = result_cache.current_config()
+    yield
+    result_cache.apply_config(saved)
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (module-level: must be picklable by reference)
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _chaos_active(_):
+    return chaos.is_active()
+
+
+def _delay_case(args):
+    task, beta = args
+    return structural_delay(task, beta).delay
+
+
+def _fresh_task(tag: int) -> DRTTask:
+    return DRTTask(
+        f"chaos-{tag}",
+        [Job("a", F(2), F(10)), Job("b", F(1), F(8))],
+        [Edge("a", "b", F(5)), Edge("b", "a", F(7))],
+    )
+
+
+BETA = rate_latency(F(1, 2), F(0))
+
+
+# ---------------------------------------------------------------------------
+# Configuration and determinism
+# ---------------------------------------------------------------------------
+
+
+class TestSpec:
+    def test_bare_seed(self):
+        seed, sites = _parse_spec("7")
+        assert seed == 7
+        assert set(sites) == KNOWN_SITES
+        assert all(p == DEFAULT_PROBABILITY for p in sites.values())
+
+    def test_full_spec(self):
+        seed, sites = _parse_spec("seed=3,p=0.5,sites=worker.crash|cache.truncate")
+        assert seed == 3
+        assert sites == {"worker.crash": 0.5, "cache.truncate": 0.5}
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            _parse_spec("p=0.5")  # no seed
+        with pytest.raises(ValueError):
+            _parse_spec("seed=1,p=1.5")
+        with pytest.raises(ValueError):
+            _parse_spec("seed=1,sites=not.a.site")
+        with pytest.raises(ValueError):
+            _parse_spec("seed=1,frobnicate=2")
+
+    def test_env_adoption(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed=9,p=1.0,sites=worker.crash")
+        chaos.configure(None)
+        try:
+            chaos._resolved = False  # force re-resolution from the env
+            assert chaos.is_active()
+            assert chaos.should_fire("worker.crash", key=(0, 0))
+            assert not chaos.should_fire("cache.truncate", key=(0, 0))
+        finally:
+            chaos.configure(None)
+
+    def test_scoped_restores(self):
+        assert not chaos.is_active()
+        with chaos.scoped(1, p=1.0):
+            assert chaos.is_active()
+        assert not chaos.is_active()
+
+
+class TestDeterminism:
+    def test_keyed_draws_are_pure(self):
+        with chaos.scoped(42, p=0.5):
+            first = [chaos.should_fire("worker.crash", key=(i, 0)) for i in range(64)]
+            second = [chaos.should_fire("worker.crash", key=(i, 0)) for i in range(64)]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 actually mixes
+
+    def test_attempt_key_changes_the_draw(self):
+        with chaos.scoped(42, p=0.5):
+            by_attempt = {
+                a: chaos.should_fire("worker.crash", key=(0, a))
+                for a in range(32)
+            }
+        assert len(set(by_attempt.values())) == 2  # retries can escape
+
+    def test_unkeyed_counter_advances(self):
+        with chaos.scoped(42, p=0.5):
+            draws = [chaos.should_fire("cache.truncate") for _ in range(64)]
+        assert any(draws) and not all(draws)
+
+    def test_seeds_differ(self):
+        with chaos.scoped(1, p=0.5):
+            a = [chaos.should_fire("worker.crash", key=(i, 0)) for i in range(64)]
+        with chaos.scoped(2, p=0.5):
+            b = [chaos.should_fire("worker.crash", key=(i, 0)) for i in range(64)]
+        assert a != b
+
+    def test_unknown_site_asserts(self):
+        with chaos.scoped(1, p=1.0):
+            with pytest.raises(AssertionError):
+                chaos.should_fire("no.such.site")
+
+
+# ---------------------------------------------------------------------------
+# Worker faults through the execution plane
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerFaults:
+    def test_config_ships_to_workers(self):
+        with chaos.scoped(7, sites={"cache.truncate": 0.0}):
+            active = parallel_map(_chaos_active, [1, 2, 3, 4], jobs=2)
+        assert all(active)
+        assert not chaos.is_active()
+
+    def test_crashes_are_retried_to_bit_identical_results(self):
+        expected = [_square(i) for i in range(10)]
+        with chaos.scoped(3, sites={"worker.crash": 0.4}):
+            out = parallel_map(_square, list(range(10)), jobs=2, timeout=10.0)
+        assert out == expected
+
+    def test_pickle_failures_recovered(self):
+        expected = [_square(i) for i in range(10)]
+        with chaos.scoped(5, sites={"worker.pickle": 0.4}):
+            out = parallel_map(_square, list(range(10)), jobs=2, timeout=10.0)
+        assert out == expected
+
+    def test_hangs_detected_and_recovered(self):
+        expected = [_square(i) for i in range(6)]
+        perf.reset()
+        with chaos.scoped(5, sites={"worker.hang": 0.5}):
+            out = parallel_map(_square, list(range(6)), jobs=2, timeout=1.0)
+        assert out == expected
+        assert perf.counters().get("parallel.item_timeouts", 0) >= 1
+
+    def test_mixed_faults_on_real_analysis(self):
+        tasks = [(_fresh_task(i), BETA) for i in range(6)]
+        baseline = [structural_delay(_fresh_task(i), BETA).delay for i in range(6)]
+        with chaos.scoped(
+            11, sites={"worker.crash": 0.3, "worker.pickle": 0.3}
+        ):
+            out = parallel_map(_delay_case, tasks, jobs=2, timeout=30.0)
+        assert out == baseline
+
+    def test_every_seed_terminates(self):
+        # A seed sweep: whatever fires, the map returns or raises typed.
+        for seed in range(5):
+            with chaos.scoped(
+                seed,
+                sites={"worker.crash": 0.5, "worker.pickle": 0.5},
+            ):
+                try:
+                    out = parallel_map(
+                        _square, list(range(6)), jobs=2, timeout=10.0
+                    )
+                except ReproError:
+                    continue  # typed failure is an allowed outcome
+                assert out == [_square(i) for i in range(6)]
+
+
+# ---------------------------------------------------------------------------
+# Cache faults
+# ---------------------------------------------------------------------------
+
+
+class TestCacheFaults:
+    def test_every_cache_site_preserves_results(self, tmp_path):
+        """Any injected cache fault: analysis results stay bit-identical."""
+        baseline = structural_delay(_fresh_task(0), BETA).delay
+        for site in (
+            "cache.truncate",
+            "cache.corrupt",
+            "cache.enospc",
+            "cache.eperm.write",
+            "cache.eperm.read",
+        ):
+            d = tmp_path / site.replace(".", "_")
+            result_cache.configure(str(d))
+            with chaos.scoped(13, sites={site: 1.0}):
+                cold = structural_delay(_fresh_task(0), BETA).delay
+                warm = structural_delay(_fresh_task(0), BETA).delay
+            clean = structural_delay(_fresh_task(0), BETA).delay
+            assert cold == warm == clean == baseline
+        result_cache.configure(None)
+
+    def test_damaged_writes_do_not_poison_later_runs(self, tmp_path):
+        result_cache.configure(str(tmp_path))
+        with chaos.scoped(13, sites={"cache.truncate": 1.0}):
+            structural_delay(_fresh_task(1), BETA)
+        # Chaos off: the damaged entries must be evicted, not trusted.
+        perf.reset()
+        val = structural_delay(_fresh_task(1), BETA).delay
+        assert val == structural_delay(_fresh_task(1), BETA).delay
+        result_cache.configure(None)
+
+    def test_read_eperm_is_transient_and_retried(self, tmp_path):
+        result_cache.configure(str(tmp_path))
+        result_cache.put("k" * 64, 123)
+        perf.reset()
+        # p=0.5 with the counter key: some attempts fail, retries recover.
+        hits = 0
+        with chaos.scoped(21, sites={"cache.eperm.read": 0.5}):
+            for _ in range(8):
+                if result_cache.get("k" * 64) == 123:
+                    hits += 1
+        assert hits >= 1
+        assert perf.counters().get("rcache.io_retries", 0) >= 1
+        result_cache.configure(None)

@@ -86,3 +86,70 @@ class TestCli:
         rc = main([task_file, "--rate", "1/2", "--latency", "100",
                    "--min-rate", "1"])
         assert rc == 1
+
+
+class TestCliValidation:
+    @pytest.fixture
+    def malformed_file(self, tmp_path):
+        import json
+
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({
+            "name": "bad",
+            "jobs": {
+                "a": {"wcet": "1", "deadline": "5"},
+                "lonely": {"wcet": "1", "deadline": "5"},
+            },
+            "edges": [{"src": "a", "dst": "a", "separation": "5"}],
+        }))
+        return str(p)
+
+    def test_malformed_task_fails_fast(self, malformed_file, capsys):
+        rc = main([malformed_file, "--rate", "1"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "lonely" in err
+
+    def test_no_validate_opts_out(self, malformed_file, capsys):
+        rc = main([malformed_file, "--rate", "1", "--no-validate"])
+        assert rc == 0
+        assert "structural worst-case delay" in capsys.readouterr().out
+
+
+class TestCliBudgets:
+    def test_roomy_budget_stays_exact(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4",
+                   "--budget", "1000000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "structural worst-case delay: 10" in out
+        assert "degraded" not in out
+
+    def test_tiny_budget_reports_sound_bound(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4",
+                   "--budget", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "<=" in out
+        assert "sound over-approximation" in out
+        assert "degraded: level=" in out
+
+    def test_degraded_run_skips_exact_only_reports(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4",
+                   "--budget", "0", "--per-job", "--backlog"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-job delays:" not in out
+        assert "budget exhausted" in out
+
+    def test_invalid_budget_is_a_cli_error(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--deadline", "-1"])
+        assert rc == 1
+        assert "invalid budget" in capsys.readouterr().err
+
+    def test_max_segments_accepted(self, task_file, capsys):
+        rc = main([task_file, "--rate", "1/2", "--latency", "4",
+                   "--budget", "0", "--max-segments", "2"])
+        assert rc == 0
+        assert "sound over-approximation" in capsys.readouterr().out

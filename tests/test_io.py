@@ -1,4 +1,4 @@
-"""Tests for JSON serialisation and DOT export."""
+"""Tests for JSON serialisation and DOT import/export."""
 
 import json
 from fractions import Fraction as F
@@ -6,8 +6,8 @@ from fractions import Fraction as F
 import pytest
 
 from repro.drt.model import DRTTask
-from repro.errors import SerializationError
-from repro.io.dot import task_to_dot
+from repro.errors import SerializationError, ValidationError
+from repro.io.dot import load_task_dot, task_from_dot, task_to_dot
 from repro.io.json_io import (
     curve_from_dict,
     curve_to_dict,
@@ -84,6 +84,36 @@ class TestCurveRoundtrip:
             curve_from_dict({"segments": [{"start": "0", "value": "1"}]})
 
 
+class TestLoaderValidation:
+    """Loaders fail fast on semantically malformed tasks."""
+
+    def _isolated(self):
+        # "lonely" has no edges at all: structurally isolated.
+        return {
+            "name": "bad",
+            "jobs": {
+                "a": {"wcet": "1", "deadline": "5"},
+                "lonely": {"wcet": "1", "deadline": "5"},
+            },
+            "edges": [{"src": "a", "dst": "a", "separation": "5"}],
+        }
+
+    def test_from_dict_validates_by_default(self):
+        with pytest.raises(ValidationError, match="lonely"):
+            task_from_dict(self._isolated())
+
+    def test_from_dict_opt_out(self):
+        task = task_from_dict(self._isolated(), validate=False)
+        assert "lonely" in task.jobs
+
+    def test_load_task_validates(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(self._isolated()))
+        with pytest.raises(ValidationError, match="lonely"):
+            load_task(p)
+        assert load_task(p, validate=False).name == "bad"
+
+
 class TestDot:
     def test_contains_jobs_and_edges(self, demo_task):
         dot = task_to_dot(demo_task)
@@ -92,3 +122,55 @@ class TestDot:
             assert f'"{name}"' in dot
         assert '"a" -> "b"' in dot
         assert "label=\"10\"" in dot
+
+    def test_round_trip(self, demo_task):
+        back = task_from_dot(task_to_dot(demo_task))
+        assert back.name == demo_task.name
+        assert back.jobs == demo_task.jobs
+        assert {(e.src, e.dst, e.separation) for e in back.edges} == {
+            (e.src, e.dst, e.separation) for e in demo_task.edges
+        }
+
+    def test_rationals_round_trip_exactly(self):
+        t = DRTTask.build(
+            "q", jobs={"a": (F(1, 3), F(7, 2))}, edges=[("a", "a", F(22, 7))]
+        )
+        back = task_from_dot(task_to_dot(t))
+        assert back.wcet("a") == F(1, 3)
+        assert back.edges[0].separation == F(22, 7)
+
+    def test_file_round_trip(self, demo_task, tmp_path):
+        p = tmp_path / "task.dot"
+        p.write_text(task_to_dot(demo_task))
+        assert load_task_dot(p).jobs == demo_task.jobs
+
+    def test_parse_error_names_the_line(self):
+        source = 'digraph "x" {\n  what is this\n}'
+        with pytest.raises(SerializationError, match="line 2"):
+            task_from_dot(source)
+
+    def test_bad_rational_names_the_job(self):
+        source = 'digraph "x" {\n  "a" [label="a\\n<zz, 5>"];\n}'
+        with pytest.raises(SerializationError, match="job 'a'|line 2"):
+            task_from_dot(source)
+
+    def test_unclosed_block_raises(self):
+        with pytest.raises(SerializationError, match="closed"):
+            task_from_dot('digraph "x" {')
+
+    def test_import_validates_by_default(self):
+        source = (
+            'digraph "x" {\n'
+            '  "a" [label="a\\n<1, 5>"];\n'
+            '  "lonely" [label="lonely\\n<1, 5>"];\n'
+            '  "a" -> "a" [label="5"];\n'
+            "}"
+        )
+        with pytest.raises(ValidationError, match="lonely"):
+            task_from_dot(source)
+        task = task_from_dot(source, validate=False)
+        assert "lonely" in task.jobs
+
+    def test_load_missing_dot_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_task_dot(tmp_path / "absent.dot")

@@ -181,6 +181,73 @@ results compare exactly in the parent.
 """
 
 
+RESILIENCE_SECTION = """\
+## Resilience, budgets & fault injection
+
+`repro.resilience` bounds the *effort* of an analysis without ever
+compromising the *soundness* of its answer, and hardens the parallel
+plane and the persistent cache against infrastructure failure.
+
+**Analysis budgets** (`repro.resilience.budget`).  A
+`Budget(deadline=, max_expansions=, max_segments=)` caps one analysis by
+wall-clock seconds and/or cooperative work units.  The engine's hot
+loops — frontier expansions, busy-window rounds, batched
+pseudo-inverse/kernel sweeps, SP/EDF interference rounds — call
+`checkpoint(n)` at natural work boundaries; with no active budget that
+is one global read and an `is None` test (the benchmark gate
+`benchmarks/bench_resilience.py` holds the disabled overhead under 2%),
+and with one it charges the active `BudgetMeter`, consulting
+`time.monotonic()` only every `CLOCK_STRIDE` charged units.  Budget
+scopes nest (`budget_scope`); inner work charges enclosing meters too.
+
+**Anytime degradation ladder** (`repro.resilience.bounded`).
+`bounded_delay(task, beta, budget=)` returns a `BoundedDelayResult`
+that is the exact answer when the budget suffices and a **sound
+over-approximate bound** when it does not, walking: exact frontier →
+hybrid-kernel resume of the same exploration (still exact) →
+*k-segment* bound built from the partially explored frontier (the
+explored prefix plus an affine tail dominates the true rbf everywhere,
+and `hdev` is monotone in its first argument) → utilization/rate bound
+from `linear_request_bound`.  Degraded results carry `degraded=True`,
+the ladder `level`, and a `reason` naming what was exhausted; a
+genuinely unbounded instance still raises `UnboundedBusyWindowError`
+regardless of budget.  `bounded_delay_many` fans cases across the
+plane under one budget.  The CLI exposes `--deadline`, `--budget`, and
+`--max-segments`, and prints degraded bounds as `<= value (sound
+over-approximation)`.
+
+**Worker watchdog** (`repro.parallel.plane`).  `parallel_map(...,
+timeout=, budget=)` guards every item: job-body exceptions travel back
+as values, so anything a future *raises* is infrastructure by
+construction — per-item timeouts (`parallel.item_timeouts`), crashed
+workers, unpicklable results.  A poisoned round kills the pool
+outright (never waits on hung workers), retries the missing items with
+exponential backoff (`parallel.worker_retries`, up to 3 pool
+attempts), then re-executes stragglers serially under the caller's
+budget (or one derived from the timeout) — degrading per the ladder
+rather than hanging; only when even that deadline is cut does a typed
+`WorkerError` surface.  A pool that cannot start at all degrades to
+the serial path with a `RuntimeWarning` and the
+`parallel.pool_degraded` counter.  Transient cache I/O is likewise
+retried with backoff (`rcache.io_retries`); only provably corrupt
+entries are evicted (`rcache.corrupt_evictions`) — an unreadable entry
+is a miss, never an eviction, and a failed write is a no-op.
+
+**Deterministic fault injection** (`repro.resilience.chaos`).  Named
+fault sites at every failure surface — `worker.crash`, `worker.hang`,
+`worker.pickle`, `cache.truncate`, `cache.corrupt`, `cache.enospc`,
+`cache.eperm.read`, `cache.eperm.write` — fire as a pure function of a
+seed, the site, and a call key, so a failing chaos run replays
+exactly.  Enabled by `REPRO_CHAOS="seed"` /
+`"seed=7,p=0.3,sites=a|b"`, `chaos.configure()`, or the `chaos.scoped`
+test helper; workers inherit the parent's configuration.  The chaos
+suite (`tests/test_chaos.py`, and the CI chaos job running tier-1
+under a fixed seed matrix) asserts every injected fault yields a
+bit-identical result, a sound degraded bound, or a typed `ReproError`
+— never a hang or a raw traceback.
+"""
+
+
 def render() -> str:
     lines = [
         "# API reference",
@@ -191,6 +258,7 @@ def render() -> str:
         PERFORMANCE_SECTION,
         KERNEL_BACKENDS_SECTION,
         PARALLEL_SECTION,
+        RESILIENCE_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
         public = getattr(module, "__all__", None)
