@@ -91,6 +91,7 @@ from repro.core import (
 )
 from repro.parallel import (
     configure_cache,
+    map_settled,
     parallel_map,
     resolve_jobs,
     set_default_jobs,
@@ -115,7 +116,14 @@ from repro.resilience import (
     checkpoint,
 )
 from repro.workloads import CASE_STUDIES, RandomDrtConfig, random_drt_task
-from repro.io import load_task, save_task, task_to_dot
+from repro.io import (
+    load_task,
+    load_task_dot,
+    save_task,
+    save_task_dot,
+    task_from_dot,
+    task_to_dot,
+)
 
 __version__ = "1.0.0"
 
@@ -182,6 +190,7 @@ __all__ = [
     "sp_structural_delays",
     "fifo_rtc_delay",
     "configure_cache",
+    "map_settled",
     "parallel_map",
     "resolve_jobs",
     "set_default_jobs",
@@ -204,5 +213,8 @@ __all__ = [
     "load_task",
     "save_task",
     "task_to_dot",
+    "save_task_dot",
+    "task_from_dot",
+    "load_task_dot",
     "__version__",
 ]

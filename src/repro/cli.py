@@ -5,6 +5,11 @@ Usage::
     repro-analyze task.json --rate 1/2 --latency 4
     repro-analyze task.json --rate 1 --tdma-slot 2 --tdma-frame 8
     python -m repro.cli task.json --rate 1/2 --latency 4 --per-job --dot g.dot
+    python -m repro.cli serve --port 8177 --jobs auto
+
+The ``serve`` subcommand boots the analysis service
+(:mod:`repro.service`): an HTTP/JSON front end with micro-batching,
+admission control and a metrics plane.
 """
 
 from __future__ import annotations
@@ -142,6 +147,12 @@ def _parse_budget(args) -> "Budget | None":
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.service.server import serve_main
+
+        return serve_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     try:
         if args.backend:

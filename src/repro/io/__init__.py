@@ -8,7 +8,12 @@ from repro.io.json_io import (
     save_task,
     load_task,
 )
-from repro.io.dot import task_to_dot
+from repro.io.dot import (
+    load_task_dot,
+    save_task_dot,
+    task_from_dot,
+    task_to_dot,
+)
 
 __all__ = [
     "task_to_dict",
@@ -18,4 +23,7 @@ __all__ = [
     "save_task",
     "load_task",
     "task_to_dot",
+    "save_task_dot",
+    "task_from_dot",
+    "load_task_dot",
 ]

@@ -20,7 +20,7 @@ from repro.drt.model import DRTTask, Edge, Job
 from repro.drt.validate import validate_task
 from repro.errors import SerializationError
 
-__all__ = ["task_to_dot", "task_from_dot", "load_task_dot"]
+__all__ = ["task_to_dot", "save_task_dot", "task_from_dot", "load_task_dot"]
 
 
 def task_to_dot(task: DRTTask) -> str:
@@ -38,6 +38,24 @@ def task_to_dot(task: DRTTask) -> str:
         lines.append(f'  "{e.src}" -> "{e.dst}" [label="{e.separation}"];')
     lines.append("}")
     return "\n".join(lines)
+
+
+def save_task_dot(task: DRTTask, path: Union[str, Path]) -> None:
+    """Write *task* to *path* in the round-trip DOT dialect.
+
+    The file ends with a newline (Graphviz and POSIX tools expect one)
+    and reads back with :func:`load_task_dot` as an identical task:
+    same name, same jobs with exact rational parameters, same edges.
+
+    Raises:
+        SerializationError: when *path* cannot be written.
+    """
+    try:
+        Path(path).write_text(task_to_dot(task) + "\n")
+    except OSError as exc:
+        raise SerializationError(
+            f"cannot write task to {path}: {exc}"
+        ) from exc
 
 
 _HEADER_RE = re.compile(r'^\s*digraph\s+"(?P<name>[^"]*)"\s*\{\s*$')

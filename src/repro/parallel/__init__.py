@@ -19,6 +19,7 @@ activates via ``REPRO_CACHE_DIR``, :func:`configure_cache`, or the CLI's
 from repro.parallel import cache
 from repro.parallel.cache import configure as configure_cache
 from repro.parallel.plane import (
+    map_settled,
     parallel_map,
     reset_process_caches,
     resolve_jobs,
@@ -28,6 +29,7 @@ from repro.parallel.plane import (
 __all__ = [
     "cache",
     "configure_cache",
+    "map_settled",
     "parallel_map",
     "reset_process_caches",
     "resolve_jobs",

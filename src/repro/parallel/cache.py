@@ -61,6 +61,7 @@ __all__ = [
     "clear_memory",
     "current_config",
     "apply_config",
+    "stats",
 ]
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -185,6 +186,53 @@ def current_config() -> Tuple[Optional[str], int, bool]:
     """The resolved configuration, for shipping to worker processes."""
     _ensure_resolved()
     return (_dir, _max_bytes, _memory_only)
+
+
+def stats() -> "dict[str, object]":
+    """Operational counters of the cache, for the service metrics plane.
+
+    Combines this process's :mod:`repro.perf` cache counters (which, in
+    a server, already include merged worker snapshots) with the current
+    store shape.  ``hit_rate`` is hits / (hits + misses), or None before
+    any lookup.  On-disk entry/byte totals are scanned lazily and only
+    for disk-backed caches; scan errors degrade to None rather than
+    raising — metrics must never take a server down.
+    """
+    _ensure_resolved()
+    counters = perf.counters()
+    hits = counters.get("rcache.hits", 0)
+    misses = counters.get("rcache.misses", 0)
+    looked = hits + misses
+    entries = bytes_used = None
+    if _dir is not None:
+        try:
+            entries = 0
+            bytes_used = 0
+            for sub in os.scandir(_dir):
+                if not sub.is_dir():
+                    continue
+                for ent in os.scandir(sub.path):
+                    if ent.name.endswith(".pkl"):
+                        entries += 1
+                        bytes_used += ent.stat().st_size
+        except OSError:
+            entries = bytes_used = None
+    elif _memory_only:
+        entries = len(_memory)
+        bytes_used = sum(len(b) for b in _memory.values())
+    return {
+        "mode": describe(),
+        "hits": hits,
+        "misses": misses,
+        "puts": counters.get("rcache.puts", 0),
+        "evictions": counters.get("rcache.evictions", 0),
+        "corrupt_evictions": counters.get("rcache.corrupt_evictions", 0),
+        "io_retries": counters.get("rcache.io_retries", 0),
+        "hit_rate": (hits / looked) if looked else None,
+        "entries": entries,
+        "bytes": bytes_used,
+        "max_bytes": _max_bytes,
+    }
 
 
 def apply_config(config: Tuple[Optional[str], int, bool]) -> None:

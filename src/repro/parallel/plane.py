@@ -83,6 +83,7 @@ __all__ = [
     "resolve_jobs",
     "set_default_jobs",
     "parallel_map",
+    "map_settled",
     "reset_process_caches",
 ]
 
@@ -91,6 +92,10 @@ MAX_ATTEMPTS = 3
 
 #: Base of the exponential backoff between retry rounds (seconds).
 BACKOFF_BASE = 0.05
+
+#: Allowance for draining the remaining futures of a round once one
+#: item timed out (the pool is wedged and about to be killed anyway).
+POISONED_GRACE = 0.1
 
 JobsLike = Union[None, int, str]
 
@@ -276,15 +281,24 @@ def _shutdown_pools() -> None:
         _drop_pool(n)
 
 
-def _degrade_to_serial(fn, items, fresh_caches, cause: str) -> List:
-    """Pool-level serial fallback: loud, counted, then transparent."""
+def _degrade_to_serial(fn, items, fresh_caches, cause: Exception) -> List:
+    """Pool-level serial fallback: loud, counted, then transparent.
+
+    The warning names the originating exception (type and message) and
+    carries it as the warning's ``__cause__``, so an operator can tell a
+    genuinely restricted sandbox (``PermissionError`` from fork) from a
+    misconfigured or crashed pool (``BrokenProcessPool``) straight from
+    the log line — or programmatically from
+    ``warning.message.__cause__``.
+    """
     perf.record("parallel.pool_degraded")
-    warnings.warn(
-        f"process pool unavailable ({cause}); falling back to serial "
-        "execution — parallel speedup is lost for this call",
-        RuntimeWarning,
-        stacklevel=3,
+    warning = RuntimeWarning(
+        f"process pool unavailable ({type(cause).__name__}: {cause}); "
+        "falling back to serial execution — parallel speedup is lost "
+        "for this call"
     )
+    warning.__cause__ = cause
+    warnings.warn(warning, stacklevel=3)
     return _serial_map(fn, items, fresh_caches)
 
 
@@ -362,14 +376,21 @@ def parallel_map(
             # Pool could not start (restricted sandbox, fork failure):
             # nothing to retry against — degrade the whole call.
             _drop_pool(n)
-            return _degrade_to_serial(
-                fn, items, fresh_caches, type(exc).__name__
-            )
+            return _degrade_to_serial(fn, items, fresh_caches, exc)
         failed: List[int] = []
         poisoned = False
         for i in pending:
+            # Once one item has timed out the pool is presumed wedged
+            # and will be killed after this round: draining the rest
+            # with the full per-item allowance each would serialize to
+            # O(n * timeout).  They get a short grace (enough to
+            # collect already-finished results) and a fresh allowance
+            # on retry.
+            allowance = timeout
+            if poisoned and timeout is not None:
+                allowance = min(timeout, POISONED_GRACE)
             try:
-                status, out, snap = futures[i].result(timeout=timeout)
+                status, out, snap = futures[i].result(timeout=allowance)
             except (_FuturesTimeout, TimeoutError):
                 perf.record("parallel.item_timeouts")
                 failed.append(i)
@@ -416,3 +437,54 @@ def parallel_map(
         if status == "err":
             raise out
     return [out for _, out in outcomes]
+
+
+# ----------------------------------------------------------------------
+# Settled fan-out (batch servers)
+# ----------------------------------------------------------------------
+
+
+def _settled_job(pair):
+    """Run one wrapped job, returning its outcome as a value.
+
+    Module-level so the pair ``(fn, item)`` ships to pool workers like
+    any other payload; *fn* itself must still be pickle-safe.
+    """
+    fn, item = pair
+    try:
+        return ("ok", fn(item))
+    except Exception as exc:  # noqa: BLE001 - outcomes travel as values
+        return ("err", exc)
+
+
+def map_settled(
+    fn: Callable,
+    items: Sequence,
+    jobs: JobsLike = None,
+    fresh_caches: bool = False,
+    timeout: Optional[float] = None,
+    budget: Optional[Budget] = None,
+) -> List:
+    """:func:`parallel_map` that settles every item instead of raising.
+
+    Returns one ``("ok", result)`` or ``("err", exception)`` pair per
+    item, in item order.  This is the batch-server entry point: one
+    malformed or unbounded request must fail *alone*, not poison the
+    whole micro-batch it was coalesced into — whereas
+    :func:`parallel_map` deliberately reproduces serial semantics by
+    re-raising the earliest failure.
+
+    Infrastructure failures keep their :func:`parallel_map` semantics:
+    a pool that cannot complete an item even after retries and the
+    serial fallback still raises :class:`~repro.errors.WorkerError` —
+    an operator problem, not a per-request one.
+    """
+    pairs = [(fn, item) for item in items]
+    return parallel_map(
+        _settled_job,
+        pairs,
+        jobs=jobs,
+        fresh_caches=fresh_caches,
+        timeout=timeout,
+        budget=budget,
+    )

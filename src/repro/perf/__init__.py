@@ -42,31 +42,139 @@ Usage::
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 __all__ = [
+    "Histogram",
     "PerfRegistry",
     "registry",
     "record",
     "timed",
+    "observe",
     "counters",
     "timers",
+    "histograms",
     "snapshot",
     "merge",
     "reset",
     "report",
 ]
 
+#: Default histogram bucket upper bounds (seconds): a log-ish ladder
+#: from sub-millisecond to a minute, suitable for analysis latencies.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket cumulative-style histogram of observed values.
+
+    Buckets are *upper bounds*; a value lands in the first bucket whose
+    bound is >= the value, or in the implicit ``+inf`` overflow bucket.
+    The snapshot form is JSON-friendly and mergeable
+    (:meth:`merge` adds counts bucket-by-bucket), so per-request service
+    latencies recorded in worker snapshots fold into the parent exactly
+    like counters do.
+    """
+
+    __slots__ = ("bounds", "_counts", "_overflow", "_sum", "_count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: List[float] = sorted(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._counts = [0] * len(self.bounds)
+        self._overflow = 0
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        i = bisect_left(self.bounds, value)
+        if i >= len(self.bounds):
+            self._overflow += 1
+        else:
+            self._counts[i] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of the observations, or None when empty."""
+        return self._sum / self._count if self._count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution upper estimate of the *q*-quantile.
+
+        Returns the upper bound of the bucket containing the quantile
+        rank (the overflow bucket reports the largest finite bound), or
+        None when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._count:
+            return None
+        rank = q * self._count
+        seen = 0
+        for bound, n in zip(self.bounds, self._counts):
+            seen += n
+            if seen >= rank:
+                return bound
+        return self.bounds[-1]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly form: count, sum, and per-bucket counts."""
+        buckets = {
+            repr(bound): n for bound, n in zip(self.bounds, self._counts)
+        }
+        buckets["+inf"] = self._overflow
+        return {"count": self._count, "sum": self._sum, "buckets": buckets}
+
+    def merge(self, snap: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bucket bounds must match (they do for histograms built from the
+        same defaults); unknown bounds raise so silent misaccounting is
+        impossible.
+        """
+        for key, n in snap.get("buckets", {}).items():
+            if key == "+inf":
+                self._overflow += n
+                continue
+            bound = float(key)
+            i = bisect_left(self.bounds, bound)
+            if i >= len(self.bounds) or self.bounds[i] != bound:
+                raise ValueError(
+                    f"cannot merge histogram bucket {key!r}: no such bound"
+                )
+            self._counts[i] += n
+        self._sum += snap.get("sum", 0.0)
+        self._count += snap.get("count", 0)
+
 
 class PerfRegistry:
     """A process-local bag of named counters and accumulated timers."""
 
-    __slots__ = ("_counters", "_timers", "_phase_stack")
+    __slots__ = ("_counters", "_timers", "_histograms", "_phase_stack")
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
         # Innermost-phase attribution for nested timed() blocks:
         # [phase_name, resume_timestamp] per active frame.
         self._phase_stack: list = []
@@ -80,6 +188,22 @@ class PerfRegistry:
     def counters(self) -> Dict[str, int]:
         """A snapshot copy of every counter, in sorted name order."""
         return {name: self._counters[name] for name in sorted(self._counters)}
+
+    # -- histograms ------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* in histogram *name* (created on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """The live histograms by name, in sorted name order."""
+        return {
+            name: self._histograms[name]
+            for name in sorted(self._histograms)
+        }
 
     # -- timers ----------------------------------------------------------
 
@@ -119,26 +243,45 @@ class PerfRegistry:
     # -- lifecycle -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """Counters and timers in one JSON-friendly dict (sorted keys)."""
-        return {"counters": self.counters(), "timers": self.timers()}
+        """Counters, timers and histograms in one JSON-friendly dict
+        (sorted keys; the ``histograms`` key appears only when any
+        histogram exists, so counter-only snapshots keep their shape)."""
+        snap: Dict[str, object] = {
+            "counters": self.counters(),
+            "timers": self.timers(),
+        }
+        if self._histograms:
+            snap["histograms"] = {
+                name: hist.snapshot()
+                for name, hist in self.histograms().items()
+            }
+        return snap
 
     def merge(self, snapshot: Mapping[str, Mapping]) -> None:
         """Fold a :meth:`snapshot` from another registry into this one.
 
-        Counters add and timers accumulate, so merging the per-job
-        snapshots of worker processes keeps the parent's totals truthful
-        under fan-out.  Unknown names are created; the snapshot's phase
-        stack (if any) is irrelevant — only the settled totals merge.
+        Counters add, timers accumulate and histogram buckets sum, so
+        merging the per-job snapshots of worker processes keeps the
+        parent's totals truthful under fan-out.  Unknown names are
+        created; the snapshot's phase stack (if any) is irrelevant —
+        only the settled totals merge.
         """
         for name, n in snapshot.get("counters", {}).items():
             self._counters[name] = self._counters.get(name, 0) + n
         for name, seconds in snapshot.get("timers", {}).items():
             self._timers[name] = self._timers.get(name, 0.0) + seconds
+        for name, hist_snap in snapshot.get("histograms", {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.merge(hist_snap)
 
     def reset(self) -> None:
-        """Zero every counter and timer (active phase frames restart now)."""
+        """Zero every counter, timer and histogram (active phase frames
+        restart now)."""
         self._counters.clear()
         self._timers.clear()
+        self._histograms.clear()
         now = time.perf_counter()
         for frame in self._phase_stack:
             frame[1] = now
@@ -151,6 +294,16 @@ class PerfRegistry:
         lines.append("perf timers:")
         for name in sorted(self._timers):
             lines.append(f"  {name}: {1000 * self._timers[name]:.3f} ms")
+        if self._histograms:
+            lines.append("perf histograms:")
+            for name in sorted(self._histograms):
+                hist = self._histograms[name]
+                mean = hist.mean()
+                lines.append(
+                    f"  {name}: n={hist.count} "
+                    f"mean={0.0 if mean is None else 1000 * mean:.3f} ms "
+                    f"p95<={1000 * (hist.quantile(0.95) or 0.0):.3f} ms"
+                )
         return "\n".join(lines)
 
 
@@ -159,6 +312,8 @@ registry = PerfRegistry()
 
 record = registry.record
 timed = registry.timed
+observe = registry.observe
+histograms = registry.histograms
 counters = registry.counters
 timers = registry.timers
 snapshot = registry.snapshot

@@ -88,6 +88,58 @@ class Budget:
         """A fresh consumable meter for this specification."""
         return BudgetMeter(self)
 
+    @classmethod
+    def from_request(
+        cls,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        max_segments: Optional[int] = None,
+    ) -> Optional["Budget"]:
+        """A budget from wire-level request fields, or None.
+
+        The analysis service expresses deadlines in milliseconds (the
+        natural unit of a latency SLO); this is the one conversion point
+        onto the engine's seconds-based :class:`Budget`.  Returns None
+        when every field is absent, so callers can pass the result
+        straight to ``budget=`` parameters.
+
+        Raises:
+            ValueError: on non-positive deadlines or negative caps, with
+                the same messages as the :class:`Budget` constructor.
+        """
+        if deadline_ms is None and max_expansions is None and max_segments is None:
+            return None
+        return cls(
+            deadline=None if deadline_ms is None else float(deadline_ms) / 1000.0,
+            max_expansions=max_expansions,
+            max_segments=max_segments,
+        )
+
+    def tightened(
+        self,
+        deadline: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+    ) -> "Budget":
+        """A budget at least as strict as this one.
+
+        Each given field is min-combined with the existing value (an
+        unlimited field adopts the new cap outright).  The service's
+        load shedder uses this to force overload requests onto the fast
+        degraded rungs without ever *loosening* what the client asked
+        for.
+        """
+
+        def _combine(mine, new):
+            if new is None:
+                return mine
+            return new if mine is None else min(mine, new)
+
+        return Budget(
+            deadline=_combine(self.deadline, deadline),
+            max_expansions=_combine(self.max_expansions, max_expansions),
+            max_segments=self.max_segments,
+        )
+
 
 #: Default segment budget of the degraded approximation ladder rung.
 DEFAULT_MAX_SEGMENTS = 32

@@ -1,0 +1,54 @@
+"""The analysis service: HTTP/JSON batching front end of the engine.
+
+``repro serve`` (or :func:`repro.service.server.serve_main`) boots an
+asyncio server that accepts single and batched analysis requests,
+coalesces concurrent arrivals into micro-batches on the parallel
+execution plane (:mod:`repro.parallel`), shares the warm persistent
+result cache across all clients, and degrades overload soundly through
+admission control and the :mod:`repro.resilience` budget ladder.
+:class:`~repro.service.client.ServiceClient` is the matching caller
+library.  See ``docs/API.md`` ("Analysis service") for the wire
+protocol.
+"""
+
+from repro.service.admission import AdmissionController, Decision
+from repro.service.batching import Batcher, execute_request, run_batch
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    DecodedRequest,
+    decode_request,
+    decode_result,
+    encode_result,
+    error_envelope,
+    new_trace_id,
+)
+from repro.service.server import (
+    AnalysisServer,
+    ServerHandle,
+    ServiceConfig,
+    serve_main,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionController",
+    "AnalysisServer",
+    "Batcher",
+    "DecodedRequest",
+    "Decision",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "decode_request",
+    "decode_result",
+    "encode_result",
+    "error_envelope",
+    "execute_request",
+    "new_trace_id",
+    "run_batch",
+    "serve_main",
+]

@@ -1,0 +1,153 @@
+"""Admission control and backpressure for the analysis service.
+
+The batching queue is the one shared resource the server must protect:
+an unbounded queue turns overload into unbounded latency for everyone.
+The :class:`AdmissionController` keeps it bounded with a three-tier
+policy, decided *before* a request is enqueued:
+
+* **accept** — below the high-water mark, requests queue normally;
+* **shed** — above the high-water mark (``shed_fraction`` of the queue
+  cap), requests that can degrade soundly (delay-kind requests carrying
+  a deadline budget) are still accepted, but their budget is tightened
+  to ``shed_deadline_ms`` — they answer quickly with a sound over-
+  approximate bound from the degradation ladder, trading precision for
+  queue drain instead of being turned away;
+* **reject** — when the queue cannot hold the request (or the request
+  cannot shed above the high-water mark), the server answers
+  ``429 Too Many Requests`` with a ``Retry-After`` estimated from the
+  observed per-request service time and the current depth — an honest
+  hint, not a constant.
+
+Batch submissions are admitted atomically: a batch that does not fit in
+the remaining queue space is rejected whole (partial admission would
+return a response the client cannot correlate with its request list).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AdmissionController", "Decision"]
+
+#: Decision actions.
+ACCEPT = "accept"
+SHED = "shed"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one admission check.
+
+    Attributes:
+        action: ``"accept"``, ``"shed"`` or ``"reject"``.
+        retry_after: Suggested client wait in whole seconds (rejections
+            only; 0 otherwise).
+    """
+
+    action: str
+    retry_after: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        return self.action != REJECT
+
+
+class AdmissionController:
+    """Bounded-queue admission with load shedding and honest back-off.
+
+    Thread-safe: decisions happen on the event loop, service-time
+    observations arrive from dispatch threads.
+
+    Args:
+        max_queue: Hard cap on queued + in-flight analysis requests.
+        shed_fraction: Fraction of *max_queue* above which sheddable
+            requests are degraded instead of queued at full fidelity.
+        shed_deadline_ms: Budget deadline forced onto shed requests.
+        min_retry_after: Floor of the ``Retry-After`` hint (seconds).
+        max_retry_after: Ceiling of the ``Retry-After`` hint (seconds).
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        shed_fraction: float = 0.75,
+        shed_deadline_ms: float = 50.0,
+        min_retry_after: int = 1,
+        max_retry_after: int = 60,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if not 0.0 < shed_fraction <= 1.0:
+            raise ValueError(
+                f"shed_fraction must be in (0, 1], got {shed_fraction}"
+            )
+        if shed_deadline_ms <= 0:
+            raise ValueError(
+                f"shed_deadline_ms must be positive, got {shed_deadline_ms}"
+            )
+        self.max_queue = max_queue
+        self.shed_deadline_ms = shed_deadline_ms
+        self._high_water = max(1, int(max_queue * shed_fraction))
+        self._min_retry = min_retry_after
+        self._max_retry = max_retry_after
+        self._lock = threading.Lock()
+        #: EWMA of observed per-request service seconds (None until the
+        #: first completion; the floor covers the cold start).
+        self._ewma_service_s: Optional[float] = None
+
+    @property
+    def high_water(self) -> int:
+        """Queue depth above which load shedding starts."""
+        return self._high_water
+
+    # -- observations ----------------------------------------------------
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed one completed request's service time into the EWMA."""
+        with self._lock:
+            if self._ewma_service_s is None:
+                self._ewma_service_s = seconds
+            else:
+                self._ewma_service_s = (
+                    0.8 * self._ewma_service_s + 0.2 * seconds
+                )
+
+    def retry_after(self, depth: int) -> int:
+        """Whole-second back-off hint for the current queue *depth*."""
+        with self._lock:
+            per_req = self._ewma_service_s
+        if per_req is None:
+            return self._min_retry
+        estimate = math.ceil(max(1, depth) * per_req)
+        return max(self._min_retry, min(self._max_retry, estimate))
+
+    # -- the decision ----------------------------------------------------
+
+    def admit(self, n_items: int, depth: int, sheddable: bool) -> Decision:
+        """Decide the fate of *n_items* new requests at queue *depth*.
+
+        Args:
+            n_items: Requests the submission would enqueue (1, or the
+                batch size — batches are admitted atomically).
+            depth: Current queued + in-flight request count.
+            sheddable: True iff every submitted request can degrade to a
+                sound anytime bound under a tightened budget (delay-kind
+                requests carrying a deadline).
+        """
+        if n_items < 1:
+            raise ValueError(f"n_items must be >= 1, got {n_items}")
+        after = depth + n_items
+        if after > self.max_queue:
+            return Decision(REJECT, retry_after=self.retry_after(depth))
+        if after > self._high_water:
+            if sheddable:
+                return Decision(SHED)
+            # Between high water and the hard cap, non-sheddable
+            # requests still queue: rejection is reserved for a queue
+            # that genuinely cannot hold them.
+            return Decision(ACCEPT)
+        return Decision(ACCEPT)

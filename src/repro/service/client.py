@@ -1,0 +1,396 @@
+"""Client library of the analysis service.
+
+:class:`ServiceClient` speaks the wire protocol of
+:mod:`repro.service.server` over stdlib :mod:`http.client` — no
+third-party HTTP dependency, mirroring the server.  It adds the
+operational behaviour a caller should not have to reimplement:
+
+* **retries with backoff** — connection-level failures and ``429``
+  rejections are retried up to ``max_retries`` times; a ``429``'s
+  ``Retry-After`` hint is honoured (capped by ``backoff_cap_s``),
+  other failures use capped exponential backoff;
+* **typed results** — the convenience methods (:meth:`delay`,
+  :meth:`sp_schedulable`, :meth:`edf_structural_delays`,
+  :meth:`analyze_many`) rebuild the engine's own result dataclasses via
+  :func:`repro.service.protocol.decode_result`, so a served analysis
+  compares ``==`` to a direct in-process call;
+* **typed failures** — transport and analysis errors raise
+  :class:`ServiceError` carrying the HTTP status, wire error code and
+  trace ID, instead of a bare exception soup.
+
+Batch helpers: :meth:`batch` posts many requests in one round-trip and
+returns their envelopes in request order; :meth:`batch_stream` consumes
+the NDJSON streaming form, yielding ``(index, envelope)`` in completion
+order.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.io.json_io import curve_to_dict, task_to_dict
+from repro.minplus.curve import Curve
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A request the service refused or could not answer.
+
+    Attributes:
+        status: HTTP status code (0 when the transport itself failed).
+        code: Wire error code (``queue_full``, ``validation``, ...).
+        trace_id: Server-assigned trace ID, when one was issued.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        code: str = "transport",
+        trace_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.trace_id = trace_id
+
+
+def _beta_to_wire(beta) -> Dict[str, Any]:
+    """The wire form of a service curve argument.
+
+    Accepts a :class:`~repro.minplus.curve.Curve` (full segment dict), a
+    ``(rate, latency)`` pair, or an already-wire-shaped dict.
+    """
+    if isinstance(beta, Curve):
+        return curve_to_dict(beta)
+    if isinstance(beta, dict):
+        return beta
+    if isinstance(beta, (tuple, list)) and len(beta) == 2:
+        rate, latency = beta
+        return {"rate": str(rate), "latency": str(latency)}
+    raise TypeError(
+        "beta must be a Curve, a (rate, latency) pair, or a wire dict; "
+        f"got {type(beta).__name__}"
+    )
+
+
+class ServiceClient:
+    """One analysis-service endpoint plus retry policy.
+
+    Args:
+        host: Service host.
+        port: Service port.
+        timeout: Per-request socket timeout in seconds.
+        max_retries: Retries after connection failures or ``429``.
+        backoff_s: Initial exponential backoff (doubles per attempt).
+        backoff_cap_s: Ceiling on any single wait (also caps honoured
+            ``Retry-After`` hints, so a test client never sleeps for the
+            server's full suggestion).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        timeout: float = 60.0,
+        max_retries: int = 3,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+
+    # -- transport -------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                payload,
+            )
+        finally:
+            conn.close()
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange with retry/backoff; returns the raw triple.
+
+        Retries connection-level failures and ``429`` responses; all
+        other statuses return to the caller as-is.
+
+        Raises:
+            ServiceError: when the transport keeps failing or the queue
+                stays full past ``max_retries``.
+        """
+        encoded = None if body is None else json.dumps(body).encode("utf-8")
+        last_error: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                time.sleep(self._wait_s(attempt, last_error))
+            try:
+                status, headers, payload = self._once(method, path, encoded)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if status == 429 and attempt < self.max_retries:
+                retry_after = headers.get("retry-after", "")
+                last_error = f"429 queue full (Retry-After: {retry_after})"
+                self._note_retry_after(retry_after)
+                continue
+            return status, headers, payload
+        raise ServiceError(
+            f"{method} {path} failed after {self.max_retries + 1} attempts: "
+            f"{last_error}",
+            status=429 if last_error and last_error.startswith("429") else 0,
+            code="queue_full"
+            if last_error and last_error.startswith("429")
+            else "transport",
+        )
+
+    def _note_retry_after(self, retry_after: str) -> None:
+        try:
+            self._suggested_wait = float(retry_after)
+        except (TypeError, ValueError):
+            self._suggested_wait = None
+
+    def _wait_s(self, attempt: int, last_error: Optional[str]) -> float:
+        suggested = getattr(self, "_suggested_wait", None)
+        if last_error and last_error.startswith("429") and suggested:
+            return min(suggested, self.backoff_cap_s)
+        return min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, _headers, payload = self.request(method, path, body)
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response (status {status})",
+                status=status,
+            ) from exc
+        if status != 200:
+            error = doc.get("error", {}) if isinstance(doc, dict) else {}
+            raise ServiceError(
+                f"{method} {path}: {error.get('message', f'status {status}')}",
+                status=status,
+                code=error.get("code", "transport"),
+                trace_id=doc.get("trace_id") if isinstance(doc, dict) else None,
+            )
+        return doc
+
+    # -- plumbing endpoints ----------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The liveness document (raises while the server drains)."""
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The full ``/metrics`` JSON document."""
+        return self._json("GET", "/metrics")
+
+    # -- raw analysis ----------------------------------------------------
+
+    def analyze_raw(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one wire-shaped request; return its response envelope.
+
+        Analysis-level failures (``ok: false``) are returned, not
+        raised — callers inspecting degradation or chaos behaviour need
+        the envelope.  Transport-level failures raise
+        :class:`ServiceError`.
+        """
+        return self._json("POST", "/v1/analyze", spec)
+
+    def batch(
+        self, specs: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """POST many requests in one round-trip; envelopes in order."""
+        doc = self._json("POST", "/v1/batch", {"requests": list(specs)})
+        return doc["responses"]
+
+    def batch_stream(
+        self, specs: Sequence[Dict[str, Any]]
+    ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """POST a batch with ``stream: true``; yield results as they land.
+
+        Yields ``(index, envelope)`` pairs in completion order; the
+        terminating ``{"done": true}`` line is consumed, and a stream
+        that ends without it raises :class:`ServiceError` (truncated
+        response).
+        """
+        body = json.dumps(
+            {"requests": list(specs), "stream": True}
+        ).encode("utf-8")
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/batch",
+                body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "Connection": "close",
+                },
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                payload = response.read()
+                try:
+                    doc = json.loads(payload.decode("utf-8"))
+                    error = doc.get("error", {})
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    doc, error = {}, {}
+                raise ServiceError(
+                    f"POST /v1/batch: "
+                    f"{error.get('message', f'status {response.status}')}",
+                    status=response.status,
+                    code=error.get("code", "transport"),
+                    trace_id=doc.get("trace_id"),
+                )
+            done = False
+            # The streaming body is Transfer-Encoding: chunked
+            # (http.client strips the framing); read1 hands back each
+            # chunk as it lands, so envelopes are yielded live instead
+            # of at end-of-stream, and returns b"" at the terminal
+            # zero-length chunk.
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    doc = json.loads(line.decode("utf-8"))
+                    if doc.get("done"):
+                        done = True
+                        continue
+                    yield doc.get("index"), doc
+            if not done:
+                raise ServiceError(
+                    "POST /v1/batch: stream ended without a done marker "
+                    "(truncated response)"
+                )
+        finally:
+            conn.close()
+
+    # -- typed convenience methods ---------------------------------------
+
+    @staticmethod
+    def build_request(
+        kind: str,
+        tasks,
+        beta,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        max_segments: Optional[int] = None,
+        params: Optional[Dict[str, Any]] = None,
+        perf: bool = False,
+    ) -> Dict[str, Any]:
+        """The wire-shaped request dict for one analysis call."""
+        spec: Dict[str, Any] = {
+            "kind": kind,
+            "beta": _beta_to_wire(beta),
+        }
+        if kind in protocol.SINGLE_TASK_KINDS:
+            spec["task"] = task_to_dict(tasks)
+        else:
+            spec["tasks"] = [task_to_dict(t) for t in tasks]
+        if deadline_ms is not None:
+            spec["deadline_ms"] = deadline_ms
+        if max_expansions is not None:
+            spec["max_expansions"] = max_expansions
+        if max_segments is not None:
+            spec["max_segments"] = max_segments
+        if params:
+            spec["params"] = dict(params)
+        if perf:
+            spec["perf"] = True
+        return spec
+
+    def _typed(self, kind: str, tasks, beta, **kwargs):
+        envelope = self.analyze_raw(
+            self.build_request(kind, tasks, beta, **kwargs)
+        )
+        if not envelope.get("ok", False):
+            error = envelope.get("error", {})
+            raise ServiceError(
+                f"{kind}: {error.get('message', 'analysis failed')}",
+                status=200,
+                code=error.get("code", "analysis_error"),
+                trace_id=envelope.get("trace_id"),
+            )
+        return protocol.decode_result(kind, envelope["result"])
+
+    def delay(
+        self,
+        task,
+        beta,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        max_segments: Optional[int] = None,
+        backend: Optional[str] = None,
+    ):
+        """Served :func:`repro.resilience.bounded_delay` for one task.
+
+        Returns a :class:`~repro.resilience.bounded.BoundedDelayResult`;
+        with a budget that ran out the bound is *degraded but sound*
+        (check ``.degraded``) rather than an error.
+        """
+        params = {"backend": backend} if backend else None
+        return self._typed(
+            "delay",
+            task,
+            beta,
+            deadline_ms=deadline_ms,
+            max_expansions=max_expansions,
+            max_segments=max_segments,
+            params=params,
+        )
+
+    def sp_schedulable(self, tasks, beta, **params):
+        """Served :func:`repro.sched.sp.sp_schedulable`."""
+        return self._typed("sp_schedulable", tasks, beta, params=params)
+
+    def edf_structural_delays(self, tasks, beta, **params):
+        """Served :func:`repro.sched.edf_delay.edf_structural_delays`."""
+        return self._typed(
+            "edf_structural_delays", tasks, beta, params=params
+        )
+
+    def analyze_many(self, tasks, beta, **params):
+        """Served :func:`repro.core.facade.analyze_many`.
+
+        Returns the list of
+        :class:`~repro.core.facade.TaskAnalysisSummary` — equal (``==``)
+        to a direct in-process call on the same inputs.
+        """
+        return self._typed("analyze_many", tasks, beta, params=params)

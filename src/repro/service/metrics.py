@@ -1,0 +1,130 @@
+"""Metrics plane of the analysis service.
+
+One :class:`ServiceMetrics` instance per server aggregates:
+
+* **service counters** — requests, errors, rejections, sheds, degraded
+  answers, streamed lines (plain monotonic integers);
+* **per-endpoint latency histograms** — wall-clock seconds from request
+  receipt to response flush, one :class:`repro.perf.Histogram` per
+  ``METHOD /path``;
+* **batch shape** — a histogram of micro-batch sizes plus dispatch
+  counts, the direct evidence that coalescing actually happens;
+* **engine state** — the process-wide :mod:`repro.perf` registry
+  (which already folds in plane-worker snapshots) and the persistent
+  cache's :func:`repro.parallel.cache.stats`.
+
+:meth:`ServiceMetrics.snapshot` renders all of it as one JSON document
+— the body of ``GET /metrics``.  Everything here is cheap and
+thread-safe: observations arrive from the event loop *and* from
+dispatch threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro import perf
+from repro.parallel import cache as result_cache
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe metrics aggregation for one server instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._started_unix = time.time()
+        self._counters: Dict[str, int] = {}
+        self._endpoints: Dict[str, perf.Histogram] = {}
+        self._batch_sizes = perf.Histogram(
+            bounds=[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        )
+
+    # -- observations ----------------------------------------------------
+
+    def record(self, name: str, n: int = 1) -> None:
+        """Add *n* to service counter *name*."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe_request(
+        self, endpoint: str, seconds: float, ok: bool
+    ) -> None:
+        """Record one handled HTTP request on *endpoint*."""
+        with self._lock:
+            hist = self._endpoints.get(endpoint)
+            if hist is None:
+                hist = self._endpoints[endpoint] = perf.Histogram()
+            hist.observe(seconds)
+            self._counters["requests_total"] = (
+                self._counters.get("requests_total", 0) + 1
+            )
+            if not ok:
+                self._counters["requests_failed"] = (
+                    self._counters.get("requests_failed", 0) + 1
+                )
+
+    def observe_batch(self, size: int) -> None:
+        """Record one dispatched micro-batch of *size* requests."""
+        with self._lock:
+            self._batch_sizes.observe(size)
+            self._counters["batches_dispatched"] = (
+                self._counters.get("batches_dispatched", 0) + 1
+            )
+            self._counters["batched_items"] = (
+                self._counters.get("batched_items", 0) + size
+            )
+
+    def uptime_s(self) -> float:
+        """Seconds since this metrics instance (the server) started."""
+        return time.monotonic() - self._started_monotonic
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        queue_max: Optional[int] = None,
+        queue_high_water: Optional[int] = None,
+        draining: bool = False,
+    ) -> Dict[str, object]:
+        """The full ``/metrics`` document (JSON-friendly, stable keys)."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            endpoints = {
+                name: {
+                    "count": hist.count,
+                    "mean_s": hist.mean(),
+                    "p95_s": hist.quantile(0.95),
+                    "latency_s": hist.snapshot(),
+                }
+                for name, hist in sorted(self._endpoints.items())
+            }
+            batch_count = self._batch_sizes.count
+            batches = {
+                "dispatched": batch_count,
+                "items": counters.get("batched_items", 0),
+                "mean_size": self._batch_sizes.mean(),
+                "sizes": self._batch_sizes.snapshot(),
+            }
+        return {
+            "service": {
+                "started_unix": self._started_unix,
+                "uptime_s": self.uptime_s(),
+                "draining": draining,
+            },
+            "requests": counters,
+            "endpoints": endpoints,
+            "queue": {
+                "depth": queue_depth,
+                "max": queue_max,
+                "high_water": queue_high_water,
+            },
+            "batches": batches,
+            "cache": result_cache.stats(),
+            "perf": perf.snapshot(),
+        }

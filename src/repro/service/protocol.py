@@ -1,0 +1,404 @@
+"""Wire protocol of the analysis service.
+
+JSON in, JSON out, rationals as strings — the exact-arithmetic
+guarantee of the engine survives the network because every
+:class:`~fractions.Fraction` crosses the wire in its ``"p/q"`` string
+form (the same convention as :mod:`repro.io.json_io`) and is rebuilt
+exactly on the other side.  The client reconstructs the engine's own
+result dataclasses (:class:`~repro.resilience.bounded.BoundedDelayResult`,
+:class:`~repro.sched.sp.SpResult`,
+:class:`~repro.sched.edf_delay.EdfDelayResult`,
+:class:`~repro.core.facade.TaskAnalysisSummary`), so a served analysis
+compares ``==`` to a direct in-process call.
+
+**Request** (one JSON object)::
+
+    {
+      "kind": "delay" | "bounded_delay" | "sp_schedulable"
+              | "edf_structural_delays" | "analyze_many",
+      "task":  {...},            # single-task kinds (json_io task dict)
+      "tasks": [{...}, ...],     # set kinds
+      "beta": {"rate": "1/2", "latency": "4"}   # rate-latency shorthand
+              | {"segments": [...]},            # full curve dict
+      "deadline_ms": 250,        # optional: analysis budget (ms)
+      "max_expansions": 10000,   # optional: work-unit budget
+      "max_segments": 32,        # optional: degraded-approximation k
+      "params": {...},           # optional kind-specific keywords
+      "perf": true,              # optional: per-request perf delta
+      "validate": true           # optional: semantic task validation
+    }
+
+**Response envelope**::
+
+    {"ok": true, "trace_id": "...", "kind": "...", "degraded": false,
+     "shed": false, "result": {...}, "perf": {...}?}
+
+Analysis-level failures (validation, unbounded workload, exhausted
+budget on a kind with no sound degraded form) come back with HTTP 200
+and ``"ok": false`` plus a typed error object — a failed *analysis* is
+a first-class answer, not a transport error.  Transport-level problems
+(malformed JSON, unknown kind, queue full, draining) use 4xx/5xx.
+
+Error codes: ``bad_request``, ``validation``, ``unbounded``,
+``budget_exhausted``, ``analysis_error``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.facade import TaskAnalysisSummary
+from repro.errors import (
+    BudgetExhaustedError,
+    ReproError,
+    SerializationError,
+    UnboundedBusyWindowError,
+    ValidationError,
+)
+from repro.io.json_io import curve_from_dict, task_from_dict
+from repro.minplus.curve import Curve
+from repro.resilience.bounded import BoundedDelayResult
+from repro.resilience.budget import Budget
+from repro.sched.edf_delay import EdfDelayResult
+from repro.sched.sp import SpResult
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "KINDS",
+    "SINGLE_TASK_KINDS",
+    "DecodedRequest",
+    "new_trace_id",
+    "decode_request",
+    "encode_result",
+    "decode_result",
+    "error_envelope",
+    "error_code_for",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Kinds operating on one task.
+SINGLE_TASK_KINDS = frozenset({"delay", "bounded_delay"})
+#: Kinds operating on an ordered task set.
+SET_KINDS = frozenset({"sp_schedulable", "edf_structural_delays", "analyze_many"})
+KINDS = SINGLE_TASK_KINDS | SET_KINDS
+
+#: Keyword parameters each kind forwards to the engine entry point.
+_ALLOWED_PARAMS = {
+    "delay": frozenset({"backend"}),
+    "bounded_delay": frozenset({"backend"}),
+    "sp_schedulable": frozenset({"initial_horizon", "max_iterations"}),
+    "edf_structural_delays": frozenset(
+        {"initial_horizon", "max_iterations", "reuse", "backend"}
+    ),
+    "analyze_many": frozenset({"initial_horizon", "backend"}),
+}
+
+#: Params carrying a rational value (decoded from the string form).
+_RATIONAL_PARAMS = frozenset({"initial_horizon"})
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit request trace ID."""
+    return secrets.token_hex(8)
+
+
+@dataclass
+class DecodedRequest:
+    """One validated, engine-ready analysis request.
+
+    Everything in here is pickle-safe, so a micro-batch of decoded
+    requests ships to :mod:`repro.parallel.plane` workers as-is.
+    """
+
+    kind: str
+    tasks: Tuple  # DRTTask instances; single-task kinds hold exactly one
+    beta: Curve
+    budget: Optional[Budget]
+    params: Dict[str, Any] = field(default_factory=dict)
+    want_perf: bool = False
+    trace_id: str = ""
+    #: Set by admission control when the request was accepted under load
+    #: shedding (its budget was tightened to keep the queue moving).
+    shed: bool = False
+
+
+def _bad(message: str) -> SerializationError:
+    return SerializationError(message)
+
+
+def _decode_rational(value: Any, what: str) -> Fraction:
+    try:
+        return Fraction(str(value))
+    except (ValueError, ZeroDivisionError) as exc:
+        raise _bad(f"invalid rational {value!r} for {what}") from exc
+
+
+def decode_beta(spec: Any) -> Curve:
+    """A service curve from its wire form.
+
+    Accepts the rate-latency shorthand ``{"rate": "1/2", "latency": "4"}``
+    or a full segment-list curve dict (:func:`repro.io.json_io.curve_from_dict`).
+    """
+    if not isinstance(spec, dict):
+        raise _bad("'beta' must be an object")
+    if "segments" in spec:
+        return curve_from_dict(spec)
+    if "rate" in spec:
+        from repro.curves.service import rate_latency_service
+
+        rate = _decode_rational(spec["rate"], "beta.rate")
+        latency = _decode_rational(spec.get("latency", "0"), "beta.latency")
+        if rate <= 0:
+            raise _bad(f"beta.rate must be positive, got {rate}")
+        if latency < 0:
+            raise _bad(f"beta.latency must be >= 0, got {latency}")
+        return rate_latency_service(rate, latency)
+    raise _bad("'beta' needs either 'segments' or 'rate'/'latency'")
+
+
+def decode_request(data: Any, trace_id: Optional[str] = None) -> DecodedRequest:
+    """Validate and decode one wire request into engine objects.
+
+    Raises:
+        SerializationError: on structural problems (missing fields,
+            unknown kind, malformed numbers) — mapped to ``bad_request``.
+        ValidationError: when a task is semantically malformed and
+            validation was not opted out of.
+    """
+    if not isinstance(data, dict):
+        raise _bad("request must be a JSON object")
+    kind = data.get("kind")
+    if kind not in KINDS:
+        raise _bad(
+            f"unknown kind {kind!r}; expected one of {sorted(KINDS)}"
+        )
+    validate = bool(data.get("validate", True))
+    if kind in SINGLE_TASK_KINDS:
+        if "task" not in data:
+            raise _bad(f"kind {kind!r} needs a 'task' object")
+        tasks = (task_from_dict(data["task"], validate=validate),)
+    else:
+        specs = data.get("tasks")
+        if not isinstance(specs, list) or not specs:
+            raise _bad(f"kind {kind!r} needs a non-empty 'tasks' list")
+        tasks = tuple(
+            task_from_dict(spec, validate=validate) for spec in specs
+        )
+    if "beta" not in data:
+        raise _bad("request needs a 'beta' service-curve object")
+    beta = decode_beta(data["beta"])
+
+    try:
+        budget = Budget.from_request(
+            deadline_ms=data.get("deadline_ms"),
+            max_expansions=data.get("max_expansions"),
+            max_segments=data.get("max_segments"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise _bad(f"invalid budget fields: {exc}") from exc
+
+    raw_params = data.get("params", {})
+    if not isinstance(raw_params, dict):
+        raise _bad("'params' must be an object")
+    allowed = _ALLOWED_PARAMS[kind]
+    unknown = sorted(set(raw_params) - allowed)
+    if unknown:
+        raise _bad(
+            f"unknown params {unknown} for kind {kind!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    params = dict(raw_params)
+    for name in _RATIONAL_PARAMS & set(params):
+        if params[name] is not None:
+            params[name] = _decode_rational(params[name], f"params.{name}")
+
+    return DecodedRequest(
+        kind=kind,
+        tasks=tasks,
+        beta=beta,
+        budget=budget,
+        params=params,
+        want_perf=bool(data.get("perf", False)),
+        trace_id=trace_id or new_trace_id(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Result encoding (server) and decoding (client)
+# ----------------------------------------------------------------------
+
+
+def _q_out(q) -> Optional[str]:
+    return None if q is None else str(q)
+
+
+def _q_in(s, default=None) -> Optional[Fraction]:
+    return default if s is None else Fraction(str(s))
+
+
+def _encode_job_delays(job_delays: Dict[str, Dict[str, Fraction]]):
+    return {
+        task: {job: str(d) for job, d in delays.items()}
+        for task, delays in job_delays.items()
+    }
+
+
+def _decode_job_delays(data) -> Dict[str, Dict[str, Fraction]]:
+    return {
+        task: {job: Fraction(d) for job, d in delays.items()}
+        for task, delays in data.items()
+    }
+
+
+def encode_result(kind: str, result: Any) -> Dict[str, Any]:
+    """The JSON-friendly wire form of one kind's engine result."""
+    if kind in SINGLE_TASK_KINDS:
+        r: BoundedDelayResult = result
+        return {
+            "delay": str(r.delay),
+            "degraded": r.degraded,
+            "level": r.level,
+            "reason": r.reason,
+            "busy_window": _q_out(r.busy_window),
+            "tuple_count": r.tuple_count,
+            "explored_horizon": _q_out(r.explored_horizon),
+            # Witness tuples hold engine-internal state; the wire form
+            # is a display string (clients never resume from it).
+            "critical_tuple": (
+                None if r.critical_tuple is None else str(r.critical_tuple)
+            ),
+        }
+    if kind == "sp_schedulable":
+        sp: SpResult = result
+        return {
+            "schedulable": sp.schedulable,
+            "job_delays": _encode_job_delays(sp.job_delays),
+            "failures": [
+                [task, job, str(delay), str(deadline)]
+                for task, job, delay, deadline in sp.failures
+            ],
+            "saturated": list(sp.saturated),
+        }
+    if kind == "edf_structural_delays":
+        edf: EdfDelayResult = result
+        return {
+            "schedulable": edf.schedulable,
+            "job_delays": _encode_job_delays(edf.job_delays),
+            "busy_window": str(edf.busy_window),
+        }
+    if kind == "analyze_many":
+        return {
+            "summaries": [
+                {
+                    "task": s.task,
+                    "delay": str(s.delay),
+                    "backlog": str(s.backlog),
+                    "busy_window": str(s.busy_window),
+                    "per_job": {j: str(d) for j, d in s.per_job.items()},
+                    "meets_deadlines": s.meets_deadlines,
+                    "witness_vertices": (
+                        None
+                        if s.witness_vertices is None
+                        else list(s.witness_vertices)
+                    ),
+                }
+                for s in result
+            ]
+        }
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def decode_result(kind: str, data: Dict[str, Any]):
+    """Rebuild the engine result object from its wire form.
+
+    The client-side inverse of :func:`encode_result`.  Reconstructed
+    dataclasses compare ``==`` to the direct in-process results, except
+    for ``critical_tuple`` (served as a display string — noted in the
+    class docs)."""
+    if kind in SINGLE_TASK_KINDS:
+        return BoundedDelayResult(
+            delay=Fraction(data["delay"]),
+            degraded=data["degraded"],
+            level=data["level"],
+            reason=data.get("reason"),
+            busy_window=_q_in(data.get("busy_window")),
+            critical_tuple=data.get("critical_tuple"),
+            tuple_count=data.get("tuple_count"),
+            explored_horizon=_q_in(data.get("explored_horizon")),
+        )
+    if kind == "sp_schedulable":
+        return SpResult(
+            schedulable=data["schedulable"],
+            job_delays=_decode_job_delays(data["job_delays"]),
+            failures=[
+                (task, job, Fraction(delay), Fraction(deadline))
+                for task, job, delay, deadline in data["failures"]
+            ],
+            saturated=list(data["saturated"]),
+        )
+    if kind == "edf_structural_delays":
+        return EdfDelayResult(
+            schedulable=data["schedulable"],
+            job_delays=_decode_job_delays(data["job_delays"]),
+            busy_window=Fraction(data["busy_window"]),
+        )
+    if kind == "analyze_many":
+        return [
+            TaskAnalysisSummary(
+                task=s["task"],
+                delay=Fraction(s["delay"]),
+                backlog=Fraction(s["backlog"]),
+                busy_window=Fraction(s["busy_window"]),
+                per_job={j: Fraction(d) for j, d in s["per_job"].items()},
+                meets_deadlines=s["meets_deadlines"],
+                witness_vertices=(
+                    None
+                    if s["witness_vertices"] is None
+                    else tuple(s["witness_vertices"])
+                ),
+            )
+            for s in data["summaries"]
+        ]
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Error envelopes
+# ----------------------------------------------------------------------
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire error code of one exception (typed, never a traceback)."""
+    if isinstance(exc, ValidationError):
+        return "validation"
+    if isinstance(exc, UnboundedBusyWindowError):
+        return "unbounded"
+    if isinstance(exc, BudgetExhaustedError):
+        return "budget_exhausted"
+    if isinstance(exc, SerializationError):
+        return "bad_request"
+    if isinstance(exc, ReproError):
+        return "analysis_error"
+    return "internal"
+
+
+def error_envelope(
+    exc: BaseException, trace_id: str, kind: Optional[str] = None
+) -> Dict[str, Any]:
+    """The ``ok: false`` response body for one failed request."""
+    code = error_code_for(exc)
+    message = (
+        "internal error" if code == "internal" else str(exc)
+    )
+    body: Dict[str, Any] = {
+        "ok": False,
+        "trace_id": trace_id,
+        "error": {"code": code, "message": message},
+    }
+    if kind is not None:
+        body["kind"] = kind
+    return body

@@ -1,0 +1,790 @@
+"""The asyncio analysis server: HTTP/JSON front end of the engine.
+
+A deliberately small HTTP/1.1 implementation on
+:func:`asyncio.start_server` — stdlib only, one connection per request
+(``Connection: close``), JSON bodies.  Endpoints:
+
+=============================  =========================================
+``POST /v1/analyze``           one analysis request (see
+                               :mod:`repro.service.protocol`)
+``POST /v1/batch``             ``{"requests": [...], "stream": bool}``;
+                               with ``stream`` the response is chunked
+                               NDJSON, one envelope per line in
+                               *completion* order (each carries its
+                               ``index``), terminated by a
+                               ``{"done": true}`` line
+``GET /healthz``               liveness (``503`` while draining)
+``GET /metrics``               the JSON metrics document
+=============================  =========================================
+
+Every accepted analysis request flows through the shared
+:class:`~repro.service.batching.Batcher` (coalescing) behind the
+:class:`~repro.service.admission.AdmissionController` (bounded queue,
+``429`` + ``Retry-After``, load shedding onto the degradation ladder).
+``SIGTERM``/``SIGINT`` trigger a graceful drain: the listener closes,
+queued and in-flight requests finish (bounded by ``drain_grace_s``),
+then the server exits — a load balancer never sees dropped work.
+
+For tests and tools, :class:`ServerHandle` boots a server with its own
+event loop in a daemon thread and tears it down symmetrically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, SerializationError, ValidationError
+from repro.parallel.plane import JobsLike
+from repro.service import protocol
+from repro.service.admission import AdmissionController
+from repro.service.batching import Batcher
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import DecodedRequest
+
+__all__ = ["ServiceConfig", "AnalysisServer", "ServerHandle", "serve_main"]
+
+#: Largest accepted request body (bytes); protects the JSON parser.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`AnalysisServer`.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 picks a free one; see ``AnalysisServer.port``).
+        jobs: Plane worker specification for micro-batch fan-out.
+        max_queue: Admission cap on queued + in-flight requests.
+        shed_fraction: Queue fraction above which load shedding starts.
+        shed_deadline_ms: Budget deadline forced onto shed requests.
+        max_batch: Micro-batch size cap.
+        batch_window_ms: Coalescing window after the first pending
+            request.
+        dispatch_threads: Concurrent micro-batches in flight.
+        item_timeout_s: Per-item plane watchdog: a worker hanging past
+            this is killed and the item retried (None disables it).
+        drain_grace_s: Longest wait for in-flight work during drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    jobs: JobsLike = None
+    max_queue: int = 256
+    shed_fraction: float = 0.75
+    shed_deadline_ms: float = 50.0
+    max_batch: int = 64
+    batch_window_ms: float = 2.0
+    dispatch_threads: int = 2
+    item_timeout_s: Optional[float] = None
+    drain_grace_s: float = 30.0
+
+
+def _chunk(payload: bytes) -> bytes:
+    """One HTTP/1.1 chunked-transfer frame around *payload*."""
+    return f"{len(payload):x}\r\n".encode("latin-1") + payload + b"\r\n"
+
+
+class _HttpError(Exception):
+    """Internal: abort request handling with a status + JSON body."""
+
+    def __init__(
+        self,
+        status: int,
+        body: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(body.get("error"))
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+class AnalysisServer:
+    """One service instance: listener + batcher + admission + metrics."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            shed_fraction=self.config.shed_fraction,
+            shed_deadline_ms=self.config.shed_deadline_ms,
+        )
+        self.batcher = Batcher(
+            jobs=self.config.jobs,
+            max_batch=self.config.max_batch,
+            batch_window=self.config.batch_window_ms / 1000.0,
+            dispatch_threads=self.config.dispatch_threads,
+            metrics=self.metrics,
+            item_timeout=self.config.item_timeout_s,
+        )
+        self.draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._handlers: set = set()
+        self._stopped: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the dispatcher."""
+        self._stopped = asyncio.Event()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`shutdown` completed."""
+        assert self._stopped is not None, "start() was not called"
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> bool:
+        """Stop the server; with *drain*, finish accepted work first.
+
+        Returns True when every accepted request settled before the
+        grace period expired.
+        """
+        if self.draining:
+            return True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = True
+        if drain:
+            clean = await self.batcher.join(self.config.drain_grace_s)
+            deadline = time.monotonic() + self.config.drain_grace_s
+            while self._handlers and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            clean = clean and not self._handlers
+        await self.batcher.close()
+        if self._stopped is not None:
+            self._stopped.set()
+        return clean
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        t0 = time.perf_counter()
+        endpoint = "?"
+        ok = False
+        try:
+            method, path, headers = await self._read_head(reader)
+            endpoint = f"{method} {path}"
+            body = await self._read_body(reader, headers)
+            ok = await self._route(method, path, body, writer)
+        except _HttpError as exc:
+            await self._send_json(
+                writer, exc.status, exc.body, extra_headers=exc.headers
+            )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
+            try:
+                await self._send_json(
+                    writer,
+                    500,
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": "internal",
+                            "message": "internal error",
+                        },
+                    },
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+            if endpoint != "?":
+                self.metrics.observe_request(
+                    endpoint, time.perf_counter() - t0, ok
+                )
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "malformed request line",
+                    },
+                },
+            )
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        raw_length = headers.get("content-length")
+        if not raw_length:
+            return b""
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "invalid Content-Length",
+                    },
+                },
+            ) from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"body exceeds {MAX_BODY_BYTES} bytes",
+                    },
+                },
+            )
+        return await reader.readexactly(length)
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        writer.write(self._head_bytes(status, headers) + payload)
+        await writer.drain()
+
+    @staticmethod
+    def _head_bytes(status: int, headers: Dict[str, str]) -> bytes:
+        lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        if path == "/healthz":
+            if method != "GET":
+                raise self._method_not_allowed()
+            status = 503 if self.draining else 200
+            await self._send_json(
+                writer,
+                status,
+                {
+                    "status": "draining" if self.draining else "ok",
+                    "uptime_s": self.metrics.uptime_s(),
+                    "queue_depth": self.batcher.depth,
+                    "protocol_version": protocol.PROTOCOL_VERSION,
+                },
+            )
+            return not self.draining
+        if path == "/metrics":
+            if method != "GET":
+                raise self._method_not_allowed()
+            await self._send_json(
+                writer,
+                200,
+                self.metrics.snapshot(
+                    queue_depth=self.batcher.depth,
+                    queue_max=self.admission.max_queue,
+                    queue_high_water=self.admission.high_water,
+                    draining=self.draining,
+                ),
+            )
+            return True
+        if path == "/v1/analyze":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_analyze(body, writer)
+        if path == "/v1/batch":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_batch(body, writer)
+        raise _HttpError(
+            404,
+            {
+                "ok": False,
+                "error": {"code": "bad_request", "message": f"no route {path}"},
+            },
+        )
+
+    @staticmethod
+    def _method_not_allowed() -> _HttpError:
+        return _HttpError(
+            405,
+            {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": "method not allowed",
+                },
+            },
+        )
+
+    def _parse_json(self, body: bytes):
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"invalid JSON body: {exc}",
+                    },
+                },
+            ) from exc
+
+    def _refuse_if_draining(self) -> None:
+        if self.draining:
+            raise _HttpError(
+                503,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "draining",
+                        "message": "server is draining",
+                    },
+                },
+                headers={"Retry-After": "1"},
+            )
+
+    # -- admission + submission -----------------------------------------
+
+    @staticmethod
+    def _sheddable(req: DecodedRequest) -> bool:
+        """Shedding needs a sound degraded form *and* a client deadline."""
+        return (
+            req.kind in protocol.SINGLE_TASK_KINDS
+            and req.budget is not None
+            and req.budget.deadline is not None
+        )
+
+    def _admit(self, requests: List[DecodedRequest]) -> None:
+        """Admission-check *requests* atomically; may tighten budgets."""
+        decision = self.admission.admit(
+            len(requests),
+            self.batcher.depth,
+            sheddable=all(self._sheddable(r) for r in requests),
+        )
+        if not decision.accepted:
+            self.metrics.record("rejected", len(requests))
+            raise _HttpError(
+                429,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "queue_full",
+                        "message": (
+                            f"analysis queue is full "
+                            f"(depth {self.batcher.depth} of "
+                            f"{self.admission.max_queue})"
+                        ),
+                    },
+                    "retry_after": decision.retry_after,
+                },
+                headers={"Retry-After": str(decision.retry_after)},
+            )
+        if decision.action == "shed":
+            self.metrics.record("shed", len(requests))
+            for req in requests:
+                assert req.budget is not None  # _sheddable guarantees it
+                req.budget = req.budget.tightened(
+                    deadline=self.admission.shed_deadline_ms / 1000.0
+                )
+                req.shed = True
+
+    def _decode_one(self, data) -> DecodedRequest:
+        try:
+            return protocol.decode_request(data)
+        except (SerializationError, ValidationError) as exc:
+            raise _HttpError(
+                400, protocol.error_envelope(exc, protocol.new_trace_id())
+            ) from exc
+
+    async def _finish_envelope(self, envelope: Dict[str, object]) -> None:
+        """Book one settled analysis envelope into the service stats."""
+        elapsed = envelope.get("elapsed_s")
+        if isinstance(elapsed, (int, float)):
+            self.admission.observe_service_time(float(elapsed))
+        if envelope.get("degraded"):
+            self.metrics.record("degraded")
+        if not envelope.get("ok", False):
+            self.metrics.record("analysis_errors")
+
+    async def _handle_analyze(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        self._refuse_if_draining()
+        req = self._decode_one(self._parse_json(body))
+        self._admit([req])
+        envelope = await self.batcher.submit(req)
+        await self._finish_envelope(envelope)
+        await self._send_json(writer, 200, envelope)
+        return bool(envelope.get("ok", False))
+
+    async def _handle_batch(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        self._refuse_if_draining()
+        data = self._parse_json(body)
+        specs = data.get("requests") if isinstance(data, dict) else None
+        if not isinstance(specs, list) or not specs:
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "'requests' must be a non-empty list",
+                    },
+                },
+            )
+        stream = bool(data.get("stream", False)) if isinstance(data, dict) else False
+
+        # Decode everything first: structurally broken items settle as
+        # per-item envelopes, and only the well-formed remainder takes
+        # queue space.
+        decoded: List[Tuple[int, DecodedRequest]] = []
+        settled: Dict[int, Dict[str, object]] = {}
+        for index, spec in enumerate(specs):
+            try:
+                decoded.append((index, protocol.decode_request(spec)))
+            except (SerializationError, ValidationError, ReproError) as exc:
+                settled[index] = protocol.error_envelope(
+                    exc, protocol.new_trace_id()
+                )
+        if decoded:
+            self._admit([req for _, req in decoded])
+
+        batch_trace = protocol.new_trace_id()
+        futures = {
+            index: self.batcher.submit_nowait(req) for index, req in decoded
+        }
+
+        if not stream:
+            for index, future in futures.items():
+                envelope = await future
+                await self._finish_envelope(envelope)
+                settled[index] = envelope
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "ok": True,
+                    "trace_id": batch_trace,
+                    "count": len(specs),
+                    "responses": [settled[i] for i in range(len(specs))],
+                },
+            )
+            return True
+
+        # Streaming: NDJSON in completion order, framed with
+        # Transfer-Encoding: chunked and terminated by an explicit
+        # zero-length chunk.  Close-delimited framing would deadlock:
+        # plane workers forked while this connection is open inherit a
+        # duplicate of its fd, so the EOF a close is supposed to
+        # produce cannot reach the client until the whole worker pool
+        # is torn down.
+        writer.write(
+            self._head_bytes(
+                200,
+                {
+                    "Content-Type": "application/x-ndjson",
+                    "Transfer-Encoding": "chunked",
+                    "Connection": "close",
+                    "X-Trace-Id": batch_trace,
+                },
+            )
+        )
+        await writer.drain()
+        for index, envelope in settled.items():
+            envelope = dict(envelope)
+            envelope["index"] = index
+            writer.write(_chunk(json.dumps(envelope).encode("utf-8") + b"\n"))
+            self.metrics.record("streamed_lines")
+        await writer.drain()
+
+        async def _tagged(index: int, future: asyncio.Future):
+            return index, await future
+
+        for next_done in asyncio.as_completed(
+            [_tagged(index, future) for index, future in futures.items()]
+        ):
+            done_index, envelope = await next_done
+            await self._finish_envelope(envelope)
+            out = dict(envelope)
+            out["index"] = done_index
+            writer.write(_chunk(json.dumps(out).encode("utf-8") + b"\n"))
+            self.metrics.record("streamed_lines")
+            await writer.drain()
+        writer.write(
+            _chunk(
+                json.dumps({"done": True, "count": len(specs)}).encode()
+                + b"\n"
+            )
+            + b"0\r\n\r\n"
+        )
+        await writer.drain()
+        return True
+
+
+# ----------------------------------------------------------------------
+# Background handle (tests, tools) and the CLI entry point
+# ----------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on its own event loop in a daemon thread."""
+
+    def __init__(self, server: AnalysisServer, loop, thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @classmethod
+    def start(cls, config: Optional[ServiceConfig] = None) -> "ServerHandle":
+        """Boot a server in a background thread; returns once bound."""
+        server = AnalysisServer(config)
+        started = threading.Event()
+        boot_error: List[BaseException] = []
+        loop_holder: List[asyncio.AbstractEventLoop] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop_holder.append(loop)
+
+            async def _main() -> None:
+                try:
+                    await server.start()
+                finally:
+                    started.set()
+                await server.wait_stopped()
+
+            try:
+                loop.run_until_complete(_main())
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                boot_error.append(exc)
+                started.set()
+            finally:
+                loop.close()
+
+        thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True
+        )
+        thread.start()
+        started.wait(timeout=30)
+        if boot_error:
+            raise boot_error[0]
+        if server.port is None:
+            raise RuntimeError("service failed to bind within 30s")
+        return cls(server, loop_holder[0], thread)
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> bool:
+        """Drain (optionally) and stop the server thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain), self._loop
+        )
+        clean = future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+        return clean
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``repro serve``: boot the analysis service in the foreground."""
+    import argparse
+
+    from repro.minplus import backend as backend_mod
+    from repro.parallel import cache as result_cache
+    from repro.parallel import plane
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve delay analyses over HTTP/JSON with micro-batching, "
+            "admission control and a metrics plane"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8177, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        help="plane workers per micro-batch ('auto' = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache directory (REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=backend_mod.BACKENDS,
+        help="min-plus kernel backend for every served analysis",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=256, help="admission queue cap"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batch size cap"
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window after the first pending request",
+    )
+    parser.add_argument(
+        "--dispatch-threads",
+        type=int,
+        default=2,
+        help="concurrent micro-batches in flight",
+    )
+    parser.add_argument(
+        "--item-timeout-s",
+        type=float,
+        help=(
+            "per-item plane watchdog: a worker hanging past this is "
+            "killed and the item retried (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--shed-deadline-ms",
+        type=float,
+        default=50.0,
+        help="budget deadline forced onto load-shed requests",
+    )
+    parser.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=30.0,
+        help="longest wait for in-flight work on SIGTERM",
+    )
+    args = parser.parse_args(argv)
+
+    if args.backend:
+        backend_mod.set_backend(args.backend)
+    if args.cache_dir:
+        result_cache.configure(args.cache_dir)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        dispatch_threads=args.dispatch_threads,
+        item_timeout_s=args.item_timeout_s,
+        shed_deadline_ms=args.shed_deadline_ms,
+        drain_grace_s=args.drain_grace_s,
+    )
+
+    async def _main() -> int:
+        server = AnalysisServer(config)
+        await server.start()
+        print(
+            f"repro service: listening on {config.host}:{server.port} "
+            f"(backend={backend_mod.get_backend()} "
+            f"jobs={plane.resolve_jobs(config.jobs)} "
+            f"cache={result_cache.describe()} "
+            f"queue={config.max_queue} batch<={config.max_batch})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: loop.create_task(server.shutdown(drain=True)),
+                )
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        await server.wait_stopped()
+        print("repro service: drained and stopped", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

@@ -7,7 +7,12 @@ import pytest
 
 from repro.drt.model import DRTTask
 from repro.errors import SerializationError, ValidationError
-from repro.io.dot import load_task_dot, task_from_dot, task_to_dot
+from repro.io.dot import (
+    load_task_dot,
+    save_task_dot,
+    task_from_dot,
+    task_to_dot,
+)
 from repro.io.json_io import (
     curve_from_dict,
     curve_to_dict,
@@ -174,3 +179,32 @@ class TestDot:
     def test_load_missing_dot_raises(self, tmp_path):
         with pytest.raises(SerializationError):
             load_task_dot(tmp_path / "absent.dot")
+
+    def test_save_load_round_trip(self, demo_task, tmp_path):
+        p = tmp_path / "exported.dot"
+        save_task_dot(demo_task, p)
+        back = load_task_dot(p)
+        assert back.name == demo_task.name
+        assert back.jobs == demo_task.jobs
+        assert {(e.src, e.dst, e.separation) for e in back.edges} == {
+            (e.src, e.dst, e.separation) for e in demo_task.edges
+        }
+
+    def test_save_rationals_survive_file_round_trip(self, tmp_path):
+        t = DRTTask.build(
+            "q", jobs={"a": (F(1, 3), F(7, 2))}, edges=[("a", "a", F(22, 7))]
+        )
+        p = tmp_path / "q.dot"
+        save_task_dot(t, p)
+        back = load_task_dot(p)
+        assert back.wcet("a") == F(1, 3)
+        assert back.edges[0].separation == F(22, 7)
+
+    def test_save_ends_with_newline(self, demo_task, tmp_path):
+        p = tmp_path / "nl.dot"
+        save_task_dot(demo_task, p)
+        assert p.read_text().endswith("}\n")
+
+    def test_save_unwritable_path_raises(self, demo_task, tmp_path):
+        with pytest.raises(SerializationError, match="cannot write"):
+            save_task_dot(demo_task, tmp_path / "no" / "such" / "dir.dot")

@@ -138,6 +138,51 @@ class TestParallelMap:
     def test_empty_items(self):
         assert parallel_map(_square, [], jobs=4) == []
 
+    def test_serial_fallback_warning_carries_cause(self, monkeypatch):
+        # Pool startup failure (restricted sandbox) degrades to serial
+        # with a RuntimeWarning that names and chains the original
+        # exception, so operators can tell fork-denied from pool-crash.
+        cause = PermissionError("fork denied by sandbox")
+
+        def _broken_pool(n):
+            raise cause
+
+        monkeypatch.setattr(plane, "_get_pool", _broken_pool)
+        with pytest.warns(RuntimeWarning, match="PermissionError") as caught:
+            out = parallel_map(_square, [1, 2, 3], jobs=2)
+        assert out == [1, 4, 9]
+        warning = caught[0].message
+        assert "fork denied by sandbox" in str(warning)
+        assert warning.__cause__ is cause
+
+
+class TestMapSettled:
+    def test_outcomes_in_order(self):
+        outcomes = plane.map_settled(_square, [1, 2, 3], jobs=2)
+        assert outcomes == [("ok", 1), ("ok", 4), ("ok", 9)]
+
+    def test_failures_settle_alone(self):
+        # parallel_map raises on the first failing item; map_settled
+        # returns every outcome so one bad request cannot poison the
+        # micro-batch it was coalesced into.
+        outcomes = plane.map_settled(_raise_on_even, [1, 4, 3, 2], jobs=2)
+        assert [s for s, _ in outcomes] == ["ok", "err", "ok", "err"]
+        assert outcomes[0][1] == 1
+        assert isinstance(outcomes[1][1], ValueError)
+        assert str(outcomes[1][1]) == "bad 4"
+
+    def test_serial_path_matches(self):
+        parallel = plane.map_settled(_raise_on_even, [1, 2], jobs=2)
+        serial = plane.map_settled(_raise_on_even, [1, 2], jobs=1)
+        assert [s for s, _ in parallel] == [s for s, _ in serial]
+        assert parallel[0][1] == serial[0][1]
+        assert str(parallel[1][1]) == str(serial[1][1])
+
+    def test_worker_perf_still_merged(self):
+        perf.reset()
+        plane.map_settled(_square, list(range(6)), jobs=2)
+        assert perf.counters().get("testplane.calls") == 6
+
 
 # ---------------------------------------------------------------------------
 # Fan-out entry points are bit-identical to their serial runs

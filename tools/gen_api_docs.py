@@ -248,6 +248,79 @@ bit-identical result, a sound degraded bound, or a typed `ReproError`
 """
 
 
+SERVICE_SECTION = """\
+## Analysis service
+
+`repro.service` serves analyses over HTTP/JSON — a stdlib-only asyncio
+server booted by `repro serve` in production or by
+`ServerHandle.start(ServiceConfig(...))` in-process (tests, embedding).
+
+**Wire protocol** (`repro.service.protocol`, version 1).  `POST
+/v1/analyze` takes one request object — `kind` (`delay` /
+`bounded_delay`, `sp_schedulable`, `edf_structural_delays`,
+`analyze_many`), `tasks`, `beta` (a full curve document or the
+`{"rate": "1/2", "latency": "2"}` shorthand), optional `deadline_ms`,
+`max_expansions`, `max_segments`, `params`, and `perf` — and returns a
+response envelope `{ok, trace_id, kind, degraded, shed, elapsed_s,
+result | error}`.  Exact rationals travel as `"p/q"` strings both
+ways, so served results reconstruct to the engine's `Fraction`-valued
+dataclasses and compare equal to direct calls.  Failures are *typed*
+envelopes (`bad_request`, `validation`, `unbounded`,
+`budget_exhausted`, `worker`, `internal`), never raw tracebacks; every
+envelope and every response carries the request's trace ID
+(`X-Trace-Id`).
+
+**Micro-batching** (`repro.service.batching`).  Every accepted request
+— single or batch member — joins one shared `Batcher`.  The dispatcher
+lingers `batch_window_ms` after the first pending request (dispatching
+immediately once `max_batch` wait), then ships the slice through
+`repro.parallel.map_settled`: concurrent clients share one plane
+fan-out and one warm result cache per micro-batch, and a failing
+request settles alone instead of poisoning its neighbours.  `POST
+/v1/batch` carries many requests at once; with `"stream": true` the
+response is chunked NDJSON in *completion* order — one
+`{"index": i, ...}` envelope per line, terminated by a
+`{"done": true}` marker (chunked framing, because plane workers forked
+mid-connection inherit the socket and would hold off a close-delimited
+EOF indefinitely).
+
+**Admission, backpressure & degradation**
+(`repro.service.admission`).  Three-tier policy against queue depth:
+*accept*; *shed* above the high-water mark — sheddable single-task
+requests get their budget tightened to `shed_deadline_ms`, so the
+degradation ladder turns overload into **sound anytime bounds** tagged
+`shed: true`, not errors; *reject* at `max_queue` with `429` and a
+`Retry-After` derived from an EWMA of recent batch service times.
+`deadline_ms` maps onto a `repro.resilience.Budget` — an infeasible
+deadline yields a sound degraded bound, never a 5xx.
+
+**Client** (`repro.service.client`).  `ServiceClient` retries
+transport failures and `429` (honouring `Retry-After`) with capped
+exponential backoff.  Typed helpers (`delay`, `sp_schedulable`,
+`edf_structural_delays`, `analyze_many`) decode envelopes back into
+engine result dataclasses or raise a typed `ServiceError`; `batch` and
+`batch_stream` drive the batch endpoint, `analyze_raw` returns
+envelopes verbatim.
+
+**Observability** (`repro.service.metrics`).  `GET /healthz` reports
+liveness and draining; `GET /metrics` returns one JSON document:
+uptime, request counters (`requests_total`, `requests_failed`,
+`degraded`, `shed`, `rejected`), per-endpoint latency histograms
+(log-bucketed, mergeable `repro.perf.Histogram`), queue
+depth/capacity, micro-batch size statistics, result-cache hit/miss
+counters, and the full `repro.perf` snapshot.
+
+**Lifecycle.**  SIGTERM/SIGINT trigger a graceful drain: the listener
+closes, `/healthz` turns 503, in-flight work settles within
+`drain_grace_s`.  CI boots the real CLI end-to-end
+(`tools/service_smoke.py`), runs the service suites
+(`tests/test_service.py`, chaos-injected client/server round-trips in
+`tests/test_service_chaos.py`), and gates warm-cache batched
+throughput at >= 5x naive per-request dispatch
+(`benchmarks/bench_service.py`).
+"""
+
+
 def render() -> str:
     lines = [
         "# API reference",
@@ -259,6 +332,7 @@ def render() -> str:
         KERNEL_BACKENDS_SECTION,
         PARALLEL_SECTION,
         RESILIENCE_SECTION,
+        SERVICE_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
         public = getattr(module, "__all__", None)
