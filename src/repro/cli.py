@@ -6,10 +6,14 @@ Usage::
     repro-analyze task.json --rate 1 --tdma-slot 2 --tdma-frame 8
     python -m repro.cli task.json --rate 1/2 --latency 4 --per-job --dot g.dot
     python -m repro.cli serve --port 8177 --jobs auto
+    python -m repro.cli calibrate --reps 3
 
 The ``serve`` subcommand boots the analysis service
 (:mod:`repro.service`): an HTTP/JSON front end with micro-batching,
-admission control and a metrics plane.
+admission control and a metrics plane.  The ``calibrate`` subcommand
+runs the kernel microbenchmark and persists a per-(op, size) cost table
+that the ``auto`` backend consults to dispatch each min-plus operation
+to the exact or the hybrid tier (:mod:`repro.minplus.costmodel`).
 """
 
 from __future__ import annotations
@@ -74,9 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=backend_mod.BACKENDS,
         help=(
-            "min-plus kernel backend: 'exact' (pure rational arithmetic) "
-            "or 'hybrid' (vectorized float64 screens with certified exact "
-            "fallback; identical results, default when numpy is available)"
+            "min-plus kernel backend: 'exact' (pure rational arithmetic), "
+            "'hybrid' (vectorized float64 screens with certified exact "
+            "fallback; identical results), 'auto' (per-op cost-model "
+            "dispatch between the two; default when numpy is available) "
+            "or 'native' (hybrid plus a compiled pruning inner loop, "
+            "built on first use and falling back to hybrid)"
         ),
     )
     parser.add_argument(
@@ -145,6 +152,87 @@ def _parse_budget(args) -> "Budget | None":
         raise ReproError(f"invalid budget: {exc}") from exc
 
 
+def _calibrate_main(argv) -> int:
+    """``repro-analyze calibrate``: benchmark kernels, persist cost table."""
+    from repro.minplus import costmodel
+
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze calibrate",
+        description=(
+            "Run the one-shot kernel microbenchmark and persist the "
+            "per-(op, size) cost table consulted by the 'auto' backend"
+        ),
+    )
+    parser.add_argument(
+        "--sizes",
+        metavar="N,N,...",
+        help="comma-separated curve sizes to probe (default: "
+        + ",".join(str(n) for n in costmodel.CALIBRATION_SIZES),
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3, help="timing repetitions per cell"
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="soft wall-clock cap on the whole calibration",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help=(
+            "where to write the table (default: REPRO_COSTMODEL or "
+            "<cache-dir>/costmodel.json; '-' prints without persisting)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent cache directory the table is stored next to",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.cache_dir:
+            result_cache.configure(args.cache_dir)
+        sizes = costmodel.CALIBRATION_SIZES
+        if args.sizes:
+            sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        persist = args.out != "-"
+        rows = costmodel.calibrate(
+            sizes=sizes,
+            reps=args.reps,
+            time_budget_s=args.time_budget,
+            persist=persist and args.out is None,
+        )
+        print(f"{'op':>6} {'n':>6} {'exact_s':>12} {'hybrid_s':>12}  choice")
+        for row in rows:
+            print(
+                f"{row['op']:>6} {row['n']:>6} {row['exact_s']:>12.6f} "
+                f"{row['hybrid_s']:>12.6f}  {row['choice']}"
+            )
+        if persist and args.out is not None:
+            costmodel.save(to=args.out)
+            print(f"cost table written to {args.out}")
+        elif persist:
+            dest = costmodel.path()
+            if dest is None:
+                print(
+                    "cost table installed for this process only "
+                    "(no cache dir; set --cache-dir, REPRO_CACHE_DIR or "
+                    "REPRO_COSTMODEL to persist)"
+                )
+            else:
+                print(f"cost table written to {dest}")
+        else:
+            print("cost table not persisted (--out -)")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -153,6 +241,8 @@ def main(argv=None) -> int:
         from repro.service.server import serve_main
 
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "calibrate":
+        return _calibrate_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     try:
         if args.backend:
@@ -169,8 +259,13 @@ def main(argv=None) -> int:
                 result_cache.configure(args.cache_dir)
             for w in caught:
                 print(f"warning: {w.message}", file=sys.stderr)
+        be = backend_mod.get_backend()
+        if be == "auto":
+            from repro.minplus import costmodel
+
+            be = f"auto({costmodel.describe()})"
         print(
-            f"engine: backend={backend_mod.get_backend()} "
+            f"engine: backend={be} "
             f"jobs={plane.resolve_jobs()} cache={result_cache.describe()}"
         )
         task = load_task(args.task, validate=not args.no_validate)

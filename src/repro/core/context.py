@@ -75,6 +75,7 @@ class AnalysisContext:
         "_delay_result",
         "_per_job",
         "_backlog_result",
+        "_fused_backlog",
     )
 
     def __init__(self, task: DRTTask, beta: Curve) -> None:
@@ -87,6 +88,8 @@ class AnalysisContext:
         self._delay_result: Optional[DelayResult] = None
         self._per_job: Optional[Dict[str, Fraction]] = None
         self._backlog_result: Optional[BacklogResult] = None
+        #: Backlog screen stashed by a fused delay+backlog sweep.
+        self._fused_backlog = None
 
     @classmethod
     def of(cls, task: DRTTask, beta: Curve) -> "AnalysisContext":
@@ -235,17 +238,30 @@ class AnalysisContext:
         """
         if self._delays is not None:
             return None
-        if backend_mod.get_backend() != "hybrid":
+        if not backend_mod.screens_enabled():
+            return None
+        if backend_mod.op_backend("pinv", len(self.beta.segments)) != "hybrid":
             return None
         tuples = self.frontier()
+        works = [tup.work for tup in tuples]
         with perf.timed("delay"):
-            screened = kernels.screened_pinv_delay_groups(
-                self.beta,
-                offsets,
-                [tup.work for tup in tuples],
-                group_ids,
-                n_groups,
-            )
+            if n_groups == 1 and self._backlog_result is None:
+                # The delay sweep's offsets are the tuple times — exactly
+                # what the backlog screen needs — so one fused pass shares
+                # the rational->interval lowering of both arrays and
+                # stashes the backlog maximum for :meth:`backlog_result`.
+                fused = kernels.screened_delay_backlog(
+                    self.beta, offsets, works, group_ids, n_groups
+                )
+                screened = None
+                if fused is not None:
+                    screened, backlog = fused
+                    if backlog is not None:
+                        self._fused_backlog = backlog
+            else:
+                screened = kernels.screened_pinv_delay_groups(
+                    self.beta, offsets, works, group_ids, n_groups
+                )
         if screened is None:
             return None
         inf_idx, results = screened
@@ -267,8 +283,11 @@ class AnalysisContext:
             tuples = self.frontier()
             best = Q(0)
             critical: Optional[RequestTuple] = None
-            screened = None
-            if backend_mod.get_backend() == "hybrid":
+            screened = self._fused_backlog
+            if screened is None and backend_mod.screens_enabled() and (
+                backend_mod.op_backend("pinv", len(self.beta.segments))
+                == "hybrid"
+            ):
                 screened = kernels.screened_backlog_max(
                     self.beta,
                     [tup.time for tup in tuples],

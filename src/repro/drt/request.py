@@ -113,7 +113,7 @@ class _VertexFrontier:
 
     def dominated(self, time: Q, work: Q) -> bool:
         """True iff (time, work) is dominated by a stored tuple."""
-        if backend_mod.get_backend() == "hybrid":
+        if backend_mod.screens_enabled():
             # Certified float screen.  The answer is works[idx*] >= work
             # for idx* = last index with times[idx*] <= time; works
             # increase with times, so any certainly-earlier entry with

@@ -1,0 +1,118 @@
+/* Compiled inner loops of the min-plus kernel screens (REPRO_BACKEND=native).
+ *
+ * One translation unit, no Python.h: the library is built with a plain C
+ * compiler (`cc -O2 -shared -fPIC`) on first use and loaded through
+ * ctypes, so the optional tier needs no build system and no extension
+ * machinery.  Every function mirrors a numpy screen in kernels.py and
+ * must preserve its certificates: all guard bands are the same
+ * one-ulp `nextafter` outward roundings the vectorized code applies.
+ */
+
+#include <math.h>
+
+/* First index k with tau[k] >= x (tau ascending); ng-1 when none is. */
+static long grid_at_or_after(const double *tau, long ng, double x)
+{
+    long lo = 0, hi = ng - 1;
+    while (lo < hi) {
+        long mid = lo + (hi - lo) / 2;
+        if (tau[mid] >= x)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+/* Keep-mask over the na*nb segment pairs of a min-plus convolution.
+ *
+ * Mirrors the staircase branch of kernels.conv_prune_mask: a pair whose
+ * certified start value (one ulp down) exceeds the certified staircase
+ * upper bound of the convolution at-or-after its domain's right end
+ * (one ulp up, clipped at the cap) provably lies strictly above the
+ * lower envelope everywhere it is defined, and pairs starting beyond
+ * the cap contribute nothing.  Unlike the vectorized path this makes
+ * one pass with no n^2 temporaries.  The mask it computes prunes a
+ * subset of what the numpy path prunes (the cheap f(0)+g(t) bound is
+ * grid-quantized here) — any sound subset leaves the result identical.
+ */
+void conv_keep_mask(long na, long nb,
+                    const double *a_v_lo, const double *b_v_lo,
+                    const double *a_lo_lo, const double *b_lo_lo,
+                    const double *a_hi_hi, const double *b_hi_hi,
+                    double cap_hi,
+                    const double *tau, const double *stair, long ng,
+                    unsigned char *keep)
+{
+    for (long i = 0; i < na; i++) {
+        for (long j = 0; j < nb; j++) {
+            long idx = i * nb + j;
+            double lo = nextafter(a_lo_lo[i] + b_lo_lo[j], -INFINITY);
+            if (lo > cap_hi) {
+                keep[idx] = 0;
+                continue;
+            }
+            double v0 = nextafter(a_v_lo[i] + b_v_lo[j], -INFINITY);
+            double end = nextafter(a_hi_hi[i] + b_hi_hi[j], INFINITY);
+            if (end > cap_hi)
+                end = cap_hi;
+            long k = grid_at_or_after(tau, ng, end);
+            keep[idx] = (v0 > stair[k]) ? 0 : 1;
+        }
+    }
+}
+
+/* Certified staircase upper bound of C(t) = inf_s f(s) + g(t - s) on the
+ * tau grid, from precomputed probe splits: for probe s with certified
+ * f-upper-bound fs_hi, every grid point tau >= s gets the witness
+ * fs_hi + g_hi(u) with u = clamp(nextafter(tau - s, +inf), 0, tau) —
+ * u >= tau - s and g nondecreasing keep the bound sound (see
+ * kernels._conv_witness_grid for the full argument).  g is evaluated
+ * through its lowered upper arrays exactly as Lowered.eval_bounds does.
+ */
+void conv_witness_grid(const double *tau, long ng,
+                       const double *s_probe, const double *fs_hi, long np_,
+                       long gn,
+                       const double *g_S_lo, const double *g_V_hi,
+                       const double *g_SL_lo, const double *g_SL_hi,
+                       double *stair /* in-out: min-combined */)
+{
+    for (long p = 0; p < np_; p++) {
+        double s = s_probe[p];
+        double fv = fs_hi[p];
+        for (long k = 0; k < ng; k++) {
+            if (tau[k] < s)
+                continue;
+            double u = nextafter(tau[k] - s, INFINITY);
+            if (u > tau[k])
+                u = tau[k];
+            if (u < 0.0)
+                u = 0.0;
+            /* last segment j with g_S_lo[j] <= u (binary search) */
+            long lo = 0, hi = gn - 1, j = 0;
+            while (lo <= hi) {
+                long mid = lo + (hi - lo) / 2;
+                if (g_S_lo[mid] <= u) {
+                    j = mid;
+                    lo = mid + 1;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            double dt = nextafter(u - g_S_lo[j], INFINITY);
+            if (dt < 0.0)
+                dt = 0.0;
+            double sl_lo = g_SL_lo[j] > 0.0 ? g_SL_lo[j] : 0.0;
+            double sl_hi = g_SL_hi[j] > 0.0 ? g_SL_hi[j] : 0.0;
+            double m = sl_lo * dt;
+            double m2 = sl_hi * dt;
+            if (m2 > m)
+                m = m2;
+            double ghi = nextafter(g_V_hi[j] + nextafter(m, INFINITY),
+                                   INFINITY);
+            double cand = nextafter(fv + ghi, INFINITY);
+            if (cand < stair[k])
+                stair[k] = cand;
+        }
+    }
+}

@@ -1,0 +1,160 @@
+"""Build-on-first-use loader for the compiled kernel tier.
+
+``REPRO_BACKEND=native`` engages a small C library
+(:file:`_native.c`, next to this module) for the envelope-pair pruning
+inner loops.  The library is compiled with the system C compiler into a
+per-user cache directory the first time it is needed and loaded through
+:mod:`ctypes`; **every** failure mode — no compiler, a failed build, a
+missing/corrupt artifact — degrades silently to the pure-numpy hybrid
+tier (:func:`available` returns False and the kernels take their
+vectorized path).  The native mask prunes a sound subset of the numpy
+mask's pairs, so results are bit-identical either way.
+
+Environment:
+
+* ``CC`` — compiler to invoke (default ``cc``);
+* ``REPRO_NATIVE_DIR`` — where the built ``.so`` is cached (default: a
+  content-hashed name under the system temp directory, so a source
+  change triggers a rebuild and stale artifacts are never loaded).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+from repro import perf
+
+__all__ = ["available", "build_error", "conv_keep_mask", "conv_witness_grid"]
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - native requires the hybrid tier
+    np = None
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_native.c")
+
+_lib = None
+_tried = False
+_error: Optional[str] = None
+
+_DPTR = ctypes.POINTER(ctypes.c_double)
+_U8PTR = ctypes.POINTER(ctypes.c_ubyte)
+
+
+def _so_path(tag: str) -> str:
+    base = os.environ.get("REPRO_NATIVE_DIR")
+    if not base:
+        base = os.path.join(
+            tempfile.gettempdir(), f"repro-native-{os.getuid()}"
+        )
+    os.makedirs(base, exist_ok=True)
+    return os.path.join(base, f"repro_native_{tag}.so")
+
+
+def _load():
+    global _lib, _tried, _error
+    if _tried:
+        return _lib
+    _tried = True
+    if np is None:
+        _error = "numpy unavailable"
+        return None
+    try:
+        with open(_SRC, "rb") as fh:
+            src = fh.read()
+        tag = hashlib.sha256(src).hexdigest()[:16]
+        so = _so_path(tag)
+        if not os.path.exists(so):
+            cc = os.environ.get("CC", "cc")
+            tmp = f"{so}.build.{os.getpid()}"
+            proc = subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SRC, "-lm"],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"cc failed: {proc.stderr.decode(errors='replace')[:400]}"
+                )
+            os.replace(tmp, so)
+            perf.record("native.builds")
+        lib = ctypes.CDLL(so)
+        lib.conv_keep_mask.restype = None
+        lib.conv_keep_mask.argtypes = [
+            ctypes.c_long, ctypes.c_long,
+            _DPTR, _DPTR, _DPTR, _DPTR, _DPTR, _DPTR,
+            ctypes.c_double,
+            _DPTR, _DPTR, ctypes.c_long,
+            _U8PTR,
+        ]
+        lib.conv_witness_grid.restype = None
+        lib.conv_witness_grid.argtypes = [
+            _DPTR, ctypes.c_long,
+            _DPTR, _DPTR, ctypes.c_long,
+            ctypes.c_long, _DPTR, _DPTR, _DPTR, _DPTR,
+            _DPTR,
+        ]
+        _lib = lib
+        _error = None
+    except Exception as exc:  # noqa: BLE001 - any failure means fallback
+        _lib = None
+        _error = f"{type(exc).__name__}: {exc}"
+        perf.record("native.build_failures")
+    return _lib
+
+
+def available() -> bool:
+    """True iff the compiled tier built (or was cached) and loaded."""
+    return _load() is not None
+
+
+def build_error() -> Optional[str]:
+    """Why the compiled tier is unavailable (None when it loaded)."""
+    _load()
+    return _error
+
+
+def _dp(a):
+    return np.ascontiguousarray(a, dtype=np.float64).ctypes.data_as(_DPTR)
+
+
+def conv_keep_mask(a_v_lo, b_v_lo, a_lo_lo, b_lo_lo, a_hi_hi, b_hi_hi,
+                   cap_hi, tau, stair):
+    """Pairwise keep-mask via the C inner loop (None when unavailable)."""
+    lib = _load()
+    if lib is None:
+        return None
+    na, nb = len(a_v_lo), len(b_v_lo)
+    keep = np.empty((na, nb), dtype=np.uint8)
+    lib.conv_keep_mask(
+        na, nb,
+        _dp(a_v_lo), _dp(b_v_lo),
+        _dp(a_lo_lo), _dp(b_lo_lo),
+        _dp(a_hi_hi), _dp(b_hi_hi),
+        float(cap_hi),
+        _dp(tau), _dp(stair), len(tau),
+        keep.ctypes.data_as(_U8PTR),
+    )
+    perf.record("kernel.native_calls")
+    return keep.astype(bool)
+
+
+def conv_witness_grid(tau, s_probe, fs_hi, g_lowered, stair):
+    """Min-combine probe witnesses into *stair* in C (False = fallback)."""
+    lib = _load()
+    if lib is None:
+        return False
+    lib.conv_witness_grid(
+        _dp(tau), len(tau),
+        _dp(s_probe), _dp(fs_hi), len(s_probe),
+        g_lowered.n,
+        _dp(g_lowered.S_lo), _dp(g_lowered.V_hi),
+        _dp(g_lowered.SL_lo), _dp(g_lowered.SL_hi),
+        stair.ctypes.data_as(_DPTR),
+    )
+    return True

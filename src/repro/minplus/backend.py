@@ -1,6 +1,6 @@
 """Kernel backend selection for the min-plus algebra.
 
-Two backends compute every min-plus operation:
+Four backend names select how every min-plus operation runs:
 
 * ``"exact"`` — the historical pure-:class:`~fractions.Fraction` pairwise
   segment algorithms, bit-identical to every release before the kernel
@@ -13,17 +13,28 @@ Two backends compute every min-plus operation:
   queries the float certificate cannot decide.  Hybrid results are
   therefore **identical** (same Fractions, same tie-breaking, same
   exceptions) to exact results — the screens never decide anything, they
-  only *skip work whose outcome is already certified*.
+  only *skip work whose outcome is already certified*;
+* ``"auto"`` (the default) — per-call cost-model dispatch: every
+  operation consults the calibrated cost table of
+  :mod:`repro.minplus.costmodel` (or its conservative built-in prior)
+  and runs under whichever of ``exact``/``hybrid`` is measured cheaper
+  for its operand size.  Since both candidates are bit-identical, the
+  dispatch decision can only ever cost time, never correctness;
+* ``"native"`` — hybrid plus the optional compiled tier of
+  :mod:`repro.minplus._native`: the envelope-pair pruning inner loops
+  run in a small C library built on first use.  When the toolchain is
+  absent or the build fails, native degrades silently to hybrid.
 
 Resolution order for the active backend:
 
 1. an explicit ``backend=`` keyword argument on the API entry point;
 2. the innermost :func:`use_backend` context / :func:`set_backend` call;
 3. the ``REPRO_BACKEND`` environment variable;
-4. the default, ``"hybrid"`` when NumPy is importable, else ``"exact"``.
+4. the default, ``"auto"`` when NumPy is importable, else ``"exact"``.
 
 NumPy is optional: without it every resolution collapses to ``"exact"``
-(requesting ``"hybrid"`` explicitly raises, so misconfiguration is loud).
+(requesting ``"hybrid"``/``"native"`` explicitly raises, so
+misconfiguration is loud; ``"auto"`` simply routes everything exact).
 """
 
 from __future__ import annotations
@@ -37,11 +48,14 @@ __all__ = [
     "HAVE_NUMPY",
     "get_backend",
     "resolve_backend",
+    "op_backend",
+    "screens_enabled",
+    "native_enabled",
     "set_backend",
     "use_backend",
 ]
 
-BACKENDS = ("exact", "hybrid")
+BACKENDS = ("exact", "hybrid", "auto", "native")
 
 try:  # NumPy is an optional accelerator, never a hard dependency.
     import numpy  # noqa: F401
@@ -53,15 +67,22 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 #: Process-wide override installed by :func:`set_backend` (None = unset).
 _override: Optional[str] = None
 
+#: Lazy module refs and interned counter keys for the per-call dispatch
+#: path — :func:`op_backend` sits on every operation, so it must not pay
+#: module lookups or f-string formatting on a hot tiny-curve loop.
+_costmodel = None
+_perf = None
+_dispatch_keys: dict = {}
+
 
 def _validate(name: str) -> str:
     if name not in BACKENDS:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {BACKENDS}"
         )
-    if name == "hybrid" and not HAVE_NUMPY:
+    if name in ("hybrid", "native") and not HAVE_NUMPY:
         raise RuntimeError(
-            "backend 'hybrid' requires numpy, which is not importable"
+            f"backend {name!r} requires numpy, which is not importable"
         )
     return name
 
@@ -76,10 +97,10 @@ def get_backend() -> str:
             raise ValueError(
                 f"REPRO_BACKEND={env!r} is not one of {BACKENDS}"
             )
-        if env == "hybrid" and not HAVE_NUMPY:
+        if env != "exact" and not HAVE_NUMPY:
             return "exact"
         return env
-    return "hybrid" if HAVE_NUMPY else "exact"
+    return "auto" if HAVE_NUMPY else "exact"
 
 
 def resolve_backend(backend: Optional[str]) -> str:
@@ -91,6 +112,61 @@ def resolve_backend(backend: Optional[str]) -> str:
     if backend is None:
         return get_backend()
     return _validate(backend)
+
+
+def op_backend(op: str, n: int, backend: Optional[str] = None) -> str:
+    """The concrete tier (``"exact"``/``"hybrid"``) one operation runs on.
+
+    Args:
+        op: Operation name from :data:`repro.minplus.costmodel.OPS`
+            (``conv``/``deconv``/``hdev``/``pinv``).
+        n: Operand size — the larger segment count of the two curves.
+        backend: Optional API-level override, resolved like
+            :func:`resolve_backend`.
+
+    ``exact`` and ``hybrid`` pass through unchanged; ``native`` runs on
+    the hybrid tier (its compiled inner loops are engaged inside the
+    kernels); ``auto`` asks the cost model which tier is measured
+    cheaper at this operand size.  Either answer yields bit-identical
+    results, so this decision is purely a matter of speed.
+    """
+    mode = resolve_backend(backend)
+    if mode == "exact" or not HAVE_NUMPY:
+        return "exact"
+    if mode != "auto":
+        return "hybrid"
+    global _costmodel, _perf
+    if _costmodel is None:
+        from repro import perf
+        from repro.minplus import costmodel
+
+        _costmodel, _perf = costmodel, perf
+    choice = _costmodel.choose(op, n)
+    key = _dispatch_keys.get((op, choice))
+    if key is None:
+        key = _dispatch_keys[(op, choice)] = f"dispatch.{op}.{choice}"
+    _perf.record(key)
+    return choice
+
+
+def screens_enabled() -> bool:
+    """True iff the ambient backend may use the float64 kernel screens.
+
+    ``auto`` counts: its batched screens (frontier domination, delay and
+    backlog sweeps) carry no per-call lowering cost that a tiny operand
+    could fail to amortize, so they are engaged whenever NumPy is
+    available and the backend is not explicitly ``exact``.
+    """
+    return HAVE_NUMPY and get_backend() != "exact"
+
+
+def native_enabled() -> bool:
+    """True iff the compiled tier is requested *and* actually loadable."""
+    if get_backend() != "native":
+        return False
+    from repro.minplus import _native
+
+    return _native.available()
 
 
 def set_backend(name: Optional[str]) -> None:

@@ -156,8 +156,12 @@ def min_plus_conv(
             prunes certifiably dominated segment pairs before the exact
             envelope, and screens the exact point evaluations; the
             resulting curve is identical to the ``"exact"`` backend's.
+            ``"auto"`` (the default) picks between the two per call from
+            the calibrated cost model and the operand segment counts.
     """
-    mode = backend_mod.resolve_backend(backend)
+    mode = backend_mod.op_backend(
+        "conv", max(len(f.segments), len(g.segments)), backend
+    )
     hybrid = mode == "hybrid"
     if hybrid:
         memo_key = ("conv", f.interned(), g.interned(), on_dip)
@@ -263,7 +267,9 @@ def min_plus_deconv(
         f, g: Ultimately-affine curves.
         on_dip: Dip policy for isolated unattained suprema.
         backend: Kernel backend override (see :mod:`repro.minplus.backend`);
-            ``"hybrid"`` results are identical to ``"exact"``.
+            ``"hybrid"`` results are identical to ``"exact"``, and
+            ``"auto"`` dispatches between them from the cost model (tiny
+            curves route to the exact path, whose fixed costs are lower).
 
     Raises:
         CurveError: if ``f.tail_rate > g.tail_rate`` (the supremum is
@@ -275,7 +281,9 @@ def min_plus_deconv(
             "deconvolution diverges: long-run rate of f exceeds that of g "
             f"({f.tail_rate} > {g.tail_rate})"
         )
-    mode = backend_mod.resolve_backend(backend)
+    mode = backend_mod.op_backend(
+        "deconv", max(len(f.segments), len(g.segments)), backend
+    )
     hybrid = mode == "hybrid"
     if hybrid:
         memo_key = ("deconv", f.interned(), g.interned(), on_dip)

@@ -1,0 +1,365 @@
+"""Calibrated cost model steering exact-vs-hybrid kernel dispatch.
+
+The hybrid float64 kernel backend wins decisively on large curves but
+*loses* to the exact path on tiny ones: lowering a curve into packed
+interval arrays is a fixed cost that a 10-segment deconvolution never
+amortizes.  Guessing the crossover per workload is exactly the kind of
+per-machine constant a measurement should settle, so the ``"auto"``
+backend (:mod:`repro.minplus.backend`) consults this module per call:
+
+* a **cost table** maps ``(op, size bucket)`` to measured median
+  seconds under each concrete backend; :func:`choose` picks the cheaper
+  one (ties go to ``"hybrid"``, whose results are bit-identical anyway);
+* the table is populated by :func:`calibrate` — a fast one-shot
+  microbenchmark over synthetic RTC-shaped curves (``repro-analyze
+  calibrate`` on the command line) — and persisted as JSON next to the
+  persistent result cache (or at ``REPRO_COSTMODEL``);
+* without a calibration file the **conservative prior** applies: tiny
+  deconvolutions and horizontal deviations route to ``"exact"`` (the
+  regimes the benchmark history shows hybrid losing), everything else
+  to ``"hybrid"``.  The prior guarantees the "no size regime slower
+  than exact" floor even on a cold machine;
+* a corrupt or truncated calibration file is never fatal: the loader
+  falls back to the prior and records ``costmodel.load_errors``
+  (fault-injectable through the ``costmodel.corrupt`` chaos site).
+
+Dispatch only ever picks *which* certified path runs — both produce
+bit-identical results — so a stale or even adversarial table can cost
+time, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import perf
+
+__all__ = [
+    "OPS",
+    "CALIBRATION_SIZES",
+    "bucket_of",
+    "choose",
+    "calibrate",
+    "load",
+    "save",
+    "path",
+    "describe",
+    "current_table",
+    "apply_table",
+    "reset",
+]
+
+#: The dispatched operations, in calibration order.
+OPS = ("conv", "deconv", "hdev", "pinv")
+
+#: Default curve sizes the calibration probes, one bucket each.
+CALIBRATION_SIZES = (6, 12, 24, 48, 96, 192)
+
+#: Size buckets are powers of two on the operand segment count: bucket
+#: ``b`` covers ``[2**b, 2**(b+1))``, the last one everything beyond.
+N_BUCKETS = 11
+
+#: Conservative prior: route the op to ``"exact"`` strictly below this
+#: segment count when no measurement is available.  The thresholds come
+#: from the committed benchmark history (deconv 0.98x and hdev 0.75x at
+#: n=10 under hybrid; both comfortably >1x by n=100) with headroom, so a
+#: cold table can only misroute *away* from the known-losing regimes.
+PRIOR_EXACT_BELOW = {"conv": 0, "pinv": 0, "deconv": 24, "hdev": 48}
+
+#: ``{op: {bucket: {"exact": seconds, "hybrid": seconds}}}`` or None
+#: (prior-only).  Bucket keys are ints in memory, strings on disk.
+_table: Optional[Dict[str, Dict[int, Dict[str, float]]]] = None
+_loaded = False
+_source = "prior"  # "prior" | "file" | "calibrated" | "parent"
+
+
+def bucket_of(n: int) -> int:
+    """The size bucket of an operand with *n* segments."""
+    return min(max(int(n), 1).bit_length() - 1, N_BUCKETS - 1)
+
+
+def path() -> Optional[str]:
+    """Where the calibration table persists, or None (no persistence).
+
+    ``REPRO_COSTMODEL`` overrides; the default lives next to the
+    persistent result cache so one ``--cache-dir`` configures both.
+    """
+    env = os.environ.get("REPRO_COSTMODEL")
+    if env:
+        return env
+    from repro.parallel import cache as result_cache
+
+    cache_dir = result_cache.active_dir()
+    if cache_dir is None:
+        return None
+    return os.path.join(cache_dir, "costmodel.json")
+
+
+def _validate_table(raw) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Parse-or-raise: structural validation of a loaded table."""
+    if not isinstance(raw, dict):
+        raise ValueError("cost table is not an object")
+    table: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for op, buckets in raw.items():
+        if op not in OPS:
+            continue  # forward compatibility: ignore unknown ops
+        if not isinstance(buckets, dict):
+            raise ValueError(f"cost table op {op!r} is not an object")
+        out: Dict[int, Dict[str, float]] = {}
+        for bucket, times in buckets.items():
+            b = int(bucket)
+            if not 0 <= b < N_BUCKETS:
+                raise ValueError(f"bucket {b} outside [0, {N_BUCKETS})")
+            te = float(times["exact"])
+            th = float(times["hybrid"])
+            if te <= 0 or th <= 0:
+                raise ValueError("non-positive calibration time")
+            out[b] = {"exact": te, "hybrid": th}
+        if out:
+            table[op] = out
+    return table
+
+
+def load() -> bool:
+    """Load the persisted table (True on success, prior otherwise)."""
+    global _table, _loaded, _source
+    _loaded = True
+    p = path()
+    if p is None or not os.path.exists(p):
+        _table, _source = None, "prior"
+        return False
+    from repro.resilience import chaos
+
+    try:
+        with open(p, "rb") as fh:
+            blob = fh.read()
+        if chaos.should_fire("costmodel.corrupt", key=p):
+            blob = blob[: len(blob) // 2]
+        _table = _validate_table(json.loads(blob.decode("utf-8")))
+        _source = "file"
+        perf.record("costmodel.loads")
+        return True
+    except Exception:
+        # A mangled table must never take the analysis down: the prior
+        # is always a sound (if slower) dispatch policy.
+        _table, _source = None, "prior"
+        perf.record("costmodel.load_errors")
+        return False
+
+
+def save(to: Optional[str] = None) -> Optional[str]:
+    """Persist the in-memory table as JSON; returns the path or None."""
+    p = to or path()
+    if p is None or _table is None:
+        return None
+    payload = {
+        op: {str(b): times for b, times in buckets.items()}
+        for op, buckets in _table.items()
+    }
+    tmp = f"{p}.tmp.{os.getpid()}"
+    os.makedirs(os.path.dirname(p) or ".", exist_ok=True)
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    os.replace(tmp, p)
+    return p
+
+
+def _ensure_loaded() -> None:
+    if not _loaded:
+        load()
+
+
+def choose(op: str, n: int) -> str:
+    """The cheaper concrete backend (``"exact"``/``"hybrid"``) for *op*
+    on operands of *n* segments.
+
+    Consults the measured bucket when the table has one (nearest
+    populated bucket otherwise — cost curves are monotone enough in the
+    bucket index that the neighbour is the best available estimate);
+    falls back to the conservative prior when the table is cold.
+    """
+    _ensure_loaded()
+    buckets = _table.get(op) if _table else None
+    if buckets:
+        b = bucket_of(n)
+        if b not in buckets:
+            b = min(buckets, key=lambda k: (abs(k - b), k))
+        times = buckets[b]
+        return "exact" if times["exact"] < times["hybrid"] else "hybrid"
+    return "exact" if n < PRIOR_EXACT_BELOW.get(op, 0) else "hybrid"
+
+
+def describe() -> str:
+    """Dispatch-table provenance for status lines (e.g. ``prior``)."""
+    _ensure_loaded()
+    return _source
+
+
+def current_table():
+    """The resolved table for shipping to worker processes (or None)."""
+    _ensure_loaded()
+    return _table
+
+
+def apply_table(table) -> None:
+    """Adopt a parent process's :func:`current_table` in a worker.
+
+    Workers never read the calibration file themselves: dispatch
+    decisions are inherited, so a fleet run is steered by exactly one
+    table no matter when each worker was forked.
+    """
+    global _table, _loaded, _source
+    _table = table
+    _loaded = True
+    _source = "parent" if table is not None else "prior"
+
+
+def reset() -> None:
+    """Forget the loaded table (tests / reconfiguration)."""
+    global _table, _loaded, _source
+    _table, _loaded, _source = None, False, "prior"
+
+
+# ----------------------------------------------------------------------
+# Calibration microbenchmark
+# ----------------------------------------------------------------------
+
+def _stair(n: int, seed: int, scale: int = 1):
+    """Synthetic staircase arrival curve (the RTC request-bound shape)."""
+    import random
+
+    from repro._numeric import Q
+    from repro.minplus.curve import Curve
+    from repro.minplus.segment import Segment
+
+    rng = random.Random(seed)
+    segs = []
+    t, v = Q(0), Q(0)
+    for i in range(max(n - 1, 1)):
+        segs.append(Segment(t, v, Q(0)))
+        t += Q(rng.randint(1, 3))
+        v += Q(max(1, 2 * (n - i) // max(n, 1) * scale + rng.randint(0, 1)), 2)
+    segs.append(Segment(t, v, Q(1, 2)))
+    return Curve(segs)
+
+
+def _service(n: int, seed: int):
+    """Synthetic convex ramp-up service curve (rate-2 tail)."""
+    import random
+
+    from repro._numeric import Q
+    from repro.minplus.curve import Curve
+    from repro.minplus.segment import Segment
+
+    rng = random.Random(seed)
+    segs = [Segment(Q(0), Q(0), Q(0))]
+    t, v = Q(2), Q(0)
+    for i in range(1, max(n - 1, 2)):
+        slope = Q(i, n)
+        segs.append(Segment(t, v, slope))
+        dt = Q(rng.randint(1, 2))
+        v += slope * dt
+        t += dt
+    segs.append(Segment(t, v, Q(2)))
+    return Curve(segs)
+
+
+def _op_thunks(n: int):
+    """One exact-vs-hybrid thunk pair per dispatched op at size *n*."""
+    from repro._numeric import Q
+    from repro.minplus import kernels
+    from repro.minplus.convolution import min_plus_conv, min_plus_deconv
+    from repro.minplus.deviation import (
+        horizontal_deviation,
+        lower_pseudo_inverse_batch,
+    )
+
+    alpha = _stair(n, 1)
+    alpha2 = _stair(n, 2, scale=2)
+    beta = _service(n, 3)
+    works = [beta.at(beta.last_breakpoint) * Q(k % 37 + 1, 40) for k in range(256)]
+    zeros = [Q(0)] * len(works)
+    gids = [k % 4 for k in range(len(works))]
+
+    def pinv_exact():
+        return lower_pseudo_inverse_batch(beta, works)
+
+    def pinv_hybrid():
+        return kernels.screened_pinv_delay_groups(beta, zeros, works, gids, 4)
+
+    return {
+        "conv": lambda be: min_plus_conv(alpha, alpha2, on_dip="fill", backend=be),
+        "deconv": lambda be: min_plus_deconv(alpha, beta, on_dip="fill", backend=be),
+        "hdev": lambda be: horizontal_deviation(alpha, beta, backend=be),
+        "pinv": lambda be: pinv_exact() if be == "exact" else pinv_hybrid(),
+    }
+
+
+def calibrate(
+    sizes: Tuple[int, ...] = CALIBRATION_SIZES,
+    reps: int = 3,
+    time_budget_s: float = 30.0,
+    persist: bool = True,
+) -> List[dict]:
+    """One-shot microbenchmark populating (and persisting) the table.
+
+    Times every dispatched op at each size under both concrete
+    backends on synthetic RTC-shaped curves, medians over *reps* runs
+    with the operation memo cleared per run (dispatch must price the
+    cold path — a memo hit is equally free under either backend).
+    Stops adding sizes once *time_budget_s* is spent, keeping the
+    larger — already hybrid-dominated — buckets on the prior.
+
+    Returns the measurement rows (op, n, bucket, exact_s, hybrid_s,
+    choice) for reporting; installs the table in-process either way.
+    """
+    global _table, _loaded, _source
+    from repro.minplus import backend as backend_mod
+    from repro.minplus import kernels
+
+    if not backend_mod.HAVE_NUMPY:
+        raise RuntimeError("calibration requires numpy (the hybrid tier)")
+    rows: List[dict] = []
+    table: Dict[str, Dict[int, Dict[str, float]]] = {op: {} for op in OPS}
+    t_start = time.perf_counter()
+    for n in sizes:
+        if time.perf_counter() - t_start > time_budget_s:
+            break
+        thunks = _op_thunks(n)
+        for op in OPS:
+            thunk = thunks[op]
+            times = {}
+            for be in ("exact", "hybrid"):
+                samples = []
+                for _ in range(max(reps, 1)):
+                    kernels.op_cache_clear()
+                    t0 = time.perf_counter()
+                    thunk(be)
+                    samples.append(time.perf_counter() - t0)
+                samples.sort()
+                times[be] = max(samples[len(samples) // 2], 1e-9)
+            table[op][bucket_of(n)] = times
+            rows.append(
+                {
+                    "op": op,
+                    "n": n,
+                    "bucket": bucket_of(n),
+                    "exact_s": times["exact"],
+                    "hybrid_s": times["hybrid"],
+                    "choice": "exact"
+                    if times["exact"] < times["hybrid"]
+                    else "hybrid",
+                }
+            )
+    _table = {op: buckets for op, buckets in table.items() if buckets}
+    if not _table:
+        _table = None
+    _loaded = True
+    _source = "calibrated" if _table else "prior"
+    perf.record("costmodel.calibrations")
+    if persist and _table:
+        save()
+    return rows

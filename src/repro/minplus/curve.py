@@ -403,9 +403,11 @@ class Curve:
         fp = self.fingerprint()
         bucket = _intern_table.get(fp)
         if bucket is None:
+            perf.record("curve.intern_misses")
             _intern_table[fp] = [self]
             while len(_intern_table) > _INTERN_CAP:
                 _intern_table.popitem(last=False)
+                perf.record("curve.intern_evictions")
             return self
         _intern_table.move_to_end(fp)
         for canon in bucket:
@@ -414,6 +416,7 @@ class Curve:
             if canon._segments == self._segments:
                 perf.record("curve.intern_hits")
                 return canon
+        perf.record("curve.intern_misses")
         bucket.append(self)
         return self
 

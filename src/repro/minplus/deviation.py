@@ -221,6 +221,10 @@ def horizontal_deviation(f: Curve, g: Curve, backend: Optional[str] = None) -> M
             The ``"hybrid"`` backend enumerates the same pull-back pairs
             through float64 window screens and memoizes on curve
             fingerprints; its result is identical to ``"exact"``.
+            ``"auto"`` (the default) picks between the two per call from
+            the calibrated cost model — tiny-curve deviations are where
+            the hybrid tier's fixed lowering cost shows, so the
+            conservative prior routes them exact.
     """
     from repro.minplus import backend as backend_mod
 
@@ -228,7 +232,9 @@ def horizontal_deviation(f: Curve, g: Curve, backend: Optional[str] = None) -> M
         raise CurveError("horizontal_deviation requires nondecreasing curves")
     if f.tail_rate > g.tail_rate:
         return INF
-    mode = backend_mod.resolve_backend(backend)
+    mode = backend_mod.op_backend(
+        "hdev", max(len(f.segments), len(g.segments)), backend
+    )
     if mode == "hybrid":
         from repro.minplus import kernels
 

@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import perf
 from repro._numeric import Q
+from repro.minplus import backend as backend_mod
 from repro.resilience.budget import checkpoint
 
 try:  # pragma: no cover - the import either works or it doesn't
@@ -61,6 +62,9 @@ __all__ = [
     "deconv_prune_mask",
     "conv_point_value_screened",
     "deconv_point_value_screened",
+    "screened_delay_backlog",
+    "fused_deconv_hdev",
+    "fused_conv_hdev",
 ]
 
 _NEG = float("-inf")
@@ -367,6 +371,8 @@ def op_cache_get(key: tuple):
     if hit is not None:
         _OP_CACHE.move_to_end(key)
         perf.record("kernel.memo_hits")
+    else:
+        perf.record("kernel.memo_misses")
     return hit
 
 
@@ -376,6 +382,7 @@ def op_cache_put(key: tuple, value) -> None:
     _OP_CACHE.move_to_end(key)
     while len(_OP_CACHE) > _OP_CACHE_CAP:
         _OP_CACHE.popitem(last=False)
+        perf.record("kernel.memo_evictions")
 
 
 def op_cache_clear() -> None:
@@ -400,6 +407,8 @@ def screened_pinv_delay_groups(
     works: Sequence,
     group_ids: Sequence[int],
     n_groups: int,
+    w_bounds=None,
+    o_bounds=None,
 ):
     """Two-tier per-group maximum of ``beta^{-1}(work) - offset``.
 
@@ -414,6 +423,11 @@ def screened_pinv_delay_groups(
     of the first query whose work the service never provides (or None)
     and ``results[g] = (best, first_index)`` per group, ``first_index``
     being None when the group's maximum is 0.
+
+    ``w_bounds``/``o_bounds`` optionally pass precomputed
+    :func:`q_bounds` pairs of *works*/*offsets*: the fused sweep
+    (:func:`screened_delay_backlog`) shares one rational-to-interval
+    lowering pass between this screen and the backlog screen.
     """
     gl = lowered(beta)
     if gl is None or not gl.nondecreasing:
@@ -429,8 +443,8 @@ def screened_pinv_delay_groups(
     )
     from repro._numeric import is_inf
 
-    w_lo, w_hi = q_bounds(works)
-    o_lo, o_hi = q_bounds(offsets)
+    w_lo, w_hi = w_bounds if w_bounds is not None else q_bounds(works)
+    o_lo, o_hi = o_bounds if o_bounds is not None else q_bounds(offsets)
     t_lo, t_hi, certain_inf, possible_inf = gl.pinv_bounds(w_lo, w_hi)
     # Reachability first: the exact loop reports the first unreachable
     # work in query order, before any maximum is taken.
@@ -480,12 +494,16 @@ def screened_pinv_delay_groups(
     return inf_idx, results
 
 
-def screened_backlog_max(beta, times: Sequence, works: Sequence):
+def screened_backlog_max(
+    beta, times: Sequence, works: Sequence, w_bounds=None, t_bounds=None
+):
     """Two-tier maximum of ``work - beta(time)`` over request tuples.
 
     Same contract shape as :func:`screened_pinv_delay_groups` restricted
     to one group: returns ``None`` when unavailable, else
     ``(best, first_index)`` with exact strict-improvement semantics.
+    ``w_bounds``/``t_bounds`` share precomputed :func:`q_bounds` pairs
+    exactly as on :func:`screened_pinv_delay_groups`.
     """
     gl = lowered(beta)
     if gl is None or not gl.nondecreasing:
@@ -494,8 +512,8 @@ def screened_backlog_max(beta, times: Sequence, works: Sequence):
     if n == 0:
         return Q(0), None
     checkpoint(1 + n // 64)
-    w_lo, w_hi = q_bounds(works)
-    t_lo, t_hi = q_bounds(times)
+    w_lo, w_hi = w_bounds if w_bounds is not None else q_bounds(works)
+    t_lo, t_hi = t_bounds if t_bounds is not None else q_bounds(times)
     v_lo, v_hi = gl.eval_bounds(np.maximum(t_lo, 0.0), t_hi)
     b_lo = _down(w_lo - v_hi)
     b_hi = _up(w_hi - v_lo)
@@ -526,18 +544,69 @@ def _piece_arrays(pieces):
     return lo_lo, lo_hi, hi_lo, hi_hi, v_lo, v_hi
 
 
+_CONV_PROBES = 64
+_CONV_GRID = 512
+
+
+def _conv_witness_grid(fl, gl, cap_hi):
+    """Certified staircase upper bound of ``C(t) = inf_s f(s) + g(t-s)``.
+
+    Every probe split ``s`` (an exact machine float in ``[0, tau]``)
+    yields the witness ``C(tau) <= f(s') + g(u)`` for the admissible
+    split ``s' = tau - u`` with ``u = clamp(up(tau - s), 0, tau)``:
+    ``u >= tau - s`` makes ``s' <= s``, and both curves nondecreasing
+    give ``f(s') <= f(s)`` and the upward evaluations certify the rest.
+    Probes come from both curves' breakpoints (subsampled evenly, plus
+    ``s = 0`` — the classical ``f(0) + g(t)`` subset bound) in both
+    role orders, and the pointwise minimum over probes upper-bounds
+    ``C`` at every grid point.
+    """
+    tau = np.linspace(0.0, max(cap_hi, 0.0), _CONV_GRID)
+    best = np.full(tau.shape, _POS)
+    native = backend_mod.native_enabled()
+    for lw_a, lw_b in ((fl, gl), (gl, fl)):
+        s_all = np.unique(
+            np.concatenate([np.maximum(lw_a.S_lo, 0.0), [0.0]])
+        )
+        s_all = s_all[np.isfinite(s_all)]
+        if len(s_all) > _CONV_PROBES:
+            idx = np.linspace(0, len(s_all) - 1, _CONV_PROBES).astype(int)
+            s_all = s_all[idx]
+        _, fs_hi = lw_a.eval_bounds(s_all, s_all)
+        if native:
+            from repro.minplus import _native
+
+            if _native.conv_witness_grid(tau, s_all, fs_hi, lw_b, best):
+                continue
+        for k in range(len(s_all)):
+            s = s_all[k]
+            u = np.clip(_up(tau - s), 0.0, tau)
+            _, b_hi = lw_b.eval_bounds(u, u)
+            cand = _up(fs_hi[k] + b_hi)
+            best = np.where(tau >= s, np.minimum(best, cand), best)
+    return tau, best
+
+
 def conv_prune_mask(f, g, fp, gp, cap):
     """Keep-mask over segment pairs for ``f (*) g`` (lower envelope).
 
     A pair's Minkowski pieces all start at value ``f_i + g_j`` and are
     nondecreasing (both curves nondecreasing), while the true convolution
-    ``C`` is nondecreasing and bounded above by the *subset envelope*
-    ``UB(t) = min(f(0) + g(t), g(0) + f(t))`` (any subset of pieces
-    upper-bounds a lower envelope).  A pair whose certified start value
-    exceeds the certified ``UB`` at its domain's right end therefore lies
-    strictly above ``C`` everywhere it is defined and can never supply
-    the envelope — dropping it provably leaves the computed curve (and
-    its breakpoint corrections) unchanged.
+    ``C`` is nondecreasing and bounded above both by the *subset
+    envelope* ``UB(t) = min(f(0) + g(t), g(0) + f(t))`` (any subset of
+    pieces upper-bounds a lower envelope) and by the probe-witness
+    staircase of :func:`_conv_witness_grid`.  A pair whose certified
+    start value exceeds a certified upper bound of ``C`` at-or-after its
+    domain's right end therefore lies strictly above ``C`` everywhere it
+    is defined (``C`` nondecreasing) and can never supply the envelope —
+    dropping it provably leaves the computed curve (and its breakpoint
+    corrections) unchanged.
+
+    Under :func:`repro.minplus.backend.native_enabled` the pairwise
+    inner loop runs in the compiled tier, which makes one pass with no
+    ``n^2`` temporaries; it prunes a sound subset of the vectorized
+    mask (the subset-envelope bound is grid-quantized there), so the
+    result curve is identical either way.
 
     Returns a boolean ``(len(fp), len(gp))`` keep-mask, or None when the
     screen is unavailable or unsound (non-monotone inputs).
@@ -553,6 +622,18 @@ def conv_prune_mask(f, g, fp, gp, cap):
     a_lo_lo, _, a_hi_lo, a_hi_hi, a_v_lo, a_v_hi = _piece_arrays(fp)
     b_lo_lo, _, b_hi_lo, b_hi_hi, b_v_lo, b_v_hi = _piece_arrays(gp)
     cap_lo, cap_hi = q_bounds([cap])
+    tau, stair = _conv_witness_grid(fl, gl, float(cap_hi[0]))
+    if backend_mod.native_enabled():
+        from repro.minplus import _native
+
+        keep = _native.conv_keep_mask(
+            a_v_lo, b_v_lo, a_lo_lo, b_lo_lo, a_hi_hi, b_hi_hi,
+            float(cap_hi[0]), tau, stair,
+        )
+        if keep is not None:
+            perf.record("kernel.pairs_pruned", int(keep.size - keep.sum()))
+            perf.record("kernel.pairs_kept", int(keep.sum()))
+            return keep
     f0_hi = float(_up(np.array([float(f.at(0))]))[0])
     g0_hi = float(_up(np.array([float(g.at(0))]))[0])
     # Pair start values (certified lower) and domain right ends
@@ -567,6 +648,10 @@ def conv_prune_mask(f, g, fp, gp, cap):
         np.minimum(f0_hi + g_at_end_hi, g0_hi + f_at_end_hi)
     ).reshape(shape)
     keep = ~(v0_lo > ub_hi)
+    # Staircase bound: C(t) <= C(tau_k) <= stair[k] for every t in the
+    # pair's domain once tau_k >= its right end.
+    k_idx = np.clip(np.searchsorted(tau, ends, side="left"), 0, len(tau) - 1)
+    keep &= ~(v0_lo > stair[k_idx].reshape(shape))
     # Pairs that provably start beyond the cap contribute nothing.
     lo_lo = _down(a_lo_lo[:, None] + b_lo_lo[None, :])
     keep &= ~(lo_lo > cap_hi[0])
@@ -866,3 +951,137 @@ def deconv_point_value_screened(f, g, t, u_max) -> Optional[Q]:
         if best is None or val > best:
             best = val
     return best
+
+
+# ----------------------------------------------------------------------
+# Fused operation pipelines (chain-level memo + shared lowerings)
+# ----------------------------------------------------------------------
+
+def screened_delay_backlog(
+    beta, times: Sequence, works: Sequence,
+    group_ids: Sequence[int], n_groups: int,
+):
+    """Fused delay + backlog sweep over one request frontier.
+
+    The two frontier maximisations consume the same ``(time, work)``
+    tuples against the same service curve; running them through one
+    call shares the lowering of *beta* **and** the certified interval
+    bounds of the rational tuple coordinates (one :func:`q_bounds`
+    pass over each array instead of two — for a 10k-tuple frontier
+    that rational-to-float lowering is a measurable slice of the
+    sweep).  Each half keeps its exact strict-improvement semantics.
+
+    Returns ``(delay_result, backlog_result)`` in the two screens'
+    native contract shapes, or None when the screen is unavailable.
+    """
+    gl = lowered(beta)
+    if gl is None or not gl.nondecreasing:
+        return None
+    perf.record("kernel.fused_sweeps")
+    w_bounds = q_bounds(works)
+    t_bounds = q_bounds(times)
+    d = screened_pinv_delay_groups(
+        beta, times, works, group_ids, n_groups,
+        w_bounds=w_bounds, o_bounds=t_bounds,
+    )
+    b = screened_backlog_max(
+        beta, times, works, w_bounds=w_bounds, t_bounds=t_bounds
+    )
+    return d, b
+
+
+def fused_deconv_hdev(f, g, backend: Optional[str] = None):
+    """Fused ``deconv -> hdev`` chain of one greedy processing component.
+
+    Computes the GPC bound triple ``(delay, backlog, output)`` for an
+    arrival *f* on a service *g* with every stage threading the same
+    lowered interval arrays (the per-curve lowering cache guarantees
+    one lowering per chain) and one chain-level memo entry replacing
+    three per-op lookups.  The backlog uses the deconvolution stage's
+    screened point evaluation at ``t = 0``: ``sup_t (f - g)(t)`` equals
+    ``sup_u f(0+u) - g(u)`` over the same exhaustive candidate set (the
+    union of both curves' breakpoints with paired left limits, plus the
+    interval ends), so re-screening with exact Fractions happens only
+    at the final comparison and the value is bit-identical to
+    :func:`~repro.minplus.deviation.vertical_deviation`.
+
+    Returns None when the fused path is unavailable (exact dispatch for
+    this operand size, no NumPy, or non-monotone inputs) — callers run
+    the unfused three-op path, which produces the same results.
+    """
+    n = max(len(f.segments), len(g.segments))
+    if backend_mod.op_backend("deconv", n, backend) != "hybrid":
+        return None
+    fl = lowered(f)
+    gl = lowered(g)
+    if fl is None or gl is None:
+        return None
+    if not (fl.nondecreasing and gl.nondecreasing):
+        return None
+    key = ("gpc_chain", f.interned(), g.interned())
+    hit = op_cache_get(key)
+    if hit is not None:
+        return hit
+    perf.record("kernel.fused_chains")
+    from repro._numeric import INF
+    from repro.minplus.convolution import min_plus_deconv
+    from repro.minplus.deviation import (
+        horizontal_deviation,
+        vertical_deviation,
+    )
+
+    delay = horizontal_deviation(f, g, backend=backend)
+    if f.tail_rate > g.tail_rate:
+        backlog = INF
+    else:
+        u_max = max(f.last_breakpoint, g.last_breakpoint)
+        backlog = deconv_point_value_screened(f, g, Q(0), u_max)
+        if backlog is None:  # pragma: no cover - screens gated above
+            backlog = vertical_deviation(f, g)
+    output = min_plus_deconv(f, g, on_dip="fill", backend=backend)
+    result = (delay, backlog, output)
+    op_cache_put(key, result)
+    return result
+
+
+def fused_conv_hdev(alpha, betas, backend: Optional[str] = None):
+    """Fused ``conv-fold -> hdev`` chain (pay-bursts-only-once delay).
+
+    Folds the tandem services with min-plus convolution and takes the
+    horizontal deviation of *alpha* against the fold, under one
+    chain-level memo entry keyed by every curve in the chain — repeated
+    flows over the same tandem (the ``analyze_chains`` fan-out pattern)
+    replay the entire pipeline from one lookup.  Stages share lowered
+    arrays through the per-curve cache; the fold keeps the strict
+    ``on_dip="raise"`` policy of
+    :func:`~repro.rtc.network.end_to_end_service`, so errors and values
+    are bit-identical to the unfused serial path.
+
+    Returns ``(delay, e2e_curve)`` or None when the fused path is
+    unavailable.
+    """
+    betas = list(betas)
+    if not betas or not AVAILABLE:
+        return None
+    n = max(
+        len(alpha.segments), max(len(b.segments) for b in betas)
+    )
+    if backend_mod.op_backend("hdev", n, backend) != "hybrid":
+        return None
+    key = ("chain_e2e", alpha.interned()) + tuple(
+        b.interned() for b in betas
+    )
+    hit = op_cache_get(key)
+    if hit is not None:
+        return hit
+    perf.record("kernel.fused_chains")
+    from repro.minplus.convolution import min_plus_conv
+    from repro.minplus.deviation import horizontal_deviation
+
+    acc = betas[0]
+    for b in betas[1:]:
+        acc = min_plus_conv(acc, b, on_dip="raise", backend=backend)
+    delay = horizontal_deviation(alpha, acc, backend=backend)
+    result = (delay, acc)
+    op_cache_put(key, result)
+    return result

@@ -20,6 +20,7 @@ a bit-identical result, a sound degraded bound, or a typed
 ``cache.enospc``       a cache write fails with ``ENOSPC`` (disk full)
 ``cache.eperm.read``   a cache read fails with ``EPERM``
 ``cache.eperm.write``  a cache write fails with ``EPERM``
+``costmodel.corrupt``  a calibration-table read sees a truncated blob
 =====================  ====================================================
 
 **Determinism.**  Every decision is a pure function of the seed, the
@@ -70,6 +71,7 @@ KNOWN_SITES = frozenset(
         "cache.enospc",
         "cache.eperm.read",
         "cache.eperm.write",
+        "costmodel.corrupt",
     }
 )
 

@@ -8,6 +8,7 @@ from typing import Optional, Union
 
 from repro._numeric import INF, Q, is_inf
 from repro.errors import AnalysisError
+from repro.minplus import kernels
 from repro.minplus.convolution import min_plus_deconv
 from repro.minplus.curve import Curve
 from repro.minplus.deviation import horizontal_deviation, vertical_deviation
@@ -64,9 +65,13 @@ def gpc(
             f"arrival rate {alpha.tail_rate} exceeds service rate "
             f"{beta.tail_rate}; component overloaded"
         )
-    delay = horizontal_deviation(alpha, beta, backend=backend)
-    backlog = vertical_deviation(alpha, beta)
-    output = min_plus_deconv(alpha, beta, on_dip="fill", backend=backend)
+    fused = kernels.fused_deconv_hdev(alpha, beta, backend=backend)
+    if fused is not None:
+        delay, backlog, output = fused
+    else:
+        delay = horizontal_deviation(alpha, beta, backend=backend)
+        backlog = vertical_deviation(alpha, beta)
+        output = min_plus_deconv(alpha, beta, on_dip="fill", backend=backend)
     remaining = (beta - alpha).running_max().nonneg()
     return GpcResult(
         delay=delay,

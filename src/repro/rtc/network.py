@@ -8,6 +8,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro._numeric import Q, is_inf
 from repro.errors import AnalysisError, CurveError
+from repro.minplus import kernels
 from repro.minplus.convolution import min_plus_conv
 from repro.minplus.curve import Curve
 from repro.minplus.deviation import horizontal_deviation
@@ -133,6 +134,16 @@ def _chain_part(part):
             total += result.delay
             current = result.output_arrival
         return (hops, total)
+    if resolve_jobs(None, n_items=len(betas) // 2) <= 1:
+        # Serial fold: the fused chain lowers each curve once, folds the
+        # tandem, and derives the deviation from the folded intervals —
+        # one memo entry covers the whole pay-bursts-only-once bound.
+        fused = kernels.fused_conv_hdev(alpha, betas, backend=backend)
+        if fused is not None:
+            e2e, _ = fused
+            if is_inf(e2e):
+                raise AnalysisError("end-to-end deviation is infinite")
+            return e2e
     e2e_beta = end_to_end_service(betas, backend=backend)
     e2e = horizontal_deviation(alpha, e2e_beta, backend=backend)
     if is_inf(e2e):

@@ -221,7 +221,7 @@ def _edf_task_case(case) -> Dict[str, Fraction]:
         for a in anchors:
             queries.append((tup, a, tup.work + interference_at(base + a)))
     screened = None
-    if backend_mod.resolve_backend(backend) == "hybrid":
+    if backend_mod.op_backend("pinv", len(beta.segments), backend) == "hybrid":
         names = list(task.job_names)
         group_of = {v: i for i, v in enumerate(names)}
         screened = kernels.screened_pinv_delay_groups(

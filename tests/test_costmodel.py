@@ -1,0 +1,275 @@
+"""Cost-model dispatch: decisions, persistence, corruption, small-n floor.
+
+The ``auto`` backend must never change a result — only which concrete
+tier (exact/hybrid) computes it — so these tests pin the *decisions*
+(synthetic tables, the conservative prior, nearest-bucket fill) and the
+*resilience* of the table file (corrupt/truncated loads fall back to the
+prior, chaos-injected truncation included), plus the small-``n``
+regression floor the prior exists for.
+"""
+
+import json
+import time
+from fractions import Fraction as F
+
+import pytest
+
+from repro import perf
+from repro.minplus import backend as backend_mod
+from repro.minplus import costmodel, kernels
+from repro.minplus.backend import op_backend, use_backend
+from repro.minplus.convolution import min_plus_conv, min_plus_deconv
+from repro.minplus.costmodel import _service, _stair
+from repro.minplus.deviation import horizontal_deviation
+from repro.resilience import chaos
+
+
+@pytest.fixture(autouse=True)
+def _fresh_costmodel(monkeypatch):
+    """Isolate every test from the ambient table file and each other."""
+    monkeypatch.delenv("REPRO_COSTMODEL", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    costmodel.reset()
+    yield
+    costmodel.reset()
+
+
+def _table(entries):
+    """``{op: {bucket: (exact_s, hybrid_s)}}`` in stored-table shape."""
+    return {
+        op: {b: {"exact": e, "hybrid": h} for b, (e, h) in buckets.items()}
+        for op, buckets in entries.items()
+    }
+
+
+class TestBuckets:
+    def test_bucket_of_is_log2(self):
+        assert costmodel.bucket_of(1) == 0
+        assert costmodel.bucket_of(2) == 1
+        assert costmodel.bucket_of(3) == 1
+        assert costmodel.bucket_of(4) == 2
+        assert costmodel.bucket_of(1023) == 9
+
+    def test_bucket_of_clamps(self):
+        assert costmodel.bucket_of(0) == 0
+        assert costmodel.bucket_of(1 << 40) == costmodel.N_BUCKETS - 1
+
+
+class TestPrior:
+    def test_small_deconv_hdev_route_exact_cold(self):
+        for n in (5, 10):
+            assert costmodel.choose("deconv", n) == "exact"
+            assert costmodel.choose("hdev", n) == "exact"
+
+    def test_conv_pinv_route_hybrid_at_any_size(self):
+        for n in (1, 5, 10, 1000):
+            assert costmodel.choose("conv", n) == "hybrid"
+            assert costmodel.choose("pinv", n) == "hybrid"
+
+    def test_all_ops_route_hybrid_large(self):
+        for op in costmodel.OPS:
+            assert costmodel.choose(op, 500) == "hybrid"
+
+    def test_unknown_op_defaults_hybrid(self):
+        assert costmodel.choose("frobnicate", 3) == "hybrid"
+
+
+class TestSyntheticTables:
+    def test_decides_per_bucket(self):
+        costmodel.apply_table(
+            _table({"conv": {2: (1.0, 2.0), 5: (2.0, 1.0)}})
+        )
+        assert costmodel.choose("conv", 4) == "exact"  # bucket 2
+        assert costmodel.choose("conv", 40) == "hybrid"  # bucket 5
+
+    def test_nearest_bucket_fills_gaps(self):
+        costmodel.apply_table(_table({"hdev": {3: (1.0, 5.0)}}))
+        assert costmodel.choose("hdev", 1) == "exact"
+        assert costmodel.choose("hdev", 500) == "exact"
+
+    def test_tie_prefers_hybrid(self):
+        costmodel.apply_table(_table({"conv": {2: (1.0, 1.0)}}))
+        assert costmodel.choose("conv", 4) == "hybrid"
+
+    def test_unmeasured_op_falls_back_to_prior(self):
+        costmodel.apply_table(_table({"conv": {2: (2.0, 1.0)}}))
+        assert costmodel.choose("hdev", 5) == "exact"  # prior regime
+
+    def test_op_backend_obeys_table_under_auto(self):
+        costmodel.apply_table(
+            _table({"conv": {0: (1.0, 9.0), 8: (9.0, 1.0)}})
+        )
+        before = perf.snapshot()["counters"].get("dispatch.conv.exact", 0)
+        with use_backend("auto"):
+            assert op_backend("conv", 1) == "exact"
+            assert op_backend("conv", 300) == "hybrid"
+        after = perf.snapshot()["counters"].get("dispatch.conv.exact", 0)
+        assert after == before + 1
+
+    def test_op_backend_ignores_table_under_concrete_backends(self):
+        costmodel.apply_table(_table({"conv": {0: (1.0, 9.0)}}))
+        with use_backend("exact"):
+            assert op_backend("conv", 1) == "exact"
+        if kernels.AVAILABLE:
+            with use_backend("hybrid"):
+                assert op_backend("conv", 1) == "hybrid"
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        p = str(tmp_path / "costmodel.json")
+        costmodel.apply_table(
+            _table({"conv": {2: (1.0, 2.0)}, "hdev": {4: (3.0, 1.0)}})
+        )
+        assert costmodel.save(to=p) == p
+        monkeypatch.setenv("REPRO_COSTMODEL", p)
+        costmodel.reset()
+        assert costmodel.load()
+        assert costmodel.describe() == "file"
+        assert costmodel.choose("conv", 4) == "exact"
+        assert costmodel.choose("hdev", 16) == "hybrid"
+
+    def test_no_path_means_no_persistence(self):
+        costmodel.apply_table(_table({"conv": {2: (1.0, 2.0)}}))
+        assert costmodel.path() is None
+        assert costmodel.save() is None
+
+    def test_corrupt_file_falls_back_to_prior(self, tmp_path, monkeypatch):
+        p = tmp_path / "costmodel.json"
+        p.write_text('{"conv": {"2": {"exa')  # truncated mid-token
+        monkeypatch.setenv("REPRO_COSTMODEL", str(p))
+        before = perf.snapshot()["counters"].get("costmodel.load_errors", 0)
+        costmodel.reset()
+        assert not costmodel.load()
+        assert costmodel.describe() == "prior"
+        assert costmodel.choose("deconv", 5) == "exact"
+        after = perf.snapshot()["counters"].get("costmodel.load_errors", 0)
+        assert after == before + 1
+
+    def test_wrong_shape_falls_back_to_prior(self, tmp_path, monkeypatch):
+        p = tmp_path / "costmodel.json"
+        p.write_text(json.dumps({"conv": {"2": {"exact": -1.0}}}))
+        monkeypatch.setenv("REPRO_COSTMODEL", str(p))
+        costmodel.reset()
+        assert not costmodel.load()
+        assert costmodel.describe() == "prior"
+
+    def test_unknown_ops_ignored(self, tmp_path, monkeypatch):
+        p = tmp_path / "costmodel.json"
+        p.write_text(
+            json.dumps(
+                {
+                    "conv": {"2": {"exact": 1.0, "hybrid": 2.0}},
+                    "future_op": {"3": {"exact": 1.0, "hybrid": 1.0}},
+                }
+            )
+        )
+        monkeypatch.setenv("REPRO_COSTMODEL", str(p))
+        costmodel.reset()
+        assert costmodel.load()
+        assert costmodel.choose("conv", 4) == "exact"
+
+    def test_chaos_truncation_falls_back_to_prior(self, tmp_path, monkeypatch):
+        p = tmp_path / "costmodel.json"
+        costmodel.apply_table(_table({"conv": {2: (1.0, 2.0)}}))
+        costmodel.save(to=str(p))
+        monkeypatch.setenv("REPRO_COSTMODEL", str(p))
+        costmodel.reset()
+        with chaos.scoped(seed=1, sites={"costmodel.corrupt": 1.0}):
+            assert not costmodel.load()
+            assert costmodel.describe() == "prior"
+        # The file itself is untouched; a clean run loads it.
+        costmodel.reset()
+        assert costmodel.load()
+        assert costmodel.describe() == "file"
+
+
+class TestWorkerInheritance:
+    def test_apply_table_marks_parent_source(self):
+        costmodel.apply_table(_table({"conv": {2: (1.0, 2.0)}}))
+        assert costmodel.describe() == "parent"
+        assert costmodel.choose("conv", 4) == "exact"
+
+    def test_apply_none_means_prior(self):
+        costmodel.apply_table(None)
+        assert costmodel.describe() == "prior"
+
+    def test_current_table_roundtrips_through_apply(self):
+        costmodel.apply_table(_table({"hdev": {4: (3.0, 1.0)}}))
+        shipped = costmodel.current_table()
+        costmodel.reset()
+        costmodel.apply_table(shipped)
+        assert costmodel.choose("hdev", 16) == "hybrid"
+
+
+@pytest.mark.skipif(not kernels.AVAILABLE, reason="needs numpy")
+class TestCalibration:
+    def test_calibrate_installs_and_reports(self):
+        rows = costmodel.calibrate(sizes=(6,), reps=1, persist=False)
+        assert {r["op"] for r in rows} == set(costmodel.OPS)
+        assert costmodel.describe() == "calibrated"
+        for r in rows:
+            assert r["exact_s"] > 0 and r["hybrid_s"] > 0
+            assert r["choice"] in ("exact", "hybrid")
+
+    def test_time_budget_stops_early(self):
+        rows = costmodel.calibrate(
+            sizes=(6, 12, 24, 48), reps=1, time_budget_s=0.0, persist=False
+        )
+        assert {r["n"] for r in rows} <= {6}
+
+
+@pytest.mark.skipif(not kernels.AVAILABLE, reason="needs numpy")
+class TestAutoBitIdentity:
+    def test_auto_equals_exact_on_kernel_ops(self):
+        f, g = _stair(20, 7), _service(20, 9)
+        with use_backend("exact"):
+            want = (
+                min_plus_conv(f, f, on_dip="fill"),
+                min_plus_deconv(f, g, on_dip="fill"),
+                horizontal_deviation(f, g),
+            )
+        kernels.op_cache_clear()
+        with use_backend("auto"):
+            got = (
+                min_plus_conv(f, f, on_dip="fill"),
+                min_plus_deconv(f, g, on_dip="fill"),
+                horizontal_deviation(f, g),
+            )
+        kernels.op_cache_clear()
+        assert got == want
+
+
+@pytest.mark.skipif(not kernels.AVAILABLE, reason="needs numpy")
+class TestSmallNFloor:
+    """The n=10 regression the prior exists to prevent: tiny deconv/hdev
+    must not pay the screen overhead under ``auto``."""
+
+    def _median(self, fn, reps=7):
+        samples = []
+        for _ in range(reps):
+            kernels.op_cache_clear()
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    @pytest.mark.parametrize("n", [5, 10])
+    def test_auto_within_095x_of_exact(self, n):
+        f, g = _stair(n, 3), _service(n, 5)
+
+        def run():
+            min_plus_deconv(f, g, on_dip="fill")
+            horizontal_deviation(f, g)
+
+        with use_backend("exact"):
+            t_exact = self._median(run)
+        with use_backend("auto"):
+            # Cold table: the prior must route both ops to exact, so the
+            # only admissible overhead is the dispatch lookup itself.
+            assert op_backend("deconv", n) == "exact"
+            assert op_backend("hdev", n) == "exact"
+            t_auto = self._median(run)
+        # >= 0.95x of exact throughput, with headroom for timer noise.
+        assert t_auto <= t_exact / 0.95 + 5e-4, (t_exact, t_auto)

@@ -1,0 +1,299 @@
+"""Fused op pipelines and the compiled tier: bit-identity to unfused exact.
+
+``fused_deconv_hdev`` / ``fused_conv_hdev`` may only change *how* the
+GPC and pay-bursts-only-once bounds are computed, never their values:
+every test drives the fused hybrid path and the unfused pure-exact path
+over random and adversarial (one-ulp tie) curves and asserts full
+equality — including the ``native`` backend when the C library builds.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro._numeric import Q, is_inf
+from repro.minplus import backend as backend_mod
+from repro.minplus import kernels
+from repro.minplus.backend import use_backend
+from repro.minplus.convolution import min_plus_conv, min_plus_deconv
+from repro.minplus.costmodel import _service, _stair
+from repro.minplus.curve import Curve
+from repro.minplus.deviation import horizontal_deviation, vertical_deviation
+from repro.minplus.segment import Segment
+
+from .conftest import monotone_curves, service_curves
+
+pytestmark = pytest.mark.skipif(
+    not kernels.AVAILABLE, reason="fused pipelines need numpy"
+)
+
+
+def _capture(fn):
+    """Result or exception, for comparing the two paths' full behaviour."""
+    try:
+        return ("ok", fn())
+    except Exception as exc:
+        return ("err", type(exc), str(exc))
+
+
+def _gpc_triple_exact(f, g):
+    with use_backend("exact"):
+        return (
+            horizontal_deviation(f, g),
+            vertical_deviation(f, g),
+            min_plus_deconv(f, g, on_dip="fill"),
+        )
+
+
+def _fused_vs_exact(f, g):
+    """Both paths' (outcome, value); fused must not decline (monotone)."""
+    want = _capture(lambda: _gpc_triple_exact(f, g))
+    kernels.op_cache_clear()
+    with use_backend("hybrid"):
+        got = _capture(lambda: kernels.fused_deconv_hdev(f, g))
+    kernels.op_cache_clear()
+    if got[0] == "ok":
+        assert got[1] is not None
+    return got, want
+
+
+class TestFusedDeconvHdev:
+    @settings(max_examples=60, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_matches_unfused_exact(self, f, g):
+        got, want = _fused_vs_exact(f, g)
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(f=monotone_curves(), g=service_curves())
+    def test_matches_on_service_curves(self, f, g):
+        got, want = _fused_vs_exact(f, g)
+        assert got == want
+
+    def test_one_ulp_ties(self):
+        # Values whose float64 images collide: the certified intervals
+        # overlap everywhere, forcing every screen to the exact path —
+        # the fused chain must still produce the exact triple.
+        big = F(10**17)
+        f = Curve(
+            [
+                Segment(F(0), big, F(0)),
+                Segment(F(3), big + 1, F(1, 3)),
+            ]
+        )
+        g = Curve(
+            [
+                Segment(F(0), F(0), F(0)),
+                Segment(F(1), big - 1, F(1, 3)),
+            ]
+        )
+        want = _gpc_triple_exact(f, g)
+        kernels.op_cache_clear()
+        with use_backend("hybrid"):
+            fused = kernels.fused_deconv_hdev(f, g)
+        kernels.op_cache_clear()
+        assert fused == want
+
+    def test_overloaded_component_raises_like_unfused(self):
+        from repro.errors import CurveError
+
+        f = Curve([Segment(F(0), F(1), F(2))])  # rate 2 arrival
+        g = Curve([Segment(F(0), F(0), F(1))])  # rate 1 service
+        # The deconv stage diverges; fused and unfused agree on the error
+        # (the vertical deviation alone would be INF, which the fused
+        # chain never reaches because the output stage raises first).
+        got, want = _fused_vs_exact(f, g)
+        assert got == want
+        assert got[0] == "err" and got[1] is CurveError
+        assert is_inf(vertical_deviation(f, g))
+
+    def test_exact_dispatch_declines(self):
+        f, g = _stair(5, 1), _service(5, 2)
+        with use_backend("exact"):
+            assert kernels.fused_deconv_hdev(f, g) is None
+        # Small curves under auto hit the prior's exact regime.
+        with use_backend("auto"):
+            assert kernels.fused_deconv_hdev(f, g) is None
+
+    def test_memoized_per_chain(self):
+        f, g = _stair(40, 1), _service(40, 2)
+        kernels.op_cache_clear()
+        with use_backend("hybrid"):
+            first = kernels.fused_deconv_hdev(f, g)
+            before = perf.snapshot()["counters"].get("kernel.fused_chains", 0)
+            again = kernels.fused_deconv_hdev(f, g)
+            after = perf.snapshot()["counters"].get("kernel.fused_chains", 0)
+        kernels.op_cache_clear()
+        assert again == first
+        assert after == before  # second call served from the chain memo
+
+
+class TestFusedConvHdev:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        alpha=monotone_curves(),
+        betas=st.lists(service_curves(), min_size=1, max_size=3),
+    )
+    def test_matches_unfused_exact(self, alpha, betas):
+        with use_backend("exact"):
+            acc = betas[0]
+            for b in betas[1:]:
+                acc = min_plus_conv(acc, b, on_dip="raise")
+            want = (horizontal_deviation(alpha, acc), acc)
+        kernels.op_cache_clear()
+        with use_backend("hybrid"):
+            fused = kernels.fused_conv_hdev(alpha, betas)
+        kernels.op_cache_clear()
+        assert fused == want
+
+    def test_memo_replays_whole_pipeline(self):
+        alpha = _stair(60, 1)
+        betas = [_service(60, 3), _service(50, 4)]
+        kernels.op_cache_clear()
+        with use_backend("hybrid"):
+            first = kernels.fused_conv_hdev(alpha, betas)
+            before = perf.snapshot()["counters"].get("kernel.fused_chains", 0)
+            again = kernels.fused_conv_hdev(alpha, betas)
+            after = perf.snapshot()["counters"].get("kernel.fused_chains", 0)
+        kernels.op_cache_clear()
+        assert again == first
+        assert after == before
+
+    def test_empty_chain_declines(self):
+        with use_backend("hybrid"):
+            assert kernels.fused_conv_hdev(_stair(30, 1), []) is None
+
+
+class TestGpcAndChainWiring:
+    """The RTC layers produce identical results with fusion on and off."""
+
+    def test_gpc_identical_across_backends(self):
+        from repro.rtc.gpc import gpc
+
+        alpha, beta = _stair(50, 1), _service(60, 3)
+        with use_backend("exact"):
+            want = gpc(alpha, beta)
+        kernels.op_cache_clear()
+        for be in ("hybrid", "auto"):
+            with use_backend(be):
+                got = gpc(alpha, beta)
+            kernels.op_cache_clear()
+            assert (got.delay, got.backlog) == (want.delay, want.backlog)
+            assert got.output_arrival == want.output_arrival
+            assert got.remaining_service == want.remaining_service
+
+    def test_chain_analysis_identical_across_backends(self):
+        from repro.rtc.network import chain_analysis
+
+        alpha = _stair(40, 1)
+        betas = [_service(50, 3), _service(45, 4)]
+        with use_backend("exact"):
+            want = chain_analysis(alpha, betas)
+        kernels.op_cache_clear()
+        for be in ("hybrid", "auto"):
+            with use_backend(be):
+                got = chain_analysis(alpha, betas)
+            kernels.op_cache_clear()
+            assert got.sum_of_delays == want.sum_of_delays
+            assert got.end_to_end_delay == want.end_to_end_delay
+
+    def test_fused_sweep_counter_fires_in_context(self):
+        from repro.core.context import AnalysisContext
+        from repro.curves.service import rate_latency_service
+        from repro.drt.model import DRTTask
+
+        task = DRTTask.build(
+            "fusion-demo",
+            jobs={"a": (1, 5), "b": (3, 8)},
+            edges=[("a", "b", 10), ("b", "a", 8)],
+        )
+        beta = rate_latency_service(F(1), F(2))
+        before = perf.snapshot()["counters"].get("kernel.fused_sweeps", 0)
+        with use_backend("hybrid"):
+            ctx = AnalysisContext(task, beta)
+            delay = ctx.delay_result()
+            backlog = ctx.backlog_result()
+        after = perf.snapshot()["counters"].get("kernel.fused_sweeps", 0)
+        assert after > before
+        with use_backend("exact"):
+            ctx2 = AnalysisContext(task, beta)
+            assert ctx2.delay_result().delay == delay.delay
+            assert ctx2.backlog_result().backlog == backlog.backlog
+
+
+class TestCounters:
+    def test_intern_and_memo_counters_flow(self):
+        import repro.minplus.curve as curve_mod
+
+        curve_mod.clear_intern_table()
+        kernels.op_cache_clear()
+        f, g = _stair(30, 11), _service(30, 12)
+        with use_backend("hybrid"):
+            min_plus_deconv(f, g, on_dip="fill")
+        c = perf.snapshot()["counters"]
+        for key in ("curve.intern_misses", "kernel.memo_misses"):
+            assert c.get(key, 0) > 0, key
+        kernels.op_cache_clear()
+
+    def test_intern_eviction_counter(self):
+        import repro.minplus.curve as curve_mod
+
+        curve_mod.clear_intern_table()
+        before = perf.snapshot()["counters"].get("curve.intern_evictions", 0)
+        for i in range(curve_mod._INTERN_CAP + 5):
+            Curve([Segment(F(0), F(i), F(1))]).interned()
+        after = perf.snapshot()["counters"].get("curve.intern_evictions", 0)
+        assert after >= before + 5
+        curve_mod.clear_intern_table()
+
+
+@pytest.mark.skipif(
+    not kernels.AVAILABLE, reason="native tier needs the hybrid tier"
+)
+class TestNativeTier:
+    def test_native_matches_exact_when_built(self):
+        from repro.minplus import _native
+
+        if not _native.available():
+            pytest.skip(f"compiled tier unavailable: {_native.build_error()}")
+        f, g = _stair(60, 21), _service(60, 22)
+        with use_backend("exact"):
+            want = (
+                min_plus_conv(f, f, on_dip="fill"),
+                min_plus_deconv(f, g, on_dip="fill"),
+            )
+        kernels.op_cache_clear()
+        with use_backend("native"):
+            got = (
+                min_plus_conv(f, f, on_dip="fill"),
+                min_plus_deconv(f, g, on_dip="fill"),
+            )
+        kernels.op_cache_clear()
+        assert got == want
+
+    @settings(max_examples=25, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_native_conv_property(self, f, g):
+        from repro.minplus import _native
+
+        if not _native.available():
+            pytest.skip("compiled tier unavailable")
+        with use_backend("exact"):
+            want = min_plus_conv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        with use_backend("native"):
+            got = min_plus_conv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        assert got == want
+
+    def test_native_enabled_reflects_backend(self):
+        from repro.minplus import _native
+
+        with use_backend("hybrid"):
+            assert not backend_mod.native_enabled()
+        if _native.available():
+            with use_backend("native"):
+                assert backend_mod.native_enabled()

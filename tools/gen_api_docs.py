@@ -76,11 +76,11 @@ instead of recomputing its inputs privately:
 KERNEL_BACKENDS_SECTION = """\
 ## Kernel backends
 
-The min-plus operations run on one of two backends selected by
+The min-plus operations run on a backend selected by
 `repro.minplus.backend` (explicit `backend=` keyword > `set_backend` /
 `use_backend` override > `REPRO_BACKEND` environment variable > default,
-which is `hybrid` when NumPy is importable and `exact` otherwise; the CLI
-exposes `--backend {exact,hybrid}`):
+which is `auto` when NumPy is importable and `exact` otherwise; the CLI
+exposes `--backend {exact,hybrid,auto,native}`):
 
 - **`exact`** — the pure-`fractions.Fraction` pairwise-segment
   algorithms, bit-identical to every release before the kernel layer.
@@ -89,6 +89,43 @@ exposes `--backend {exact,hybrid}`):
   bounds, critical tuples, raised exceptions) are **identical** to
   `exact`: the screens never decide an outcome, they only skip work
   whose outcome is already certified.
+- **`auto`** (default) — per-operation *cost-model dispatch* between the
+  two concrete tiers above.  `repro.minplus.costmodel` keeps a
+  per-(op, size-bucket) table of measured exact/hybrid runtimes;
+  `op_backend(op, n)` consults it on every call and routes the
+  operation to whichever tier the table predicts cheaper (counters
+  `dispatch.<op>.exact` / `dispatch.<op>.hybrid`).  Cold, the table is
+  a conservative built-in prior that routes only the small-curve
+  regimes where the hybrid screens are known overhead (tiny `deconv` /
+  `hdev`) to `exact`.  `repro-analyze calibrate` (or
+  `costmodel.calibrate()`) populates the table with a one-shot
+  microbenchmark and persists it as JSON next to the persistent result
+  cache (`REPRO_COSTMODEL` overrides the path); a corrupt or truncated
+  table file is discarded for the prior (counter
+  `costmodel.load_errors`).  Worker processes inherit the parent's
+  table through the plane payload and never read the file themselves.
+  Because both tiers are bit-identical, dispatch only ever changes
+  *speed*, never results.
+- **`native`** — `hybrid` plus a small compiled C library for the
+  envelope-pair pruning inner loops (`repro.minplus._native`), built
+  with the system C compiler on first use and loaded via `ctypes`.
+  Any build or load failure falls back silently to the pure-NumPy
+  screens (`native_enabled()` / `build_error()` report the state); the
+  native mask prunes a sound subset of pairs, so results remain
+  bit-identical.
+
+**Fused pipelines.**  `repro.minplus.kernels` exposes fused chains for
+the hot multi-op sequences: `fused_deconv_hdev(alpha, beta)` produces
+the GPC triple (delay, backlog, output arrival) with one lowering and
+one memo entry — the backlog via a screened deconvolution point value
+at 0, provably equal to the vertical deviation — and
+`fused_conv_hdev(alpha, betas)` folds a tandem of service curves and
+derives the pay-bursts-only-once deviation in one pass.
+`screened_delay_backlog` shares a single rational-to-interval lowering
+of the tuple arrays between the delay and backlog screens of an
+`AnalysisContext`.  Every fused path re-screens with exact `Fraction`
+comparisons at the final decision, so fused and unfused results are
+bit-identical (counters `kernel.fused_chains` / `kernel.fused_sweeps`).
 
 **Lowering format.**  A `Curve` lowers once into packed breakpoint
 arrays — segment starts, start values, slopes, and segment-end values as
@@ -115,8 +152,11 @@ exact `Fraction` path for just those queries (counters
 in convolution/deconvolution only drops a segment pair when its pieces
 are certified *strictly* above (below) a sound envelope bound, so the
 computed curve is unchanged.  Whole operations are additionally
-memoized on curve fingerprints (`kernel.memo_hits`); without NumPy every
-resolution collapses to `exact`.
+memoized on curve fingerprints (`kernel.memo_hits`, with
+`kernel.memo_misses`/`kernel.memo_evictions` and the interning table's
+`curve.intern_hits`/`curve.intern_misses`/`curve.intern_evictions`
+tracking occupancy); without NumPy every resolution collapses to
+`exact`.
 """
 
 
