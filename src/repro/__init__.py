@@ -115,6 +115,14 @@ from repro.resilience import (
     budget_scope,
     checkpoint,
 )
+from repro.whatif import (
+    StructuralDiff,
+    WhatIfResult,
+    WhatIfSession,
+    apply_edit,
+    structural_diff,
+    whatif_sweep,
+)
 from repro.workloads import CASE_STUDIES, RandomDrtConfig, random_drt_task
 from repro.io import (
     load_task,
@@ -180,6 +188,12 @@ __all__ = [
     "StructuralAnalysis",
     "TaskAnalysisSummary",
     "analyze_many",
+    "StructuralDiff",
+    "structural_diff",
+    "WhatIfResult",
+    "WhatIfSession",
+    "apply_edit",
+    "whatif_sweep",
     "structural_backlog",
     "output_arrival_curve",
     "min_service_rate",

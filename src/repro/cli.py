@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli task.json --rate 1/2 --latency 4 --per-job --dot g.dot
     python -m repro.cli serve --port 8177 --jobs auto
     python -m repro.cli calibrate --reps 3
+    python -m repro.cli diff base.json edited.json --json
+    python -m repro.cli whatif task.json --rate 1/2 --edits edits.json
 
 The ``serve`` subcommand boots the analysis service
 (:mod:`repro.service`): an HTTP/JSON front end with micro-batching,
@@ -14,6 +16,9 @@ admission control and a metrics plane.  The ``calibrate`` subcommand
 runs the kernel microbenchmark and persists a per-(op, size) cost table
 that the ``auto`` backend consults to dispatch each min-plus operation
 to the exact or the hybrid tier (:mod:`repro.minplus.costmodel`).
+``diff`` prints the structural blast radius of a model edit
+(:func:`repro.drt.digest.structural_diff`) and ``whatif`` runs a warm
+incremental sweep of model edits (:mod:`repro.whatif`).
 """
 
 from __future__ import annotations
@@ -233,6 +238,192 @@ def _calibrate_main(argv) -> int:
         return 1
 
 
+def _diff_main(argv) -> int:
+    """``repro-analyze diff``: structural diff of two task files."""
+    import json
+
+    from repro.drt.digest import structural_diff
+
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze diff",
+        description=(
+            "Classify the blast radius of the edit taking one task "
+            "definition to another: changed vertices/edges, the "
+            "affected reachability cone, and the carried remainder "
+            "whose cached analyses survive the edit"
+        ),
+    )
+    parser.add_argument("old", help="base task JSON file")
+    parser.add_argument("new", help="edited task JSON file")
+    parser.add_argument(
+        "--json", action="store_true", help="print the diff as JSON"
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip semantic validation of the loaded task files",
+    )
+    args = parser.parse_args(argv)
+    try:
+        old = load_task(args.old, validate=not args.no_validate)
+        new = load_task(args.new, validate=not args.no_validate)
+        diff = structural_diff(old, new)
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2))
+            return 0
+        if not diff.touched:
+            print("tasks are structurally identical")
+            return 0
+        for label, values in (
+            ("added vertices", sorted(diff.added_vertices)),
+            ("removed vertices", sorted(diff.removed_vertices)),
+            ("changed vertices", sorted(diff.changed_vertices)),
+            ("added edges", sorted(diff.added_edges)),
+            ("removed edges", sorted(diff.removed_edges)),
+            ("changed edges", sorted(diff.changed_edges)),
+        ):
+            if values:
+                shown = ", ".join(
+                    v if isinstance(v, str) else f"{v[0]}->{v[1]}"
+                    for v in values
+                )
+                print(f"{label}: {shown}")
+        total = len(new.jobs)
+        print(
+            f"affected cone: {len(diff.affected_cone)} of {total} vertices "
+            f"({', '.join(sorted(diff.affected_cone))})"
+        )
+        print(
+            f"carried (reusable) vertices: {len(diff.carried_vertices)} "
+            f"of {total}"
+        )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _whatif_main(argv) -> int:
+    """``repro-analyze whatif``: warm sweep of model edits."""
+    import json
+
+    from repro.whatif import edit_from_dict, whatif_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze whatif",
+        description=(
+            "Re-analyse a base task under a batch of model edits "
+            "(WCET scaling, edge retiming/add/remove, tightened "
+            "service), reusing the warm base exploration incrementally; "
+            "bounds are bit-identical to from-scratch analyses"
+        ),
+    )
+    parser.add_argument("task", help="base task JSON file")
+    parser.add_argument("--rate", required=True, help="service rate, e.g. 1/2")
+    parser.add_argument("--latency", default="0", help="service latency")
+    parser.add_argument(
+        "--edits",
+        required=True,
+        metavar="FILE",
+        help=(
+            "JSON file holding a list of edit objects, e.g. "
+            '[{"op": "set_separation", "src": "a", "dst": "b", '
+            '"separation": "7"}, {"op": "scale_wcet", "factor": "11/10"}]'
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print results as JSON lines"
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        help="worker processes for the sweep ('auto' = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache directory (default: REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip semantic validation of the loaded task file",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.cache_dir:
+            result_cache.configure(args.cache_dir)
+        task = load_task(args.task, validate=not args.no_validate)
+        beta = rate_latency_service(
+            Fraction(args.rate), Fraction(args.latency)
+        )
+        try:
+            specs = json.loads(open(args.edits).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.edits}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(specs, list) or not specs:
+            print(
+                f"error: {args.edits} must hold a non-empty JSON list",
+                file=sys.stderr,
+            )
+            return 2
+        edits = [edit_from_dict(spec) for spec in specs]
+        results = whatif_sweep(task, beta, edits, jobs=args.jobs)
+        failures = 0
+        for res in results:
+            if args.json:
+                print(json.dumps(_whatif_result_dict(res)))
+                continue
+            label = json.dumps(res.edit)
+            if not res.ok:
+                failures += 1
+                print(f"{label}: {res.error_code}: {res.error}")
+                continue
+            s = res.summary
+            verdict = "ok" if s.meets_deadlines else "DEADLINE MISS"
+            print(
+                f"{label}: delay={s.delay} backlog={s.backlog} "
+                f"busy_window={s.busy_window} [{verdict}] "
+                f"(cone {res.cone_size}/{res.total_vertices}, "
+                f"carried {res.carried_vertices})"
+            )
+        if not args.json:
+            ok = len(results) - failures
+            print(f"{ok}/{len(results)} edits analysed, {failures} failed")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _whatif_result_dict(res) -> dict:
+    """JSON form of one sweep result (CLI --json; mirrors the service)."""
+    out = {
+        "edit": res.edit,
+        "ok": res.ok,
+        "cone_size": res.cone_size,
+        "carried_vertices": res.carried_vertices,
+        "total_vertices": res.total_vertices,
+    }
+    if not res.ok:
+        out["error"] = {"code": res.error_code, "message": res.error}
+        return out
+    s = res.summary
+    out["summary"] = {
+        "task": s.task,
+        "delay": str(s.delay),
+        "backlog": str(s.backlog),
+        "busy_window": str(s.busy_window),
+        "per_job": {j: str(d) for j, d in s.per_job.items()},
+        "meets_deadlines": s.meets_deadlines,
+        "witness_vertices": (
+            None if s.witness_vertices is None else list(s.witness_vertices)
+        ),
+    }
+    return out
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -243,6 +434,10 @@ def main(argv=None) -> int:
         return serve_main(list(argv[1:]))
     if argv and argv[0] == "calibrate":
         return _calibrate_main(list(argv[1:]))
+    if argv and argv[0] == "diff":
+        return _diff_main(list(argv[1:]))
+    if argv and argv[0] == "whatif":
+        return _whatif_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     try:
         if args.backend:

@@ -49,6 +49,17 @@ from repro.resilience.budget import checkpoint
 
 __all__ = ["BusyWindow", "busy_window_bound", "last_positive_time"]
 
+#: Memo of the fixpoint step ``last_positive_time(rbf - beta)`` keyed by
+#: the curve pair itself.  The step is a pure function of the two curves
+#: (both immutable with cached structural hashes), so distinct tasks that
+#: produce the *same* request staircase — e.g. a what-if sweep retiming
+#: an edge whose work never sets the running maximum — share one curve
+#: subtraction instead of repeating it per variant.  The stored budget
+#: charge is replayed on hits so resilience accounting is identical
+#: either way.
+_FIXPOINT_MEMO: dict = {}
+_FIXPOINT_MEMO_CAP = 512
+
 
 @dataclass(frozen=True)
 class BusyWindow:
@@ -138,14 +149,18 @@ def busy_window_bound(
             f"utilization {rho} >= long-run service rate {beta.tail_rate}"
         )
     key = None
+    cache = None
     if reuse:
+        from repro.drt.digest import guard_cache
+
+        cache = guard_cache(task)
         key = (
             "busy_window",
             beta,
             None if initial_horizon is None else as_q(initial_horizon),
             max_iterations,
         )
-        cached = task._analysis_cache.get(key)
+        cached = cache.get(key)
         if cached is not None:
             perf.record("busy_window.cache_hits")
             return cached
@@ -154,7 +169,7 @@ def busy_window_bound(
             task, beta, rho, initial_horizon, max_iterations, reuse
         )
     if key is not None:
-        task._analysis_cache[key] = result
+        cache[key] = result
         perf.record("busy_window.cache_misses")
     return result
 
@@ -177,21 +192,33 @@ def _iterate(
             rbf = rbf_curve(task, horizon)
         else:
             rbf = FrontierExplorer(task).rbf_curve(horizon)
-        diff = rbf - beta
-        # One budget unit per doubling round plus an amortised charge for
-        # the curve arithmetic (the exploration inside rbf_curve already
-        # checkpoints per expanded tuple).
-        checkpoint(1 + len(diff.segments) // 64)
-        try:
-            last = last_positive_time(diff)
-        except UnboundedBusyWindowError:
-            # The request curve's tail carries the exact long-run rate,
-            # so a positive tail cannot be an artefact of a short
-            # horizon: the service genuinely never catches up.
-            raise UnboundedBusyWindowError(
-                f"service (rate {beta.tail_rate}) never catches up with "
-                f"workload of {task.name!r} (rate {rho}, positive burst)"
-            ) from None
+        memo_key = (rbf, beta)
+        hit = _FIXPOINT_MEMO.get(memo_key)
+        if hit is not None:
+            last, charge = hit
+            checkpoint(charge)
+            perf.record("busy_window.fixpoint_memo_hits")
+        else:
+            diff = rbf - beta
+            # One budget unit per doubling round plus an amortised charge
+            # for the curve arithmetic (the exploration inside rbf_curve
+            # already checkpoints per expanded tuple).
+            charge = 1 + len(diff.segments) // 64
+            checkpoint(charge)
+            try:
+                last = last_positive_time(diff)
+            except UnboundedBusyWindowError:
+                # The request curve's tail carries the exact long-run
+                # rate, so a positive tail cannot be an artefact of a
+                # short horizon: the service genuinely never catches up.
+                raise UnboundedBusyWindowError(
+                    f"service (rate {beta.tail_rate}) never catches up "
+                    f"with workload of {task.name!r} (rate {rho}, "
+                    "positive burst)"
+                ) from None
+            if len(_FIXPOINT_MEMO) >= _FIXPOINT_MEMO_CAP:
+                _FIXPOINT_MEMO.clear()
+            _FIXPOINT_MEMO[memo_key] = (last, charge)
         if last is None:
             # Service dominates from the start; the only busy "window" is
             # the instantaneous burst at 0.

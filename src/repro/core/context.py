@@ -63,11 +63,22 @@ class AnalysisContext:
     Args:
         task: The structural workload.
         beta: Lower service curve of the resource.
+        persist: Write results to the persistent result cache (default).
+            The incremental what-if engine passes ``False``: its
+            contexts are built on *forked* explorers whose exploration
+            statistics reflect only the incremental work, so while the
+            bounds are bit-identical to from-scratch, the stats embedded
+            in a :class:`~repro.core.delay.DelayResult` are not — such
+            results must not be served to cold from-scratch readers.
+            Cache *reads* stay enabled either way (cached entries carry
+            from-scratch stats and identical bounds).
     """
 
     __slots__ = (
         "task",
         "beta",
+        "_persist",
+        "_initial_horizon",
         "_bw",
         "_tuples",
         "_stats",
@@ -78,9 +89,17 @@ class AnalysisContext:
         "_fused_backlog",
     )
 
-    def __init__(self, task: DRTTask, beta: Curve) -> None:
+    def __init__(
+        self,
+        task: DRTTask,
+        beta: Curve,
+        persist: bool = True,
+        initial_horizon=None,
+    ) -> None:
         self.task = task
         self.beta = beta
+        self._persist = persist
+        self._initial_horizon = initial_horizon
         self._bw: Optional[BusyWindow] = None
         self._tuples: Optional[List[RequestTuple]] = None
         self._stats: Optional[FrontierStats] = None
@@ -92,13 +111,32 @@ class AnalysisContext:
         self._fused_backlog = None
 
     @classmethod
-    def of(cls, task: DRTTask, beta: Curve) -> "AnalysisContext":
-        """The memoized context of ``(task, beta)``, created on first use."""
+    def of(
+        cls,
+        task: DRTTask,
+        beta: Curve,
+        persist: bool = True,
+        initial_horizon=None,
+    ) -> "AnalysisContext":
+        """The memoized context of ``(task, beta)``, created on first use.
+
+        ``initial_horizon`` seeds the busy-window fixpoint (see
+        :func:`~repro.core.busy_window.busy_window_bound`); the converged
+        *length* — and every bound derived from it — is independent of
+        the seed, which only saves doubling rounds.  The what-if engine
+        passes the base model's exactness horizon so each edited
+        context's fixpoint usually closes in one round.
+        """
+        from repro.drt.digest import guard_cache
+
+        cache = guard_cache(task)
         key = ("analysis_context", beta)
-        ctx = task._analysis_cache.get(key)
+        ctx = cache.get(key)
         if ctx is None:
-            ctx = cls(task, beta)
-            task._analysis_cache[key] = ctx
+            ctx = cls(
+                task, beta, persist=persist, initial_horizon=initial_horizon
+            )
+            cache[key] = ctx
             perf.record("context.misses")
         else:
             perf.record("context.hits")
@@ -109,7 +147,9 @@ class AnalysisContext:
     def busy_window(self) -> BusyWindow:
         """The busy-window fixpoint (computed once per context)."""
         if self._bw is None:
-            self._bw = busy_window_bound(self.task, self.beta)
+            self._bw = busy_window_bound(
+                self.task, self.beta, initial_horizon=self._initial_horizon
+            )
         return self._bw
 
     def frontier(self) -> List[RequestTuple]:
@@ -192,9 +232,10 @@ class AnalysisContext:
                 tuple_count=len(tuples),
                 stats=self.stats(),
             )
-            result_cache.put_analysis(
-                "ctx.delay", self.task, self.beta, self._delay_result
-            )
+            if self._persist:
+                result_cache.put_analysis(
+                    "ctx.delay", self.task, self.beta, self._delay_result
+                )
         return self._delay_result
 
     def per_job(self) -> Dict[str, Fraction]:
@@ -221,9 +262,10 @@ class AnalysisContext:
                     if d > delays[tup.vertex]:
                         delays[tup.vertex] = d
             self._per_job = delays
-            result_cache.put_analysis(
-                "ctx.per_job", self.task, self.beta, self._per_job
-            )
+            if self._persist:
+                result_cache.put_analysis(
+                    "ctx.per_job", self.task, self.beta, self._per_job
+                )
         return dict(self._per_job)
 
     def _screened_max(self, offsets, group_ids, n_groups):
@@ -305,7 +347,8 @@ class AnalysisContext:
             self._backlog_result = BacklogResult(
                 backlog=best, busy_window=bw.length, critical_tuple=critical
             )
-            result_cache.put_analysis(
-                "ctx.backlog", self.task, self.beta, self._backlog_result
-            )
+            if self._persist:
+                result_cache.put_analysis(
+                    "ctx.backlog", self.task, self.beta, self._backlog_result
+                )
         return self._backlog_result

@@ -14,6 +14,14 @@ via maximum cycle ratios, and standard model transformations.
 """
 
 from repro.drt.model import Job, Edge, DRTTask, SporadicTask
+from repro.drt.digest import (
+    vertex_digest,
+    edge_digest,
+    composed_task_digest,
+    backward_cone_digest,
+    StructuralDiff,
+    structural_diff,
+)
 from repro.drt.paths import Path, iter_paths, enumerate_paths
 from repro.drt.request import RequestTuple, request_frontier, rbf_curve, rbf_value
 from repro.drt.demand import DemandTuple, demand_frontier, dbf_curve, dbf_value
@@ -30,6 +38,12 @@ __all__ = [
     "Edge",
     "DRTTask",
     "SporadicTask",
+    "vertex_digest",
+    "edge_digest",
+    "composed_task_digest",
+    "backward_cone_digest",
+    "StructuralDiff",
+    "structural_diff",
     "Path",
     "iter_paths",
     "enumerate_paths",

@@ -1,0 +1,359 @@
+"""Structural content digests and diffing of DRT tasks.
+
+Three related mechanisms live here, all feeding the incremental
+what-if engine (:mod:`repro.whatif`):
+
+* **Per-element digests** — every job (vertex) and every edge has a
+  stable content digest; the whole-task digest used by the persistent
+  result cache (:func:`repro.parallel.cache.task_digest`) is *composed*
+  from them, so an edit's blast radius can be described in the same
+  vocabulary the cache is keyed in.
+
+* **Mutation guard** — the analysis layers memoize aggressively in
+  ``task._analysis_cache`` under the documented contract that tasks are
+  immutable.  Code that mutates a task in place anyway (poking
+  ``task._jobs``/``task._edges``) used to silently receive stale
+  frontiers and stale digests.  :func:`guard_cache` compares a cheap
+  structural fingerprint against the one recorded at first memoization
+  and drops the *entire* cache on mismatch — stale state is
+  unrecoverable piecemeal, and recomputation is always sound.
+
+* **Structural diff** — :func:`structural_diff` classifies an edit's
+  blast radius: the changed/added/removed vertices and edges, the
+  *affected cone* (every vertex whose request tuples can differ between
+  the two models), and the untouched remainder whose per-vertex
+  frontiers carry over verbatim (:meth:`FrontierExplorer.fork
+  <repro.drt.request.FrontierExplorer.fork>`).
+
+The affected cone is the forward-reachability closure, over the union
+of both edge sets, of every touched element: changed/added/removed
+vertices and the destination endpoints of changed/added/removed edges.
+Soundness: a path ending at a vertex outside the cone cannot traverse a
+touched vertex or edge (otherwise its endpoint would be forward-
+reachable from the touch point and therefore inside the cone), so the
+set of paths — and hence the Pareto frontier of request tuples — at
+every non-cone vertex is identical in the old and new models.  The cone
+is forward-closed by construction, so re-exploration seeded inside it
+can never modify a carried frontier.
+
+:func:`backward_cone_digest` is the dual key for *cross-process* reuse:
+the request tuples ending at a vertex ``v`` are a pure function of the
+subgraph backward-reachable from ``v`` (those are exactly the vertices
+and edges any path ending at ``v`` can use), so per-vertex results
+cached under this digest stay valid across any edit outside that
+backward cone — and across differently-ordered definitions of the same
+subgraph, since the digest is canonical (sorted, order-independent).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.drt.model import DRTTask, Edge, Job
+
+__all__ = [
+    "vertex_digest",
+    "edge_digest",
+    "composed_task_digest",
+    "model_fingerprint",
+    "guard_cache",
+    "backward_cone_digest",
+    "StructuralDiff",
+    "structural_diff",
+    "cycles_untouched",
+]
+
+#: Cache keys used by this module inside ``task._analysis_cache``.
+_FINGERPRINT_KEY = "model_fingerprint"
+_BACKWARD_DIGESTS_KEY = "backward_cone_digests"
+
+
+def vertex_digest(job: Job) -> str:
+    """Stable hex digest of one job type's content (name, WCET, deadline)."""
+    payload = f"j{job.name}:{job.wcet}:{job.deadline}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def edge_digest(edge: Edge) -> str:
+    """Stable hex digest of one edge's content (endpoints, separation)."""
+    payload = f"e{edge.src}>{edge.dst}:{edge.separation}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def composed_task_digest(task: DRTTask) -> str:
+    """Whole-task digest composed from the per-element digests.
+
+    Covers the name and the per-vertex/per-edge digests *in insertion
+    order* — ordering steers exploration tie-breaking, so two
+    definitions differing only in element order address different cache
+    entries (their results may report different, equally valid,
+    critical tuples).  Not memoized here; the memoizing entry point is
+    :func:`repro.parallel.cache.task_digest`, which also runs the
+    mutation guard.
+    """
+    h = hashlib.sha256()
+    h.update(task.name.encode("utf-8"))
+    for job in task.jobs.values():
+        h.update(b"|")
+        h.update(vertex_digest(job).encode("ascii"))
+    for edge in task.edges:
+        h.update(b"|")
+        h.update(edge_digest(edge).encode("ascii"))
+    return h.hexdigest()
+
+
+def model_fingerprint(task: DRTTask) -> Tuple:
+    """A cheap structural fingerprint for in-place mutation detection.
+
+    Jobs and edges are frozen dataclasses with value equality, so the
+    fingerprint compares exact rational content (and insertion order)
+    without any hashing work.
+    """
+    return (task.name, tuple(task._jobs.values()), tuple(task._edges))
+
+
+def guard_cache(task: DRTTask) -> Dict[str, object]:
+    """Validate ``task._analysis_cache`` against in-place mutation.
+
+    Records the task's fingerprint on first use.  If the definition has
+    changed since — someone mutated ``task._jobs``/``task._edges``
+    despite the immutability contract — every memo in the cache
+    (content digest, shared frontier explorer, analysis contexts, busy
+    windows, ...) is stale, so the whole cache is dropped and a fresh
+    fingerprint recorded.  Returns the (possibly cleared) cache dict.
+    """
+    cache = task._analysis_cache
+    current = model_fingerprint(task)
+    recorded = cache.get(_FINGERPRINT_KEY)
+    if recorded is None:
+        cache[_FINGERPRINT_KEY] = current
+    elif recorded != current:
+        cache.clear()
+        cache[_FINGERPRINT_KEY] = current
+    return cache
+
+
+def _backward_reachable(task: DRTTask, vertex: str) -> Set[str]:
+    """Vertices from which *vertex* is reachable (including itself)."""
+    seen = {vertex}
+    stack = [vertex]
+    while stack:
+        v = stack.pop()
+        for e in task.predecessors(v):
+            if e.src not in seen:
+                seen.add(e.src)
+                stack.append(e.src)
+    return seen
+
+
+def backward_cone_digest(task: DRTTask, vertex: str) -> str:
+    """Canonical digest of the subgraph that determines *vertex*'s tuples.
+
+    A path ending at ``v`` can only use vertices that reach ``v`` and
+    edges between them, so the Pareto frontier at ``v`` (and every bound
+    derived from it) is a pure function of that backward-reachable
+    subgraph.  Elements are digested in sorted order: the frontier is a
+    canonical *set* of non-dominated tuples, independent of definition
+    order, so differently-ordered definitions of the same subgraph — and
+    edited tasks whose edits lie outside the cone — share the digest.
+
+    Memoized per task (one backward traversal per vertex, guarded
+    against mutation).
+    """
+    cache = guard_cache(task)
+    memo = cache.get(_BACKWARD_DIGESTS_KEY)
+    if memo is None:
+        memo = {}
+        cache[_BACKWARD_DIGESTS_KEY] = memo
+    hit = memo.get(vertex)
+    if hit is not None:
+        return hit
+    cone = _backward_reachable(task, vertex)
+    h = hashlib.sha256()
+    h.update(f"v{vertex}".encode("utf-8"))
+    for name in sorted(cone):
+        h.update(b"|")
+        h.update(vertex_digest(task.job(name)).encode("ascii"))
+    for edge in sorted(
+        (e for e in task._edges if e.dst in cone and e.src in cone),
+        key=lambda e: (e.src, e.dst),
+    ):
+        h.update(b"|")
+        h.update(edge_digest(edge).encode("ascii"))
+    digest = h.hexdigest()
+    memo[vertex] = digest
+    return digest
+
+
+@dataclass(frozen=True)
+class StructuralDiff:
+    """Blast-radius classification of one model edit (old -> new).
+
+    Attributes:
+        added_vertices: Job names present only in the new task.
+        removed_vertices: Job names present only in the old task.
+        changed_vertices: Job names whose WCET/deadline changed.
+        added_edges: ``(src, dst)`` pairs present only in the new task.
+        removed_edges: ``(src, dst)`` pairs present only in the old task.
+        changed_edges: ``(src, dst)`` pairs whose separation changed.
+        affected_cone: Every vertex (of either task) whose request
+            tuples may differ between the two models — the forward-
+            reachability closure of all touched elements over the union
+            of both edge sets.  Forward-closed in both graphs.
+        carried_vertices: New-task vertices outside the cone: their
+            per-vertex frontiers (and all cached per-vertex results)
+            carry over verbatim from the old task.
+    """
+
+    added_vertices: FrozenSet[str] = frozenset()
+    removed_vertices: FrozenSet[str] = frozenset()
+    changed_vertices: FrozenSet[str] = frozenset()
+    added_edges: FrozenSet[Tuple[str, str]] = frozenset()
+    removed_edges: FrozenSet[Tuple[str, str]] = frozenset()
+    changed_edges: FrozenSet[Tuple[str, str]] = frozenset()
+    affected_cone: FrozenSet[str] = frozenset()
+    carried_vertices: FrozenSet[str] = frozenset()
+
+    @property
+    def touched(self) -> bool:
+        """True iff the task definitions differ at all."""
+        return bool(
+            self.added_vertices
+            or self.removed_vertices
+            or self.changed_vertices
+            or self.added_edges
+            or self.removed_edges
+            or self.changed_edges
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (sorted lists) for the CLI and the wire."""
+        return {
+            "added_vertices": sorted(self.added_vertices),
+            "removed_vertices": sorted(self.removed_vertices),
+            "changed_vertices": sorted(self.changed_vertices),
+            "added_edges": sorted(list(e) for e in self.added_edges),
+            "removed_edges": sorted(list(e) for e in self.removed_edges),
+            "changed_edges": sorted(list(e) for e in self.changed_edges),
+            "affected_cone": sorted(self.affected_cone),
+            "carried_vertices": sorted(self.carried_vertices),
+        }
+
+
+def structural_diff(old: DRTTask, new: DRTTask) -> StructuralDiff:
+    """Classify the blast radius of the edit taking *old* to *new*.
+
+    See :class:`StructuralDiff` for the fields and the module docstring
+    for the cone-soundness argument.  The diff compares exact content
+    (via the per-element value equality the digests also hash), not
+    digests, so it never misclassifies on a hash collision.
+    """
+    old_jobs = old.jobs
+    new_jobs = new.jobs
+    added_v = frozenset(new_jobs) - frozenset(old_jobs)
+    removed_v = frozenset(old_jobs) - frozenset(new_jobs)
+    changed_v = frozenset(
+        name
+        for name in frozenset(old_jobs) & frozenset(new_jobs)
+        if old_jobs[name] != new_jobs[name]
+    )
+    old_edges = {(e.src, e.dst): e for e in old.edges}
+    new_edges = {(e.src, e.dst): e for e in new.edges}
+    added_e = frozenset(new_edges) - frozenset(old_edges)
+    removed_e = frozenset(old_edges) - frozenset(new_edges)
+    changed_e = frozenset(
+        key
+        for key in frozenset(old_edges) & frozenset(new_edges)
+        if old_edges[key] != new_edges[key]
+    )
+
+    # Seeds: every touched vertex, plus the destination of every touched
+    # edge (tuples at an edge's *source* never traverse it).
+    seeds: Set[str] = set(added_v) | set(removed_v) | set(changed_v)
+    for src, dst in added_e | removed_e | changed_e:
+        seeds.add(dst)
+
+    # Forward closure over the union of both successor relations.
+    union_succ: Dict[str, Set[str]] = {}
+    for edges in (old_edges, new_edges):
+        for src, dst in edges:
+            union_succ.setdefault(src, set()).add(dst)
+    cone: Set[str] = set(seeds)
+    stack: List[str] = list(seeds)
+    while stack:
+        v = stack.pop()
+        for w in union_succ.get(v, ()):
+            if w not in cone:
+                cone.add(w)
+                stack.append(w)
+
+    carried = frozenset(new_jobs) - cone
+    return StructuralDiff(
+        added_vertices=added_v,
+        removed_vertices=removed_v,
+        changed_vertices=changed_v,
+        added_edges=added_e,
+        removed_edges=removed_e,
+        changed_edges=changed_e,
+        affected_cone=frozenset(cone),
+        carried_vertices=carried,
+    )
+
+
+def _on_cycle_edge(task: DRTTask, src: str, dst: str) -> bool:
+    """True iff the edge ``src -> dst`` lies on some cycle of *task*
+    (i.e. ``src`` is forward-reachable from ``dst``)."""
+    seen = {dst}
+    stack = [dst]
+    while stack:
+        v = stack.pop()
+        if v == src:
+            return True
+        for e in task.successors(v):
+            if e.dst not in seen:
+                seen.add(e.dst)
+                stack.append(e.dst)
+    return False
+
+
+def _on_cycle_vertex(task: DRTTask, vertex: str) -> bool:
+    """True iff *vertex* lies on some cycle of *task* (reaches itself
+    through at least one edge)."""
+    return any(
+        _on_cycle_edge(task, vertex, e.dst)
+        for e in task.successors(vertex)
+    )
+
+
+def cycles_untouched(diff: StructuralDiff, old: DRTTask, new: DRTTask) -> bool:
+    """True iff the edit provably left the cycle set identical.
+
+    When no touched vertex or edge lies on a cycle in the task it
+    belongs to, every cycle of either task consists solely of untouched
+    elements with identical parameters — so cycle-derived quantities
+    (:func:`~repro.drt.utilization.max_cycle_ratio`, and therefore
+    :func:`~repro.drt.utilization.utilization`) are exactly equal and
+    the what-if engine carries them across the fork instead of
+    re-running the cycle search per edit.
+    """
+    for v in diff.changed_vertices:
+        if _on_cycle_vertex(old, v) or _on_cycle_vertex(new, v):
+            return False
+    for v in diff.removed_vertices:
+        if _on_cycle_vertex(old, v):
+            return False
+    for v in diff.added_vertices:
+        if _on_cycle_vertex(new, v):
+            return False
+    for src, dst in diff.changed_edges:
+        if _on_cycle_edge(old, src, dst) or _on_cycle_edge(new, src, dst):
+            return False
+    for src, dst in diff.removed_edges:
+        if _on_cycle_edge(old, src, dst):
+            return False
+    for src, dst in diff.added_edges:
+        if _on_cycle_edge(new, src, dst):
+            return False
+    return True

@@ -176,6 +176,17 @@ class _VertexFrontier:
             for t, w in zip(self.times[:hi], self.works[:hi])
         ]
 
+    def copy(self) -> "_VertexFrontier":
+        """An independent copy (used when forking an explorer)."""
+        out = _VertexFrontier()
+        out.times = self.times[:]
+        out.works = self.works[:]
+        out.times_lo = self.times_lo[:]
+        out.times_hi = self.times_hi[:]
+        out.works_lo = self.works_lo[:]
+        out.works_hi = self.works_hi[:]
+        return out
+
 
 class FrontierExplorer:
     """Resumable best-first exploration of a task's request tuples.
@@ -215,6 +226,13 @@ class FrontierExplorer:
         "_pushprune_times",
         "_pushprune_sorted",
         "_new_kept_since_query",
+        "_sorted_hz",
+        "_sorted_times",
+        "_sorted_tuples",
+        "_fork_cone",
+        "_fork_carried_hz",
+        "_fork_carried",
+        "_fork_carried_times",
     )
 
     def __init__(self, task: DRTTask, prune: bool = True) -> None:
@@ -243,6 +261,22 @@ class FrontierExplorer:
         self._pushprune_times: List[Q] = []
         self._pushprune_sorted = True
         self._new_kept_since_query = 0
+        # Sorted-tuples prefix cache: once explored past a horizon, every
+        # tuple at or below it is final (pops are time-ordered and evict
+        # only equal-time entries), so queries at smaller horizons slice
+        # an exact prefix instead of re-merging and re-sorting.
+        self._sorted_hz: Optional[Q] = None
+        self._sorted_times: List[Q] = []
+        self._sorted_tuples: List[RequestTuple] = []
+        # Fork-carried sorted prefix (set by :meth:`fork`): the source
+        # explorer's sorted merge restricted to carried vertices.  The
+        # cone is forward-closed, so below the carried horizon the
+        # non-cone frontiers are final and a keyed two-way merge with
+        # the cone's (small) tuple set replaces the full re-sort.
+        self._fork_cone: Optional[frozenset] = None
+        self._fork_carried_hz: Optional[Q] = None
+        self._fork_carried: List[RequestTuple] = []
+        self._fork_carried_times: List[Q] = []
         for v in task.job_names:
             heapq.heappush(
                 self._heap, (Q(0), self._tiebreak, task.wcet(v), v)
@@ -333,7 +367,191 @@ class FrontierExplorer:
         perf.record("frontier.tuples_expanded", pops + pushpruned)
         perf.record("frontier.tuples_pruned", pruned)
 
+    # -- forking ---------------------------------------------------------
+
+    def fork(self, new_task: DRTTask, diff) -> "FrontierExplorer":
+        """A new explorer for *new_task* carrying this one's exploration.
+
+        *diff* is the :class:`~repro.drt.digest.StructuralDiff` taking
+        this explorer's task to *new_task*.  Per-vertex frontiers and
+        deferred successors whose generating paths end outside the
+        diff's affected cone are valid in both models (no path reaching
+        them traverses a touched vertex or edge), so they carry over
+        verbatim; only the cone re-expands:
+
+        * cone vertices restart from their time-0 origin tuples, and
+        * every carried frontier tuple is re-extended along the new
+          graph's edges into the cone (extensions of *dominated* tuples
+          are themselves dominated, so extending only the Pareto-kept
+          tuples is exhaustive).
+
+        All seeds land in the deferred set with the explored horizon
+        reset, so the forked explorer answers any horizon exactly as a
+        from-scratch exploration of *new_task* would — frontier content
+        is canonical (the set of non-dominated tuples per vertex), and
+        the cone is forward-closed, so cone re-expansion never touches
+        a carried frontier.  Only :meth:`stats_at` differs: a forked
+        explorer's event log counts the *incremental* work, which is
+        the quantity the what-if engine reports.
+
+        A mid-extension explorer (budget exhaustion left tuples on the
+        heap) has no consistent carried state, and an unexplored one
+        has nothing to carry; both fall back to a fresh explorer.
+        """
+        if not self.prune:
+            raise ModelError("only pruned explorers can be forked")
+        cone = set(diff.affected_cone)
+        if self._explored is None or self._heap:
+            return FrontierExplorer(new_task)
+        missing = [
+            v
+            for v in new_task.job_names
+            if v not in cone and v not in self._frontiers
+        ]
+        if missing:
+            raise ModelError(
+                f"diff marks {missing} as carried but the source explorer "
+                "never had them (stale diff?)"
+            )
+        new = FrontierExplorer.__new__(FrontierExplorer)
+        new.task = new_task
+        new.prune = True
+        new._heap = []
+        new._deferred = []
+        new._tiebreak = self._tiebreak
+        new._explored = None
+        new._all = []
+        new._all_times = []
+        new._pop_times = []
+        new._popdom_times = []
+        new._evict_times = []
+        new._evict_counts = []
+        new._pushprune_times = []
+        new._pushprune_sorted = True
+        new._new_kept_since_query = 0
+        new._sorted_hz = None
+        new._sorted_times = []
+        new._sorted_tuples = []
+        new._fork_cone = None
+        new._fork_carried_hz = None
+        new._fork_carried = []
+        new._fork_carried_times = []
+        # Frontiers in new_task.job_names order: tuples() iterates this
+        # dict, so query ordering (and critical-tuple tie-breaking)
+        # matches a from-scratch explorer of new_task exactly.
+        new._frontiers = {
+            v: (
+                _VertexFrontier()
+                if v in cone
+                else self._frontiers[v].copy()
+            )
+            for v in new_task.job_names
+        }
+        # Carry the source's sorted-tuples prefix, restricted to carried
+        # vertices.  Sound because (a) below the source's sorted horizon
+        # the carried frontiers are final — the forward-closed cone
+        # re-expands only into itself, and every carried deferred entry
+        # lies beyond the source's explored horizon — and (b) the global
+        # query order is (time, -work, vertex position), which the
+        # filtered prefix preserves whenever the carried vertex sequence
+        # is the same in both models (the guard below).
+        if self._sorted_hz is not None and tuple(
+            v for v in self.task.job_names if v not in cone
+        ) == tuple(v for v in new_task.job_names if v not in cone):
+            new._fork_cone = frozenset(cone)
+            new._fork_carried_hz = self._sorted_hz
+            new._fork_carried = [
+                t for t in self._sorted_tuples if t.vertex not in cone
+            ]
+            new._fork_carried_times = [t.time for t in new._fork_carried]
+        # Carried beyond-horizon successors: their generating paths end
+        # outside the cone (a push into vertex v comes from a pop at a
+        # predecessor u; u in the cone would put v in the cone too).
+        for entry in self._deferred:
+            if entry[3] not in cone:
+                new._deferred.append(entry)
+        # Cone origin seeds.
+        for v in new_task.job_names:
+            if v in cone:
+                new._deferred.append(
+                    (Q(0), new._tiebreak, new_task.wcet(v), v)
+                )
+                new._tiebreak += 1
+        # Carried-prefix crossings into the cone along new-graph edges.
+        for u in new_task.job_names:
+            if u in cone:
+                continue
+            front = new._frontiers[u]
+            for edge in new_task.successors(u):
+                if edge.dst not in cone:
+                    continue
+                w_dst = new_task.wcet(edge.dst)
+                for t, w in zip(front.times, front.works):
+                    new._deferred.append(
+                        (t + edge.separation, new._tiebreak, w + w_dst, edge.dst)
+                    )
+                    new._tiebreak += 1
+        heapq.heapify(new._deferred)
+        perf.record("frontier.forks")
+        perf.record(
+            "frontier.fork_carried_tuples",
+            sum(
+                len(f.times)
+                for v, f in new._frontiers.items()
+                if v not in cone
+            ),
+        )
+        return new
+
     # -- queries ---------------------------------------------------------
+
+    def _merge_carried(
+        self,
+        carried: List[RequestTuple],
+        hi: int,
+        fresh: List[RequestTuple],
+    ) -> List[RequestTuple]:
+        """Stable two-way merge of the carried prefix (first *hi*
+        entries) with the re-expanded cone's sorted tuples.
+
+        Both inputs are sorted by ``(time, -work, vertex position)``;
+        full-key ties across the lists fall back to the vertex's
+        position in the frontier order — exactly where the full stable
+        sort would place them.  Times are compared first and almost
+        always decide, so no per-element key tuples are built.
+        """
+        out: List[RequestTuple] = []
+        append = out.append
+        vidx: Optional[Dict[str, int]] = None
+        i = j = 0
+        nb = len(fresh)
+        while i < hi and j < nb:
+            ra = carried[i]
+            rb = fresh[j]
+            if ra.time < rb.time:
+                append(ra)
+                i += 1
+            elif rb.time < ra.time:
+                append(rb)
+                j += 1
+            elif ra.work > rb.work:
+                append(ra)
+                i += 1
+            elif rb.work > ra.work:
+                append(rb)
+                j += 1
+            else:
+                if vidx is None:
+                    vidx = {v: k for k, v in enumerate(self._frontiers)}
+                if vidx[ra.vertex] <= vidx[rb.vertex]:
+                    append(ra)
+                    i += 1
+                else:
+                    append(rb)
+                    j += 1
+        out.extend(carried[i:hi])
+        out.extend(fresh[j:])
+        return out
 
     def tuples(self, horizon: NumLike) -> List[RequestTuple]:
         """All non-dominated request tuples with ``time <= horizon``.
@@ -346,15 +564,54 @@ class FrontierExplorer:
         hz = as_q(horizon)
         self.extend_to(hz)
         if self.prune:
-            out = [
-                t
-                for v, f in self._frontiers.items()
-                for t in f.tuples(v, hz)
-            ]
+            if self._sorted_hz is not None and hz <= self._sorted_hz:
+                # Exact prefix of the cached merge: tuples at or below
+                # the cached horizon are final (see the cache comment in
+                # ``__init__``), and time is the primary sort key.
+                hi = bisect_right(self._sorted_times, hz)
+                out = self._sorted_tuples[:hi]
+                perf.record("frontier.tuples_sliced")
+            elif (
+                self._fork_carried_hz is not None
+                and hz <= self._fork_carried_hz
+            ):
+                # Forked explorer below the carried horizon: merge the
+                # carried sorted prefix with the re-expanded cone's
+                # tuples.  The merge key appends the vertex's position so
+                # cross-vertex ties land exactly where the full stable
+                # sort would put them.
+                hi = bisect_right(self._fork_carried_times, hz)
+                cone = self._fork_cone
+                fresh = [
+                    t
+                    for v, f in self._frontiers.items()
+                    if v in cone
+                    for t in f.tuples(v, hz)
+                ]
+                fresh.sort(key=lambda r: (r.time, -r.work))
+                out = self._merge_carried(
+                    self._fork_carried, hi, fresh
+                )
+                self._sorted_hz = hz
+                self._sorted_tuples = out
+                self._sorted_times = [r.time for r in out]
+                out = list(out)
+                perf.record("frontier.tuples_fork_merged")
+            else:
+                out = [
+                    t
+                    for v, f in self._frontiers.items()
+                    for t in f.tuples(v, hz)
+                ]
+                out.sort(key=lambda r: (r.time, -r.work))
+                self._sorted_hz = hz
+                self._sorted_tuples = out
+                self._sorted_times = [r.time for r in out]
+                out = list(out)
         else:
             hi = bisect_right(self._all_times, hz)
             out = list(self._all[:hi])
-        out.sort(key=lambda r: (r.time, -r.work))
+            out.sort(key=lambda r: (r.time, -r.work))
         served = len(out)
         reused = max(0, served - self._new_kept_since_query)
         self._new_kept_since_query = 0
@@ -424,14 +681,22 @@ class FrontierExplorer:
 def frontier_explorer(task: DRTTask) -> FrontierExplorer:
     """The task's shared (pruned) explorer, created on first use.
 
-    Tasks are immutable after construction, so the exploration state never
-    needs invalidation; it simply grows monotonically with the largest
-    horizon any analysis has asked for.
+    Tasks are immutable after construction, so the exploration state
+    normally never needs invalidation; it simply grows monotonically
+    with the largest horizon any analysis has asked for.  Code that
+    mutates a task in place anyway used to silently receive an explorer
+    for the *old* definition; :func:`repro.drt.digest.guard_cache`
+    detects the mutation via a structural fingerprint and drops the
+    whole memo cache (explorer, digests, analysis contexts) so the next
+    access rebuilds against the current definition.
     """
-    ex = task._analysis_cache.get("frontier_explorer")
+    from repro.drt.digest import guard_cache
+
+    cache = guard_cache(task)
+    ex = cache.get("frontier_explorer")
     if ex is None:
         ex = FrontierExplorer(task, prune=True)
-        task._analysis_cache["frontier_explorer"] = ex
+        cache["frontier_explorer"] = ex
     return ex
 
 

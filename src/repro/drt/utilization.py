@@ -72,11 +72,14 @@ def max_cycle_ratio(task: DRTTask) -> Fraction:
     This is the exact long-run request rate: behaviours can sustain work
     arrival at this rate forever but no higher.
     """
-    cached = task._analysis_cache.get("max_cycle_ratio")
+    from repro.drt.digest import guard_cache
+
+    cache = guard_cache(task)
+    cached = cache.get("max_cycle_ratio")
     if cached is not None:
         return cached  # type: ignore[return-value]
     result = _max_cycle_ratio_uncached(task)
-    task._analysis_cache["max_cycle_ratio"] = result
+    cache["max_cycle_ratio"] = result
     return result
 
 
@@ -131,7 +134,10 @@ def linear_request_bound(task: DRTTask) -> Tuple[Fraction, Fraction]:
     Returns:
         ``(B, rho)``.
     """
-    cached = task._analysis_cache.get("linear_request_bound")
+    from repro.drt.digest import guard_cache
+
+    cache = guard_cache(task)
+    cached = cache.get("linear_request_bound")
     if cached is not None:
         return cached  # type: ignore[return-value]
     rho = max_cycle_ratio(task)
@@ -149,5 +155,5 @@ def linear_request_bound(task: DRTTask) -> Tuple[Fraction, Fraction]:
     else:  # pragma: no cover - impossible without a positive reduced cycle
         raise AssertionError("linear_request_bound did not stabilise")
     result = (max(dist.values()), rho)
-    task._analysis_cache["linear_request_bound"] = result
+    cache["linear_request_bound"] = result
     return result

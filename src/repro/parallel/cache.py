@@ -255,21 +255,25 @@ def apply_config(config: Tuple[Optional[str], int, bool]) -> None:
 def task_digest(task) -> str:
     """Stable hex digest of a task definition (memoized on the task).
 
-    Covers the name and the exact job/edge lists *in insertion order* —
-    the order steers exploration tie-breaking, so two definitions that
-    differ only in ordering address different cache entries (their
-    results may report different, equally valid, critical tuples).
+    Composed from the per-vertex and per-edge content digests of
+    :mod:`repro.drt.digest` *in insertion order* — the order steers
+    exploration tie-breaking, so two definitions that differ only in
+    ordering address different cache entries (their results may report
+    different, equally valid, critical tuples).
+
+    The memo is guarded against in-place task mutation: if the
+    definition changed since the digest was recorded, the task's entire
+    analysis cache is dropped (every memo in it is stale) and the
+    digest recomputed, so a mutated task can never be served another
+    definition's cached results.
     """
-    memo = task._analysis_cache.get("content_digest")
+    from repro.drt.digest import composed_task_digest, guard_cache
+
+    cache = guard_cache(task)
+    memo = cache.get("content_digest")
     if memo is None:
-        h = hashlib.sha256()
-        h.update(task.name.encode("utf-8"))
-        for job in task.jobs.values():
-            h.update(f"|j{job.name}:{job.wcet}:{job.deadline}".encode("utf-8"))
-        for e in task.edges:
-            h.update(f"|e{e.src}>{e.dst}:{e.separation}".encode("utf-8"))
-        memo = h.hexdigest()
-        task._analysis_cache["content_digest"] = memo
+        memo = composed_task_digest(task)
+        cache["content_digest"] = memo
     return memo
 
 

@@ -21,7 +21,10 @@ Execution semantics per kind (:func:`execute_request`):
 * ``sp_schedulable`` / ``edf_structural_delays`` / ``analyze_many`` run
   under :func:`~repro.resilience.budget.budget_scope`; these verdicts
   have no sound partial form, so budget exhaustion surfaces as a typed
-  ``budget_exhausted`` error envelope.
+  ``budget_exhausted`` error envelope;
+* ``whatif_sweep`` runs :func:`repro.whatif.engine.whatif_sweep` under
+  the same scope — one warm incremental session per request, per-edit
+  failures reported inside the result list.
 
 Each envelope carries the request's trace ID; with ``"perf": true`` it
 also carries the perf-counter delta of exactly that request's work —
@@ -46,6 +49,7 @@ from repro.sched.edf_delay import edf_structural_delays
 from repro.sched.sp import sp_schedulable
 from repro.service import protocol
 from repro.service.protocol import DecodedRequest
+from repro.whatif.engine import whatif_sweep
 
 __all__ = ["execute_request", "run_batch", "Batcher"]
 
@@ -92,6 +96,13 @@ def execute_request(req: DecodedRequest) -> Dict[str, object]:
         elif req.kind == "analyze_many":
             with budget_scope(req.budget):
                 result = analyze_many(list(req.tasks), req.beta, **req.params)
+        elif req.kind in protocol.WHATIF_KINDS:
+            # One warm session per request; per-edit failures come back
+            # inside the result list, not as an envelope error.
+            with budget_scope(req.budget):
+                result = whatif_sweep(
+                    req.tasks[0], req.beta, req.params["edits"]
+                )
         else:  # pragma: no cover - decode_request rejects unknown kinds
             raise ValueError(f"unknown kind {req.kind!r}")
     except Exception as exc:  # noqa: BLE001 - outcomes travel as values

@@ -314,16 +314,28 @@ class ServiceClient:
         max_segments: Optional[int] = None,
         params: Optional[Dict[str, Any]] = None,
         perf: bool = False,
+        edits: Optional[Sequence] = None,
     ) -> Dict[str, Any]:
-        """The wire-shaped request dict for one analysis call."""
+        """The wire-shaped request dict for one analysis call.
+
+        *edits* (``whatif_sweep`` only) accepts
+        :data:`repro.whatif.edits.Edit` values or already-wire-shaped
+        edit dicts.
+        """
         spec: Dict[str, Any] = {
             "kind": kind,
             "beta": _beta_to_wire(beta),
         }
-        if kind in protocol.SINGLE_TASK_KINDS:
+        if kind in protocol.SINGLE_TASK_KINDS or kind in protocol.WHATIF_KINDS:
             spec["task"] = task_to_dict(tasks)
         else:
             spec["tasks"] = [task_to_dict(t) for t in tasks]
+        if edits is not None:
+            from repro.whatif.edits import edit_to_dict
+
+            spec["edits"] = [
+                e if isinstance(e, dict) else edit_to_dict(e) for e in edits
+            ]
         if deadline_ms is not None:
             spec["deadline_ms"] = deadline_ms
         if max_expansions is not None:
@@ -394,3 +406,27 @@ class ServiceClient:
         to a direct in-process call on the same inputs.
         """
         return self._typed("analyze_many", tasks, beta, params=params)
+
+    def whatif_sweep(self, task, beta, edits, **kwargs):
+        """Served :func:`repro.whatif.engine.whatif_sweep` via
+        ``POST /v1/whatif``.
+
+        Returns the list of :class:`~repro.whatif.engine.WhatIfResult`
+        — equal (``==``) to a direct in-process sweep on the same
+        inputs (summaries are canonical; stats never cross the wire).
+        """
+        kind = "whatif_sweep"
+        envelope = self._json(
+            "POST",
+            "/v1/whatif",
+            self.build_request(kind, task, beta, edits=edits, **kwargs),
+        )
+        if not envelope.get("ok", False):
+            error = envelope.get("error", {})
+            raise ServiceError(
+                f"{kind}: {error.get('message', 'analysis failed')}",
+                status=200,
+                code=error.get("code", "analysis_error"),
+                trace_id=envelope.get("trace_id"),
+            )
+        return protocol.decode_result(kind, envelope["result"])

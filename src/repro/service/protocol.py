@@ -15,9 +15,11 @@ compares ``==`` to a direct in-process call.
 
     {
       "kind": "delay" | "bounded_delay" | "sp_schedulable"
-              | "edf_structural_delays" | "analyze_many",
-      "task":  {...},            # single-task kinds (json_io task dict)
+              | "edf_structural_delays" | "analyze_many" | "whatif_sweep",
+      "task":  {...},            # single-task + whatif kinds (json_io dict)
       "tasks": [{...}, ...],     # set kinds
+      "edits": [{"op": ...}, ...],  # whatif_sweep: model edits (see
+                                    # repro.whatif.edits wire forms)
       "beta": {"rate": "1/2", "latency": "4"}   # rate-latency shorthand
               | {"segments": [...]},            # full curve dict
       "deadline_ms": 250,        # optional: analysis budget (ms)
@@ -64,11 +66,14 @@ from repro.resilience.bounded import BoundedDelayResult
 from repro.resilience.budget import Budget
 from repro.sched.edf_delay import EdfDelayResult
 from repro.sched.sp import SpResult
+from repro.whatif.edits import edit_from_dict
+from repro.whatif.engine import WhatIfResult
 
 __all__ = [
     "PROTOCOL_VERSION",
     "KINDS",
     "SINGLE_TASK_KINDS",
+    "WHATIF_KINDS",
     "DecodedRequest",
     "new_trace_id",
     "decode_request",
@@ -84,7 +89,9 @@ PROTOCOL_VERSION = 1
 SINGLE_TASK_KINDS = frozenset({"delay", "bounded_delay"})
 #: Kinds operating on an ordered task set.
 SET_KINDS = frozenset({"sp_schedulable", "edf_structural_delays", "analyze_many"})
-KINDS = SINGLE_TASK_KINDS | SET_KINDS
+#: Kinds sweeping model edits over one warm base task (``/v1/whatif``).
+WHATIF_KINDS = frozenset({"whatif_sweep"})
+KINDS = SINGLE_TASK_KINDS | SET_KINDS | WHATIF_KINDS
 
 #: Keyword parameters each kind forwards to the engine entry point.
 _ALLOWED_PARAMS = {
@@ -95,6 +102,8 @@ _ALLOWED_PARAMS = {
         {"initial_horizon", "max_iterations", "reuse", "backend"}
     ),
     "analyze_many": frozenset({"initial_horizon", "backend"}),
+    # The sweep's edits arrive top-level (like 'task'), not via params.
+    "whatif_sweep": frozenset(),
 }
 
 #: Params carrying a rational value (decoded from the string form).
@@ -177,7 +186,7 @@ def decode_request(data: Any, trace_id: Optional[str] = None) -> DecodedRequest:
             f"unknown kind {kind!r}; expected one of {sorted(KINDS)}"
         )
     validate = bool(data.get("validate", True))
-    if kind in SINGLE_TASK_KINDS:
+    if kind in SINGLE_TASK_KINDS or kind in WHATIF_KINDS:
         if "task" not in data:
             raise _bad(f"kind {kind!r} needs a 'task' object")
         tasks = (task_from_dict(data["task"], validate=validate),)
@@ -215,6 +224,12 @@ def decode_request(data: Any, trace_id: Optional[str] = None) -> DecodedRequest:
     for name in _RATIONAL_PARAMS & set(params):
         if params[name] is not None:
             params[name] = _decode_rational(params[name], f"params.{name}")
+
+    if kind in WHATIF_KINDS:
+        specs = data.get("edits")
+        if not isinstance(specs, list) or not specs:
+            raise _bad(f"kind {kind!r} needs a non-empty 'edits' list")
+        params["edits"] = [edit_from_dict(spec) for spec in specs]
 
     return DecodedRequest(
         kind=kind,
@@ -254,6 +269,36 @@ def _decode_job_delays(data) -> Dict[str, Dict[str, Fraction]]:
     }
 
 
+def _encode_summary(s: TaskAnalysisSummary) -> Dict[str, Any]:
+    return {
+        "task": s.task,
+        "delay": str(s.delay),
+        "backlog": str(s.backlog),
+        "busy_window": str(s.busy_window),
+        "per_job": {j: str(d) for j, d in s.per_job.items()},
+        "meets_deadlines": s.meets_deadlines,
+        "witness_vertices": (
+            None if s.witness_vertices is None else list(s.witness_vertices)
+        ),
+    }
+
+
+def _decode_summary(s: Dict[str, Any]) -> TaskAnalysisSummary:
+    return TaskAnalysisSummary(
+        task=s["task"],
+        delay=Fraction(s["delay"]),
+        backlog=Fraction(s["backlog"]),
+        busy_window=Fraction(s["busy_window"]),
+        per_job={j: Fraction(d) for j, d in s["per_job"].items()},
+        meets_deadlines=s["meets_deadlines"],
+        witness_vertices=(
+            None
+            if s["witness_vertices"] is None
+            else tuple(s["witness_vertices"])
+        ),
+    )
+
+
 def encode_result(kind: str, result: Any) -> Dict[str, Any]:
     """The JSON-friendly wire form of one kind's engine result."""
     if kind in SINGLE_TASK_KINDS:
@@ -291,22 +336,23 @@ def encode_result(kind: str, result: Any) -> Dict[str, Any]:
             "busy_window": str(edf.busy_window),
         }
     if kind == "analyze_many":
+        return {"summaries": [_encode_summary(s) for s in result]}
+    if kind in WHATIF_KINDS:
         return {
-            "summaries": [
+            "results": [
                 {
-                    "task": s.task,
-                    "delay": str(s.delay),
-                    "backlog": str(s.backlog),
-                    "busy_window": str(s.busy_window),
-                    "per_job": {j: str(d) for j, d in s.per_job.items()},
-                    "meets_deadlines": s.meets_deadlines,
-                    "witness_vertices": (
-                        None
-                        if s.witness_vertices is None
-                        else list(s.witness_vertices)
+                    "edit": r.edit,
+                    "ok": r.ok,
+                    "summary": (
+                        None if r.summary is None else _encode_summary(r.summary)
                     ),
+                    "error": r.error,
+                    "error_code": r.error_code,
+                    "cone_size": r.cone_size,
+                    "carried_vertices": r.carried_vertices,
+                    "total_vertices": r.total_vertices,
                 }
-                for s in result
+                for r in result
             ]
         }
     raise ValueError(f"unknown kind {kind!r}")
@@ -347,21 +393,24 @@ def decode_result(kind: str, data: Dict[str, Any]):
             busy_window=Fraction(data["busy_window"]),
         )
     if kind == "analyze_many":
+        return [_decode_summary(s) for s in data["summaries"]]
+    if kind in WHATIF_KINDS:
         return [
-            TaskAnalysisSummary(
-                task=s["task"],
-                delay=Fraction(s["delay"]),
-                backlog=Fraction(s["backlog"]),
-                busy_window=Fraction(s["busy_window"]),
-                per_job={j: Fraction(d) for j, d in s["per_job"].items()},
-                meets_deadlines=s["meets_deadlines"],
-                witness_vertices=(
+            WhatIfResult(
+                edit=r["edit"],
+                ok=r["ok"],
+                summary=(
                     None
-                    if s["witness_vertices"] is None
-                    else tuple(s["witness_vertices"])
+                    if r["summary"] is None
+                    else _decode_summary(r["summary"])
                 ),
+                error=r.get("error"),
+                error_code=r.get("error_code"),
+                cone_size=r.get("cone_size", 0),
+                carried_vertices=r.get("carried_vertices", 0),
+                total_vertices=r.get("total_vertices", 0),
             )
-            for s in data["summaries"]
+            for r in data["results"]
         ]
     raise ValueError(f"unknown kind {kind!r}")
 

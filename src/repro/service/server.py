@@ -7,6 +7,11 @@ A deliberately small HTTP/1.1 implementation on
 =============================  =========================================
 ``POST /v1/analyze``           one analysis request (see
                                :mod:`repro.service.protocol`)
+``POST /v1/whatif``            one ``whatif_sweep`` request (kind
+                               implied by the route): a base task, a
+                               service curve and an ``edits`` list,
+                               re-analysed incrementally
+                               (:mod:`repro.whatif`)
 ``POST /v1/batch``             ``{"requests": [...], "stream": bool}``;
                                with ``stream`` the response is chunked
                                NDJSON, one envelope per line in
@@ -360,6 +365,12 @@ class AnalysisServer:
             if method != "POST":
                 raise self._method_not_allowed()
             return await self._handle_analyze(body, writer)
+        if path == "/v1/whatif":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_analyze(
+                body, writer, force_kind="whatif_sweep"
+            )
         if path == "/v1/batch":
             if method != "POST":
                 raise self._method_not_allowed()
@@ -478,10 +489,34 @@ class AnalysisServer:
             self.metrics.record("analysis_errors")
 
     async def _handle_analyze(
-        self, body: bytes, writer: asyncio.StreamWriter
+        self,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        force_kind: Optional[str] = None,
     ) -> bool:
         self._refuse_if_draining()
-        req = self._decode_one(self._parse_json(body))
+        data = self._parse_json(body)
+        if force_kind is not None and isinstance(data, dict):
+            # Kind-specific routes (/v1/whatif) imply their kind; an
+            # explicit mismatching one is a client error.
+            stated = data.get("kind")
+            if stated is not None and stated != force_kind:
+                raise _HttpError(
+                    400,
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": "bad_request",
+                            "message": (
+                                f"kind {stated!r} does not match this "
+                                f"route (expects {force_kind!r})"
+                            ),
+                        },
+                    },
+                )
+            data = dict(data)
+            data["kind"] = force_kind
+        req = self._decode_one(data)
         self._admit([req])
         envelope = await self.batcher.submit(req)
         await self._finish_envelope(envelope)

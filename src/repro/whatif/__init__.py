@@ -1,0 +1,42 @@
+"""Incremental what-if analysis: warm re-analysis under model edits.
+
+The sweep vocabulary (:mod:`repro.whatif.edits`), the incremental
+engine (:mod:`repro.whatif.engine`), and the structural diffing it
+builds on (:mod:`repro.drt.digest`).  See ``docs/API.md``
+("Incremental what-if analysis") for the workflow and the wire forms.
+"""
+
+from repro.drt.digest import StructuralDiff, structural_diff
+from repro.whatif.edits import (
+    AddEdge,
+    Edit,
+    RemoveEdge,
+    ScaleWcet,
+    SetDeadline,
+    SetSeparation,
+    SetWcet,
+    TightenBeta,
+    apply_edit,
+    edit_from_dict,
+    edit_to_dict,
+)
+from repro.whatif.engine import WhatIfResult, WhatIfSession, whatif_sweep
+
+__all__ = [
+    "StructuralDiff",
+    "structural_diff",
+    "Edit",
+    "ScaleWcet",
+    "SetWcet",
+    "SetDeadline",
+    "SetSeparation",
+    "AddEdge",
+    "RemoveEdge",
+    "TightenBeta",
+    "apply_edit",
+    "edit_to_dict",
+    "edit_from_dict",
+    "WhatIfResult",
+    "WhatIfSession",
+    "whatif_sweep",
+]

@@ -361,6 +361,67 @@ throughput at >= 5x naive per-request dispatch
 """
 
 
+WHATIF_SECTION = """\
+## Incremental what-if analysis
+
+`repro.whatif` re-analyses *edits* of a base model against the base's
+warm exploration state instead of from scratch, with every bound
+bit-identical (exact `Fraction` equality) to a cold analysis of the
+edited model — enforced by the hypothesis suite in
+`tests/test_whatif.py`, including under `REPRO_CHAOS` cache fault
+injection.
+
+**Structural digests** (`repro.drt.digest`).  `vertex_digest` /
+`edge_digest` hash each model element; `task_digest` composes them
+(order-independently over the element set) into one digest equal to a
+digest of the task built from scratch.  `backward_cone_digest(task, v)`
+hashes exactly the subgraph that can reach `v` — the full input of
+`v`'s delay bound.  `structural_diff(old, new)` classifies an edit's
+blast radius: touched vertices/edges, the forward-closed *affected
+cone*, and the carried complement; `guard_cache(task)` fingerprints the
+task and drops its whole memo cache (explorer, contexts, busy windows,
+digests) when an in-place mutation is detected, so shared memos can
+never serve stale bounds.
+
+**Edits** (`repro.whatif.edits`).  Value-typed perturbations —
+`SetWcet`, `SetDeadline`, `ScaleWcets`, `SetSeparation`, `AddEdge`,
+`RemoveEdge`, `AddVertex`, `SetBeta` — with wire forms
+(`edit_to_dict` / `edit_from_dict`) and `apply_edit(task, beta, edit)`
+producing a structurally fresh task (β-only edits return the base task
+object unchanged, keeping its memo cache live).
+
+**Frontier-prefix reuse** (`repro.drt.request.FrontierExplorer.fork`).
+Forking re-seeds only the affected cone; per-vertex frontiers and
+deferred successors outside the cone carry over verbatim (the cone is
+forward-closed, and extensions of dominated tuples are dominated), and
+the source's sorted-tuples prefix carries too, so a forked query below
+the carried horizon is a two-way merge instead of a full re-sort.
+Warm re-analysis additionally seeds the busy-window fixpoint with the
+base's exactness horizon (the converged length is seed-independent),
+reuses the base's `max_cycle_ratio` memo whenever the diff provably
+leaves every cycle untouched (`cycles_untouched`), and memoizes the
+fixpoint step on the `(rbf, beta)` curve pair.  Only exploration
+*statistics* differ from a cold run — which is why what-if contexts
+never persist whole-analysis results (`AnalysisContext.of(...,
+persist=False)`).
+
+**Warm sweeps** (`repro.whatif.engine`).  `WhatIfSession(task, beta)`
+analyses the base once and then answers `analyze(edit)` incrementally;
+a failing edit is a first-class `WhatIfResult` (typed `error_code`),
+never an exception.  `whatif_sweep(task, beta, edits, jobs=)` fans
+contiguous chunks across the parallel plane (results in input order,
+chunking-invariant), caching per-vertex delay bounds in the persistent
+result cache under `backward_cone_digest` keys so any process reuses
+every vertex an edit left alone.  The CLI exposes `repro diff a.json
+b.json` (blast-radius report) and `repro whatif base.json --edits
+edits.json`; the service accepts `kind: "whatif_sweep"` on `POST
+/v1/whatif` (and in `/v1/batch`), riding the micro-batch coalescer —
+served summaries decode bit-identical to direct `whatif_sweep` calls.
+`benchmarks/bench_whatif.py` gates the warm sweep at >= 5x a cold
+re-analysis with bit-identical bounds.
+"""
+
+
 def render() -> str:
     lines = [
         "# API reference",
@@ -373,6 +434,7 @@ def render() -> str:
         PARALLEL_SECTION,
         RESILIENCE_SECTION,
         SERVICE_SECTION,
+        WHATIF_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
         public = getattr(module, "__all__", None)
