@@ -1,0 +1,304 @@
+"""Benchmark of the sharded cluster: warm throughput vs fleet size.
+
+Boots real coordinator + ``repro serve`` worker-subprocess fleets of
+1, 2 and 4 nodes (:meth:`repro.cluster.ClusterHandle.start` in process
+mode) and measures the same mixed warm workload — ``delay``,
+``sp_schedulable``, ``edf_structural_delays`` and ``whatif_sweep``
+requests over distinct task content — through each fleet.
+
+**What scales.**  On a one-box CI runner the fleet shares a CPU, so the
+scaling lever this benchmark isolates is the one the sharded tier
+actually adds: *aggregate warm-cache capacity under digest-affinity
+routing*.  Every worker's on-disk result cache is capped
+(``REPRO_CACHE_MAX_BYTES``) at ~60% of the workload's measured working
+set.  A single worker therefore LRU-thrashes under the cyclic workload
+(every warm pass recomputes nearly everything), while four workers each
+own a ~quarter shard that fits comfortably, so the consistent-hash
+ring keeps every request pinned to a node whose cache already holds it.
+The measured speedup is the cache-affinity win, not SMP parallelism.
+
+Every fleet size must return bit-identical results to direct in-process
+calls (``delay`` compared field-wise — its critical tuple crosses the
+wire as a display string — everything else by full equality).
+
+Gate (smoke and full): 4-worker warm throughput >= 3.2x 1-worker.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, the CI job) runs the same
+workload — the capacity mechanism needs the full working set to have a
+meaningful 60% cap — but does not rewrite the committed JSON.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+from fractions import Fraction as F
+
+from repro.cluster import ClusterHandle
+from repro.core.facade import analyze_many
+from repro.curves.service import rate_latency_service
+from repro.drt.model import DRTTask
+from repro.resilience import bounded_delay
+from repro.sched.edf_delay import edf_structural_delays
+from repro.sched.sp import sp_schedulable
+from repro.service import ServiceClient, decode_result
+from repro.whatif import whatif_sweep
+from repro.whatif.edits import SetWcet
+
+from _harness import report, write_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+N_TASKS = 16
+SET_CHUNK = 3
+REPEATS = 2
+FLEETS = (1, 2, 4)
+CAP_FRACTION = 0.6
+CAP_FLOOR_BYTES = 2 * 1024
+MIN_4WORKER_SPEEDUP = 3.2
+
+
+def _tasks():
+    """Distinct mid-weight DRT tasks (~40 ms cold delay analysis each)."""
+    tasks = []
+    for seed in range(N_TASKS):
+        jobs = {
+            f"v{i}": (2 + (seed + i) % 2, 60 + (seed * 7 + 3 * i) % 20)
+            for i in range(6)
+        }
+        names = list(jobs)
+        edges = [
+            (a, b, 5 + (seed + i) % 3)
+            for i, (a, b) in enumerate(zip(names, names[1:] + names[:1]))
+        ]
+        edges += [
+            (v, v, 7 + (seed + i) % 3) for i, v in enumerate(names)
+        ]
+        tasks.append(DRTTask.build(f"bench{seed}", jobs=jobs, edges=edges))
+    return tasks
+
+
+def _edf_tasks():
+    """Constrained-deadline tasks (EDF's exact demand bound needs
+    deadline <= min outgoing separation)."""
+    tasks = []
+    for seed in range(N_TASKS):
+        jobs = {
+            f"v{i}": (2 + (seed + i) % 2, 16 + (seed * 7 + 3 * i) % 5)
+            for i in range(6)
+        }
+        names = list(jobs)
+        edges = [
+            (a, b, 21 + (seed + i) % 3)
+            for i, (a, b) in enumerate(zip(names, names[1:] + names[:1]))
+        ]
+        edges += [
+            (v, v, 23 + (seed + i) % 3) for i, v in enumerate(names)
+        ]
+        tasks.append(DRTTask.build(f"edf{seed}", jobs=jobs, edges=edges))
+    return tasks
+
+
+def _edits():
+    return [SetWcet("v0", F(3)), SetWcet("v1", F(1))]
+
+
+def _chunks(tasks):
+    return [tasks[i : i + SET_CHUNK] for i in range(0, len(tasks), SET_CHUNK)]
+
+
+def _specs(tasks, edf_tasks, beta):
+    """The mixed workload: singles, set kinds, and what-if sweeps."""
+    specs = [
+        ServiceClient.build_request("delay", task, beta) for task in tasks
+    ]
+    for chunk in _chunks(tasks):
+        specs.append(
+            ServiceClient.build_request("sp_schedulable", chunk, beta)
+        )
+    for chunk in _chunks(edf_tasks):
+        specs.append(
+            ServiceClient.build_request("edf_structural_delays", chunk, beta)
+        )
+    specs.append(
+        ServiceClient.build_request("analyze_many", tasks[:SET_CHUNK], beta)
+    )
+    for task in tasks[:2]:
+        specs.append(
+            ServiceClient.build_request(
+                "whatif_sweep", task, beta, edits=_edits()
+            )
+        )
+    return specs
+
+
+def _baseline(tasks, edf_tasks, beta, specs):
+    """Direct in-process results, in spec order."""
+    results = [("delay", bounded_delay(task, beta)) for task in tasks]
+    for chunk in _chunks(tasks):
+        results.append(("sp_schedulable", sp_schedulable(chunk, beta)))
+    for chunk in _chunks(edf_tasks):
+        results.append(
+            ("edf_structural_delays", edf_structural_delays(chunk, beta))
+        )
+    results.append(("analyze_many", analyze_many(tasks[:SET_CHUNK], beta)))
+    for task in tasks[:2]:
+        results.append(
+            ("whatif_sweep", whatif_sweep(task, beta, _edits()))
+        )
+    assert len(results) == len(specs)
+    return results
+
+
+def _check(envelopes, baseline):
+    assert len(envelopes) == len(baseline), (len(envelopes), len(baseline))
+    for envelope, (kind, want) in zip(envelopes, baseline):
+        assert envelope["ok"], envelope
+        got = decode_result(kind, envelope["result"])
+        if kind == "delay":
+            # The critical tuple crosses the wire as a display string;
+            # the numeric bound fields are the exact payload.
+            assert got.delay == want.delay, (got, want)
+            assert got.busy_window == want.busy_window, (got, want)
+        else:
+            assert got == want, (kind, got, want)
+
+
+def _dir_bytes(path):
+    total = 0
+    for root, _dirs, files in os.walk(path):
+        for name in files:
+            try:
+                total += os.path.getsize(os.path.join(root, name))
+            except OSError:
+                pass
+    return total
+
+
+def _run_fleet(n_workers, cache_base, cap_bytes, specs, baseline):
+    """Prime then time warm passes; returns (cold_s, warm_s, metrics)."""
+    cache_dir = os.path.join(cache_base, f"fleet{n_workers}")
+    handle = ClusterHandle.start(
+        n_workers=n_workers,
+        worker_mode="process",
+        probe_interval_s=5.0,
+        worker_kwargs={
+            "cache_dir": cache_dir,
+            "cache_max_bytes": cap_bytes,
+            "jobs": "1",
+        },
+    )
+    try:
+        client = ServiceClient(port=handle.port, timeout=600.0)
+        t0 = time.perf_counter()
+        _check(client.batch(specs), baseline)
+        cold_s = time.perf_counter() - t0
+        before = client.metrics()["rollup"]["cache"]
+        warm_s = None
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            _check(client.batch(specs), baseline)
+            dt = time.perf_counter() - t0
+            warm_s = dt if warm_s is None else min(warm_s, dt)
+        doc = client.metrics()
+    finally:
+        handle.shutdown(timeout=60)
+    after = doc["rollup"]["cache"]
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    warm_hit_rate = hits / max(hits + misses, 1)
+    return cold_s, warm_s, warm_hit_rate, doc
+
+
+def test_bench_cluster_scaling():
+    """4-worker warm throughput >= 3.2x 1-worker on a capped cache."""
+    beta = rate_latency_service(F(1, 2), F(20))
+    tasks = _tasks()
+    edf_tasks = _edf_tasks()
+    specs = _specs(tasks, edf_tasks, beta)
+    baseline = _baseline(tasks, edf_tasks, beta, specs)
+
+    cache_base = tempfile.mkdtemp(prefix="repro-bench-cluster-")
+    per_fleet = {}
+    try:
+        # Sizing pass: one uncapped worker measures the working set.
+        sizing_dir = os.path.join(cache_base, "sizing")
+        handle = ClusterHandle.start(
+            n_workers=1,
+            worker_mode="process",
+            probe_interval_s=5.0,
+            worker_kwargs={"cache_dir": sizing_dir, "jobs": "1"},
+        )
+        try:
+            client = ServiceClient(port=handle.port, timeout=600.0)
+            _check(client.batch(specs), baseline)
+        finally:
+            handle.shutdown(timeout=60)
+        working_set = _dir_bytes(sizing_dir)
+        assert working_set > 0, "sizing pass wrote no cache entries"
+        cap_bytes = max(int(working_set * CAP_FRACTION), CAP_FLOOR_BYTES)
+
+        for n_workers in FLEETS:
+            cold_s, warm_s, warm_hit_rate, doc = _run_fleet(
+                n_workers, cache_base, cap_bytes, specs, baseline
+            )
+            per_fleet[n_workers] = {
+                "workers": n_workers,
+                "cold_batch_s": cold_s,
+                "warm_batch_s": warm_s,
+                "warm_rps": len(specs) / warm_s,
+                "warm_hit_rate": warm_hit_rate,
+                "per_worker_hit_rate": {
+                    wid: (w or {}).get("cache", {}).get("hit_rate")
+                    for wid, w in doc["workers"].items()
+                },
+            }
+    finally:
+        shutil.rmtree(cache_base, ignore_errors=True)
+
+    speedup = (
+        per_fleet[4]["warm_rps"] / per_fleet[1]["warm_rps"]
+    )
+    report(
+        "cluster",
+        "sharded cluster: warm throughput vs fleet size "
+        f"(identical bounds, per-worker cache cap {CAP_FRACTION:.0%} "
+        "of working set)",
+        ["workers", "cold s", "warm s", "req/s", "hit rate", "vs 1 worker"],
+        [
+            [
+                n,
+                per_fleet[n]["cold_batch_s"],
+                per_fleet[n]["warm_batch_s"],
+                per_fleet[n]["warm_rps"],
+                per_fleet[n]["warm_hit_rate"],
+                per_fleet[n]["warm_rps"] / per_fleet[1]["warm_rps"],
+            ]
+            for n in FLEETS
+        ],
+    )
+
+    assert per_fleet[4]["warm_hit_rate"] > per_fleet[1]["warm_hit_rate"], (
+        "sharding must raise the warm-pass hit rate"
+    )
+    assert speedup >= MIN_4WORKER_SPEEDUP, (
+        f"4-worker warm throughput {speedup:.2f}x 1-worker "
+        f"< required {MIN_4WORKER_SPEEDUP}x"
+    )
+    if SMOKE:
+        return
+    write_json(
+        "cluster",
+        {
+            "experiment": "cluster_scaling",
+            "cpu_count": os.cpu_count(),
+            "requests": len(specs),
+            "distinct_tasks": N_TASKS,
+            "cap_fraction": CAP_FRACTION,
+            "gates": {"min_4worker_speedup": MIN_4WORKER_SPEEDUP},
+            "results": {
+                "fleets": {str(n): per_fleet[n] for n in FLEETS},
+                "speedup_4v1": speedup,
+                "bit_identical": True,
+            },
+        },
+    )

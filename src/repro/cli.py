@@ -6,13 +6,16 @@ Usage::
     repro-analyze task.json --rate 1 --tdma-slot 2 --tdma-frame 8
     python -m repro.cli task.json --rate 1/2 --latency 4 --per-job --dot g.dot
     python -m repro.cli serve --port 8177 --jobs auto
+    python -m repro.cli cluster --workers 4 --port 8178
     python -m repro.cli calibrate --reps 3
     python -m repro.cli diff base.json edited.json --json
     python -m repro.cli whatif task.json --rate 1/2 --edits edits.json
 
 The ``serve`` subcommand boots the analysis service
 (:mod:`repro.service`): an HTTP/JSON front end with micro-batching,
-admission control and a metrics plane.  The ``calibrate`` subcommand
+admission control and a metrics plane.  ``cluster`` fronts a fleet of
+such workers with cache-aware consistent-hash routing
+(:mod:`repro.cluster`).  The ``calibrate`` subcommand
 runs the kernel microbenchmark and persists a per-(op, size) cost table
 that the ``auto`` backend consults to dispatch each min-plus operation
 to the exact or the hybrid tier (:mod:`repro.minplus.costmodel`).
@@ -432,6 +435,10 @@ def main(argv=None) -> int:
         from repro.service.server import serve_main
 
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "cluster":
+        from repro.cluster.fleet import cluster_main
+
+        return cluster_main(list(argv[1:]))
     if argv and argv[0] == "calibrate":
         return _calibrate_main(list(argv[1:]))
     if argv and argv[0] == "diff":

@@ -1,0 +1,1227 @@
+"""The cluster coordinator: cache-aware routing over a worker fleet.
+
+A stdlib-only asyncio HTTP tier that fronts N ``repro serve`` workers
+(:mod:`repro.service.server`) and speaks the *same* wire protocol, so
+every existing client — :class:`repro.service.client.ServiceClient`
+included — points at a coordinator unchanged.  What it adds:
+
+* **digest-affinity placement** — each request's routing key is the
+  content digest the result cache already keys on
+  (:mod:`repro.cluster.routing`); a consistent-hash ring
+  (:mod:`repro.cluster.ring`) pins the key to one worker, so warm
+  persistent-cache entries, interned curves and what-if session state
+  stay on the node that built them;
+* **fan-out/merge** — ``/v1/batch`` splits by owner, runs the
+  sub-batches concurrently and re-merges envelopes in the original
+  request order; ``/v1/whatif`` splits a sweep's *edits* by per-edit
+  digest and re-merges the per-edit results in edit order.  Merged
+  results are bit-identical to a single-node run because every worker
+  computes with the same exact arithmetic and the coordinator never
+  rewrites a result payload;
+* **health + churn** — periodic ``/healthz`` probes eject an
+  unresponsive worker from the ring (and re-admit it on recovery);
+  a proxy-level connection failure ejects immediately and retries the
+  affected requests on the next owner along the ring, bounded by
+  ``retry_next_owner``.  Exhausted retries yield *typed* error
+  envelopes (``worker_unreachable``) — never silent wrong bounds;
+* **cluster-wide admission** — the same three-tier
+  :class:`~repro.service.admission.AdmissionController` discipline at
+  fleet scope: accept, shed (tighten the forwarded ``deadline_ms`` so
+  overload degrades to sound anytime bounds tagged ``shed``), or
+  reject with ``429`` + an EWMA-derived ``Retry-After``;
+* **observability** — ``/metrics`` aggregates every worker's document
+  and merges the per-endpoint latency Histograms with the
+  :meth:`repro.perf.Histogram.merge` algebra; responses carry
+  ``X-Repro-Worker`` / ``X-Repro-Ring-Generation`` / ``X-Trace-Id``,
+  and incoming trace IDs propagate coordinator → worker.
+
+Deterministic chaos: the ``cluster.worker_crash`` site
+(:mod:`repro.resilience.chaos`) fails a proxy attempt as if the owning
+worker died mid-request, driving the ejection + retry path under test
+control.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import perf
+from repro.resilience import chaos
+from repro.service import protocol
+from repro.service.admission import AdmissionController
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import (
+    _HttpError,
+    _chunk,
+    head_bytes,
+    read_body,
+    read_head,
+    send_json,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.routing import routing_digest, whatif_edit_digest
+
+__all__ = ["ClusterConfig", "ClusterCoordinator", "WorkerState"]
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables of one :class:`ClusterCoordinator`.
+
+    Attributes:
+        host: Coordinator bind address.
+        port: Coordinator bind port (0 picks a free one).
+        workers: ``(host, port)`` of every worker in the fleet.
+        vnodes: Virtual nodes per worker on the hash ring.
+        max_queue: Fleet-wide admission cap (default: 256 per worker).
+        shed_fraction: In-flight fraction above which shedding starts.
+        shed_deadline_ms: ``deadline_ms`` forced onto shed requests.
+        probe_interval_s: Delay between health-probe rounds.
+        probe_timeout_s: Per-probe socket timeout.
+        probe_failures: Consecutive probe failures before ejection.
+        retry_next_owner: How many successive next-owners a request may
+            be retried on after its owner fails (0 disables rerouting).
+        request_timeout_s: Per-proxied-request ceiling.
+        drain_grace_s: Longest wait for in-flight work during drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8178
+    workers: Tuple[Tuple[str, int], ...] = ()
+    vnodes: int = 64
+    max_queue: Optional[int] = None
+    shed_fraction: float = 0.75
+    shed_deadline_ms: float = 50.0
+    probe_interval_s: float = 1.0
+    probe_timeout_s: float = 2.0
+    probe_failures: int = 2
+    retry_next_owner: int = 1
+    request_timeout_s: float = 120.0
+    drain_grace_s: float = 30.0
+
+
+@dataclass
+class WorkerState:
+    """Live health bookkeeping of one fleet member."""
+
+    worker_id: str
+    host: str
+    port: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+    last_error: Optional[str] = None
+
+
+class _WorkerDown(Exception):
+    """Internal: a proxy attempt could not reach the worker."""
+
+
+def _error_envelope(
+    trace_id: str, kind: Optional[str], code: str, message: str
+) -> Dict[str, Any]:
+    env: Dict[str, Any] = {
+        "ok": False,
+        "trace_id": trace_id,
+        "error": {"code": code, "message": message},
+    }
+    if kind:
+        env["kind"] = kind
+    return env
+
+
+class ClusterCoordinator:
+    """One coordinator instance: ring + proxy + admission + rollup."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        if not self.config.workers:
+            raise ValueError("a cluster needs at least one worker")
+        self.workers: Dict[str, WorkerState] = {}
+        for index, (host, port) in enumerate(self.config.workers):
+            wid = f"w{index}"
+            self.workers[wid] = WorkerState(wid, host, int(port))
+        self.ring = HashRing(self.workers, vnodes=self.config.vnodes)
+        self.metrics = ServiceMetrics()
+        max_queue = self.config.max_queue
+        if max_queue is None:
+            max_queue = 256 * len(self.workers)
+        self.admission = AdmissionController(
+            max_queue=max_queue,
+            shed_fraction=self.config.shed_fraction,
+            shed_deadline_ms=self.config.shed_deadline_ms,
+        )
+        self.draining = False
+        self.port: Optional[int] = None
+        self._inflight = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._handlers: set = set()
+        self._probe_task: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Event] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._probe_task = asyncio.ensure_future(self._probe_loop())
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "start() was not called"
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> bool:
+        if self.draining:
+            return True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        clean = True
+        if drain:
+            deadline = time.monotonic() + self.config.drain_grace_s
+            while self._handlers and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            clean = not self._handlers
+        if self._stopped is not None:
+            self._stopped.set()
+        return clean
+
+    # -- health probes ---------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        while not self.draining:
+            await asyncio.gather(
+                *(self._probe_one(state) for state in self.workers.values()),
+                return_exceptions=True,
+            )
+            await asyncio.sleep(self.config.probe_interval_s)
+
+    async def _probe_one(self, state: WorkerState) -> None:
+        try:
+            status, _headers, _body = await self._worker_http(
+                state, "GET", "/healthz", None,
+                timeout=self.config.probe_timeout_s,
+            )
+        except _WorkerDown as exc:
+            state.consecutive_failures += 1
+            state.last_error = str(exc)
+            if (
+                state.consecutive_failures >= self.config.probe_failures
+                and state.worker_id in self.ring
+            ):
+                self._eject(state, f"probe: {exc}")
+            return
+        # A drained worker (503) is alive but unschedulable; treat it
+        # like a failure for ring membership without counting transport
+        # errors against it.
+        if status == 503:
+            state.consecutive_failures += 1
+            state.last_error = "draining"
+            if (
+                state.consecutive_failures >= self.config.probe_failures
+                and state.worker_id in self.ring
+            ):
+                self._eject(state, "draining")
+            return
+        state.consecutive_failures = 0
+        state.last_error = None
+        if state.worker_id not in self.ring:
+            state.healthy = True
+            self.ring.add(state.worker_id)
+            self.metrics.record("ring_readmissions")
+            perf.record("cluster.ring_readmissions")
+        else:
+            state.healthy = True
+
+    def _eject(self, state: WorkerState, reason: str) -> None:
+        state.healthy = False
+        state.last_error = reason
+        if self.ring.remove(state.worker_id):
+            self.metrics.record("ring_ejections")
+            perf.record("cluster.ring_ejections")
+
+    # -- worker HTTP -----------------------------------------------------
+
+    async def _worker_http(
+        self,
+        state: WorkerState,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One ``Connection: close`` HTTP exchange with a worker.
+
+        Raises :class:`_WorkerDown` on any transport-level failure
+        (connect, timeout, truncated response).
+        """
+        timeout = self.config.request_timeout_s if timeout is None else timeout
+        head = [f"{method} {path} HTTP/1.1", f"Host: {state.host}"]
+        head.append("Connection: close")
+        if trace_id:
+            head.append(f"X-Trace-Id: {trace_id}")
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        request = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        if body is not None:
+            request += body
+        try:
+            return await asyncio.wait_for(
+                self._worker_exchange(state, request), timeout
+            )
+        except asyncio.TimeoutError:
+            raise _WorkerDown(
+                f"{state.worker_id} timed out after {timeout}s"
+            ) from None
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            raise _WorkerDown(
+                f"{state.worker_id}: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    async def _worker_exchange(
+        self, state: WorkerState, request: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(state.host, state.port)
+        try:
+            writer.write(request)
+            await writer.drain()
+            status, headers = await self._read_response_head(reader)
+            payload = await self._read_response_body(reader, headers)
+            return status, headers, payload
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    @staticmethod
+    async def _read_response_head(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, Dict[str, str]]:
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise _WorkerDown(f"malformed status line {status_line!r}")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return int(parts[1]), headers
+
+    @staticmethod
+    async def _read_response_body(
+        reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            out = b""
+            async for piece in ClusterCoordinator._iter_chunks(reader):
+                out += piece
+            return out
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            return await reader.read()
+        return await reader.readexactly(int(raw_length))
+
+    @staticmethod
+    async def _iter_chunks(reader: asyncio.StreamReader):
+        """Decode HTTP/1.1 chunked framing, yielding raw chunk payloads."""
+        while True:
+            size_line = await reader.readline()
+            try:
+                size = int(size_line.strip().split(b";", 1)[0], 16)
+            except ValueError:
+                raise _WorkerDown(
+                    f"malformed chunk size {size_line!r}"
+                ) from None
+            if size == 0:
+                await reader.readline()  # trailing CRLF
+                return
+            payload = await reader.readexactly(size)
+            await reader.readexactly(2)  # chunk CRLF
+            yield payload
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        t0 = time.perf_counter()
+        endpoint = "?"
+        ok = False
+        try:
+            method, path, headers = await read_head(reader)
+            endpoint = f"{method} {path}"
+            body = await read_body(reader, headers)
+            ok = await self._route(
+                method, path, body, writer,
+                trace_id=headers.get("x-trace-id"),
+            )
+        except _HttpError as exc:
+            await send_json(
+                writer, exc.status, exc.body, extra_headers=exc.headers
+            )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
+            try:
+                await send_json(
+                    writer,
+                    500,
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": "internal",
+                            "message": "internal error",
+                        },
+                    },
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+            if endpoint != "?":
+                self.metrics.observe_request(
+                    endpoint, time.perf_counter() - t0, ok
+                )
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        trace_id: Optional[str] = None,
+    ) -> bool:
+        if path == "/healthz":
+            if method != "GET":
+                raise self._method_not_allowed()
+            return await self._handle_healthz(writer)
+        if path == "/metrics":
+            if method != "GET":
+                raise self._method_not_allowed()
+            await send_json(writer, 200, await self._metrics_rollup())
+            return True
+        if path in ("/v1/analyze", "/v1/whatif"):
+            if method != "POST":
+                raise self._method_not_allowed()
+            if path == "/v1/whatif":
+                return await self._handle_whatif(body, writer, trace_id)
+            return await self._handle_analyze(body, writer, trace_id)
+        if path == "/v1/batch":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_batch(body, writer, trace_id)
+        raise _HttpError(
+            404,
+            {
+                "ok": False,
+                "error": {"code": "bad_request", "message": f"no route {path}"},
+            },
+        )
+
+    @staticmethod
+    def _method_not_allowed() -> _HttpError:
+        return _HttpError(
+            405,
+            {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": "method not allowed",
+                },
+            },
+        )
+
+    def _parse_json(self, body: bytes):
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"invalid JSON body: {exc}",
+                    },
+                },
+            ) from exc
+
+    def _refuse_if_draining(self) -> None:
+        if self.draining:
+            raise _HttpError(
+                503,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "draining",
+                        "message": "coordinator is draining",
+                    },
+                },
+                headers={"Retry-After": "1"},
+            )
+
+    # -- admission -------------------------------------------------------
+
+    def _admit(self, specs: Sequence[Any]) -> bool:
+        """Fleet-wide admission; returns True when the batch is shed.
+
+        Shedding at the coordinator tightens each forwarded request's
+        ``deadline_ms`` (in place on the spec dicts), so the owning
+        worker runs it under a budget and answers with a *sound*
+        degraded bound, exactly like single-node shedding.
+        """
+        sheddable = all(
+            isinstance(s, dict)
+            and s.get("kind") in protocol.SINGLE_TASK_KINDS
+            and s.get("deadline_ms") is not None
+            for s in specs
+        )
+        decision = self.admission.admit(
+            len(specs), self._inflight, sheddable=sheddable
+        )
+        if not decision.accepted:
+            self.metrics.record("rejected", len(specs))
+            raise _HttpError(
+                429,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "queue_full",
+                        "message": (
+                            f"cluster queue is full "
+                            f"(in-flight {self._inflight} of "
+                            f"{self.admission.max_queue})"
+                        ),
+                    },
+                    "retry_after": decision.retry_after,
+                },
+                headers={"Retry-After": str(decision.retry_after)},
+            )
+        if decision.action == "shed":
+            self.metrics.record("shed", len(specs))
+            for spec in specs:
+                spec["deadline_ms"] = min(
+                    float(spec["deadline_ms"]),
+                    self.admission.shed_deadline_ms,
+                )
+            return True
+        return False
+
+    def _observe(self, envelope: Dict[str, Any]) -> None:
+        elapsed = envelope.get("elapsed_s")
+        if isinstance(elapsed, (int, float)):
+            healthy = max(1, len(self.ring))
+            self.admission.observe_service_time(float(elapsed) / healthy)
+        if envelope.get("degraded"):
+            self.metrics.record("degraded")
+        if not envelope.get("ok", False):
+            self.metrics.record("analysis_errors")
+
+    # -- placement + proxy -----------------------------------------------
+
+    def _owner_chain(self, digest: str) -> List[WorkerState]:
+        """The owner plus up to ``retry_next_owner`` fallbacks."""
+        chain = self.ring.owners(digest, 1 + self.config.retry_next_owner)
+        return [self.workers[wid] for wid in chain]
+
+    def _crash_injected(self, state: WorkerState, trace_id: str) -> bool:
+        if chaos.should_fire(
+            "cluster.worker_crash", key=f"{trace_id}:{state.worker_id}"
+        ):
+            perf.record("cluster.chaos_crashes")
+            return True
+        return False
+
+    async def _proxy_spec(
+        self,
+        path: str,
+        spec: Any,
+        trace_id: str,
+    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Route one spec to its owner; returns (envelope, worker_id).
+
+        Transport failures eject the owner and walk the ring to the
+        next one (bounded); exhaustion yields a typed error envelope.
+        The envelope always reflects the answering worker verbatim.
+        """
+        digest = routing_digest(spec)
+        body = json.dumps(spec).encode("utf-8")
+        attempts = 1 + max(0, self.config.retry_next_owner)
+        tried: List[str] = []
+        for _ in range(attempts):
+            chain = [
+                s for s in self._owner_chain(digest)
+                if s.worker_id not in tried
+            ]
+            if not chain:
+                break
+            state = chain[0]
+            tried.append(state.worker_id)
+            try:
+                if self._crash_injected(state, trace_id):
+                    raise _WorkerDown(
+                        f"{state.worker_id}: injected worker crash"
+                    )
+                status, headers, payload = await self._worker_http(
+                    state, "POST", path, body, trace_id=trace_id
+                )
+            except _WorkerDown as exc:
+                self._eject(state, str(exc))
+                self.metrics.record("proxy_failovers")
+                continue
+            if status == 429:
+                # The worker is saturated, not dead: wait out its own
+                # Retry-After hint once, then fall through to the next
+                # owner if it still refuses.
+                try:
+                    wait = min(float(headers.get("retry-after", "1")), 5.0)
+                except ValueError:
+                    wait = 1.0
+                await asyncio.sleep(wait)
+                try:
+                    if self._crash_injected(state, trace_id):
+                        raise _WorkerDown(
+                            f"{state.worker_id}: injected worker crash"
+                        )
+                    status, headers, payload = await self._worker_http(
+                        state, "POST", path, body, trace_id=trace_id
+                    )
+                except _WorkerDown as exc:
+                    self._eject(state, str(exc))
+                    self.metrics.record("proxy_failovers")
+                    continue
+                if status == 429:
+                    # Still saturated: leave it on the ring but move on
+                    # to the next owner for this request.
+                    self.metrics.record("proxy_failovers")
+                    continue
+            try:
+                envelope = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._eject(state, "undecodable response")
+                self.metrics.record("proxy_failovers")
+                continue
+            if not isinstance(envelope, dict):
+                envelope = {"ok": False, "result": envelope}
+            return envelope, state.worker_id
+        kind = spec.get("kind") if isinstance(spec, dict) else None
+        return (
+            _error_envelope(
+                trace_id,
+                kind,
+                "worker_unreachable",
+                "no live worker could serve this request "
+                f"(tried {', '.join(tried) or 'none'})",
+            ),
+            None,
+        )
+
+    # -- endpoints -------------------------------------------------------
+
+    async def _handle_healthz(self, writer: asyncio.StreamWriter) -> bool:
+        healthy = len(self.ring)
+        status = 503 if self.draining or healthy == 0 else 200
+        await send_json(
+            writer,
+            status,
+            {
+                "status": "draining" if self.draining else (
+                    "ok" if healthy else "no_workers"
+                ),
+                "role": "coordinator",
+                "uptime_s": self.metrics.uptime_s(),
+                "ring_generation": self.ring.generation,
+                "healthy_workers": healthy,
+                "workers": {
+                    wid: {
+                        "host": s.host,
+                        "port": s.port,
+                        "healthy": wid in self.ring,
+                        "consecutive_failures": s.consecutive_failures,
+                        "last_error": s.last_error,
+                    }
+                    for wid, s in self.workers.items()
+                },
+                "protocol_version": protocol.PROTOCOL_VERSION,
+            },
+        )
+        return status == 200
+
+    async def _handle_analyze(
+        self,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        trace_id: Optional[str],
+        force_kind: Optional[str] = None,
+    ) -> bool:
+        self._refuse_if_draining()
+        data = self._parse_json(body)
+        if force_kind is not None and isinstance(data, dict):
+            data = dict(data)
+            data["kind"] = force_kind
+        trace = trace_id or protocol.new_trace_id()
+        shed = self._admit([data] if isinstance(data, dict) else [{}])
+        self._inflight += 1
+        try:
+            envelope, worker = await self._proxy_spec(
+                "/v1/analyze", data, trace
+            )
+        finally:
+            self._inflight -= 1
+        if shed:
+            envelope = dict(envelope)
+            envelope["shed"] = True
+        self._observe(envelope)
+        await send_json(
+            writer, 200, envelope, extra_headers=self._route_headers(
+                worker, envelope.get("trace_id") or trace
+            )
+        )
+        return bool(envelope.get("ok", False))
+
+    def _route_headers(
+        self, worker: Optional[str], trace: str
+    ) -> Dict[str, str]:
+        headers = {
+            "X-Repro-Ring-Generation": str(self.ring.generation),
+            "X-Trace-Id": trace,
+        }
+        if worker is not None:
+            headers["X-Repro-Worker"] = worker
+        return headers
+
+    # -- whatif split ----------------------------------------------------
+
+    async def _handle_whatif(
+        self,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        trace_id: Optional[str],
+    ) -> bool:
+        self._refuse_if_draining()
+        data = self._parse_json(body)
+        trace = trace_id or protocol.new_trace_id()
+        if not isinstance(data, dict):
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "request body must be a JSON object",
+                    },
+                },
+            )
+        data = dict(data)
+        data["kind"] = "whatif_sweep"
+        edits = data.get("edits")
+        if (
+            not isinstance(edits, list)
+            or len(edits) < 2
+            or len(self.ring) < 2
+        ):
+            # Nothing to split: route the sweep whole.
+            return await self._handle_analyze(
+                json.dumps(data).encode("utf-8"), writer, trace
+            )
+        shed = self._admit([data])
+        base = routing_digest(data)
+        groups: Dict[str, List[int]] = {}
+        for index, edit in enumerate(edits):
+            owner = self.ring.owner(whatif_edit_digest(base, edit))
+            groups.setdefault(owner or "?", []).append(index)
+
+        async def _run_group(indices: List[int]):
+            sub = dict(data)
+            sub["edits"] = [edits[i] for i in indices]
+            self._inflight += 1
+            try:
+                return indices, await self._proxy_spec(
+                    "/v1/whatif", sub, trace
+                )
+            finally:
+                self._inflight -= 1
+
+        settled = await asyncio.gather(
+            *(_run_group(indices) for indices in groups.values())
+        )
+        merged_results: List[Optional[Dict[str, Any]]] = [None] * len(edits)
+        degraded = False
+        elapsed = 0.0
+        workers_used: List[str] = []
+        for indices, (envelope, worker) in settled:
+            if worker is not None and worker not in workers_used:
+                workers_used.append(worker)
+            if isinstance(envelope.get("elapsed_s"), (int, float)):
+                elapsed = max(elapsed, float(envelope["elapsed_s"]))
+            if envelope.get("degraded"):
+                degraded = True
+            if envelope.get("ok", False):
+                results = envelope.get("result", {}).get("results", [])
+                for local, original in enumerate(indices):
+                    if local < len(results):
+                        merged_results[original] = results[local]
+            else:
+                error = envelope.get("error", {}) or {}
+                code = error.get("code", "internal")
+                if code in ("bad_request", "validation", "unbounded"):
+                    # A whole-request typed error is edit-independent:
+                    # every sub-request would fail identically, so the
+                    # first verdict answers for the sweep.
+                    envelope = dict(envelope)
+                    envelope["trace_id"] = trace
+                    self._observe(envelope)
+                    await send_json(
+                        writer, 200, envelope,
+                        extra_headers=self._route_headers(worker, trace),
+                    )
+                    return False
+                for original in indices:
+                    merged_results[original] = {
+                        "edit": edits[original],
+                        "ok": False,
+                        "summary": None,
+                        "error": error.get(
+                            "message", "worker unreachable"
+                        ),
+                        "error_code": code
+                        if code != "internal"
+                        else "worker_unreachable",
+                    }
+        for index, entry in enumerate(merged_results):
+            if entry is None:
+                merged_results[index] = {
+                    "edit": edits[index],
+                    "ok": False,
+                    "summary": None,
+                    "error": "sub-sweep returned no result for this edit",
+                    "error_code": "worker_unreachable",
+                }
+        envelope = {
+            "ok": True,
+            "trace_id": trace,
+            "kind": "whatif_sweep",
+            "degraded": degraded,
+            "shed": bool(shed),
+            "elapsed_s": elapsed,
+            "result": {"results": merged_results},
+        }
+        self._observe(envelope)
+        headers = self._route_headers(None, trace)
+        if workers_used:
+            headers["X-Repro-Worker"] = ",".join(sorted(workers_used))
+        await send_json(writer, 200, envelope, extra_headers=headers)
+        return True
+
+    # -- batch split -----------------------------------------------------
+
+    async def _handle_batch(
+        self,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        trace_id: Optional[str],
+    ) -> bool:
+        self._refuse_if_draining()
+        data = self._parse_json(body)
+        specs = data.get("requests") if isinstance(data, dict) else None
+        if not isinstance(specs, list) or not specs:
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "'requests' must be a non-empty list",
+                    },
+                },
+            )
+        stream = bool(data.get("stream", False))
+        trace = trace_id or protocol.new_trace_id()
+        shed = self._admit([s if isinstance(s, dict) else {} for s in specs])
+
+        groups: Dict[Optional[str], List[int]] = {}
+        for index, spec in enumerate(specs):
+            owner = self.ring.owner(routing_digest(spec))
+            groups.setdefault(owner, []).append(index)
+
+        if not stream:
+            settled: Dict[int, Dict[str, Any]] = {}
+
+            async def _run_group(indices: List[int]):
+                await self._run_batch_group(
+                    specs, indices, trace, settled.__setitem__
+                )
+
+            self._inflight += len(specs)
+            try:
+                await asyncio.gather(
+                    *(_run_group(indices) for indices in groups.values())
+                )
+            finally:
+                self._inflight -= len(specs)
+            for envelope in settled.values():
+                self._observe(envelope)
+            await send_json(
+                writer,
+                200,
+                {
+                    "ok": True,
+                    "trace_id": trace,
+                    "count": len(specs),
+                    "shed": bool(shed),
+                    "responses": [settled[i] for i in range(len(specs))],
+                },
+                extra_headers=self._route_headers(None, trace),
+            )
+            return True
+
+        # Streaming: NDJSON re-multiplexed from the per-owner worker
+        # streams in fleet-wide completion order, indices rewritten to
+        # the caller's positions.
+        writer.write(
+            head_bytes(
+                200,
+                {
+                    "Content-Type": "application/x-ndjson",
+                    "Transfer-Encoding": "chunked",
+                    "Connection": "close",
+                    "X-Trace-Id": trace,
+                    "X-Repro-Ring-Generation": str(self.ring.generation),
+                },
+            )
+        )
+        await writer.drain()
+        queue: "asyncio.Queue[Optional[Tuple[int, Dict[str, Any]]]]" = (
+            asyncio.Queue()
+        )
+
+        async def _run_group_stream(indices: List[int]) -> None:
+            try:
+                await self._stream_batch_group(specs, indices, trace, queue)
+            finally:
+                await queue.put(None)
+
+        self._inflight += len(specs)
+        tasks = [
+            asyncio.ensure_future(_run_group_stream(indices))
+            for indices in groups.values()
+        ]
+        try:
+            remaining = len(tasks)
+            while remaining:
+                item = await queue.get()
+                if item is None:
+                    remaining -= 1
+                    continue
+                index, envelope = item
+                self._observe(envelope)
+                out = dict(envelope)
+                out["index"] = index
+                writer.write(
+                    _chunk(json.dumps(out).encode("utf-8") + b"\n")
+                )
+                self.metrics.record("streamed_lines")
+                await writer.drain()
+            writer.write(_chunk(b'{"done": true}\n'))
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            self._inflight -= len(specs)
+        return True
+
+    async def _run_batch_group(
+        self,
+        specs: List[Any],
+        indices: List[int],
+        trace: str,
+        settle,
+    ) -> None:
+        """Proxy one owner's sub-batch; re-route leftovers on failure.
+
+        ``settle(original_index, envelope)`` is called exactly once per
+        index.  Sub-batches keep the worker-side micro-batch coalescing;
+        after a mid-batch worker loss the unsettled remainder re-routes
+        item-by-item through :meth:`_proxy_spec` (which walks the ring
+        with its own ejection + bounded retry), so a crash yields
+        re-computed bit-identical results or typed errors — never
+        silence.
+        """
+        sub = [specs[i] for i in indices]
+        owner_digest = routing_digest(sub[0])
+        chain = self._owner_chain(owner_digest)
+        state = chain[0] if chain else None
+        body = json.dumps({"requests": sub}).encode("utf-8")
+        if state is not None:
+            try:
+                if self._crash_injected(state, trace):
+                    raise _WorkerDown(
+                        f"{state.worker_id}: injected worker crash"
+                    )
+                status, headers, payload = await self._worker_http(
+                    state, "POST", "/v1/batch", body, trace_id=trace
+                )
+                if status == 429:
+                    try:
+                        wait = min(
+                            float(headers.get("retry-after", "1")), 5.0
+                        )
+                    except ValueError:
+                        wait = 1.0
+                    await asyncio.sleep(wait)
+                    status, headers, payload = await self._worker_http(
+                        state, "POST", "/v1/batch", body, trace_id=trace
+                    )
+                doc = json.loads(payload.decode("utf-8"))
+                responses = (
+                    doc.get("responses") if isinstance(doc, dict) else None
+                )
+                if status == 200 and isinstance(responses, list) and len(
+                    responses
+                ) == len(sub):
+                    for local, original in enumerate(indices):
+                        settle(original, responses[local])
+                    return
+            except (
+                _WorkerDown,
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+            ) as exc:
+                self._eject(state, str(exc))
+                self.metrics.record("proxy_failovers")
+        # Per-item fallback through the (possibly reshaped) ring.
+        for original in indices:
+            envelope, _worker = await self._proxy_spec(
+                "/v1/analyze", specs[original], trace
+            )
+            settle(original, envelope)
+
+    async def _stream_batch_group(
+        self,
+        specs: List[Any],
+        indices: List[int],
+        trace: str,
+        queue: "asyncio.Queue",
+    ) -> None:
+        """Streamed variant of :meth:`_run_batch_group`.
+
+        Consumes the owner's chunked NDJSON live, forwarding each
+        settled envelope as it lands; indices are rewritten from the
+        sub-batch's positions to the caller's.
+        """
+        sub = [specs[i] for i in indices]
+        chain = self._owner_chain(routing_digest(sub[0]))
+        state = chain[0] if chain else None
+        unsettled = set(indices)
+        if state is not None:
+            try:
+                if self._crash_injected(state, trace):
+                    raise _WorkerDown(
+                        f"{state.worker_id}: injected worker crash"
+                    )
+                async for local, envelope in self._worker_stream(
+                    state, sub, trace
+                ):
+                    if 0 <= local < len(indices):
+                        original = indices[local]
+                        unsettled.discard(original)
+                        await queue.put((original, envelope))
+            except _WorkerDown as exc:
+                self._eject(state, str(exc))
+                self.metrics.record("proxy_failovers")
+        for original in sorted(unsettled):
+            envelope, _worker = await self._proxy_spec(
+                "/v1/analyze", specs[original], trace
+            )
+            await queue.put((original, envelope))
+
+    async def _worker_stream(self, state: WorkerState, sub, trace: str):
+        """Yield ``(local_index, envelope)`` from one worker stream."""
+        body = json.dumps({"requests": sub, "stream": True}).encode("utf-8")
+        head = (
+            f"POST /v1/batch HTTP/1.1\r\nHost: {state.host}\r\n"
+            f"Connection: close\r\nX-Trace-Id: {trace}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            reader, writer = await asyncio.open_connection(
+                state.host, state.port
+            )
+        except (ConnectionError, OSError) as exc:
+            raise _WorkerDown(
+                f"{state.worker_id}: {type(exc).__name__}: {exc}"
+            ) from exc
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            status, headers = await self._read_response_head(reader)
+            if status != 200:
+                raise _WorkerDown(
+                    f"{state.worker_id}: stream refused with {status}"
+                )
+            buffer = b""
+            done = False
+            async for piece in self._iter_chunks(reader):
+                buffer += piece
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    doc = json.loads(line.decode("utf-8"))
+                    if doc.get("done"):
+                        done = True
+                        continue
+                    index = doc.pop("index", None)
+                    if isinstance(index, int):
+                        yield index, doc
+            if not done:
+                raise _WorkerDown(
+                    f"{state.worker_id}: stream truncated"
+                )
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.IncompleteReadError,
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+        ) as exc:
+            raise _WorkerDown(
+                f"{state.worker_id}: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    # -- metrics rollup --------------------------------------------------
+
+    async def _metrics_rollup(self) -> Dict[str, Any]:
+        async def _fetch(state: WorkerState):
+            try:
+                status, _headers, payload = await self._worker_http(
+                    state, "GET", "/metrics", None,
+                    timeout=self.config.probe_timeout_s,
+                )
+                if status != 200:
+                    return state.worker_id, None
+                return state.worker_id, json.loads(payload.decode("utf-8"))
+            except (_WorkerDown, json.JSONDecodeError, UnicodeDecodeError):
+                return state.worker_id, None
+
+        fetched = await asyncio.gather(
+            *(_fetch(state) for state in self.workers.values())
+        )
+        per_worker = {wid: doc for wid, doc in fetched}
+
+        rollup_requests: Dict[str, float] = {}
+        rollup_endpoints: Dict[str, Dict[str, Any]] = {}
+        cache_hits = 0
+        cache_misses = 0
+        for doc in per_worker.values():
+            if not isinstance(doc, dict):
+                continue
+            for name, value in (doc.get("requests") or {}).items():
+                if isinstance(value, (int, float)):
+                    rollup_requests[name] = (
+                        rollup_requests.get(name, 0) + value
+                    )
+            cache = doc.get("cache") or {}
+            if isinstance(cache.get("hits"), int):
+                cache_hits += cache["hits"]
+            if isinstance(cache.get("misses"), int):
+                cache_misses += cache["misses"]
+            for endpoint, stats in (doc.get("endpoints") or {}).items():
+                snap = (stats or {}).get("latency_s")
+                if not isinstance(snap, dict):
+                    continue
+                agg = rollup_endpoints.setdefault(
+                    endpoint,
+                    {"count": 0, "histogram": perf.Histogram()},
+                )
+                agg["count"] += int((stats or {}).get("count", 0))
+                # The merge algebra of repro.perf: bucket-by-bucket
+                # addition over identical log-spaced bounds.
+                agg["histogram"].merge(snap)
+        endpoints_out = {}
+        for endpoint, agg in rollup_endpoints.items():
+            hist: perf.Histogram = agg["histogram"]
+            endpoints_out[endpoint] = {
+                "count": agg["count"],
+                "p50_s": hist.quantile(0.5),
+                "p95_s": hist.quantile(0.95),
+                "latency_s": hist.snapshot(),
+            }
+        lookups = cache_hits + cache_misses
+        return {
+            "cluster": {
+                "ring": {
+                    "generation": self.ring.generation,
+                    "vnodes": self.ring.vnodes,
+                    "workers": list(self.ring.workers),
+                },
+                "workers": {
+                    wid: {
+                        "healthy": wid in self.ring,
+                        "consecutive_failures": s.consecutive_failures,
+                        "last_error": s.last_error,
+                    }
+                    for wid, s in self.workers.items()
+                },
+                "in_flight": self._inflight,
+                "max_queue": self.admission.max_queue,
+            },
+            "coordinator": self.metrics.snapshot(
+                queue_depth=self._inflight,
+                queue_max=self.admission.max_queue,
+                queue_high_water=self.admission.high_water,
+                draining=self.draining,
+            ),
+            "workers": per_worker,
+            "rollup": {
+                "requests": rollup_requests,
+                "endpoints": endpoints_out,
+                "cache": {
+                    "hits": cache_hits,
+                    "misses": cache_misses,
+                    "hit_rate": (
+                        cache_hits / lookups if lookups else None
+                    ),
+                },
+            },
+        }

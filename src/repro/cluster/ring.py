@@ -1,0 +1,144 @@
+"""Consistent-hash ring with virtual nodes.
+
+The cluster coordinator places every request on this ring by the exact
+content digest the result cache keys on (:mod:`repro.cluster.routing`),
+so a digest's owner is a pure function of the digest and the *live*
+worker set — no routing table to synchronise, no state to migrate.
+Virtual nodes (``vnodes`` points per worker, default 64) smooth the
+load split; SHA-256 supplies the point positions, so placement is
+deterministic across processes and runs.
+
+The classical consistent-hashing guarantee holds: adding or removing
+one worker from a ring of ``N`` moves only the keys in the arcs that
+worker's vnodes own — in expectation ``K/N`` of ``K`` keys — while
+every other key keeps its owner (and therefore its warm cache).  The
+property test in ``tests/test_cluster.py`` checks both directions.
+
+``generation`` counts membership changes; the coordinator stamps it on
+responses (``X-Repro-Ring-Generation``) so clients can observe churn.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """Position of *label* on the 64-bit hash circle."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring mapping digests to worker ids.
+
+    Args:
+        workers: Initial worker ids (order-insensitive; placement
+            depends only on the *set*).
+        vnodes: Virtual nodes per worker.
+    """
+
+    def __init__(
+        self, workers: Iterable[str] = (), vnodes: int = 64
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.generation = 0
+        self._workers: Dict[str, Tuple[int, ...]] = {}
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for worker in workers:
+            self.add(worker)
+        # Construction is not churn.
+        self.generation = 0
+
+    # -- membership ------------------------------------------------------
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        """The live worker ids, sorted."""
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    def add(self, worker: str) -> bool:
+        """Admit *worker*; True when it was not already on the ring."""
+        if worker in self._workers:
+            return False
+        points = tuple(
+            _point(f"{worker}#{k}") for k in range(self.vnodes)
+        )
+        self._workers[worker] = points
+        for p in points:
+            index = bisect.bisect_left(self._points, p)
+            self._points.insert(index, p)
+            self._owners.insert(index, worker)
+        self.generation += 1
+        return True
+
+    def remove(self, worker: str) -> bool:
+        """Eject *worker*; True when it was on the ring."""
+        if worker not in self._workers:
+            return False
+        del self._workers[worker]
+        keep_points: List[int] = []
+        keep_owners: List[str] = []
+        for p, w in zip(self._points, self._owners):
+            if w != worker:
+                keep_points.append(p)
+                keep_owners.append(w)
+        self._points = keep_points
+        self._owners = keep_owners
+        self.generation += 1
+        return True
+
+    # -- placement -------------------------------------------------------
+
+    def owner(self, digest: str) -> Optional[str]:
+        """The worker owning *digest* (None on an empty ring)."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, _point(digest))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def owners(self, digest: str, count: int) -> Tuple[str, ...]:
+        """Up to *count* distinct workers clockwise from *digest*.
+
+        The first entry is :meth:`owner`; the rest are the fallback
+        owners a bounded retry walks after an ejection, in the order
+        the keys themselves would move.
+        """
+        if not self._points or count < 1:
+            return ()
+        start = bisect.bisect_right(self._points, _point(digest))
+        seen: List[str] = []
+        n = len(self._points)
+        for step in range(n):
+            worker = self._owners[(start + step) % n]
+            if worker not in seen:
+                seen.append(worker)
+                if len(seen) == count:
+                    break
+        return tuple(seen)
+
+    def spread(self, digests: Sequence[str]) -> Dict[str, int]:
+        """How many of *digests* each live worker owns (for balance
+        diagnostics and the ``/metrics`` cluster section)."""
+        counts = {worker: 0 for worker in self._workers}
+        for digest in digests:
+            worker = self.owner(digest)
+            if worker is not None:
+                counts[worker] += 1
+        return counts

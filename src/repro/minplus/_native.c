@@ -62,6 +62,179 @@ void conv_keep_mask(long na, long nb,
     }
 }
 
+/* Upper bound of a nondecreasing lowered curve at t — the upper branch
+ * of kernels.Lowered.eval_bounds: the last segment j with S_lo[j] <= t,
+ * its slope bounds clamped nonnegative, affine extension evaluated
+ * upward with one-ulp guard bands on the dt, the slope product and the
+ * final sum. */
+static double eval_hi(long n, const double *S_lo, const double *V_hi,
+                      const double *SL_lo, const double *SL_hi, double t)
+{
+    long lo = 0, hi = n - 1, j = 0;
+    while (lo <= hi) {
+        long mid = lo + (hi - lo) / 2;
+        if (S_lo[mid] <= t) {
+            j = mid;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    double dt = nextafter(t - S_lo[j], INFINITY);
+    if (dt < 0.0)
+        dt = 0.0;
+    double sl_lo = SL_lo[j] > 0.0 ? SL_lo[j] : 0.0;
+    double sl_hi = SL_hi[j] > 0.0 ? SL_hi[j] : 0.0;
+    double m = sl_lo * dt;
+    double m2 = sl_hi * dt;
+    if (m2 > m)
+        m = m2;
+    return nextafter(V_hi[j] + nextafter(m, INFINITY), INFINITY);
+}
+
+/* Lower bound of a nondecreasing lowered curve at t — the lower branch
+ * of kernels.Lowered.eval_bounds: the last segment k with S_hi[k] <= t,
+ * downward affine extension capped at the segment-end lower bound
+ * VE_lo[k] (sound once t moved past the segment, f nondecreasing). */
+static double eval_lo(long n, const double *S_hi, const double *V_lo,
+                      const double *SL_lo, const double *SL_hi,
+                      const double *VE_lo, double t)
+{
+    long lo = 0, hi = n - 1, k = 0;
+    while (lo <= hi) {
+        long mid = lo + (hi - lo) / 2;
+        if (S_hi[mid] <= t) {
+            k = mid;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    double dt = nextafter(t - S_hi[k], -INFINITY);
+    if (dt < 0.0)
+        dt = 0.0;
+    double sl_lo = SL_lo[k] > 0.0 ? SL_lo[k] : 0.0;
+    double sl_hi = SL_hi[k] > 0.0 ? SL_hi[k] : 0.0;
+    double m = sl_lo * dt;
+    double m2 = sl_hi * dt;
+    if (m2 < m)
+        m = m2;
+    double v = nextafter(V_lo[k] + nextafter(m, -INFINITY), -INFINITY);
+    return v < VE_lo[k] ? v : VE_lo[k];
+}
+
+/* Certified staircase lower bound of D(t) = sup_u f(t+u) - g(u) on the
+ * tau grid (kernels._deconv_witness_grid): every probe offset u >= 0
+ * yields the witness f(tau + u) - g(u) <= D(tau); f evaluates downward
+ * and g upward so the bound is sound, and the final running maximum
+ * makes the staircase nondecreasing like D itself.  best is in-out and
+ * comes back already accumulated. */
+void deconv_witness_grid(const double *tau, long ng,
+                         const double *u_probe, long np_,
+                         long fn, const double *f_S_hi, const double *f_V_lo,
+                         const double *f_SL_lo, const double *f_SL_hi,
+                         const double *f_VE_lo,
+                         long gn, const double *g_S_lo, const double *g_V_hi,
+                         const double *g_SL_lo, const double *g_SL_hi,
+                         double *best)
+{
+    for (long p = 0; p < np_; p++) {
+        double u = u_probe[p];
+        double g_hi = eval_hi(gn, g_S_lo, g_V_hi, g_SL_lo, g_SL_hi, u);
+        for (long k = 0; k < ng; k++) {
+            double x = nextafter(tau[k] + u, -INFINITY);
+            double f_lo = eval_lo(fn, f_S_hi, f_V_lo, f_SL_lo, f_SL_hi,
+                                  f_VE_lo, x);
+            double cand = nextafter(f_lo - g_hi, -INFINITY);
+            if (cand > best[k])
+                best[k] = cand;
+        }
+    }
+    for (long k = 1; k < ng; k++)
+        if (best[k - 1] > best[k])
+            best[k] = best[k - 1];
+}
+
+/* Keep-mask over the na*nb segment pairs of a min-plus deconvolution
+ * (the dip-filling upper envelope) — the checkpoint-subdivision loop of
+ * kernels.deconv_prune_mask in one pass with no n^2 temporaries.  A
+ * pair with domain [t0, t1] is pruned only when on EVERY of the nsplit
+ * sub-intervals its value upper bound at the right end c1,
+ * V(c1) = f(min(a.hi, c1 + b.hi)) - g(max(b.lo, a.lo - c1)), lies
+ * strictly below the certified envelope floor d_lo at the left end c0
+ * — the same one-ulp outward roundings as the vectorized path, so the
+ * masks are identical and either prunes only provably-dominated pairs. */
+void deconv_keep_mask(long na, long nb,
+                      const double *a_lo_lo, const double *a_hi_hi,
+                      const double *b_lo_lo, const double *b_hi_hi,
+                      double cap_hi, long nsplit,
+                      const double *tau, const double *d_lo, long ng,
+                      long fn, const double *f_S_lo, const double *f_V_hi,
+                      const double *f_SL_lo, const double *f_SL_hi,
+                      long gn, const double *g_S_hi, const double *g_V_lo,
+                      const double *g_SL_lo, const double *g_SL_hi,
+                      const double *g_VE_lo,
+                      unsigned char *keep)
+{
+    for (long i = 0; i < na; i++) {
+        for (long j = 0; j < nb; j++) {
+            long idx = i * nb + j;
+            double t_lo = nextafter(a_lo_lo[i] - b_hi_hi[j], -INFINITY);
+            double t_hi = nextafter(a_hi_hi[i] - b_lo_lo[j], INFINITY);
+            if (t_lo > cap_hi || t_hi < 0.0) {
+                keep[idx] = 0; /* entirely outside [0, cap] */
+                continue;
+            }
+            double t0 = t_lo > 0.0 ? t_lo : 0.0;
+            double t1 = t_hi < cap_hi ? t_hi : cap_hi;
+            if (t1 < t0)
+                t1 = t0;
+            int prune = 1;
+            for (long s = 0; s < nsplit && prune; s++) {
+                double c0, c1;
+                if (s == 0)
+                    c0 = t0;
+                else
+                    c0 = t0 + nextafter(((double)s / nsplit) * (t1 - t0),
+                                        -INFINITY);
+                if (s == nsplit - 1)
+                    c1 = t1;
+                else
+                    c1 = nextafter(
+                        t0 + ((double)(s + 1) / nsplit) * (t1 - t0),
+                        INFINITY);
+                double s_arg = nextafter(c1 + b_hi_hi[j], INFINITY);
+                if (a_hi_hi[i] < s_arg)
+                    s_arg = a_hi_hi[i];
+                double f_hi = eval_hi(fn, f_S_lo, f_V_hi, f_SL_lo, f_SL_hi,
+                                      s_arg);
+                double u_arg = nextafter(a_lo_lo[i] - c1, -INFINITY);
+                if (u_arg < 0.0)
+                    u_arg = 0.0;
+                if (u_arg < b_lo_lo[j])
+                    u_arg = b_lo_lo[j];
+                double g_lo = eval_lo(gn, g_S_hi, g_V_lo, g_SL_lo, g_SL_hi,
+                                      g_VE_lo, u_arg);
+                double v_hi = nextafter(f_hi - g_lo, INFINITY);
+                /* envelope floor: last grid index with tau[k] <= c0 */
+                long lo = 0, hi = ng - 1, k = -1;
+                while (lo <= hi) {
+                    long mid = lo + (hi - lo) / 2;
+                    if (tau[mid] <= c0) {
+                        k = mid;
+                        lo = mid + 1;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                double floor_v = (k >= 0) ? d_lo[k] : -INFINITY;
+                prune = (v_hi < floor_v) ? 1 : 0;
+            }
+            keep[idx] = prune ? 0 : 1;
+        }
+    }
+}
+
 /* Certified staircase upper bound of C(t) = inf_s f(s) + g(t - s) on the
  * tau grid, from precomputed probe splits: for probe s with certified
  * f-upper-bound fs_hi, every grid point tau >= s gets the witness

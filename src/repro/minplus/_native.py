@@ -29,7 +29,14 @@ from typing import Optional
 
 from repro import perf
 
-__all__ = ["available", "build_error", "conv_keep_mask", "conv_witness_grid"]
+__all__ = [
+    "available",
+    "build_error",
+    "conv_keep_mask",
+    "conv_witness_grid",
+    "deconv_keep_mask",
+    "deconv_witness_grid",
+]
 
 try:
     import numpy as np
@@ -99,6 +106,24 @@ def _load():
             ctypes.c_long, _DPTR, _DPTR, _DPTR, _DPTR,
             _DPTR,
         ]
+        lib.deconv_witness_grid.restype = None
+        lib.deconv_witness_grid.argtypes = [
+            _DPTR, ctypes.c_long,
+            _DPTR, ctypes.c_long,
+            ctypes.c_long, _DPTR, _DPTR, _DPTR, _DPTR, _DPTR,
+            ctypes.c_long, _DPTR, _DPTR, _DPTR, _DPTR,
+            _DPTR,
+        ]
+        lib.deconv_keep_mask.restype = None
+        lib.deconv_keep_mask.argtypes = [
+            ctypes.c_long, ctypes.c_long,
+            _DPTR, _DPTR, _DPTR, _DPTR,
+            ctypes.c_double, ctypes.c_long,
+            _DPTR, _DPTR, ctypes.c_long,
+            ctypes.c_long, _DPTR, _DPTR, _DPTR, _DPTR,
+            ctypes.c_long, _DPTR, _DPTR, _DPTR, _DPTR, _DPTR,
+            _U8PTR,
+        ]
         _lib = lib
         _error = None
     except Exception as exc:  # noqa: BLE001 - any failure means fallback
@@ -158,3 +183,50 @@ def conv_witness_grid(tau, s_probe, fs_hi, g_lowered, stair):
         stair.ctypes.data_as(_DPTR),
     )
     return True
+
+
+def deconv_witness_grid(tau, u_probe, f_lowered, g_lowered, best):
+    """Max-combine deconv probe witnesses into *best* in C, including
+    the final running-maximum accumulation (False = fallback)."""
+    lib = _load()
+    if lib is None:
+        return False
+    lib.deconv_witness_grid(
+        _dp(tau), len(tau),
+        _dp(u_probe), len(u_probe),
+        f_lowered.n,
+        _dp(f_lowered.S_hi), _dp(f_lowered.V_lo),
+        _dp(f_lowered.SL_lo), _dp(f_lowered.SL_hi), _dp(f_lowered.VE_lo),
+        g_lowered.n,
+        _dp(g_lowered.S_lo), _dp(g_lowered.V_hi),
+        _dp(g_lowered.SL_lo), _dp(g_lowered.SL_hi),
+        best.ctypes.data_as(_DPTR),
+    )
+    perf.record("kernel.native_calls")
+    return True
+
+
+def deconv_keep_mask(a_lo_lo, a_hi_hi, b_lo_lo, b_hi_hi, cap_hi, nsplit,
+                     tau, d_lo, f_lowered, g_lowered):
+    """Deconv checkpoint-split keep-mask in C (None when unavailable)."""
+    lib = _load()
+    if lib is None:
+        return None
+    na, nb = len(a_lo_lo), len(b_lo_lo)
+    keep = np.empty((na, nb), dtype=np.uint8)
+    lib.deconv_keep_mask(
+        na, nb,
+        _dp(a_lo_lo), _dp(a_hi_hi),
+        _dp(b_lo_lo), _dp(b_hi_hi),
+        float(cap_hi), int(nsplit),
+        _dp(tau), _dp(d_lo), len(tau),
+        f_lowered.n,
+        _dp(f_lowered.S_lo), _dp(f_lowered.V_hi),
+        _dp(f_lowered.SL_lo), _dp(f_lowered.SL_hi),
+        g_lowered.n,
+        _dp(g_lowered.S_hi), _dp(g_lowered.V_lo),
+        _dp(g_lowered.SL_lo), _dp(g_lowered.SL_hi), _dp(g_lowered.VE_lo),
+        keep.ctypes.data_as(_U8PTR),
+    )
+    perf.record("kernel.native_calls")
+    return keep.astype(bool)

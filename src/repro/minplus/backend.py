@@ -51,6 +51,7 @@ __all__ = [
     "op_backend",
     "screens_enabled",
     "native_enabled",
+    "native_preferred",
     "set_backend",
     "use_backend",
 ]
@@ -167,6 +168,32 @@ def native_enabled() -> bool:
     from repro.minplus import _native
 
     return _native.available()
+
+
+def native_preferred(op: str, n: int) -> bool:
+    """True iff *this* operation should engage its compiled inner loop.
+
+    Under the explicit ``native`` backend every op with a compiled loop
+    uses it (when the library loaded).  Under ``auto``, the cost model
+    may pick ``"native"`` for an (op, size) bucket where calibration
+    measured the compiled tier fastest — :func:`costmodel.choose_tier`
+    only ever answers ``"native"`` after confirming the library is
+    available, so no availability re-check is needed on that path.
+    """
+    mode = get_backend()
+    if mode == "native":
+        from repro.minplus import _native
+
+        return _native.available()
+    if mode != "auto" or not HAVE_NUMPY:
+        return False
+    global _costmodel, _perf
+    if _costmodel is None:
+        from repro import perf
+        from repro.minplus import costmodel
+
+        _costmodel, _perf = costmodel, perf
+    return _costmodel.choose_tier(op, n) == "native"
 
 
 def set_backend(name: Optional[str]) -> None:

@@ -39,9 +39,11 @@ from repro import perf
 
 __all__ = [
     "OPS",
+    "NATIVE_OPS",
     "CALIBRATION_SIZES",
     "bucket_of",
     "choose",
+    "choose_tier",
     "calibrate",
     "load",
     "save",
@@ -54,6 +56,12 @@ __all__ = [
 
 #: The dispatched operations, in calibration order.
 OPS = ("conv", "deconv", "hdev", "pinv")
+
+#: Ops with a compiled inner loop: calibration measures an optional
+#: third ``"native"`` column for these, and :func:`choose_tier` may
+#: answer ``"native"`` when it was measured cheapest *and* the compiled
+#: tier actually loads on this machine.
+NATIVE_OPS = frozenset({"conv", "deconv"})
 
 #: Default curve sizes the calibration probes, one bucket each.
 CALIBRATION_SIZES = (6, 12, 24, 48, 96, 192)
@@ -117,7 +125,13 @@ def _validate_table(raw) -> Dict[str, Dict[int, Dict[str, float]]]:
             th = float(times["hybrid"])
             if te <= 0 or th <= 0:
                 raise ValueError("non-positive calibration time")
-            out[b] = {"exact": te, "hybrid": th}
+            entry = {"exact": te, "hybrid": th}
+            if "native" in times:
+                tn = float(times["native"])
+                if tn <= 0:
+                    raise ValueError("non-positive calibration time")
+                entry["native"] = tn
+            out[b] = entry
         if out:
             table[op] = out
     return table
@@ -172,14 +186,32 @@ def _ensure_loaded() -> None:
         load()
 
 
-def choose(op: str, n: int) -> str:
-    """The cheaper concrete backend (``"exact"``/``"hybrid"``) for *op*
-    on operands of *n* segments.
+#: Memoized availability of the compiled tier (None = not yet probed).
+#: Probed lazily, and only when a table actually carries a "native"
+#: column — a prior-only process never imports the loader.
+_native_ok: Optional[bool] = None
+
+
+def _native_available() -> bool:
+    global _native_ok
+    if _native_ok is None:
+        from repro.minplus import _native
+
+        _native_ok = _native.available()
+    return _native_ok
+
+
+def choose_tier(op: str, n: int) -> str:
+    """The cheapest measured tier (``"exact"``/``"hybrid"``/``"native"``)
+    for *op* on operands of *n* segments.
 
     Consults the measured bucket when the table has one (nearest
     populated bucket otherwise — cost curves are monotone enough in the
     bucket index that the neighbour is the best available estimate);
     falls back to the conservative prior when the table is cold.
+    ``"native"`` is answered only when the bucket measured it strictly
+    cheapest *and* the compiled library loads on this machine — a table
+    calibrated on a box with a toolchain can ship to one without.
     """
     _ensure_loaded()
     buckets = _table.get(op) if _table else None
@@ -188,8 +220,25 @@ def choose(op: str, n: int) -> str:
         if b not in buckets:
             b = min(buckets, key=lambda k: (abs(k - b), k))
         times = buckets[b]
-        return "exact" if times["exact"] < times["hybrid"] else "hybrid"
+        best, tier = times["hybrid"], "hybrid"
+        tn = times.get("native")
+        if tn is not None and tn < best and _native_available():
+            best, tier = tn, "native"
+        if times["exact"] < best:
+            tier = "exact"
+        return tier
     return "exact" if n < PRIOR_EXACT_BELOW.get(op, 0) else "hybrid"
+
+
+def choose(op: str, n: int) -> str:
+    """The cheaper concrete backend (``"exact"``/``"hybrid"``) for *op*
+    on operands of *n* segments.
+
+    ``"native"`` runs on the hybrid algorithms (its compiled inner loops
+    engage inside the kernels), so for callers picking the *algorithm*
+    tier it collapses to ``"hybrid"``.
+    """
+    return "exact" if choose_tier(op, n) == "exact" else "hybrid"
 
 
 def describe() -> str:
@@ -219,8 +268,9 @@ def apply_table(table) -> None:
 
 def reset() -> None:
     """Forget the loaded table (tests / reconfiguration)."""
-    global _table, _loaded, _source
+    global _table, _loaded, _source, _native_ok
     _table, _loaded, _source = None, False, "prior"
+    _native_ok = None
 
 
 # ----------------------------------------------------------------------
@@ -331,17 +381,34 @@ def calibrate(
         thunks = _op_thunks(n)
         for op in OPS:
             thunk = thunks[op]
+            tiers = ["exact", "hybrid"]
+            if op in NATIVE_OPS and _native_available():
+                # The compiled loops engage through the ambient backend,
+                # so the native sample runs under use_backend("native").
+                tiers.append("native")
             times = {}
-            for be in ("exact", "hybrid"):
+            for be in tiers:
                 samples = []
                 for _ in range(max(reps, 1)):
                     kernels.op_cache_clear()
-                    t0 = time.perf_counter()
-                    thunk(be)
-                    samples.append(time.perf_counter() - t0)
+                    if be == "native":
+                        with backend_mod.use_backend("native"):
+                            t0 = time.perf_counter()
+                            thunk("native")
+                            samples.append(time.perf_counter() - t0)
+                    else:
+                        t0 = time.perf_counter()
+                        thunk(be)
+                        samples.append(time.perf_counter() - t0)
                 samples.sort()
                 times[be] = max(samples[len(samples) // 2], 1e-9)
             table[op][bucket_of(n)] = times
+            choice = "hybrid"
+            best = times["hybrid"]
+            if times.get("native") is not None and times["native"] < best:
+                choice, best = "native", times["native"]
+            if times["exact"] < best:
+                choice = "exact"
             rows.append(
                 {
                     "op": op,
@@ -349,9 +416,8 @@ def calibrate(
                     "bucket": bucket_of(n),
                     "exact_s": times["exact"],
                     "hybrid_s": times["hybrid"],
-                    "choice": "exact"
-                    if times["exact"] < times["hybrid"]
-                    else "hybrid",
+                    "native_s": times.get("native"),
+                    "choice": choice,
                 }
             )
     _table = {op: buckets for op, buckets in table.items() if buckets}

@@ -21,6 +21,10 @@ a bit-identical result, a sound degraded bound, or a typed
 ``cache.eperm.read``   a cache read fails with ``EPERM``
 ``cache.eperm.write``  a cache write fails with ``EPERM``
 ``costmodel.corrupt``  a calibration-table read sees a truncated blob
+``cluster.worker_crash``  the cluster coordinator's proxy connection to
+                       the owning worker fails as if the worker died
+                       mid-request (exercises ring ejection + bounded
+                       retry-on-next-owner)
 =====================  ====================================================
 
 **Determinism.**  Every decision is a pure function of the seed, the
@@ -72,6 +76,7 @@ KNOWN_SITES = frozenset(
         "cache.eperm.read",
         "cache.eperm.write",
         "costmodel.corrupt",
+        "cluster.worker_crash",
     }
 )
 

@@ -16,7 +16,15 @@ operational behaviour a caller should not have to reimplement:
   compares ``==`` to a direct in-process call;
 * **typed failures** — transport and analysis errors raise
   :class:`ServiceError` carrying the HTTP status, wire error code and
-  trace ID, instead of a bare exception soup.
+  trace ID, instead of a bare exception soup;
+* **route visibility** — when the endpoint is a cluster coordinator
+  (:mod:`repro.cluster`), the owner worker id and ring generation it
+  stamps on every response (``X-Repro-Worker`` /
+  ``X-Repro-Ring-Generation``) surface as :attr:`ServiceClient.last_route`
+  (a :class:`RouteInfo`) and, where the result object allows it, as a
+  ``.route`` attribute on typed results.  Cluster-level ``429``
+  rejections carry the same ``Retry-After`` discipline as single-node
+  ones, so the existing retry loop honours them unchanged.
 
 Batch helpers: :meth:`batch` posts many requests in one round-trip and
 returns their envelopes in request order; :meth:`batch_stream` consumes
@@ -30,13 +38,49 @@ import http.client
 import json
 import socket
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.io.json_io import curve_to_dict, task_to_dict
 from repro.minplus.curve import Curve
 from repro.service import protocol
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["RouteInfo", "ServiceClient", "ServiceError"]
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Where a coordinator placed one request.
+
+    Attributes:
+        worker: Owner worker id (``X-Repro-Worker``), e.g. ``"w0"``.
+        ring_generation: Consistent-hash ring generation the placement
+            was made under (``X-Repro-Ring-Generation``); bumps on every
+            worker ejection/re-admission.
+        trace_id: The trace ID the response carried, when any.
+    """
+
+    worker: Optional[str] = None
+    ring_generation: Optional[int] = None
+    trace_id: Optional[str] = None
+
+
+def _route_from_headers(headers: Dict[str, str]) -> Optional[RouteInfo]:
+    worker = headers.get("x-repro-worker")
+    gen_raw = headers.get("x-repro-ring-generation")
+    if worker is None and gen_raw is None:
+        return None
+    generation: Optional[int] = None
+    if gen_raw is not None:
+        try:
+            generation = int(gen_raw)
+        except ValueError:
+            generation = None
+    return RouteInfo(
+        worker=worker,
+        ring_generation=generation,
+        trace_id=headers.get("x-trace-id"),
+    )
 
 
 class ServiceError(Exception):
@@ -109,6 +153,9 @@ class ServiceClient:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
+        #: Routing metadata of the most recent JSON exchange (None when
+        #: the endpoint added no routing headers — i.e. a plain worker).
+        self.last_route: Optional[RouteInfo] = None
 
     # -- transport -------------------------------------------------------
 
@@ -185,7 +232,8 @@ class ServiceClient:
     def _json(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
-        status, _headers, payload = self.request(method, path, body)
+        status, headers, payload = self.request(method, path, body)
+        self.last_route = _route_from_headers(headers)
         try:
             doc = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -348,6 +396,21 @@ class ServiceClient:
             spec["perf"] = True
         return spec
 
+    def _attach_route(self, result):
+        """Best-effort ``.route`` attribute on a typed result.
+
+        List results (``analyze_many``, ``whatif_sweep``) and slotted or
+        frozen dataclasses cannot carry ad-hoc attributes — for those,
+        :attr:`last_route` remains the authoritative record.  Equality
+        semantics are untouched either way: dataclass ``==`` compares
+        declared fields only.
+        """
+        try:
+            object.__setattr__(result, "route", self.last_route)
+        except (AttributeError, TypeError):
+            pass
+        return result
+
     def _typed(self, kind: str, tasks, beta, **kwargs):
         envelope = self.analyze_raw(
             self.build_request(kind, tasks, beta, **kwargs)
@@ -360,7 +423,9 @@ class ServiceClient:
                 code=error.get("code", "analysis_error"),
                 trace_id=envelope.get("trace_id"),
             )
-        return protocol.decode_result(kind, envelope["result"])
+        return self._attach_route(
+            protocol.decode_result(kind, envelope["result"])
+        )
 
     def delay(
         self,
@@ -429,4 +494,6 @@ class ServiceClient:
                 code=error.get("code", "analysis_error"),
                 trace_id=envelope.get("trace_id"),
             )
-        return protocol.decode_result(kind, envelope["result"])
+        return self._attach_route(
+            protocol.decode_result(kind, envelope["result"])
+        )

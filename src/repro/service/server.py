@@ -123,6 +123,97 @@ class _HttpError(Exception):
         self.headers = headers or {}
 
 
+async def read_head(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str]]:
+    """Parse one HTTP/1.1 request head into (method, path, headers).
+
+    Shared by the worker server and the cluster coordinator
+    (:mod:`repro.cluster.coordinator`); header names are lowercased.
+    """
+    request_line = await reader.readline()
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _HttpError(
+            400,
+            {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": "malformed request line",
+                },
+            },
+        )
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers
+
+
+async def read_body(
+    reader: asyncio.StreamReader, headers: Dict[str, str]
+) -> bytes:
+    """Read a Content-Length-framed body (empty when none is declared)."""
+    raw_length = headers.get("content-length")
+    if not raw_length:
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise _HttpError(
+            400,
+            {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": "invalid Content-Length",
+                },
+            },
+        ) from None
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(
+            413,
+            {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": f"body exceeds {MAX_BODY_BYTES} bytes",
+                },
+            },
+        )
+    return await reader.readexactly(length)
+
+
+def head_bytes(status: int, headers: Dict[str, str]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: Dict[str, object],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    payload = json.dumps(body).encode("utf-8")
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(payload)),
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    writer.write(head_bytes(status, headers) + payload)
+    await writer.drain()
+
+
 class AnalysisServer:
     """One service instance: listener + batcher + admission + metrics."""
 
@@ -202,7 +293,10 @@ class AnalysisServer:
             method, path, headers = await self._read_head(reader)
             endpoint = f"{method} {path}"
             body = await self._read_body(reader, headers)
-            ok = await self._route(method, path, body, writer)
+            ok = await self._route(
+                method, path, body, writer,
+                trace_id=headers.get("x-trace-id"),
+            )
         except _HttpError as exc:
             await self._send_json(
                 writer, exc.status, exc.body, extra_headers=exc.headers
@@ -243,61 +337,12 @@ class AnalysisServer:
     async def _read_head(
         self, reader: asyncio.StreamReader
     ) -> Tuple[str, str, Dict[str, str]]:
-        request_line = await reader.readline()
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _HttpError(
-                400,
-                {
-                    "ok": False,
-                    "error": {
-                        "code": "bad_request",
-                        "message": "malformed request line",
-                    },
-                },
-            )
-        method, target, _version = parts
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        path = target.split("?", 1)[0]
-        return method.upper(), path, headers
+        return await read_head(reader)
 
     async def _read_body(
         self, reader: asyncio.StreamReader, headers: Dict[str, str]
     ) -> bytes:
-        raw_length = headers.get("content-length")
-        if not raw_length:
-            return b""
-        try:
-            length = int(raw_length)
-        except ValueError:
-            raise _HttpError(
-                400,
-                {
-                    "ok": False,
-                    "error": {
-                        "code": "bad_request",
-                        "message": "invalid Content-Length",
-                    },
-                },
-            ) from None
-        if length > MAX_BODY_BYTES:
-            raise _HttpError(
-                413,
-                {
-                    "ok": False,
-                    "error": {
-                        "code": "bad_request",
-                        "message": f"body exceeds {MAX_BODY_BYTES} bytes",
-                    },
-                },
-            )
-        return await reader.readexactly(length)
+        return await read_body(reader, headers)
 
     async def _send_json(
         self,
@@ -306,22 +351,11 @@ class AnalysisServer:
         body: Dict[str, object],
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        payload = json.dumps(body).encode("utf-8")
-        headers = {
-            "Content-Type": "application/json",
-            "Content-Length": str(len(payload)),
-            "Connection": "close",
-        }
-        if extra_headers:
-            headers.update(extra_headers)
-        writer.write(self._head_bytes(status, headers) + payload)
-        await writer.drain()
+        await send_json(writer, status, body, extra_headers)
 
     @staticmethod
     def _head_bytes(status: int, headers: Dict[str, str]) -> bytes:
-        lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
-        lines.extend(f"{name}: {value}" for name, value in headers.items())
-        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head_bytes(status, headers)
 
     # -- routing ---------------------------------------------------------
 
@@ -331,6 +365,7 @@ class AnalysisServer:
         path: str,
         body: bytes,
         writer: asyncio.StreamWriter,
+        trace_id: Optional[str] = None,
     ) -> bool:
         if path == "/healthz":
             if method != "GET":
@@ -364,17 +399,17 @@ class AnalysisServer:
         if path == "/v1/analyze":
             if method != "POST":
                 raise self._method_not_allowed()
-            return await self._handle_analyze(body, writer)
+            return await self._handle_analyze(body, writer, trace_id=trace_id)
         if path == "/v1/whatif":
             if method != "POST":
                 raise self._method_not_allowed()
             return await self._handle_analyze(
-                body, writer, force_kind="whatif_sweep"
+                body, writer, force_kind="whatif_sweep", trace_id=trace_id
             )
         if path == "/v1/batch":
             if method != "POST":
                 raise self._method_not_allowed()
-            return await self._handle_batch(body, writer)
+            return await self._handle_batch(body, writer, trace_id=trace_id)
         raise _HttpError(
             404,
             {
@@ -470,12 +505,17 @@ class AnalysisServer:
                 )
                 req.shed = True
 
-    def _decode_one(self, data) -> DecodedRequest:
+    def _decode_one(
+        self, data, trace_id: Optional[str] = None
+    ) -> DecodedRequest:
         try:
-            return protocol.decode_request(data)
+            return protocol.decode_request(data, trace_id=trace_id)
         except (SerializationError, ValidationError) as exc:
             raise _HttpError(
-                400, protocol.error_envelope(exc, protocol.new_trace_id())
+                400,
+                protocol.error_envelope(
+                    exc, trace_id or protocol.new_trace_id()
+                ),
             ) from exc
 
     async def _finish_envelope(self, envelope: Dict[str, object]) -> None:
@@ -493,6 +533,7 @@ class AnalysisServer:
         body: bytes,
         writer: asyncio.StreamWriter,
         force_kind: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> bool:
         self._refuse_if_draining()
         data = self._parse_json(body)
@@ -516,7 +557,7 @@ class AnalysisServer:
                 )
             data = dict(data)
             data["kind"] = force_kind
-        req = self._decode_one(data)
+        req = self._decode_one(data, trace_id)
         self._admit([req])
         envelope = await self.batcher.submit(req)
         await self._finish_envelope(envelope)
@@ -524,7 +565,10 @@ class AnalysisServer:
         return bool(envelope.get("ok", False))
 
     async def _handle_batch(
-        self, body: bytes, writer: asyncio.StreamWriter
+        self,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        trace_id: Optional[str] = None,
     ) -> bool:
         self._refuse_if_draining()
         data = self._parse_json(body)
@@ -557,7 +601,7 @@ class AnalysisServer:
         if decoded:
             self._admit([req for _, req in decoded])
 
-        batch_trace = protocol.new_trace_id()
+        batch_trace = trace_id or protocol.new_trace_id()
         futures = {
             index: self.batcher.submit_nowait(req) for index, req in decoded
         }

@@ -210,7 +210,10 @@ class TestCalibration:
         assert costmodel.describe() == "calibrated"
         for r in rows:
             assert r["exact_s"] > 0 and r["hybrid_s"] > 0
-            assert r["choice"] in ("exact", "hybrid")
+            assert r["choice"] in ("exact", "hybrid", "native")
+            if r["choice"] == "native":
+                assert r["native_s"] is not None
+                assert r["op"] in costmodel.NATIVE_OPS
 
     def test_time_budget_stops_early(self):
         rows = costmodel.calibrate(

@@ -1,0 +1,153 @@
+"""Native deconvolution tier: bit-identity, dispatch, table plumbing.
+
+The compiled deconv kernels (witness grid + pair pruning in
+``_native.c``) must be invisible except for speed: identical curves to
+the hybrid tier, silent fallback when the toolchain is missing, and an
+``auto`` dispatch that only routes to ``native`` when the calibrated
+table measured it strictly cheapest on a machine where the library
+loads.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+
+from repro import perf
+from repro.minplus import backend as backend_mod
+from repro.minplus import costmodel, kernels
+from repro.minplus.backend import use_backend
+from repro.minplus.convolution import min_plus_deconv
+from repro.minplus.costmodel import _service, _stair
+
+from .conftest import monotone_curves
+
+pytestmark = pytest.mark.skipif(
+    not kernels.AVAILABLE, reason="native tier needs the hybrid tier"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_costmodel(monkeypatch):
+    monkeypatch.delenv("REPRO_COSTMODEL", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    costmodel.reset()
+    yield
+    costmodel.reset()
+
+
+def _native_or_skip():
+    from repro.minplus import _native
+
+    if not _native.available():
+        pytest.skip(f"compiled tier unavailable: {_native.build_error()}")
+    return _native
+
+
+class TestNativeDeconvResults:
+    def test_matches_exact_on_dip_fill_and_raise(self):
+        _native_or_skip()
+        f, g = _stair(80, 7), _service(80, 9)
+        for on_dip in ("fill", "raise"):
+            with use_backend("exact"):
+                want = min_plus_deconv(f, g, on_dip=on_dip)
+            kernels.op_cache_clear()
+            with use_backend("native"):
+                got = min_plus_deconv(f, g, on_dip=on_dip)
+            kernels.op_cache_clear()
+            assert got == want, on_dip
+
+    @settings(max_examples=25, deadline=None)
+    @given(f=monotone_curves(), g=monotone_curves())
+    def test_native_deconv_property(self, f, g):
+        _native_or_skip()
+        if f.tail_rate > g.tail_rate:
+            f, g = g, f
+        with use_backend("exact"):
+            want = min_plus_deconv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        with use_backend("native"):
+            got = min_plus_deconv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        assert got == want
+
+    def test_native_backend_records_native_calls(self):
+        _native_or_skip()
+        f, g = _stair(60, 3), _service(60, 4)
+        kernels.op_cache_clear()
+        before = perf.snapshot()["counters"].get("kernel.native_calls", 0)
+        with use_backend("native"):
+            min_plus_deconv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        after = perf.snapshot()["counters"].get("kernel.native_calls", 0)
+        assert after > before
+
+
+def _table_with_native(op, bucket, exact_s, hybrid_s, native_s):
+    raw = {op: {bucket: {
+        "exact": exact_s, "hybrid": hybrid_s, "native": native_s,
+    }}}
+    return costmodel._validate_table(raw)
+
+
+class TestDispatch:
+    def test_validate_table_keeps_native_column(self):
+        table = _table_with_native("deconv", 3, 1.0, 0.5, 0.1)
+        assert table["deconv"][3]["native"] == 0.1
+
+    def test_choose_tier_picks_native_when_measured_cheapest(self):
+        _native_or_skip()
+        costmodel.apply_table(_table_with_native("deconv", 3, 1.0, 0.5, 0.1))
+        assert costmodel.choose_tier("deconv", 8) == "native"
+        # Algorithm-tier callers still see hybrid (native runs on the
+        # hybrid algorithms with compiled inner loops).
+        assert costmodel.choose("deconv", 8) == "hybrid"
+
+    def test_choose_tier_skips_native_when_slower(self):
+        costmodel.apply_table(_table_with_native("deconv", 3, 1.0, 0.2, 0.5))
+        assert costmodel.choose_tier("deconv", 8) == "hybrid"
+
+    def test_choose_tier_exact_still_wins(self):
+        costmodel.apply_table(_table_with_native("deconv", 3, 0.05, 0.5, 0.1))
+        assert costmodel.choose_tier("deconv", 8) == "exact"
+
+    def test_prior_never_answers_native(self):
+        for n in (1, 10, 100, 10_000):
+            assert costmodel.choose_tier("deconv", n) in ("exact", "hybrid")
+
+    def test_choose_tier_ignores_native_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(costmodel, "_native_ok", False)
+        costmodel.apply_table(_table_with_native("deconv", 3, 1.0, 0.5, 0.1))
+        assert costmodel.choose_tier("deconv", 8) == "hybrid"
+
+    def test_native_preferred_follows_backend_mode(self):
+        native = _native_or_skip()
+        costmodel.apply_table(_table_with_native("deconv", 3, 1.0, 0.5, 0.1))
+        with use_backend("auto"):
+            assert backend_mod.native_preferred("deconv", 8)
+            assert not backend_mod.native_preferred("conv", 8)
+        with use_backend("hybrid"):
+            assert not backend_mod.native_preferred("deconv", 8)
+        with use_backend("native"):
+            assert backend_mod.native_preferred("deconv", 8) == (
+                native.available()
+            )
+
+    def test_auto_backend_uses_native_deconv(self):
+        """End to end: an auto-dispatched deconv lands in the C tier."""
+        _native_or_skip()
+        costmodel.apply_table(_table_with_native(
+            "deconv", costmodel.bucket_of(60), 1.0, 0.5, 0.001,
+        ))
+        f, g = _stair(60, 5), _service(60, 6)
+        kernels.op_cache_clear()
+        with use_backend("exact"):
+            want = min_plus_deconv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        before = perf.snapshot()["counters"].get("kernel.native_calls", 0)
+        with use_backend("auto"):
+            got = min_plus_deconv(f, g, on_dip="fill")
+        kernels.op_cache_clear()
+        after = perf.snapshot()["counters"].get("kernel.native_calls", 0)
+        assert got == want
+        assert after > before

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""CI smoke test for the sharded analysis cluster.
+
+Boots the real ``repro cluster`` CLI as a subprocess (coordinator plus
+two spawned ``repro serve`` workers, ephemeral ports, partitioned
+on-disk caches), drives a mixed workload through
+:class:`repro.service.ServiceClient` — typed singles across kinds, a
+sharded batch, a what-if sweep split across owners, a malformed
+request — asserts digest-affinity (repeat requests land on the same
+worker), the ``/healthz`` fleet view and the ``/metrics`` rollup
+schema, then sends SIGTERM and verifies the whole fleet drains.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from fractions import Fraction as F
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.facade import analyze_many  # noqa: E402
+from repro.curves.service import rate_latency_service  # noqa: E402
+from repro.drt.model import DRTTask  # noqa: E402
+from repro.resilience import bounded_delay  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.service import protocol  # noqa: E402
+from repro.whatif import whatif_sweep  # noqa: E402
+from repro.whatif.edits import SetWcet  # noqa: E402
+
+BOOT_TIMEOUT_S = 60
+DRAIN_TIMEOUT_S = 90
+
+
+def _task(seed: int) -> DRTTask:
+    jobs = {f"v{i}": (1 + (seed + i) % 3, 8 + (seed * 3 + i) % 9)
+            for i in range(3)}
+    names = list(jobs)
+    edges = [(a, b, 6 + (seed + i) % 7)
+             for i, (a, b) in enumerate(zip(names, names[1:] + names[:1]))]
+    return DRTTask.build(f"t{seed}", jobs=jobs, edges=edges)
+
+
+def _boot(cache_dir: str) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "cluster",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--cache-dir",
+            cache_dir,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "repro cluster: listening" in line:
+            break
+    match = re.search(r"listening on [\w.\-]+:(\d+)", line or "")
+    if not match:
+        proc.kill()
+        raise SystemExit(f"cluster did not boot: {line!r}")
+    print(f"booted: {line.strip()}")
+    return proc, int(match.group(1))
+
+
+def _check_rollup(doc: dict) -> None:
+    for section in ("cluster", "coordinator", "workers", "rollup"):
+        assert section in doc, f"/metrics missing section {section!r}"
+    ring = doc["cluster"]["ring"]
+    assert ring["workers"] == ["w0", "w1"], ring
+    assert len(doc["workers"]) == 2, list(doc["workers"])
+    rollup = doc["rollup"]
+    assert rollup["requests"]["requests_total"] >= 1, rollup
+    analyze = rollup["endpoints"].get("POST /v1/analyze")
+    assert analyze and analyze["count"] >= 1, rollup["endpoints"]
+    for key in ("count", "sum", "buckets"):
+        assert key in analyze["latency_s"], analyze
+    assert "hit_rate" in rollup["cache"], rollup["cache"]
+
+
+def main() -> int:
+    beta = rate_latency_service(F(1, 2), F(2))
+
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-cache-") as cache:
+        proc, port = _boot(cache)
+        try:
+            client = ServiceClient(port=port, timeout=120.0)
+
+            health = client.healthz()
+            assert health["role"] == "coordinator", health
+            assert health["healthy_workers"] == 2, health
+
+            # Typed singles across kinds, bit-identical to direct calls.
+            served = client.delay(_task(1), beta)
+            direct = bounded_delay(_task(1), beta)
+            assert served.delay == direct.delay, (served, direct)
+            assert served.busy_window == direct.busy_window
+            assert served.route is not None and served.route.worker
+            tasks = [_task(s) for s in range(3)]
+            assert client.analyze_many(tasks, beta) == analyze_many(
+                tasks, beta
+            )
+            print("single requests: ok (bit-identical, route visible)")
+
+            # Digest affinity: the same content keeps landing on the
+            # same worker.
+            owners = set()
+            for _ in range(3):
+                client.delay(_task(2), beta)
+                owners.add(client.last_route.worker)
+            assert len(owners) == 1, owners
+            print(f"affinity: ok (pinned to {owners.pop()})")
+
+            # A sharded batch plus one malformed item that fails alone.
+            specs = [
+                ServiceClient.build_request("delay", _task(s), beta)
+                for s in range(6)
+            ]
+            specs.append({"kind": "delay", "tasks": [], "beta": {"rate": "1"}})
+            envelopes = client.batch(specs)
+            assert len(envelopes) == 7, len(envelopes)
+            for seed, envelope in enumerate(envelopes[:6]):
+                assert envelope["ok"], envelope
+                got = protocol.decode_result("delay", envelope["result"])
+                want = bounded_delay(_task(seed), beta)
+                assert got.delay == want.delay, (seed, got, want)
+            assert not envelopes[6]["ok"], envelopes[6]
+            assert envelopes[6]["error"]["code"] in (
+                "bad_request", "validation"
+            ), envelopes[6]
+            print("sharded batch: ok (order kept, malformed failed alone)")
+
+            # A what-if sweep split across owners and re-merged.
+            edits = [SetWcet(f"v{i % 3}", F(1 + i)) for i in range(4)]
+            sweep = client.whatif_sweep(_task(1), beta, edits)
+            assert sweep == whatif_sweep(_task(1), beta, edits)
+            print("what-if sweep: ok (split/merge bit-identical)")
+
+            _check_rollup(client.metrics())
+            print("metrics rollup: ok")
+
+            # SIGTERM drains the coordinator, then the spawned fleet.
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=DRAIN_TIMEOUT_S)
+            out = proc.stdout.read()
+            assert proc.returncode == 0, (proc.returncode, out)
+            assert "fleet drained and stopped" in out, out
+            print("SIGTERM fleet drain: ok")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            proc.stdout.close()
+
+    print("cluster smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -361,6 +361,64 @@ throughput at >= 5x naive per-request dispatch
 """
 
 
+CLUSTER_SECTION = """\
+## Sharded cluster
+
+`repro.cluster` scales the analysis service across a fleet of `repro
+serve` workers behind one stdlib-only asyncio coordinator — booted by
+`repro cluster` in production (spawning `--workers N` local worker
+subprocesses with partitioned `--cache-dir` subdirectories, or
+fronting pre-started `--worker HOST:PORT` endpoints) or by
+`ClusterHandle.start(n_workers=...)` in-process.  A plain
+`ServiceClient` pointed at the coordinator's port works unchanged.
+
+**Digest-affinity routing** (`repro.cluster.ring`,
+`repro.cluster.routing`).  Every request's routing key is the same
+content digest the persistent result cache keys on —
+`task_digest(task)` + the service curve's digest + the request kind
+(per-*edit* for what-if sweeps, so a sweep's edits shard by their
+cones) — hashed onto a consistent-hash ring with 64 virtual nodes per
+worker.  Identical content therefore always lands on the worker whose
+on-disk result cache, interned curves, and warm explorer state already
+hold it, and when the fleet changes only ~K/N keys move (ring
+`generation` counts churn; property-tested in `tests/test_cluster.py`).
+An undecodable spec falls back to a canonical-JSON digest —
+deterministic, so even malformed requests route stably.
+
+**Fan-out & merge** (`repro.cluster.coordinator`).  `POST /v1/batch`
+splits by owning worker, ships each group as one sub-batch (preserving
+the workers' micro-batch coalescing), and re-merges envelopes into
+request order — streaming mode multiplexes the workers' NDJSON streams
+in completion order with the same `{"done": true}` terminator.
+`whatif_sweep` requests with several edits split per-edit across the
+ring and re-merge per-edit results in edit order.  Merged results are
+**bit-identical** to single-node serving.
+
+**Health & failover.**  Background probes (`probe_interval_s`) eject a
+worker from the ring after `probe_failures` consecutive failures and
+re-admit it when probes succeed again; a mid-request transport failure
+ejects immediately and retries on the next distinct ring owner
+(`retry_next_owner`), so a killed worker yields recomputed
+bit-identical results or a typed `worker_unreachable` envelope — never
+a silently wrong bound (chaos site `cluster.worker_crash`).
+
+**Cluster admission & observability.**  The coordinator replicates the
+three-tier admission policy fleet-wide (`max_queue` defaults to 256 x
+workers; shed tightens forwarded deadlines; reject answers `429` with
+a `Retry-After` from its own EWMA of request service times).  `GET
+/metrics` returns the coordinator's own counters plus every worker's
+document and a **rollup** that merges per-worker endpoint latency
+histograms with the `repro.perf` merge algebra and sums cache
+hit/miss totals.  Responses carry `X-Repro-Worker` (the serving
+worker), `X-Repro-Ring-Generation`, and the propagated `X-Trace-Id`;
+`ServiceClient` surfaces them as `client.last_route` /
+`result.route` (`RouteInfo`).  SIGTERM drains the coordinator, then
+the spawned fleet.  CI boots the real CLI end-to-end
+(`tools/cluster_smoke.py`) and `benchmarks/bench_cluster.py` gates
+4-worker warm throughput at >= 3.2x a single capped-cache worker.
+"""
+
+
 WHATIF_SECTION = """\
 ## Incremental what-if analysis
 
@@ -434,6 +492,7 @@ def render() -> str:
         PARALLEL_SECTION,
         RESILIENCE_SECTION,
         SERVICE_SECTION,
+        CLUSTER_SECTION,
         WHATIF_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
