@@ -1,0 +1,191 @@
+"""Benchmark of cluster resilience: warm throughput under worker loss.
+
+Boots a 3-worker process fleet (:meth:`repro.cluster.ClusterHandle.
+start`, partitioned on-disk caches), warms a mixed ``delay`` workload,
+and measures sustained warm throughput in three phases:
+
+1. **healthy** — all three workers serving their shards warm;
+2. **recovery** — one worker SIGKILLed mid-fleet; the first full pass
+   after the health probes eject it pays the re-shard (the dead
+   worker's shard recomputes on its ring successors);
+3. **degraded** — steady state on the surviving two workers, every
+   shard warm again.
+
+Every response in every phase must be bit-identical to direct
+in-process calls — a killed worker may cost throughput, never
+correctness.
+
+Gate (smoke and full): sustained degraded throughput >= 60% of the
+healthy fleet's (``MIN_DEGRADED_RATIO``).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, the CI job) runs the same phases
+but does not rewrite the committed JSON.
+"""
+
+import os
+import tempfile
+import time
+from fractions import Fraction as F
+
+from repro.cluster import ClusterHandle
+from repro.curves.service import rate_latency_service
+from repro.drt.model import DRTTask
+from repro.resilience import bounded_delay
+from repro.service import ServiceClient, decode_result
+
+from _harness import report, write_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+N_TASKS = 12
+REPEATS = 2
+N_WORKERS = 3
+MIN_DEGRADED_RATIO = 0.6
+EJECT_TIMEOUT_S = 30.0
+
+
+def _tasks():
+    """Distinct mid-weight DRT tasks (tens of ms cold each)."""
+    tasks = []
+    for seed in range(N_TASKS):
+        jobs = {
+            f"v{i}": (2 + (seed + i) % 2, 60 + (seed * 7 + 3 * i) % 20)
+            for i in range(6)
+        }
+        names = list(jobs)
+        edges = [
+            (a, b, 5 + (seed + i) % 3)
+            for i, (a, b) in enumerate(zip(names, names[1:] + names[:1]))
+        ]
+        edges += [
+            (v, v, 7 + (seed + i) % 3) for i, v in enumerate(names)
+        ]
+        tasks.append(DRTTask.build(f"res{seed}", jobs=jobs, edges=edges))
+    return tasks
+
+
+def _check(envelopes, baseline):
+    assert len(envelopes) == len(baseline), (len(envelopes), len(baseline))
+    for envelope, want in zip(envelopes, baseline):
+        assert envelope["ok"], envelope
+        got = decode_result("delay", envelope["result"])
+        assert got.delay == want.delay, (got, want)
+        assert got.busy_window == want.busy_window, (got, want)
+
+
+def _timed_passes(client, specs, baseline):
+    """Best warm wall-clock over ``REPEATS`` full passes."""
+    best = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        _check(client.batch(specs), baseline)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def _wait_for_ejection(client, expect_healthy):
+    deadline = time.monotonic() + EJECT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        try:
+            doc = client.healthz()
+        except Exception:  # noqa: BLE001 - transient while probing
+            time.sleep(0.1)
+            continue
+        if doc.get("healthy_workers") == expect_healthy:
+            return
+        time.sleep(0.1)
+    raise AssertionError(
+        f"fleet never settled at {expect_healthy} healthy workers"
+    )
+
+
+def main():
+    beta = rate_latency_service(F(1, 2), F(2))
+    tasks = _tasks()
+    baseline = [bounded_delay(task, beta) for task in tasks]
+    specs = [
+        ServiceClient.build_request("delay", task, beta) for task in tasks
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-resil-") as cache_base:
+        handle = ClusterHandle.start(
+            n_workers=N_WORKERS,
+            worker_mode="process",
+            probe_interval_s=0.3,
+            probe_failures=2,
+            worker_kwargs={
+                "cache_dir": os.path.join(cache_base, "fleet"),
+                "jobs": "1",
+            },
+        )
+        try:
+            client = ServiceClient(port=handle.port, timeout=600.0)
+            # Prime every shard, then measure the healthy fleet.
+            _check(client.batch(specs), baseline)
+            healthy_s = _timed_passes(client, specs, baseline)
+
+            # Kill one worker mid-fleet; the probes eject it.
+            handle.worker_processes[0].kill()
+            _wait_for_ejection(client, N_WORKERS - 1)
+
+            # First pass after loss pays the re-shard (dead worker's
+            # shard recomputes on its successors) ...
+            t0 = time.perf_counter()
+            _check(client.batch(specs), baseline)
+            recovery_s = time.perf_counter() - t0
+            # ... then the survivors serve everything warm again.
+            degraded_s = _timed_passes(client, specs, baseline)
+        finally:
+            handle.shutdown(timeout=120)
+
+    healthy_rps = len(specs) / healthy_s
+    degraded_rps = len(specs) / degraded_s
+    ratio = degraded_rps / healthy_rps
+    rows = [
+        ("healthy (3 workers)", f"{healthy_s:.3f}", f"{healthy_rps:.1f}", "1.00"),
+        ("recovery pass", f"{recovery_s:.3f}",
+         f"{len(specs) / recovery_s:.1f}",
+         f"{(len(specs) / recovery_s) / healthy_rps:.2f}"),
+        ("degraded (2 workers)", f"{degraded_s:.3f}",
+         f"{degraded_rps:.1f}", f"{ratio:.2f}"),
+    ]
+    report(
+        "cluster_resilience",
+        "warm throughput under a single worker loss (bit-identical)",
+        ["phase", "pass_s", "req/s", "vs healthy"],
+        rows,
+    )
+
+    assert ratio >= MIN_DEGRADED_RATIO, (
+        f"degraded throughput {ratio:.2f}x below the "
+        f"{MIN_DEGRADED_RATIO:.2f}x resilience gate"
+    )
+
+    if not SMOKE:
+        write_json(
+            "cluster_resilience",
+            {
+                "workers": N_WORKERS,
+                "requests_per_pass": len(specs),
+                "healthy_s": healthy_s,
+                "recovery_s": recovery_s,
+                "degraded_s": degraded_s,
+                "healthy_rps": healthy_rps,
+                "degraded_rps": degraded_rps,
+                "degraded_over_healthy": ratio,
+                "gate_min_ratio": MIN_DEGRADED_RATIO,
+                "bit_identical": True,
+            },
+        )
+    print(
+        f"cluster resilience: degraded throughput {ratio:.2f}x of healthy "
+        f"(gate {MIN_DEGRADED_RATIO:.2f}x) — PASS"
+    )
+
+
+def test_bench_cluster_resilience():
+    main()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,14 +20,27 @@ from repro.cluster.coordinator import (
     WorkerState,
 )
 from repro.cluster.fleet import ClusterHandle, WorkerProcess, cluster_main
+from repro.cluster.membership import (
+    DEFAULT_LEASE_S,
+    CoordinatorLease,
+    MembershipLog,
+    MembershipRecord,
+)
 from repro.cluster.ring import HashRing
 from repro.cluster.routing import routing_digest, whatif_edit_digest
+from repro.cluster.standby import StandbyCoordinator, StandbyHandle
 
 __all__ = [
     "ClusterConfig",
     "ClusterCoordinator",
     "ClusterHandle",
+    "CoordinatorLease",
+    "DEFAULT_LEASE_S",
     "HashRing",
+    "MembershipLog",
+    "MembershipRecord",
+    "StandbyCoordinator",
+    "StandbyHandle",
     "WorkerProcess",
     "WorkerState",
     "cluster_main",

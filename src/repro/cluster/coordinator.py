@@ -46,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -62,10 +63,21 @@ from repro.service.server import (
     read_head,
     send_json,
 )
+from repro.cluster.membership import (
+    DEFAULT_LEASE_S,
+    CoordinatorLease,
+    MembershipLog,
+)
 from repro.cluster.ring import HashRing
 from repro.cluster.routing import routing_digest, whatif_edit_digest
 
 __all__ = ["ClusterConfig", "ClusterCoordinator", "WorkerState"]
+
+#: Completed-response replay store size (requests deduplicated per
+#: coordinator by ``X-Idempotency-Key``).
+IDEMPOTENCY_CAP = 1024
+#: Responses above this size are not recorded for replay.
+IDEMPOTENT_MAX_BYTES = 256 * 1024
 
 
 @dataclass
@@ -87,6 +99,13 @@ class ClusterConfig:
             be retried on after its owner fails (0 disables rerouting).
         request_timeout_s: Per-proxied-request ceiling.
         drain_grace_s: Longest wait for in-flight work during drain.
+        state_dir: Directory for the durable membership log and the
+            coordinator lease; ``None`` keeps everything in memory (a
+            restart cold-starts the ring at generation 0).
+        lease_s: Coordinator lease validity window; a standby takes
+            over once the lease has been stale for longer than this.
+        migrate_rate_bytes_per_s: Default rate limit for resize cache
+            migration pulls (``None`` = unthrottled).
     """
 
     host: str = "127.0.0.1"
@@ -102,6 +121,70 @@ class ClusterConfig:
     retry_next_owner: int = 1
     request_timeout_s: float = 120.0
     drain_grace_s: float = 30.0
+    state_dir: Optional[str] = None
+    lease_s: float = DEFAULT_LEASE_S
+    migrate_rate_bytes_per_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate every tunable at construction — a bad probe interval
+        should fail `repro cluster` startup, not surface as a wedged
+        fleet during an incident."""
+        problems: List[str] = []
+        if self.vnodes < 1:
+            problems.append(f"vnodes must be >= 1 (got {self.vnodes})")
+        if self.max_queue is not None and self.max_queue < 1:
+            problems.append(
+                f"max_queue must be >= 1 (got {self.max_queue})"
+            )
+        if not 0.0 <= self.shed_fraction <= 1.0:
+            problems.append(
+                f"shed_fraction must be in [0, 1] (got {self.shed_fraction})"
+            )
+        if self.shed_deadline_ms <= 0:
+            problems.append(
+                f"shed_deadline_ms must be positive "
+                f"(got {self.shed_deadline_ms})"
+            )
+        if self.probe_interval_s <= 0:
+            problems.append(
+                f"probe_interval_s must be positive "
+                f"(got {self.probe_interval_s})"
+            )
+        if self.probe_timeout_s <= 0:
+            problems.append(
+                f"probe_timeout_s must be positive "
+                f"(got {self.probe_timeout_s})"
+            )
+        if self.probe_failures < 1:
+            problems.append(
+                f"probe_failures must be >= 1 (got {self.probe_failures})"
+            )
+        if self.retry_next_owner < 0:
+            problems.append(
+                f"retry_next_owner must be >= 0 "
+                f"(got {self.retry_next_owner})"
+            )
+        if self.request_timeout_s <= 0:
+            problems.append(
+                f"request_timeout_s must be positive "
+                f"(got {self.request_timeout_s})"
+            )
+        if self.drain_grace_s < 0:
+            problems.append(
+                f"drain_grace_s must be >= 0 (got {self.drain_grace_s})"
+            )
+        if self.lease_s <= 0:
+            problems.append(f"lease_s must be positive (got {self.lease_s})")
+        if (
+            self.migrate_rate_bytes_per_s is not None
+            and self.migrate_rate_bytes_per_s <= 0
+        ):
+            problems.append(
+                f"migrate_rate_bytes_per_s must be positive "
+                f"(got {self.migrate_rate_bytes_per_s})"
+            )
+        if problems:
+            raise ValueError("invalid cluster config: " + "; ".join(problems))
 
 
 @dataclass
@@ -133,18 +216,75 @@ def _error_envelope(
     return env
 
 
+class _RecordingWriter:
+    """A StreamWriter proxy that tees every written byte into a buffer.
+
+    Lets the idempotency layer capture whatever a handler produced —
+    headers included — without the handlers knowing; the recorded bytes
+    replay verbatim on a deduplicated retry.
+    """
+
+    def __init__(self, inner: asyncio.StreamWriter) -> None:
+        self._inner = inner
+        self._chunks: List[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self._chunks.append(bytes(data))
+        self._inner.write(data)
+
+    async def drain(self) -> None:
+        await self._inner.drain()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    async def wait_closed(self) -> None:
+        await self._inner.wait_closed()
+
+    def get_extra_info(self, *args, **kwargs):
+        return self._inner.get_extra_info(*args, **kwargs)
+
+    def raw(self) -> bytes:
+        return b"".join(self._chunks)
+
+
 class ClusterCoordinator:
     """One coordinator instance: ring + proxy + admission + rollup."""
 
     def __init__(self, config: Optional[ClusterConfig] = None) -> None:
         self.config = config or ClusterConfig()
-        if not self.config.workers:
-            raise ValueError("a cluster needs at least one worker")
         self.workers: Dict[str, WorkerState] = {}
         for index, (host, port) in enumerate(self.config.workers):
             wid = f"w{index}"
             self.workers[wid] = WorkerState(wid, host, int(port))
+        # Durable membership: with a state_dir, the log is authoritative
+        # for the worker-id -> endpoint mapping and the ring generation,
+        # so a restarted coordinator recovers the ring exactly where the
+        # previous process left it (same ids => same vnode positions =>
+        # same placement => warm caches still line up).
+        restored_generation: Optional[int] = None
+        self._membership: Optional[MembershipLog] = None
+        self._lease: Optional[CoordinatorLease] = None
+        if self.config.state_dir:
+            self._membership = MembershipLog(self.config.state_dir)
+            latest = self._membership.latest()
+            if latest is not None:
+                restored = self._members_from_record(latest)
+                if restored:
+                    self.workers = restored
+                    restored_generation = latest.generation
+        if not self.workers:
+            raise ValueError("a cluster needs at least one worker")
         self.ring = HashRing(self.workers, vnodes=self.config.vnodes)
+        if restored_generation is not None:
+            self.ring.generation = restored_generation
+        elif self._membership is not None:
+            self._membership.append(
+                self._membership_entries(),
+                "bootstrap",
+                detail="initial fleet",
+                generation=self.ring.generation,
+            )
         self.metrics = ServiceMetrics()
         max_queue = self.config.max_queue
         if max_queue is None:
@@ -160,7 +300,73 @@ class ClusterCoordinator:
         self._server: Optional[asyncio.base_events.Server] = None
         self._handlers: set = set()
         self._probe_task: Optional[asyncio.Task] = None
+        self._lease_task: Optional[asyncio.Task] = None
         self._stopped: Optional[asyncio.Event] = None
+        #: Completed responses keyed by X-Idempotency-Key: a client that
+        #: lost a response (timeout, dropped connection) re-issues the
+        #: request with the same key and gets the recorded response back
+        #: without re-execution.
+        self._idempotent: "OrderedDict[str, bytes]" = OrderedDict()
+        #: Per-worker cache counters at the last planned ring-generation
+        #: change — /metrics reports hit-rate deltas relative to this.
+        self._gen_baseline: Dict[str, Any] = {
+            "generation": self.ring.generation,
+            "workers": {},
+        }
+
+    # -- durable membership ----------------------------------------------
+
+    def _members_from_record(self, record) -> Dict[str, WorkerState]:
+        """The worker map encoded in one membership record.
+
+        Entries are ``wid=host:port`` (the id matters: vnode positions
+        hash the id, so placement survives restarts only if ids do).
+        Config endpoints refresh recorded members positionally — a
+        restarted fleet respawns workers on new ports, but ``w<i>`` in
+        the config still names the i-th spawned worker.
+        """
+        members: Dict[str, WorkerState] = {}
+        for entry in record.workers:
+            wid, sep, addr = entry.partition("=")
+            host, _, port = addr.rpartition(":")
+            if not sep or not host or not port.isdigit():
+                continue
+            members[wid] = WorkerState(wid, host, int(port))
+        if not members:
+            return {}
+        for index, (host, port) in enumerate(self.config.workers):
+            wid = f"w{index}"
+            if wid in members:
+                members[wid] = WorkerState(wid, host, int(port))
+        return members
+
+    def _membership_entries(self) -> List[str]:
+        return [
+            f"{wid}={state.host}:{state.port}"
+            for wid, state in self.workers.items()
+        ]
+
+    def _append_membership(self, action: str, detail: str) -> Optional[int]:
+        """Record a planned membership change; returns its generation."""
+        if self._membership is None:
+            return None
+        record = self._membership.append(
+            self._membership_entries(),
+            action,
+            detail=detail,
+            generation=self.ring.generation,
+        )
+        return record.generation
+
+    def _next_worker_id(self) -> str:
+        taken = set()
+        for wid in self.workers:
+            if wid.startswith("w") and wid[1:].isdigit():
+                taken.add(int(wid[1:]))
+        index = 0
+        while index in taken:
+            index += 1
+        return f"w{index}"
 
     # -- lifecycle -------------------------------------------------------
 
@@ -170,7 +376,22 @@ class ClusterCoordinator:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.state_dir:
+            self._lease = CoordinatorLease(
+                self.config.state_dir,
+                owner=f"{self.config.host}:{self.port}",
+                lease_s=self.config.lease_s,
+            )
+            self._lease.renew(port=self.port)
+            self._lease_task = asyncio.ensure_future(self._lease_loop())
         self._probe_task = asyncio.ensure_future(self._probe_loop())
+
+    async def _lease_loop(self) -> None:
+        assert self._lease is not None
+        while not self.draining:
+            await asyncio.sleep(self._lease.renew_interval_s)
+            if not self.draining:
+                self._lease.renew(port=self.port)
 
     async def wait_stopped(self) -> None:
         assert self._stopped is not None, "start() was not called"
@@ -183,12 +404,15 @@ class ClusterCoordinator:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._probe_task is not None:
-            self._probe_task.cancel()
-            try:
-                await self._probe_task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
-                pass
+        for task in (self._probe_task, self._lease_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+        if self._lease is not None:
+            self._lease.release()
         clean = True
         if drain:
             deadline = time.monotonic() + self.config.drain_grace_s
@@ -198,6 +422,32 @@ class ClusterCoordinator:
         if self._stopped is not None:
             self._stopped.set()
         return clean
+
+    async def crash(self) -> None:
+        """Abrupt stop for the failover tests: no drain, no lease release.
+
+        The lease file is left behind holding this owner's last renewal,
+        so a warm standby observes takeover exactly as after a real
+        crash — by the lease *expiring*, not by a clean handoff.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        to_cancel = [
+            task
+            for task in (self._probe_task, self._lease_task)
+            if task is not None
+        ]
+        to_cancel.extend(self._handlers)
+        for task in to_cancel:
+            task.cancel()
+        # Let the cancelled handlers run their finallys so in-flight
+        # sockets actually close — clients must see the connection drop
+        # *now* (and fail over), not sit out their read timeout.
+        if to_cancel:
+            await asyncio.gather(*to_cancel, return_exceptions=True)
+        if self._stopped is not None:
+            self._stopped.set()
 
     # -- health probes ---------------------------------------------------
 
@@ -270,6 +520,19 @@ class ClusterCoordinator:
         (connect, timeout, truncated response).
         """
         timeout = self.config.request_timeout_s if timeout is None else timeout
+        # Gray-failure injection: a partition refuses this worker+route
+        # pair outright; a slow worker stalls it (probe routes stall
+        # past their timeout and go through the ejection path).
+        if chaos.should_fire("cluster.partition", key=(state.worker_id, path)):
+            perf.record("cluster.chaos_partitions")
+            raise _WorkerDown(
+                f"{state.worker_id}: injected network partition"
+            )
+        if chaos.should_fire(
+            "cluster.slow_worker", key=(state.worker_id, path)
+        ):
+            perf.record("cluster.chaos_slow_workers")
+            await asyncio.sleep(min(chaos.HANG_SECONDS, timeout))
         head = [f"{method} {path} HTTP/1.1", f"Host: {state.host}"]
         head.append("Connection: close")
         if trace_id:
@@ -373,10 +636,19 @@ class ClusterCoordinator:
             method, path, headers = await read_head(reader)
             endpoint = f"{method} {path}"
             body = await read_body(reader, headers)
-            ok = await self._route(
-                method, path, body, writer,
-                trace_id=headers.get("x-trace-id"),
-            )
+            # Injected coordinator crash: drop the connection after the
+            # request was read but before any response byte — the shape
+            # a real coordinator death mid-request has on the wire.
+            # Clients recover by failing over their coordinator list
+            # and re-issuing under the same idempotency key.
+            if chaos.should_fire(
+                "cluster.coordinator_crash",
+                key=(path, headers.get("x-idempotency-key"), len(body)),
+            ):
+                perf.record("cluster.chaos_coordinator_crashes")
+                self.metrics.record("chaos_connection_drops")
+                return
+            ok = await self._dispatch(method, path, headers, body, writer)
         except _HttpError as exc:
             await send_json(
                 writer, exc.status, exc.body, extra_headers=exc.headers
@@ -414,6 +686,64 @@ class ClusterCoordinator:
                     endpoint, time.perf_counter() - t0, ok
                 )
 
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Route one request, deduplicating by ``X-Idempotency-Key``.
+
+        A keyed POST whose response was already recorded is replayed
+        verbatim without re-execution — the retry a client sends after
+        losing a response (timeout, coordinator bounce mid-reply) lands
+        exactly once.  Keys are per-coordinator; a replay on a *failed-
+        over* coordinator re-executes instead, which is safe because
+        every analysis is pure: the re-executed response is
+        bit-identical to the lost one.
+        """
+        trace_id = headers.get("x-trace-id")
+        idem = headers.get("x-idempotency-key")
+        if not idem or method != "POST" or not path.startswith("/v1/"):
+            return await self._route(
+                method, path, body, writer, trace_id=trace_id
+            )
+        recorded = self._idempotent.get(idem)
+        if recorded is not None:
+            self._idempotent.move_to_end(idem)
+            self.metrics.record("idempotent_replays")
+            perf.record("cluster.idempotent_replays")
+            writer.write(recorded)
+            await writer.drain()
+            return True
+        recording = _RecordingWriter(writer)
+        ok = await self._route(
+            method, path, body, recording, trace_id=trace_id
+        )
+        self._remember_idempotent(idem, recording.raw())
+        return ok
+
+    def _remember_idempotent(self, key: str, raw: bytes) -> None:
+        """Record one completed 200 response for replay (bounded LRU).
+
+        Streams (chunked framing) and oversized or non-200 responses
+        are not recorded: errors should re-execute on retry, and a
+        stream replay would need the full body buffered anyway.
+        """
+        if not raw.startswith(b"HTTP/1.1 200"):
+            return
+        if len(raw) > IDEMPOTENT_MAX_BYTES:
+            return
+        head = raw.split(b"\r\n\r\n", 1)[0]
+        if b"Transfer-Encoding: chunked" in head:
+            return
+        self._idempotent[key] = raw
+        self._idempotent.move_to_end(key)
+        while len(self._idempotent) > IDEMPOTENCY_CAP:
+            self._idempotent.popitem(last=False)
+
     async def _route(
         self,
         method: str,
@@ -441,6 +771,18 @@ class ClusterCoordinator:
             if method != "POST":
                 raise self._method_not_allowed()
             return await self._handle_batch(body, writer, trace_id)
+        if path == "/admin/membership":
+            if method != "GET":
+                raise self._method_not_allowed()
+            return await self._handle_membership(writer)
+        if path == "/admin/add-worker":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_add_worker(body, writer)
+        if path == "/admin/remove-worker":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_remove_worker(body, writer)
         raise _HttpError(
             404,
             {
@@ -677,6 +1019,349 @@ class ClusterCoordinator:
             },
         )
         return status == 200
+
+    # -- planned resize + membership admin -------------------------------
+
+    async def _handle_membership(self, writer: asyncio.StreamWriter) -> bool:
+        records = self._membership.records() if self._membership else []
+        await send_json(
+            writer,
+            200,
+            {
+                "ok": True,
+                "durable": self._membership is not None,
+                "ring": {
+                    "generation": self.ring.generation,
+                    "vnodes": self.ring.vnodes,
+                    "workers": list(self.ring.workers),
+                },
+                "members": self._membership_entries(),
+                "log": [
+                    {
+                        "generation": r.generation,
+                        "workers": list(r.workers),
+                        "action": r.action,
+                        "detail": r.detail,
+                        "ts": r.ts,
+                    }
+                    for r in records[-32:]
+                ],
+                "lease": self._lease.read() if self._lease else None,
+            },
+        )
+        return True
+
+    async def _worker_cache_keys(
+        self, state: WorkerState
+    ) -> List[Tuple[str, int, Optional[str]]]:
+        """One worker's resident ``(key, bytes, placement)`` listing."""
+        status, _headers, payload = await self._worker_http(
+            state, "GET", "/v1/cache/keys", None
+        )
+        if status != 200:
+            raise _WorkerDown(
+                f"{state.worker_id}: cache listing returned HTTP {status}"
+            )
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+            out: List[Tuple[str, int, Optional[str]]] = []
+            for row in doc["keys"]:
+                tag = row[2] if len(row) > 2 and row[2] else None
+                out.append((str(row[0]), int(row[1]), tag))
+            return out
+        except (ValueError, KeyError, TypeError, IndexError) as exc:
+            raise _WorkerDown(
+                f"{state.worker_id}: malformed cache listing: {exc}"
+            ) from exc
+
+    async def _pull_to(
+        self,
+        dest: WorkerState,
+        src: WorkerState,
+        keys: List[str],
+        rate: Optional[float],
+    ) -> Dict[str, Any]:
+        """Instruct *dest* to pull *keys* from *src* (digest-verified)."""
+        body = json.dumps(
+            {
+                "peer": f"{src.host}:{src.port}",
+                "keys": keys,
+                "rate_bytes_per_s": rate,
+            }
+        ).encode("utf-8")
+        status, _headers, payload = await self._worker_http(
+            dest, "POST", "/v1/cache/pull", body
+        )
+        if status != 200:
+            raise _WorkerDown(
+                f"{dest.worker_id}: cache pull returned HTTP {status}"
+            )
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+            pull = doc.get("pull")
+            return pull if isinstance(pull, dict) else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _WorkerDown(
+                f"{dest.worker_id}: undecodable pull summary"
+            ) from exc
+
+    async def _migrate_for_add(
+        self, new_state: WorkerState, rate: Optional[float]
+    ) -> Dict[str, Any]:
+        """Move the joiner's future entries onto it before it joins.
+
+        The prospective ring (current members + joiner) names exactly
+        the consistent-hash movement delta: entries whose placement key
+        (the routing key recorded at write time, falling back to the
+        entry key) the new ring assigns to the joiner.  Each source
+        keeps its copy — the joiner owns the arc from the flip onward,
+        and stale source copies age out of their LRU.
+        """
+        prospective = HashRing(
+            list(self.ring.workers) + [new_state.worker_id],
+            vnodes=self.config.vnodes,
+        )
+        migration: Dict[str, Any] = {}
+        for state in list(self.workers.values()):
+            if state.worker_id not in self.ring:
+                continue
+            try:
+                listing = await self._worker_cache_keys(state)
+                moving = [
+                    key
+                    for key, _size, tag in listing
+                    if prospective.owner(tag or key) == new_state.worker_id
+                ]
+                if not moving:
+                    migration[state.worker_id] = {"keys": 0, "pulled": 0}
+                    continue
+                summary = await self._pull_to(
+                    new_state, state, moving, rate
+                )
+                summary["keys"] = len(moving)
+                migration[state.worker_id] = summary
+                self.metrics.record(
+                    "migrated_entries", int(summary.get("pulled") or 0)
+                )
+            except _WorkerDown as exc:
+                # Partial migration is sound: unmoved entries miss once
+                # on the joiner and recompute.
+                migration[state.worker_id] = {"error": str(exc)}
+        return migration
+
+    async def _migrate_for_remove(
+        self, leaving: WorkerState, rate: Optional[float]
+    ) -> Dict[str, Any]:
+        """Re-home the leaver's entries onto their next owners."""
+        survivors = [
+            wid for wid in self.ring.workers if wid != leaving.worker_id
+        ]
+        if not survivors:
+            return {}
+        prospective = HashRing(survivors, vnodes=self.config.vnodes)
+        try:
+            listing = await self._worker_cache_keys(leaving)
+        except _WorkerDown as exc:
+            # A dead leaver has nothing to hand over; its entries
+            # recompute on the survivors.
+            return {"error": str(exc)}
+        groups: Dict[str, List[str]] = {}
+        for key, _size, tag in listing:
+            groups.setdefault(prospective.owner(tag or key), []).append(key)
+        migration: Dict[str, Any] = {}
+        for wid, keys in groups.items():
+            dest = self.workers.get(wid)
+            if dest is None:
+                continue
+            try:
+                summary = await self._pull_to(dest, leaving, keys, rate)
+                summary["keys"] = len(keys)
+                migration[wid] = summary
+                self.metrics.record(
+                    "migrated_entries", int(summary.get("pulled") or 0)
+                )
+            except _WorkerDown as exc:
+                migration[wid] = {"error": str(exc)}
+        return migration
+
+    @staticmethod
+    def _admin_error(status: int, code: str, message: str) -> _HttpError:
+        return _HttpError(
+            status,
+            {"ok": False, "error": {"code": code, "message": message}},
+        )
+
+    def _resize_options(
+        self, data: Any
+    ) -> Tuple[bool, Optional[float]]:
+        migrate = True
+        rate = self.config.migrate_rate_bytes_per_s
+        if isinstance(data, dict):
+            migrate = bool(data.get("migrate", True))
+            raw = data.get("rate_bytes_per_s", rate)
+            rate = float(raw) if isinstance(raw, (int, float)) and raw > 0 else None
+        return migrate, rate
+
+    async def _handle_add_worker(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /admin/add-worker``: migrate, then flip the generation.
+
+        Order matters: the joiner pulls its owned entries while the old
+        ring still routes every request to the old owners, and only
+        then joins the ring — requests observe either the fully-warm
+        new placement or the old one, never a cold in-between.
+        """
+        self._refuse_if_draining()
+        data = self._parse_json(body)
+        target = data.get("worker") if isinstance(data, dict) else None
+        host, _, port_s = str(target or "").rpartition(":")
+        if not host or not port_s.isdigit():
+            raise self._admin_error(
+                400, "bad_request", "'worker' must be \"host:port\""
+            )
+        port = int(port_s)
+        if any(
+            s.host == host and s.port == port for s in self.workers.values()
+        ):
+            raise self._admin_error(
+                409, "conflict", f"{host}:{port} is already a member"
+            )
+        wid = self._next_worker_id()
+        state = WorkerState(wid, host, port)
+        try:
+            status, _h, _p = await self._worker_http(
+                state, "GET", "/healthz", None,
+                timeout=self.config.probe_timeout_s,
+            )
+        except _WorkerDown as exc:
+            raise self._admin_error(
+                502, "worker_unreachable", f"joiner health check: {exc}"
+            ) from exc
+        if status != 200:
+            raise self._admin_error(
+                502,
+                "worker_unreachable",
+                f"joiner /healthz returned HTTP {status}",
+            )
+        migrate, rate = self._resize_options(data)
+        migration: Dict[str, Any] = {}
+        if migrate:
+            migration = await self._migrate_for_add(state, rate)
+        self.workers[wid] = state
+        self.ring.add(wid)
+        self.metrics.record("ring_resizes")
+        perf.record("cluster.ring_resizes")
+        membership_generation = self._append_membership(
+            "add", f"{wid}={host}:{port}"
+        )
+        await self._capture_generation_baseline()
+        await send_json(
+            writer,
+            200,
+            {
+                "ok": True,
+                "action": "add",
+                "worker": wid,
+                "endpoint": f"{host}:{port}",
+                "ring_generation": self.ring.generation,
+                "membership_generation": membership_generation,
+                "migration": migration,
+            },
+        )
+        return True
+
+    async def _handle_remove_worker(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /admin/remove-worker``: drain entries out, then leave."""
+        self._refuse_if_draining()
+        data = self._parse_json(body)
+        target = str(data.get("worker") or "") if isinstance(data, dict) else ""
+        state = self.workers.get(target)
+        if state is None:
+            host, _, port_s = target.rpartition(":")
+            if host and port_s.isdigit():
+                for candidate in self.workers.values():
+                    if (
+                        candidate.host == host
+                        and candidate.port == int(port_s)
+                    ):
+                        state = candidate
+                        break
+        if state is None:
+            raise self._admin_error(
+                404, "bad_request", f"no such worker {target!r}"
+            )
+        if len(self.workers) == 1:
+            raise self._admin_error(
+                409, "conflict", "cannot remove the last worker"
+            )
+        migrate, rate = self._resize_options(data)
+        migration: Dict[str, Any] = {}
+        if migrate and state.worker_id in self.ring:
+            migration = await self._migrate_for_remove(state, rate)
+        if not self.ring.remove(state.worker_id):
+            # Health probes already ejected it; the planned removal must
+            # still be observable as a generation change.
+            self.ring.generation += 1
+        del self.workers[state.worker_id]
+        self.metrics.record("ring_resizes")
+        perf.record("cluster.ring_resizes")
+        membership_generation = self._append_membership(
+            "remove", f"{state.worker_id}={state.host}:{state.port}"
+        )
+        await self._capture_generation_baseline()
+        await send_json(
+            writer,
+            200,
+            {
+                "ok": True,
+                "action": "remove",
+                "worker": state.worker_id,
+                "endpoint": f"{state.host}:{state.port}",
+                "ring_generation": self.ring.generation,
+                "membership_generation": membership_generation,
+                "migration": migration,
+            },
+        )
+        return True
+
+    async def _fetch_worker_metrics(
+        self, state: WorkerState
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            status, _headers, payload = await self._worker_http(
+                state, "GET", "/metrics", None,
+                timeout=self.config.probe_timeout_s,
+            )
+            if status != 200:
+                return None
+            doc = json.loads(payload.decode("utf-8"))
+            return doc if isinstance(doc, dict) else None
+        except (_WorkerDown, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    async def _capture_generation_baseline(self) -> None:
+        """Snapshot per-worker cache counters at a generation flip.
+
+        ``/metrics`` reports hit-rate deltas relative to this snapshot,
+        so operators can see whether the fleet stayed warm *across* the
+        resize instead of eyeballing absolute counters that mix the
+        before and after.
+        """
+        snap: Dict[str, Dict[str, int]] = {}
+        for state in list(self.workers.values()):
+            doc = await self._fetch_worker_metrics(state)
+            cache = (doc or {}).get("cache") or {}
+            snap[state.worker_id] = {
+                "hits": int(cache.get("hits") or 0),
+                "misses": int(cache.get("misses") or 0),
+            }
+        self._gen_baseline = {
+            "generation": self.ring.generation,
+            "workers": snap,
+        }
 
     async def _handle_analyze(
         self,
@@ -1133,16 +1818,7 @@ class ClusterCoordinator:
 
     async def _metrics_rollup(self) -> Dict[str, Any]:
         async def _fetch(state: WorkerState):
-            try:
-                status, _headers, payload = await self._worker_http(
-                    state, "GET", "/metrics", None,
-                    timeout=self.config.probe_timeout_s,
-                )
-                if status != 200:
-                    return state.worker_id, None
-                return state.worker_id, json.loads(payload.decode("utf-8"))
-            except (_WorkerDown, json.JSONDecodeError, UnicodeDecodeError):
-                return state.worker_id, None
+            return state.worker_id, await self._fetch_worker_metrics(state)
 
         fetched = await asyncio.gather(
             *(_fetch(state) for state in self.workers.values())
@@ -1188,6 +1864,28 @@ class ClusterCoordinator:
                 "latency_s": hist.snapshot(),
             }
         lookups = cache_hits + cache_misses
+
+        # Satellite: hit-rate deltas since the last ring-generation flip
+        # (resize/restore), per worker and fleet-wide, so operators can
+        # confirm the fleet stayed warm across a membership change.
+        base_workers = self._gen_baseline.get("workers") or {}
+        gen_per_worker: Dict[str, Any] = {}
+        fleet_dh = fleet_dm = 0
+        for wid, doc in per_worker.items():
+            cache = doc.get("cache") or {} if isinstance(doc, dict) else {}
+            hits = int(cache.get("hits") or 0)
+            misses = int(cache.get("misses") or 0)
+            base = base_workers.get(wid) or {"hits": 0, "misses": 0}
+            dh = max(0, hits - int(base.get("hits") or 0))
+            dm = max(0, misses - int(base.get("misses") or 0))
+            gen_per_worker[wid] = {
+                "hits_delta": dh,
+                "misses_delta": dm,
+                "hit_rate": dh / (dh + dm) if dh + dm else None,
+            }
+            fleet_dh += dh
+            fleet_dm += dm
+
         return {
             "cluster": {
                 "ring": {
@@ -1222,6 +1920,21 @@ class ClusterCoordinator:
                     "hit_rate": (
                         cache_hits / lookups if lookups else None
                     ),
+                },
+                "cache_by_generation": {
+                    "since_generation": self._gen_baseline.get(
+                        "generation", 0
+                    ),
+                    "per_worker": gen_per_worker,
+                    "fleet": {
+                        "hits_delta": fleet_dh,
+                        "misses_delta": fleet_dm,
+                        "hit_rate": (
+                            fleet_dh / (fleet_dh + fleet_dm)
+                            if fleet_dh + fleet_dm
+                            else None
+                        ),
+                    },
                 },
             },
         }

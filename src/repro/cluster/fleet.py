@@ -22,6 +22,8 @@ Three ways to stand a cluster up:
 from __future__ import annotations
 
 import asyncio
+import http.client
+import json
 import os
 import re
 import signal
@@ -29,7 +31,7 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator
 from repro.service.server import ServerHandle, ServiceConfig
@@ -275,6 +277,75 @@ class ClusterHandle:
             worker_handles, worker_processes,
         )
 
+    # -- resize / failover admin -----------------------------------------
+
+    def _admin(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+        try:
+            payload = (
+                None if body is None else json.dumps(body).encode("utf-8")
+            )
+            conn.request(
+                method, path, body=payload, headers={"Connection": "close"}
+            )
+            resp = conn.getresponse()
+            doc = json.loads(resp.read().decode("utf-8"))
+            if resp.status != 200:
+                raise RuntimeError(
+                    f"{path} returned HTTP {resp.status}: {doc}"
+                )
+            return doc
+        finally:
+            conn.close()
+
+    def spawn_worker(self, **spawn_kwargs: Any) -> WorkerProcess:
+        """Spawn one more ``repro serve`` subprocess (not yet a member)."""
+        proc = WorkerProcess.spawn(**spawn_kwargs)
+        self.worker_processes.append(proc)
+        return proc
+
+    def add_worker(
+        self,
+        host: str,
+        port: int,
+        migrate: bool = True,
+        rate_bytes_per_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Planned resize: migrate owned entries, then join the ring."""
+        body: Dict[str, Any] = {
+            "worker": f"{host}:{port}", "migrate": migrate,
+        }
+        if rate_bytes_per_s is not None:
+            body["rate_bytes_per_s"] = rate_bytes_per_s
+        return self._admin("POST", "/admin/add-worker", body)
+
+    def remove_worker(
+        self, target: str, migrate: bool = True
+    ) -> Dict[str, Any]:
+        """Planned removal: re-home entries, then drop from the ring."""
+        return self._admin(
+            "POST", "/admin/remove-worker",
+            {"worker": target, "migrate": migrate},
+        )
+
+    def membership(self) -> Dict[str, Any]:
+        return self._admin("GET", "/admin/membership")
+
+    def kill_coordinator(self, timeout: float = 10.0) -> None:
+        """Simulate a coordinator crash (failover tests).
+
+        No drain, no lease release — a co-located standby only observes
+        the lease expiring, exactly as after a real process death.  The
+        workers keep running and keep their caches warm.
+        """
+        future = asyncio.run_coroutine_threadsafe(
+            self.coordinator.crash(), self._loop
+        )
+        future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
     def kill_worker(self, index: int) -> None:
         """Hard-kill worker *index* (chaos tests).
 
@@ -295,10 +366,15 @@ class ClusterHandle:
         self, drain: bool = True, timeout: float = 60.0
     ) -> bool:
         """Coordinator drain first, then every spawned worker."""
-        future = asyncio.run_coroutine_threadsafe(
-            self.coordinator.shutdown(drain=drain), self._loop
-        )
-        clean = future.result(timeout=timeout)
+        clean = True
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.coordinator.shutdown(drain=drain), self._loop
+            )
+            try:
+                clean = future.result(timeout=timeout)
+            except RuntimeError:  # loop died under us (crashed coordinator)
+                clean = False
         self._thread.join(timeout=timeout)
         for index, handle in enumerate(self.worker_handles):
             if index in self._killed:
@@ -365,10 +441,62 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         help="seconds between worker health probes",
     )
     parser.add_argument(
+        "--probe-timeout-s", type=float, default=None,
+        help="health probe timeout (seconds)",
+    )
+    parser.add_argument(
+        "--probe-failures", type=int, default=None,
+        help="consecutive probe failures before ejecting a worker",
+    )
+    parser.add_argument(
+        "--retry-next-owner", type=int, default=None,
+        help="further ring owners to try when the primary is down",
+    )
+    parser.add_argument(
+        "--request-timeout-s", type=float, default=None,
+        help="per-request proxy timeout (seconds)",
+    )
+    parser.add_argument(
         "--drain-grace-s", type=float, default=30.0,
         help="longest wait for in-flight work on SIGTERM",
     )
+    parser.add_argument(
+        "--state-dir", metavar="DIR",
+        help=(
+            "durable state directory (membership log + coordinator "
+            "lease); restarts recover the ring at the same generation"
+        ),
+    )
+    parser.add_argument(
+        "--lease-s", type=float, default=None,
+        help="coordinator lease window (standby takes over past this)",
+    )
+    parser.add_argument(
+        "--standby", action="store_true",
+        help=(
+            "run as a warm standby: watch the active's lease in "
+            "--state-dir and take over when it lapses (spawns no "
+            "workers; membership comes from the log)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    tunables = {
+        name: value
+        for name, value in {
+            "probe_timeout_s": args.probe_timeout_s,
+            "probe_failures": args.probe_failures,
+            "retry_next_owner": args.retry_next_owner,
+            "request_timeout_s": args.request_timeout_s,
+            "lease_s": args.lease_s,
+        }.items()
+        if value is not None
+    }
+
+    if args.standby:
+        if not args.state_dir:
+            parser.error("--standby requires --state-dir")
+        return _standby_main(parser, args, tunables)
 
     spawned: List[WorkerProcess] = []
     endpoints: List[Tuple[str, int]] = []
@@ -393,15 +521,22 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
             )
         endpoints = [(proc.host, proc.port) for proc in spawned]
 
-    config = ClusterConfig(
-        host=args.host,
-        port=args.port,
-        workers=tuple(endpoints),
-        vnodes=args.vnodes,
-        max_queue=args.max_queue,
-        probe_interval_s=args.probe_interval_s,
-        drain_grace_s=args.drain_grace_s,
-    )
+    try:
+        config = ClusterConfig(
+            host=args.host,
+            port=args.port,
+            workers=tuple(endpoints),
+            vnodes=args.vnodes,
+            max_queue=args.max_queue,
+            probe_interval_s=args.probe_interval_s,
+            drain_grace_s=args.drain_grace_s,
+            state_dir=args.state_dir,
+            **tunables,
+        )
+    except ValueError as exc:
+        for proc in spawned:
+            proc.kill()
+        parser.error(str(exc))
 
     async def _main() -> int:
         coordinator = ClusterCoordinator(config)
@@ -436,6 +571,67 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
             proc.terminate(timeout_s=args.drain_grace_s)
     print("repro cluster: fleet drained and stopped", flush=True)
     return code
+
+
+def _standby_main(parser, args, tunables: Dict[str, Any]) -> int:
+    """``repro cluster --standby``: watch the lease, promote on expiry."""
+    from repro.cluster.standby import StandbyCoordinator
+
+    try:
+        standby = StandbyCoordinator(
+            args.state_dir,
+            host=args.host,
+            port=args.port,
+            vnodes=args.vnodes,
+            max_queue=args.max_queue,
+            probe_interval_s=args.probe_interval_s,
+            drain_grace_s=args.drain_grace_s,
+            **tunables,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    async def _main() -> int:
+        loop = asyncio.get_running_loop()
+
+        def _on_signal() -> None:
+            if standby.coordinator is not None:
+                loop.create_task(standby.coordinator.shutdown(drain=True))
+            else:
+                standby.stop_watching()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _on_signal)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        print(
+            f"repro cluster: standby watching {args.state_dir} "
+            f"(lease window {standby.lease_s:g}s)",
+            flush=True,
+        )
+        promoted = await standby.watch()
+        if not promoted:
+            print("repro cluster: standby stopped without promoting",
+                  flush=True)
+            return 0
+        coordinator = standby.coordinator
+        assert coordinator is not None
+        print(
+            f"repro cluster: standby promoted, listening on "
+            f"{args.host}:{coordinator.port} "
+            f"(generation={coordinator.ring.generation} "
+            f"workers={len(coordinator.workers)})",
+            flush=True,
+        )
+        await coordinator.wait_stopped()
+        print("repro cluster: fleet drained and stopped", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,237 @@
+"""Durable cluster membership: a versioned log plus a coordinator lease.
+
+The consistent-hash ring is a pure function of the worker set, so the
+only state a coordinator restart must recover is *which workers were
+members at which generation*.  :class:`MembershipLog` records exactly
+that: an append-only JSON-lines file (``membership.jsonl`` inside the
+cluster's ``--state-dir``), one record per membership change, fsync'd
+on append.  A restarted ``repro cluster`` pointed at the same state dir
+reconstructs the ring at the *same generation* the previous process
+reached, so clients observing ``X-Repro-Ring-Generation`` never see the
+clock jump backwards across a coordinator bounce.
+
+The same directory holds the **coordinator lease** (``coordinator.lease``)
+— a tiny JSON file the active coordinator atomically rewrites every
+``lease_s / 3`` seconds.  A warm standby (:mod:`repro.cluster.standby`)
+tails the log and the lease; when the lease goes stale by more than
+``lease_s`` the active is presumed dead and the standby takes over.
+Atomic replace makes a torn lease write impossible, and the
+last-writer-wins semantics are safe because takeover only *adds* a
+serving coordinator: the analyses are pure and idempotent, so a brief
+overlap (a zombie active draining its last responses) can never produce
+a wrong or duplicated result — clients dedupe by idempotency key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "MembershipRecord",
+    "MembershipLog",
+    "CoordinatorLease",
+    "DEFAULT_LEASE_S",
+]
+
+#: Default lease validity window (seconds).  The active renews at a
+#: third of this, so two consecutive renewals must be missed before a
+#: standby takes over.
+DEFAULT_LEASE_S = 3.0
+
+_ACTIONS = ("bootstrap", "add", "remove")
+
+
+@dataclass(frozen=True)
+class MembershipRecord:
+    """One membership change: the full worker set after the change.
+
+    Attributes:
+        generation: Ring generation after this change (monotone).
+        workers: The complete ``host:port`` member list (sorted).
+        action: ``bootstrap`` (initial set), ``add`` or ``remove``.
+        detail: The worker added/removed, or free-form context.
+        ts: Wall-clock seconds when the record was appended.
+    """
+
+    generation: int
+    workers: Tuple[str, ...]
+    action: str
+    detail: str
+    ts: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "generation": self.generation,
+                "workers": list(self.workers),
+                "action": self.action,
+                "detail": self.detail,
+                "ts": self.ts,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "MembershipRecord":
+        doc = json.loads(line)
+        action = str(doc["action"])
+        if action not in _ACTIONS:
+            raise ValueError(f"unknown membership action {action!r}")
+        return cls(
+            generation=int(doc["generation"]),
+            workers=tuple(sorted(str(w) for w in doc["workers"])),
+            action=action,
+            detail=str(doc.get("detail", "")),
+            ts=float(doc.get("ts", 0.0)),
+        )
+
+
+class MembershipLog:
+    """Append-only, fsync'd membership history in a state directory."""
+
+    FILENAME = "membership.jsonl"
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = state_dir
+        self.path = os.path.join(state_dir, self.FILENAME)
+        os.makedirs(state_dir, exist_ok=True)
+
+    def records(self) -> List[MembershipRecord]:
+        """Every valid record, in append order.
+
+        A torn trailing line (crash mid-append) is skipped — the log is
+        only ever extended by whole fsync'd lines, so anything before a
+        damaged tail is still authoritative.
+        """
+        out: List[MembershipRecord] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        out.append(MembershipRecord.from_json(line))
+                    except (ValueError, KeyError, TypeError):
+                        continue
+        except FileNotFoundError:
+            return []
+        return out
+
+    def latest(self) -> Optional[MembershipRecord]:
+        """The most recent record, or None for an empty/missing log."""
+        records = self.records()
+        return records[-1] if records else None
+
+    def append(
+        self,
+        workers,
+        action: str,
+        detail: str = "",
+        generation: Optional[int] = None,
+    ) -> MembershipRecord:
+        """Record a membership change; returns the appended record.
+
+        Without an explicit *generation* the successor of the latest
+        recorded one is used (``bootstrap`` of an empty log starts at
+        0); the coordinator passes its live ring generation so the log
+        and the ring agree even after transient health ejections bumped
+        the ring in between.  The line is flushed and fsync'd before
+        returning — a coordinator never acknowledges a resize the log
+        could forget.
+        """
+        if action not in _ACTIONS:
+            raise ValueError(f"unknown membership action {action!r}")
+        if generation is None:
+            last = self.latest()
+            generation = 0 if last is None else last.generation + 1
+        record = MembershipRecord(
+            generation=generation,
+            workers=tuple(sorted(str(w) for w in workers)),
+            action=action,
+            detail=detail,
+            ts=time.time(),
+        )
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(record.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return record
+
+
+class CoordinatorLease:
+    """The active coordinator's liveness claim, renewed by atomic replace."""
+
+    FILENAME = "coordinator.lease"
+
+    def __init__(
+        self,
+        state_dir: str,
+        owner: str,
+        lease_s: float = DEFAULT_LEASE_S,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.state_dir = state_dir
+        self.path = os.path.join(state_dir, self.FILENAME)
+        self.owner = owner
+        self.lease_s = lease_s
+        os.makedirs(state_dir, exist_ok=True)
+
+    @property
+    def renew_interval_s(self) -> float:
+        """How often the active should renew (a third of the window)."""
+        return self.lease_s / 3.0
+
+    def renew(self, port: Optional[int] = None) -> None:
+        """Atomically (re)write the lease as held by this owner, now."""
+        doc = {"owner": self.owner, "ts": time.time(), "port": port}
+        fd, tmp = tempfile.mkstemp(dir=self.state_dir, prefix=".lease-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def read(self) -> Optional[dict]:
+        """The current lease document, or None (missing/unreadable)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            return doc if isinstance(doc, dict) else None
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        """Drop the lease if this owner still holds it (clean shutdown)."""
+        doc = self.read()
+        if doc is not None and doc.get("owner") != self.owner:
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def holder(self) -> Optional[str]:
+        doc = self.read()
+        return None if doc is None else doc.get("owner")
+
+    def is_expired(self, now: Optional[float] = None) -> bool:
+        """True when no live claim exists (missing, torn, or stale)."""
+        doc = self.read()
+        if doc is None:
+            return True
+        ts = doc.get("ts")
+        if not isinstance(ts, (int, float)):
+            return True
+        now = time.time() if now is None else now
+        return (now - float(ts)) > self.lease_s

@@ -34,8 +34,11 @@ switching backend simply addresses different entries.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import errno
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -62,6 +65,13 @@ __all__ = [
     "current_config",
     "apply_config",
     "stats",
+    "list_keys",
+    "read_entry",
+    "write_entry",
+    "blob_digest",
+    "placement_scope",
+    "placement_of",
+    "placements",
 ]
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -78,6 +88,20 @@ _dir: Optional[str] = None
 _max_bytes = DEFAULT_MAX_BYTES
 _memory_only = False
 _memory: "dict[str, bytes]" = {}
+
+#: Placement journal: entry key -> the routing key of the request the
+#: entry was written under.  A cluster resize places *requests* on the
+#: consistent-hash ring, so re-homing an entry needs to know which
+#: request it belongs to — the key alone cannot say.  Disk-backed caches
+#: additionally append each association to ``placements.jsonl`` inside
+#: the cache directory (one JSON line per put; appends below PIPE_BUF
+#: are atomic), so the journal survives restarts and is visible to
+#: plane-worker subprocesses sharing the directory.
+_PLACEMENT_FILE = "placements.jsonl"
+_placement_var: "contextvars.ContextVar[Optional[str]]" = (
+    contextvars.ContextVar("repro_cache_placement", default=None)
+)
+_placement_memory: "dict[str, str]" = {}
 
 
 def _probe_dir(path: str) -> bool:
@@ -111,6 +135,7 @@ def configure(
     global _resolved, _dir, _max_bytes, _memory_only
     _resolved = True
     _memory.clear()
+    _placement_memory.clear()
     _max_bytes = _env_max_bytes() if max_bytes is None else int(max_bytes)
     if cache_dir is None:
         _dir = None
@@ -458,14 +483,181 @@ def put(key: str, value: object) -> None:
         _memory[key] = blob
         while len(_memory) > _MEMORY_CAP:
             _memory.pop(next(iter(_memory)))
+        _record_placement(key)
         perf.record("rcache.puts")
         return
     if _dir is None:
         return
     if not _write_blob(_path_for(key), blob):
         return
+    _record_placement(key)
     perf.record("rcache.puts")
     _enforce_cap()
+
+
+# ----------------------------------------------------------------------
+# Raw entry transport (cluster cache migration)
+# ----------------------------------------------------------------------
+#
+# A planned cluster resize moves warm entries between workers instead of
+# cold-starting the fleet (:mod:`repro.parallel.transport`).  These
+# helpers expose the store at the *blob* level: keys, raw pickled bytes,
+# and a content digest over the bytes, so a transfer can be verified
+# end-to-end without unpickling untrusted data mid-flight.
+
+
+def blob_digest(blob: bytes) -> str:
+    """SHA-256 hex digest of a raw entry blob (transfer verification)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+@contextlib.contextmanager
+def placement_scope(tag: Optional[str]):
+    """Tag every entry written inside the scope with routing key *tag*.
+
+    The service worker wraps request execution in this scope so each
+    cache entry records *which request* produced it; a cluster resize
+    then re-homes entries by placing that routing key on the new ring —
+    the exact consistent-hash movement delta, not a guess from the
+    entry's own (unrelated) key.
+    """
+    token = _placement_var.set(tag)
+    try:
+        yield
+    finally:
+        _placement_var.reset(token)
+
+
+def _record_placement(key: str, tag: Optional[str] = None) -> None:
+    tag = _placement_var.get() if tag is None else tag
+    if tag is None:
+        return
+    if _placement_memory.get(key) == tag:
+        return
+    _placement_memory[key] = tag
+    if _dir is None:
+        return
+    line = json.dumps({"k": key, "p": tag}) + "\n"
+    try:
+        with open(
+            os.path.join(_dir, _PLACEMENT_FILE), "a", encoding="utf-8"
+        ) as fh:
+            fh.write(line)
+    except OSError:
+        pass  # the journal is an accelerator for resizes, never required
+
+
+def placements() -> "dict[str, str]":
+    """The full placement journal, entry key -> routing key.
+
+    Merges the on-disk journal (shared with plane subprocesses) with
+    this process's in-memory mirror; torn or stale lines are skipped.
+    Keys evicted from the store may linger here — consumers intersect
+    with :func:`list_keys`.
+    """
+    _ensure_resolved()
+    out: "dict[str, str]" = {}
+    if _dir is not None:
+        try:
+            with open(
+                os.path.join(_dir, _PLACEMENT_FILE), "r", encoding="utf-8"
+            ) as fh:
+                for line in fh:
+                    try:
+                        doc = json.loads(line)
+                        out[str(doc["k"])] = str(doc["p"])
+                    except (ValueError, KeyError, TypeError):
+                        continue
+        except OSError:
+            pass
+    out.update(_placement_memory)
+    return out
+
+
+def placement_of(key: str) -> Optional[str]:
+    """The recorded routing key of one entry, or None."""
+    hit = _placement_memory.get(key)
+    if hit is not None:
+        return hit
+    if _dir is None:
+        return None
+    return placements().get(key)
+
+
+def list_keys() -> "list[tuple[str, int]]":
+    """All resident entry keys with their blob sizes, ``(key, bytes)``.
+
+    Disk-backed caches scan the directory; the in-memory fallback lists
+    its store.  Scan errors yield a partial (possibly empty) listing —
+    migration treats an unlistable source as having nothing to offer.
+    """
+    _ensure_resolved()
+    if _memory_only:
+        return [(k, len(b)) for k, b in _memory.items()]
+    if _dir is None:
+        return []
+    out = []
+    try:
+        for sub in os.scandir(_dir):
+            if not sub.is_dir():
+                continue
+            for ent in os.scandir(sub.path):
+                if ent.name.endswith(".pkl"):
+                    try:
+                        out.append((ent.name[: -len(".pkl")], ent.stat().st_size))
+                    except OSError:
+                        continue
+    except OSError:
+        pass
+    return out
+
+
+def read_entry(key: str) -> Optional[bytes]:
+    """The raw pickled blob stored under *key*, or None.
+
+    Unlike :func:`get` this neither unpickles nor refreshes access time:
+    the bytes are destined for the wire, and a migration read must not
+    perturb the source's LRU order.
+    """
+    _ensure_resolved()
+    if _memory_only:
+        return _memory.get(key)
+    if _dir is None:
+        return None
+    blob = _read_blob(_path_for(key))
+    return None if blob is _MISSING else blob
+
+
+def write_entry(
+    key: str, blob: bytes, placement: Optional[str] = None
+) -> bool:
+    """Install a raw blob under *key*; True when it was persisted.
+
+    The blob must unpickle — a torn transfer that slipped past digest
+    verification is rejected here rather than poisoning the store.
+    A *placement* tag carried over from the source worker keeps the
+    entry re-homeable across future resizes.
+    """
+    _ensure_resolved()
+    try:
+        pickle.loads(blob)
+    except Exception:
+        return False
+    if _memory_only:
+        _memory[key] = blob
+        while len(_memory) > _MEMORY_CAP:
+            _memory.pop(next(iter(_memory)))
+        _record_placement(key, placement)
+        perf.record("rcache.puts")
+        return True
+    if _dir is None:
+        return False
+    if not _write_blob(_path_for(key), blob):
+        return False
+    _record_placement(key, placement)
+    perf.record("rcache.puts")
+    _enforce_cap()
+    return True
 
 
 def _enforce_cap() -> None:

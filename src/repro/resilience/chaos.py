@@ -25,6 +25,19 @@ a bit-identical result, a sound degraded bound, or a typed
                        the owning worker fails as if the worker died
                        mid-request (exercises ring ejection + bounded
                        retry-on-next-owner)
+``cluster.partition``  the coordinator cannot reach the owning worker at
+                       all (connect fails instantly) — a network
+                       partition rather than a crashed process
+``cluster.slow_worker``  the proxy hop to a worker stalls for
+                       ``HANG_SECONDS`` before proceeding (gray failure:
+                       the worker is alive but pathologically slow)
+``cluster.migration_torn_write``  a migrated cache blob arrives
+                       truncated, so the pull's digest verification
+                       must catch it (exercises verify-and-retry)
+``cluster.coordinator_crash``  the coordinator drops the client
+                       connection mid-request without a response
+                       (exercises client failover to a standby
+                       coordinator via idempotent re-issue)
 =====================  ====================================================
 
 **Determinism.**  Every decision is a pure function of the seed, the
@@ -77,6 +90,10 @@ KNOWN_SITES = frozenset(
         "cache.eperm.write",
         "costmodel.corrupt",
         "cluster.worker_crash",
+        "cluster.partition",
+        "cluster.slow_worker",
+        "cluster.migration_torn_write",
+        "cluster.coordinator_crash",
     }
 )
 

@@ -42,6 +42,7 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 from repro import perf
 from repro.core.facade import analyze_many
+from repro.parallel import cache as result_cache
 from repro.parallel.plane import JobsLike, map_settled
 from repro.resilience.bounded import bounded_delay
 from repro.resilience.budget import budget_scope
@@ -74,6 +75,16 @@ def execute_request(req: DecodedRequest) -> Dict[str, object]:
     before = perf.counters() if req.want_perf else None
     t0 = time.perf_counter()
     degraded = False
+    try:
+        # Tag every cache entry this request writes with its routing
+        # key, so a cluster resize can re-home the entries along with
+        # the requests that produced them (repro.parallel.cache).
+        placement = result_cache.placement_scope(
+            protocol.request_placement(req)
+        )
+        placement.__enter__()
+    except Exception:  # noqa: BLE001 - tagging must never fail a request
+        placement = None
     try:
         if req.kind in protocol.SINGLE_TASK_KINDS:
             result = bounded_delay(
@@ -111,6 +122,8 @@ def execute_request(req: DecodedRequest) -> Dict[str, object]:
         perf.record("service.exec_errors")
         return envelope
     finally:
+        if placement is not None:
+            placement.__exit__(None, None, None)
         elapsed = time.perf_counter() - t0
         perf.record("service.exec_requests")
         perf.observe("service.exec_s", elapsed)

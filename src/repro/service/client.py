@@ -7,8 +7,21 @@ operational behaviour a caller should not have to reimplement:
 
 * **retries with backoff** — connection-level failures and ``429``
   rejections are retried up to ``max_retries`` times; a ``429``'s
-  ``Retry-After`` hint is honoured (capped by ``backoff_cap_s``),
-  other failures use capped exponential backoff;
+  ``Retry-After`` hint is honoured (capped by ``retry_after_cap_s``),
+  other failures use capped exponential backoff with **decorrelated
+  jitter** (each wait drawn uniformly from ``[backoff_s, 3 × previous
+  wait]``, capped), so a thundering herd of retrying clients spreads
+  out instead of re-arriving in lockstep;
+* **coordinator failover** — given a ``coordinators`` list, a
+  connection-level failure rotates to the next endpoint before
+  retrying, so a fleet fronted by an active + warm standby
+  (:mod:`repro.cluster.standby`) keeps answering across a coordinator
+  crash.  Every ``POST /v1/*`` request carries an
+  ``X-Idempotency-Key`` header (one fresh key per *logical* request,
+  reused across its retries): a coordinator that already executed the
+  request replays the recorded response instead of re-executing, so
+  an in-flight batch whose response was lost to the crash is re-issued
+  exactly once;
 * **typed results** — the convenience methods (:meth:`delay`,
   :meth:`sp_schedulable`, :meth:`edf_structural_delays`,
   :meth:`analyze_many`) rebuild the engine's own result dataclasses via
@@ -36,10 +49,12 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
+import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.io.json_io import curve_to_dict, task_to_dict
 from repro.minplus.curve import Curve
@@ -132,10 +147,18 @@ class ServiceClient:
         port: Service port.
         timeout: Per-request socket timeout in seconds.
         max_retries: Retries after connection failures or ``429``.
-        backoff_s: Initial exponential backoff (doubles per attempt).
-        backoff_cap_s: Ceiling on any single wait (also caps honoured
-            ``Retry-After`` hints, so a test client never sleeps for the
-            server's full suggestion).
+        backoff_s: Floor of the jittered backoff (and its first draw).
+        backoff_cap_s: Ceiling on any single backoff wait.
+        retry_after_cap_s: Ceiling on honoured ``Retry-After`` hints
+            (defaults to ``backoff_cap_s``), so a client never sleeps
+            for the server's full suggestion no matter what it claims.
+        coordinators: Failover endpoint list — ``(host, port)`` pairs or
+            ``"host:port"`` strings, tried in rotation when the current
+            endpoint stops answering at the connection level.  Supersedes
+            *host*/*port* when given; the active + warm-standby pair of
+            a self-healing cluster is the intended shape.
+        jitter_seed: Seed for the backoff jitter RNG (tests only —
+            production clients should leave the jitter decorrelated).
     """
 
     def __init__(
@@ -146,21 +169,64 @@ class ServiceClient:
         max_retries: int = 3,
         backoff_s: float = 0.1,
         backoff_cap_s: float = 5.0,
+        retry_after_cap_s: Optional[float] = None,
+        coordinators: Optional[
+            Sequence[Union[str, Tuple[str, int]]]
+        ] = None,
+        jitter_seed: Optional[int] = None,
     ) -> None:
-        self.host = host
-        self.port = port
+        endpoints: List[Tuple[str, int]] = []
+        for endpoint in coordinators or ():
+            if isinstance(endpoint, str):
+                ep_host, _, ep_port = endpoint.rpartition(":")
+                if not ep_host or not ep_port.isdigit():
+                    raise ValueError(
+                        f"coordinators entries must be 'host:port', "
+                        f"got {endpoint!r}"
+                    )
+                endpoints.append((ep_host, int(ep_port)))
+            else:
+                endpoints.append((str(endpoint[0]), int(endpoint[1])))
+        if not endpoints:
+            endpoints = [(host, port)]
+        self._endpoints = endpoints
+        self._endpoint_index = 0
+        self.host, self.port = endpoints[0]
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
+        self.retry_after_cap_s = (
+            backoff_cap_s if retry_after_cap_s is None else retry_after_cap_s
+        )
+        self._rng = random.Random(jitter_seed)
+        self._prev_wait_s = backoff_s
         #: Routing metadata of the most recent JSON exchange (None when
         #: the endpoint added no routing headers — i.e. a plain worker).
         self.last_route: Optional[RouteInfo] = None
 
+    @property
+    def endpoints(self) -> Tuple[Tuple[str, int], ...]:
+        """The failover rotation, current endpoint first."""
+        i = self._endpoint_index
+        return tuple(self._endpoints[i:] + self._endpoints[:i])
+
+    def _rotate_endpoint(self) -> None:
+        if len(self._endpoints) <= 1:
+            return
+        self._endpoint_index = (
+            self._endpoint_index + 1
+        ) % len(self._endpoints)
+        self.host, self.port = self._endpoints[self._endpoint_index]
+
     # -- transport -------------------------------------------------------
 
     def _once(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -169,6 +235,8 @@ class ServiceClient:
             headers = {"Connection": "close"}
             if body is not None:
                 headers["Content-Type"] = "application/json"
+            if extra_headers:
+                headers.update(extra_headers)
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             payload = response.read()
@@ -181,26 +249,52 @@ class ServiceClient:
             conn.close()
 
     def request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One HTTP exchange with retry/backoff; returns the raw triple.
 
-        Retries connection-level failures and ``429`` responses; all
-        other statuses return to the caller as-is.
+        Retries connection-level failures (rotating through the
+        ``coordinators`` failover list when one was given) and ``429``
+        responses; all other statuses return to the caller as-is.
+        ``POST /v1/*`` requests carry an ``X-Idempotency-Key`` — one
+        fresh key per call to this method, shared by all its retries —
+        so a coordinator that executed the request but lost the
+        response replays the recorded answer instead of re-executing.
 
         Raises:
             ServiceError: when the transport keeps failing or the queue
                 stays full past ``max_retries``.
         """
         encoded = None if body is None else json.dumps(body).encode("utf-8")
+        if (
+            idempotency_key is None
+            and method == "POST"
+            and path.startswith("/v1/")
+        ):
+            idempotency_key = uuid.uuid4().hex
+        extra = (
+            {"X-Idempotency-Key": idempotency_key}
+            if idempotency_key
+            else None
+        )
+        self._prev_wait_s = self.backoff_s
         last_error: Optional[str] = None
         for attempt in range(self.max_retries + 1):
             if attempt:
                 time.sleep(self._wait_s(attempt, last_error))
             try:
-                status, headers, payload = self._once(method, path, encoded)
+                status, headers, payload = self._once(
+                    method, path, encoded, extra
+                )
             except (ConnectionError, socket.timeout, OSError) as exc:
                 last_error = f"{type(exc).__name__}: {exc}"
+                # This endpoint is not answering; the next one (a warm
+                # standby, usually) might be.
+                self._rotate_endpoint()
                 continue
             if status == 429 and attempt < self.max_retries:
                 retry_after = headers.get("retry-after", "")
@@ -224,10 +318,26 @@ class ServiceClient:
             self._suggested_wait = None
 
     def _wait_s(self, attempt: int, last_error: Optional[str]) -> float:
+        """The next backoff sleep.
+
+        A ``429`` with a parseable ``Retry-After`` is honoured up to
+        ``retry_after_cap_s``.  Everything else sleeps with
+        *decorrelated jitter*: a uniform draw from ``[backoff_s,
+        3 × previous wait]``, capped at ``backoff_cap_s`` — growth
+        comparable to doubling, but desynchronized across clients so
+        retries do not re-arrive as the same thundering herd that
+        caused the ``429`` in the first place.
+        """
+        del attempt  # growth state lives in _prev_wait_s, not the count
         suggested = getattr(self, "_suggested_wait", None)
         if last_error and last_error.startswith("429") and suggested:
-            return min(suggested, self.backoff_cap_s)
-        return min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+            return min(suggested, self.retry_after_cap_s)
+        wait = min(
+            self._rng.uniform(self.backoff_s, self._prev_wait_s * 3.0),
+            self.backoff_cap_s,
+        )
+        self._prev_wait_s = max(wait, self.backoff_s)
+        return wait
 
     def _json(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None

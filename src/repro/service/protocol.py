@@ -76,6 +76,7 @@ __all__ = [
     "WHATIF_KINDS",
     "DecodedRequest",
     "new_trace_id",
+    "request_placement",
     "decode_request",
     "encode_result",
     "decode_result",
@@ -113,6 +114,25 @@ _RATIONAL_PARAMS = frozenset({"initial_horizon"})
 def new_trace_id() -> str:
     """A fresh 16-hex-digit request trace ID."""
     return secrets.token_hex(8)
+
+
+def request_placement(req: "DecodedRequest") -> str:
+    """The placement (routing) key of one decoded request.
+
+    Identical, by construction, to the content digest
+    :func:`repro.cluster.routing.routing_digest` computes from the wire
+    spec — same parts, same order, same separator — so the cache entries
+    a worker writes while serving a request are tagged with exactly the
+    key the coordinator's consistent-hash ring placed the request by,
+    and a resize can re-home them with the true movement delta.
+    """
+    import hashlib
+
+    from repro.parallel.cache import task_digest
+
+    parts = [req.kind, req.beta.digest()]
+    parts.extend(task_digest(t) for t in req.tasks)
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -20,6 +20,12 @@ A deliberately small HTTP/1.1 implementation on
                                ``{"done": true}`` line
 ``GET /healthz``               liveness (``503`` while draining)
 ``GET /metrics``               the JSON metrics document
+``GET /v1/cache/keys``         resident result-cache keys + blob sizes
+``GET /v1/cache/entry/<key>``  one raw cache blob, digest-stamped
+                               (``X-Repro-Blob-Sha256``)
+``POST /v1/cache/pull``        pull-migrate entries *from* a peer worker
+                               (``{"peer": "host:port", "keys": [...]}``;
+                               see :mod:`repro.parallel.transport`)
 =============================  =========================================
 
 Every accepted analysis request flows through the shared
@@ -410,6 +416,20 @@ class AnalysisServer:
             if method != "POST":
                 raise self._method_not_allowed()
             return await self._handle_batch(body, writer, trace_id=trace_id)
+        if path == "/v1/cache/keys":
+            if method != "GET":
+                raise self._method_not_allowed()
+            return await self._handle_cache_keys(writer)
+        if path.startswith("/v1/cache/entry/"):
+            if method != "GET":
+                raise self._method_not_allowed()
+            return await self._handle_cache_entry(
+                path[len("/v1/cache/entry/"):], writer
+            )
+        if path == "/v1/cache/pull":
+            if method != "POST":
+                raise self._method_not_allowed()
+            return await self._handle_cache_pull(body, writer)
         raise _HttpError(
             404,
             {
@@ -459,6 +479,109 @@ class AnalysisServer:
                 },
                 headers={"Retry-After": "1"},
             )
+
+    # -- cache transport (cluster resize migration) ----------------------
+
+    async def _handle_cache_keys(self, writer: asyncio.StreamWriter) -> bool:
+        from repro.parallel import cache as result_cache
+
+        def _listing():
+            keys = result_cache.list_keys()
+            tags = result_cache.placements()
+            return [[k, n, tags.get(k)] for k, n in keys]
+
+        keys = await asyncio.get_running_loop().run_in_executor(
+            None, _listing
+        )
+        await self._send_json(writer, 200, {"ok": True, "keys": keys})
+        return True
+
+    async def _handle_cache_entry(
+        self, key: str, writer: asyncio.StreamWriter
+    ) -> bool:
+        from repro.parallel import cache as result_cache
+
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "cache keys are lowercase hex digests",
+                    },
+                },
+            )
+        blob = await asyncio.get_running_loop().run_in_executor(
+            None, result_cache.read_entry, key
+        )
+        if blob is None:
+            raise _HttpError(
+                404,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "no such cache entry",
+                    },
+                },
+            )
+        headers = {
+            "Content-Type": "application/octet-stream",
+            "Content-Length": str(len(blob)),
+            "X-Repro-Blob-Sha256": result_cache.blob_digest(blob),
+            "Connection": "close",
+        }
+        placement = result_cache.placement_of(key)
+        if placement:
+            headers["X-Repro-Placement"] = placement
+        writer.write(self._head_bytes(200, headers) + blob)
+        await writer.drain()
+        return True
+
+    async def _handle_cache_pull(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        from repro.parallel import transport
+
+        data = self._parse_json(body)
+        peer = data.get("peer") if isinstance(data, dict) else None
+        keys = data.get("keys") if isinstance(data, dict) else None
+        host, _, port = str(peer or "").rpartition(":")
+        if (
+            not host
+            or not port.isdigit()
+            or not isinstance(keys, list)
+            or not all(isinstance(k, str) for k in keys)
+        ):
+            raise _HttpError(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": (
+                            "pull needs 'peer' as host:port and 'keys' "
+                            "as a list of digests"
+                        ),
+                    },
+                },
+            )
+        rate = data.get("rate_bytes_per_s")
+        summary = await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: transport.pull_entries(
+                host,
+                int(port),
+                [str(k) for k in keys],
+                rate_bytes_per_s=(
+                    float(rate) if isinstance(rate, (int, float)) else None
+                ),
+            ),
+        )
+        self.metrics.record("cache_entries_pulled", int(summary["pulled"]))
+        await self._send_json(writer, 200, {"ok": True, "pull": summary})
+        return True
 
     # -- admission + submission -----------------------------------------
 

@@ -419,6 +419,97 @@ the spawned fleet.  CI boots the real CLI end-to-end
 """
 
 
+OPERATIONS_SECTION = """\
+## Operations runbook
+
+How to run the self-healing cluster in production: planned resizes,
+coordinator failover, crash recovery, and what to watch during an
+incident.  Everything below is exercised by
+`tests/test_cluster_selfheal.py` and the chaos soak
+(`tools/cluster_smoke.py --soak`).
+
+**Durable membership.**  Start the coordinator with `--state-dir DIR`
+to persist membership: every bootstrap/add/remove appends an fsync'd
+record (worker ids, endpoints, ring generation) to
+`DIR/membership.jsonl`, and the active coordinator renews
+`DIR/coordinator.lease` at a third of `--lease-s` (default 3s).  A
+coordinator restarted against the same state dir recovers the ring at
+the recorded generation (endpoints refresh positionally from the
+`--worker` flags), so clients' placement assumptions survive restarts.
+`GET /admin/membership` returns the live ring, the recent log tail,
+and the lease holder.
+
+**Planned resize.**  Grow the fleet without a cold start: boot the new
+`repro serve` worker, then
+
+    curl -X POST http://coord:8100/admin/add-worker \\
+        -d '{"worker": "10.0.0.5:8101"}'
+
+The coordinator health-gates the joiner, computes the exact key set
+the *prospective* ring re-homes onto it (placement tags recorded at
+write time — see `repro.parallel.cache.placement_scope`), has the
+joiner pull those entries peer-to-peer (digest-verified,
+`rate_bytes_per_s`-limited, torn writes retried — chaos site
+`cluster.migration_torn_write`), and only then flips the ring
+generation.  Requests never observe a cold in-between; post-resize
+warm hit rate stays >= 80% (gated in `tests/test_cluster_selfheal.py`).
+`POST /admin/remove-worker {"worker": "w2"}` is the inverse: the
+leaver's entries migrate to their prospective owners, then the ring
+drops it.  Pass `"migrate": false` to skip migration (entries recompute
+on demand — sound, just colder), `"rate_bytes_per_s"` to throttle.
+
+**Coordinator failover.**  Run a warm standby against the same state
+dir:
+
+    repro cluster --standby --state-dir DIR --port 8200
+
+The standby polls the lease; when it expires un-renewed (active
+crashed) it reconstructs the ring from the membership log at the
+recorded generation, binds its port, and serves.  Point
+`ServiceClient(coordinators=[("coord", 8100), ("coord", 8200)])` at
+both: the client rotates endpoints on connection failure with
+decorrelated-jitter backoff, and every `POST /v1/*` carries an
+`X-Idempotency-Key` (one per logical request, shared by its retries),
+so a coordinator that executed a request but died before answering
+replays the recorded response instead of re-executing — zero lost,
+zero duplicated batch items (gated in
+`tests/test_cluster_selfheal.py::TestStandbyFailover`).
+
+**Checkpoint recovery.**  Set `REPRO_CHECKPOINT_STRIDE=N` (e.g. 512)
+on workers to snapshot long frontier explorations through the
+content-addressed result cache every N expansions.  After a worker
+crash, the ring successor that inherits the request loads the
+checkpoint (task-digest-verified, schema-versioned) and resumes the
+exploration bit-identically — `frontier.checkpoints_saved` /
+`frontier.checkpoints_restored` in the perf counters confirm it.
+Stale or foreign checkpoints are treated as absent, never resumed
+silently wrong.
+
+**Incident observability.**  During any of the above, `GET /metrics`
+on the coordinator is the one pane of glass: per-worker documents plus
+a fleet rollup (merged latency histograms, summed cache hit/miss).
+`rollup.cache_by_generation` tracks per-worker **and** fleet-wide
+cache hit-rate deltas *since the last ring-generation change* — after
+a resize or failover, a healthy fleet shows the hit rate recovering
+toward its pre-change level; a stuck-cold worker stands out
+immediately.  `requests.idempotent_replays` counts failover replays;
+`ring_resizes` counts planned membership changes.  Tunables
+(`--probe-interval-s`, `--probe-timeout-s`, `--probe-failures`,
+`--retry-next-owner`, `--request-timeout-s`, `--lease-s`) are
+validated at startup — a bad value fails the boot with the offending
+field named, never a half-configured fleet.
+
+**Gray-failure drills.**  `tools/cluster_smoke.py --soak --seed N`
+runs the chaos matrix (`cluster.partition`, `cluster.slow_worker`,
+`cluster.coordinator_crash`, `cluster.migration_torn_write`) over a
+mixed workload with a mid-soak resize and classifies every response as
+bit-identical, soundly degraded, or a typed error — CI runs it under
+two seeds, stall-time-boxed via `REPRO_CHAOS_HANG_S`.
+`benchmarks/bench_cluster_resilience.py` gates sustained throughput
+under a single worker loss at >= 60% of the healthy fleet.
+"""
+
+
 WHATIF_SECTION = """\
 ## Incremental what-if analysis
 
@@ -493,6 +584,7 @@ def render() -> str:
         RESILIENCE_SECTION,
         SERVICE_SECTION,
         CLUSTER_SECTION,
+        OPERATIONS_SECTION,
         WHATIF_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
