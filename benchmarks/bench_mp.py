@@ -1,0 +1,158 @@
+"""Benchmark of batched multiprocessor DAG-set verdicts.
+
+Each case is one deterministic random workload — a large DAG analysed
+with :func:`repro.mp.dag_rta` (the long-path refinement dominates: up
+to ``m - 1`` vertex-disjoint path extractions, each a full longest-path
+DP) plus a four-task set put through :func:`global_rm_schedulable`.
+The batch runs through :func:`repro.parallel.parallel_map` in three
+modes:
+
+* **cold serial**: persistent cache off, ``jobs=1`` — the historical
+  cost model;
+* **cold jobs=4**: an empty on-disk cache, four worker processes — the
+  fan-out path populating the cache;
+* **warm jobs=4**: the now-populated cache — every per-DAG bound and
+  whole-set verdict served content-addressed from disk.
+
+All modes must agree bit-for-bit (exact ``Fraction`` equality of every
+:class:`DagRtaResult`/:class:`GlobalSchedResult`); the warm gain is
+only admissible because the verdicts are exactly the same.
+
+Gate (full mode): warm jobs=4 >= 3x faster than the cold serial run.
+As in ``bench_parallel_engine.py`` this gates the engine's *steady
+state* — on single-core runners the cold fan-out cannot beat serial,
+so ``cpu_count`` is recorded alongside the per-mode wall-clocks.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, the CI job) runs a reduced batch
+serially, gates warm-vs-cold at the same worker count, and does not
+rewrite the committed JSON.
+"""
+
+import os
+import random
+import shutil
+import tempfile
+import time
+from fractions import Fraction as F
+
+from repro.mp import DAGTask, dag_rta, global_rm_schedulable
+from repro.parallel import cache as result_cache, parallel_map
+
+from _harness import report, write_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SEEDS = list(range(4)) if SMOKE else list(range(16))
+M = 16 if SMOKE else 64
+BIG_VERTICES = 120 if SMOKE else 600
+SET_VERTICES = 60 if SMOKE else 200
+MIN_STEADY_SPEEDUP = 3.0
+JOBS = 4
+
+
+def _random_dag(name: str, n: int, rng: random.Random) -> DAGTask:
+    """A connected random DAG: a forward spanning tree plus extra
+    forward edges (3x the vertex count), rational WCETs, period = 2x
+    volume (so every instance is comfortably schedulable and the
+    fixpoints converge fast — the cost is in the path extractions)."""
+    names = [f"v{i}" for i in range(n)]
+    vertices = {v: F(rng.randint(1, 12), rng.choice([1, 2, 4])) for v in names}
+    edges = set()
+    for i in range(1, n):
+        edges.add((names[rng.randrange(i)], names[i]))
+    while len(edges) < 3 * n:
+        i, j = sorted(rng.sample(range(n), 2))
+        edges.add((names[i], names[j]))
+    volume = sum(vertices.values())
+    return DAGTask.build(
+        name, vertices=vertices, edges=sorted(edges), period=volume * 2
+    )
+
+
+def _build_case(seed: int):
+    rng = random.Random(seed)
+    big = _random_dag(f"big{seed}", BIG_VERTICES, rng)
+    sset = tuple(
+        _random_dag(f"set{seed}.{i}", SET_VERTICES, rng) for i in range(4)
+    )
+    return big, sset
+
+
+def _analyse(item):
+    """One batched verdict: a single-DAG bound + a whole-set verdict."""
+    big, sset = item
+    return dag_rta(big, M), global_rm_schedulable(list(sset), M)
+
+
+def _sweep(items, jobs):
+    t0 = time.perf_counter()
+    results = parallel_map(_analyse, items, jobs=jobs, fresh_caches=True)
+    return time.perf_counter() - t0, results
+
+
+def run() -> dict:
+    items = [_build_case(seed) for seed in SEEDS]
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-mp-")
+    jobs = 1 if SMOKE else JOBS
+    try:
+        result_cache.configure(None)
+        t_serial, r_serial = _sweep(items, jobs=1)
+        assert result_cache.configure(cache_dir), "bench cache dir unusable"
+        t_cold, r_cold = _sweep(items, jobs=jobs)
+        t_warm, r_warm = _sweep(items, jobs=jobs)
+    finally:
+        result_cache.configure(None)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    assert r_serial == r_cold == r_warm, "a mode changed a verdict"
+    for rta, verdict in r_serial:
+        assert rta.response <= rta.graham
+        assert not rta.degraded
+        assert verdict.schedulable, "bench instances must be schedulable"
+
+    steady = t_serial / t_warm
+    payload = {
+        "cases": len(items),
+        "m": M,
+        "big_vertices": BIG_VERTICES,
+        "set_vertices": SET_VERTICES,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "cold_serial_s": t_serial,
+        f"cold_jobs{jobs}_s": t_cold,
+        f"warm_jobs{jobs}_s": t_warm,
+        "steady_speedup_vs_cold_serial": steady,
+        "min_required_steady_speedup": MIN_STEADY_SPEEDUP,
+        "bit_identical": True,
+        "smoke": SMOKE,
+    }
+    report(
+        "mp",
+        f"batched DAG verdicts on m={M} "
+        f"({len(items)} cases: dag_rta + global RM set)",
+        ["mode", "wall_s", "per_case_ms", "speedup"],
+        [
+            ["cold serial", f"{t_serial:.4f}",
+             f"{1000 * t_serial / len(items):.1f}", "1.0x"],
+            [f"cold jobs={jobs}", f"{t_cold:.4f}",
+             f"{1000 * t_cold / len(items):.1f}",
+             f"{t_serial / t_cold:.1f}x"],
+            [f"warm jobs={jobs}", f"{t_warm:.4f}",
+             f"{1000 * t_warm / len(items):.1f}", f"{steady:.1f}x"],
+        ],
+    )
+    if not SMOKE:
+        write_json("mp", payload)
+    return payload
+
+
+def test_bench_mp():
+    payload = run()
+    assert payload["steady_speedup_vs_cold_serial"] >= MIN_STEADY_SPEEDUP, (
+        f"warm batched verdicts only "
+        f"{payload['steady_speedup_vs_cold_serial']:.2f}x faster than the "
+        f"cold serial run (gate: {MIN_STEADY_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_bench_mp()

@@ -24,7 +24,7 @@ import the subpackages directly for the full surface
 (:mod:`repro.minplus`, :mod:`repro.curves`, :mod:`repro.drt`,
 :mod:`repro.core`, :mod:`repro.rtc`, :mod:`repro.sched`,
 :mod:`repro.sim`, :mod:`repro.workloads`, :mod:`repro.io`,
-:mod:`repro.parallel`).
+:mod:`repro.parallel`, :mod:`repro.mp`).
 """
 
 from repro._numeric import INF, Q
@@ -132,8 +132,18 @@ from repro.io import (
     task_from_dot,
     task_to_dot,
 )
+from repro.mp import (
+    DAGTask,
+    DagRtaResult,
+    GlobalSchedResult,
+    dag_rta,
+    dag_rta_many,
+    global_fp_schedulable,
+    global_rm_schedulable,
+    graham_bound,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "INF",
@@ -230,5 +240,13 @@ __all__ = [
     "save_task_dot",
     "task_from_dot",
     "load_task_dot",
+    "DAGTask",
+    "DagRtaResult",
+    "GlobalSchedResult",
+    "graham_bound",
+    "dag_rta",
+    "dag_rta_many",
+    "global_fp_schedulable",
+    "global_rm_schedulable",
     "__version__",
 ]

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli calibrate --reps 3
     python -m repro.cli diff base.json edited.json --json
     python -m repro.cli whatif task.json --rate 1/2 --edits edits.json
+    python -m repro.cli mp dag1.json dag2.dot -m 4 --policy rm
 
 The ``serve`` subcommand boots the analysis service
 (:mod:`repro.service`): an HTTP/JSON front end with micro-batching,
@@ -21,7 +22,10 @@ that the ``auto`` backend consults to dispatch each min-plus operation
 to the exact or the hybrid tier (:mod:`repro.minplus.costmodel`).
 ``diff`` prints the structural blast radius of a model edit
 (:func:`repro.drt.digest.structural_diff`) and ``whatif`` runs a warm
-incremental sweep of model edits (:mod:`repro.whatif`).
+incremental sweep of model edits (:mod:`repro.whatif`).  ``mp`` analyses
+parallel DAG tasks on identical multiprocessors (:mod:`repro.mp`):
+per-task long-path response-time bounds or a global FP/RM
+schedulability verdict.
 """
 
 from __future__ import annotations
@@ -427,6 +431,182 @@ def _whatif_result_dict(res) -> dict:
     return out
 
 
+def _mp_main(argv) -> int:
+    """``repro-analyze mp``: multiprocessor DAG analysis."""
+    import json
+
+    from repro.mp import (
+        dag_rta,
+        global_fp_schedulable,
+        global_rm_schedulable,
+        load_dag,
+        load_dag_dot,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze mp",
+        description=(
+            "Analyse parallel DAG tasks on an identical multiprocessor: "
+            "per-task response-time bounds (Graham + long-path RTA) or "
+            "a global FP/RM schedulability verdict with carry-in/body/"
+            "carry-out interference bounds"
+        ),
+    )
+    parser.add_argument(
+        "tasks",
+        nargs="+",
+        metavar="TASK",
+        help="DAG task files (JSON, or DOT when the name ends in .dot)",
+    )
+    parser.add_argument(
+        "-m",
+        "--processors",
+        required=True,
+        type=int,
+        metavar="M",
+        dest="m",
+        help="number of identical processors",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("rta", "fp", "rm"),
+        default="rta",
+        help=(
+            "'rta' bounds each task in isolation; 'fp' runs the global "
+            "fixed-priority test in input order (highest first); 'rm' "
+            "orders by period first (default: rta)"
+        ),
+    )
+    parser.add_argument(
+        "--max-paths",
+        type=int,
+        metavar="K",
+        help="cap on vertex-disjoint long paths the RTA extracts",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        metavar="N",
+        help="fixpoint iteration cap of the global FP/RM test",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print results as JSON"
+    )
+    parser.add_argument(
+        "--deadline",
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for --policy rta; when exhausted the "
+            "sound Graham bound is reported instead (marked 'degraded')"
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        metavar="N",
+        help="cap on analysis work units; exhaustion degrades like --deadline",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache directory (default: REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip semantic validation of the loaded task files",
+    )
+    args = parser.parse_args(argv)
+    args.max_segments = None
+    try:
+        if args.cache_dir:
+            result_cache.configure(args.cache_dir)
+        validate = not args.no_validate
+        dags = [
+            load_dag_dot(path, validate=validate)
+            if path.endswith(".dot")
+            else load_dag(path, validate=validate)
+            for path in args.tasks
+        ]
+        budget = _parse_budget(args)
+        if args.policy == "rta":
+            all_ok = True
+            for dag in dags:
+                res = dag_rta(
+                    dag, args.m, budget=budget, max_paths=args.max_paths
+                )
+                all_ok = all_ok and res.schedulable
+                if args.json:
+                    print(
+                        json.dumps(
+                            {
+                                "task": dag.name,
+                                "m": res.m,
+                                "response": str(res.response),
+                                "graham": str(res.graham),
+                                "longest_path": str(res.longest_path),
+                                "volume": str(res.volume),
+                                "deadline": str(dag.deadline),
+                                "schedulable": res.schedulable,
+                                "degraded": res.degraded,
+                                "level": res.level,
+                            }
+                        )
+                    )
+                    continue
+                verdict = "OK" if res.schedulable else "MISS"
+                note = " (degraded: graham)" if res.degraded else ""
+                print(
+                    f"{dag.name}: response<={res.response} "
+                    f"(graham {res.graham}, len {res.longest_path}, "
+                    f"vol {res.volume}, deadline {dag.deadline}) "
+                    f"[{verdict}]{note}"
+                )
+            return 0 if all_ok else 3
+        test = global_fp_schedulable if args.policy == "fp" else (
+            global_rm_schedulable
+        )
+        kwargs = {}
+        if args.max_iterations is not None:
+            kwargs["max_iterations"] = args.max_iterations
+        res = test(dags, args.m, **kwargs)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "policy": res.policy,
+                        "m": res.m,
+                        "schedulable": res.schedulable,
+                        "order": list(res.order),
+                        "responses": {
+                            name: None if bound is None else str(bound)
+                            for name, bound in res.responses.items()
+                        },
+                        "failures": [
+                            [name, str(bound), str(deadline)]
+                            for name, bound, deadline in res.failures
+                        ],
+                    }
+                )
+            )
+            return 0 if res.schedulable else 3
+        print(
+            f"global {res.policy.upper()} on m={res.m}: "
+            + ("SCHEDULABLE" if res.schedulable else "NOT schedulable")
+        )
+        for name in res.order:
+            bound = res.responses[name]
+            print(
+                f"  {name}: "
+                + ("response not established" if bound is None else f"R<={bound}")
+            )
+        for name, bound, deadline in res.failures:
+            print(f"  {name}: bound {bound} exceeds deadline {deadline}")
+        return 0 if res.schedulable else 3
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -445,6 +625,8 @@ def main(argv=None) -> int:
         return _diff_main(list(argv[1:]))
     if argv and argv[0] == "whatif":
         return _whatif_main(list(argv[1:]))
+    if argv and argv[0] == "mp":
+        return _mp_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     try:
         if args.backend:

@@ -845,7 +845,7 @@ class ClusterCoordinator:
         """
         sheddable = all(
             isinstance(s, dict)
-            and s.get("kind") in protocol.SINGLE_TASK_KINDS
+            and protocol.is_sheddable(s.get("kind"))
             and s.get("deadline_ms") is not None
             for s in specs
         )

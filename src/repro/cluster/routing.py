@@ -49,31 +49,48 @@ _memo: "OrderedDict[str, str]" = OrderedDict()
 def _canonical(spec: Dict[str, Any]) -> str:
     """Canonical JSON of the content-bearing fields of a wire spec.
 
-    Only ``kind``/``task``/``tasks``/``beta`` shape the routing key:
-    budgets, params and perf flags do not change which caches serve the
-    request, and routing on them would scatter reruns of the same
-    analysis across the fleet.
+    Only ``kind``/``task``/``tasks``/``beta``/``m`` shape the routing
+    key: budgets, params and perf flags do not change which caches
+    serve the request, and routing on them would scatter reruns of the
+    same analysis across the fleet.  ``m`` is content for the
+    multiprocessor kinds — the same DAG on a different processor count
+    is a different verdict.
     """
     content = {
-        key: spec.get(key) for key in ("kind", "task", "tasks", "beta")
+        key: spec.get(key) for key in ("kind", "task", "tasks", "beta", "m")
     }
     return json.dumps(content, sort_keys=True, separators=(",", ":"))
 
 
 def _content_digest(spec: Dict[str, Any]) -> str:
-    """The content digest of one decodable wire spec (raises if not)."""
+    """The content digest of one decodable wire spec (raises if not).
+
+    Mirrors :func:`repro.service.protocol.request_placement` part for
+    part: ``[kind, beta?, m?, task digests...]`` — single-resource
+    kinds contribute their curve digest, multiprocessor kinds their
+    processor count.
+    """
     from repro.io.json_io import task_from_dict
     from repro.parallel.cache import task_digest
     from repro.service import protocol
 
-    beta = protocol.decode_beta(spec.get("beta"))
-    parts: List[str] = [str(spec.get("kind")), beta.digest()]
+    kind = str(spec.get("kind"))
+    kspec = protocol.KIND_REGISTRY.get(kind)
+    parts: List[str] = [kind]
+    if kspec is None or kspec.needs_beta:
+        parts.append(protocol.decode_beta(spec.get("beta")).digest())
+    if kspec is not None and kspec.needs_m:
+        parts.append(f"m={protocol.decode_m(spec.get('m'))}")
+    loader = task_from_dict
+    if kspec is not None and kspec.model == "dag":
+        from repro.mp.io import dag_from_dict
+
+        loader = dag_from_dict
     if spec.get("task") is not None:
-        parts.append(task_digest(task_from_dict(spec["task"], validate=False)))
+        parts.append(task_digest(loader(spec["task"], validate=False)))
     elif spec.get("tasks") is not None:
         parts.extend(
-            task_digest(task_from_dict(t, validate=False))
-            for t in spec["tasks"]
+            task_digest(loader(t, validate=False)) for t in spec["tasks"]
         )
     else:
         raise ValueError("spec names neither 'task' nor 'tasks'")

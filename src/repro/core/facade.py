@@ -287,6 +287,20 @@ def analyze_many(
 
     Returns:
         One :class:`TaskAnalysisSummary` per task, in input order.
+
+    Raises:
+        TypeError: when handed :class:`repro.mp.model.DAGTask`
+            instances — parallel DAG jobs have no single-β semantics;
+            their batch facade is :func:`repro.mp.dag_rta_many`.
     """
+    from repro.mp.model import DAGTask
+
+    for task in tasks:
+        if isinstance(task, DAGTask):
+            raise TypeError(
+                "analyze_many analyses DRT tasks against one service "
+                "curve; for multiprocessor DAG tasks use "
+                "repro.mp.dag_rta_many"
+            )
     items = [(task, beta, initial_horizon, backend) for task in tasks]
     return parallel_map(_analyze_one, items, jobs=jobs)

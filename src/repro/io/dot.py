@@ -20,7 +20,36 @@ from repro.drt.model import DRTTask, Edge, Job
 from repro.drt.validate import validate_task
 from repro.errors import SerializationError
 
-__all__ = ["task_to_dot", "save_task_dot", "task_from_dot", "load_task_dot"]
+__all__ = [
+    "task_to_dot",
+    "save_task_dot",
+    "task_from_dot",
+    "load_task_dot",
+    "require_declared_endpoints",
+]
+
+
+def require_declared_endpoints(edges, declared, what: str = "job") -> None:
+    """Reject edges naming vertices the DOT source never declared.
+
+    Args:
+        edges: ``(src, dst, line_no)`` triples in source order.
+        declared: The set of declared vertex names.
+        what: Noun for the error message (``"job"`` for DRT tasks,
+            ``"vertex"`` for :mod:`repro.mp` DAG tasks).
+
+    Raises:
+        SerializationError: naming the first offending edge *and its
+            line* — before task construction, where the same mistake
+            would otherwise surface without any source location.
+    """
+    for src, dst, line_no in edges:
+        for endpoint in (src, dst):
+            if endpoint not in declared:
+                raise SerializationError(
+                    f'line {line_no}: edge "{src}" -> "{dst}" names '
+                    f"undeclared {what} {endpoint!r}"
+                )
 
 
 def task_to_dot(task: DRTTask) -> str:
@@ -95,6 +124,7 @@ def task_from_dot(source: str, validate: bool = True) -> DRTTask:
     name = None
     jobs = []
     edges = []
+    edge_lines = []
     closed = False
     for line_no, line in enumerate(source.splitlines(), start=1):
         stripped = line.strip()
@@ -127,6 +157,7 @@ def task_from_dot(source: str, validate: bool = True) -> DRTTask:
                     ),
                 )
             )
+            edge_lines.append((m.group("src"), m.group("dst"), line_no))
             continue
         m = _NODE_RE.match(line)
         if m is not None:
@@ -147,6 +178,7 @@ def task_from_dot(source: str, validate: bool = True) -> DRTTask:
         )
     if name is None or not closed:
         raise SerializationError("DOT source is not a closed digraph block")
+    require_declared_endpoints(edge_lines, {j.name for j in jobs})
     task = DRTTask(name, jobs, edges)
     if validate:
         validate_task(task)

@@ -1,0 +1,72 @@
+"""Multiprocessor DAG analysis: parallel jobs on ``m`` identical cores.
+
+Everything else in the library analyses structural workload against a
+single lower service curve β.  This subpackage opens the *intra-task
+parallel* workload family: one sporadic task releases a whole DAG of
+precedence-constrained vertices, scheduled globally (work-conserving)
+on ``m`` identical processors.
+
+* :mod:`repro.mp.model` — the :class:`DAGTask` model (vertices with
+  WCETs, precedence edges, period/deadline) with structural validation
+  and volume / longest-path / critical-path metrics;
+* :mod:`repro.mp.io` — JSON and DOT round-trips in the
+  :mod:`repro.io` conventions (rationals as ``"p/q"`` strings);
+* :mod:`repro.mp.bounds` — single-DAG response bounds: the classic
+  Graham bound ``len + (vol - len)/m`` and a long-path refinement that
+  charges several vertex-disjoint long paths sequentially, plus the
+  :func:`dag_rta` entry point with budget-aware sound degradation and
+  the :func:`dag_rta_many` parallel-plane fan-out;
+* :mod:`repro.mp.global_sched` — global fixed-priority / rate-monotonic
+  schedulability tests with carry-in interference windows;
+* :mod:`repro.mp.crosscheck` — the chain→DRT degeneracy transform that
+  pins the new bounds to the exact single-resource engine on ``m = 1``
+  chain instances (bit-identical, hypothesis-enforced).
+"""
+
+from repro.mp.model import DAGTask, validate_dag
+from repro.mp.io import (
+    dag_from_dict,
+    dag_from_dot,
+    dag_to_dict,
+    dag_to_dot,
+    load_dag,
+    load_dag_dot,
+    save_dag,
+    save_dag_dot,
+)
+from repro.mp.bounds import (
+    DagRtaResult,
+    dag_rta,
+    dag_rta_many,
+    graham_bound,
+    long_path_rta,
+)
+from repro.mp.global_sched import (
+    GlobalSchedResult,
+    global_fp_schedulable,
+    global_rm_schedulable,
+)
+from repro.mp.crosscheck import chain_delay_via_drt, chain_to_drt
+
+__all__ = [
+    "DAGTask",
+    "validate_dag",
+    "dag_to_dict",
+    "dag_from_dict",
+    "save_dag",
+    "load_dag",
+    "dag_to_dot",
+    "dag_from_dot",
+    "save_dag_dot",
+    "load_dag_dot",
+    "DagRtaResult",
+    "graham_bound",
+    "long_path_rta",
+    "dag_rta",
+    "dag_rta_many",
+    "GlobalSchedResult",
+    "global_fp_schedulable",
+    "global_rm_schedulable",
+    "chain_to_drt",
+    "chain_delay_via_drt",
+]

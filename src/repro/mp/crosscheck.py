@@ -1,0 +1,95 @@
+"""The chain→DRT degeneracy transform pinning ``repro.mp`` to the
+exact single-resource engine.
+
+A chain-shaped DAG on ``m = 1`` is just sequential work: its response
+time is exactly its volume.  :func:`chain_to_drt` encodes the same
+workload as a DRT task the *exact* engine analyses — each chain vertex
+becomes a DRT job, each precedence edge a minimum-separation edge equal
+to its source's WCET (on unit-rate service a vertex finishes exactly
+when its successor releases), and a cycle-back edge restores the
+period.  Against ``β = rate_latency(1, 0)`` the frontier engine's
+per-job delay of vertex ``v_j`` is then exactly ``wcet_j``, so the
+end-to-end chain delay
+
+    offset(v_n) + per_job_delay(v_n)  =  Σ wcet_i  =  volume
+
+is computed through the full busy-window + request-tuple machinery —
+and must be **bit-identical** to ``dag_rta(chain, m=1).response``.
+That invariant (hypothesis-enforced in ``tests/test_mp_crosscheck.py``)
+is what anchors the new multiprocessor bounds to the paper's exact
+single-resource analysis on the overlap of the two models.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.delay import structural_delays_per_job
+from repro.curves.service import rate_latency_service
+from repro.drt.model import DRTTask, Edge, Job
+from repro.errors import ValidationError
+from repro.minplus.curve import Curve
+from repro.mp.model import DAGTask
+
+__all__ = ["chain_to_drt", "chain_delay_via_drt"]
+
+
+def chain_to_drt(dag: DAGTask) -> DRTTask:
+    """The DRT encoding of a chain-shaped DAG task.
+
+    Vertices become jobs (wcet preserved; the DAG's deadline is used as
+    every job's deadline — it does not influence delay analysis), the
+    chain edge ``v_i -> v_{i+1}`` gets separation ``wcet_i``, and a
+    cycle-back edge ``v_n -> v_1`` with separation
+    ``period - (volume - wcet_n)`` spaces consecutive DAG releases
+    ``period`` apart.
+
+    Raises:
+        ValidationError: when *dag* is not a chain, or its period is
+            too small for the cycle-back separation to stay positive
+            (``period <= volume - wcet(last)``).
+    """
+    if not dag.is_chain():
+        raise ValidationError(
+            f"task {dag.name!r} is not a chain; the DRT degeneracy "
+            f"transform only covers chain-shaped DAGs"
+        )
+    order = dag.topological_order()
+    last = order[-1]
+    back = dag.period - (dag.volume - dag.wcet(last))
+    if back <= 0:
+        raise ValidationError(
+            f"task {dag.name!r}: period {dag.period} too small for the "
+            f"cycle-back separation (needs period > "
+            f"{dag.volume - dag.wcet(last)})"
+        )
+    jobs = [Job(v, dag.wcet(v), dag.deadline) for v in order]
+    edges = [
+        Edge(a, b, dag.wcet(a)) for a, b in zip(order, order[1:])
+    ]
+    edges.append(Edge(last, order[0], back))
+    return DRTTask(dag.name, jobs, edges)
+
+
+def chain_delay_via_drt(
+    dag: DAGTask, beta: Optional[Curve] = None
+) -> Fraction:
+    """End-to-end chain delay through the exact single-resource engine.
+
+    Release offset of the last vertex (the sum of all earlier WCETs —
+    separations along the chain equal WCETs) plus the frontier engine's
+    per-job delay bound for it, against *beta* (unit-rate zero-latency
+    service by default, the single-processor analogue).
+
+    The task's utilization must be below 1 (``period > volume``) for
+    the busy window to stay bounded.
+    """
+    if beta is None:
+        beta = rate_latency_service(Fraction(1), Fraction(0))
+    task = chain_to_drt(dag)
+    order = dag.topological_order()
+    last = order[-1]
+    offset = sum((dag.wcet(v) for v in order[:-1]), Fraction(0))
+    per_job = structural_delays_per_job(task, beta)
+    return offset + per_job[last]

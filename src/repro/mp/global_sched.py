@@ -1,0 +1,238 @@
+"""Global fixed-priority / rate-monotonic schedulability of DAG sets.
+
+``n`` sporadic DAG tasks share ``m`` identical processors under global
+preemptive fixed priorities (Dinh, Gill & Agrawal's setting).  Each
+task is analysed in priority order by the response-time recurrence
+
+    R_k  =  len_k + (vol_k - len_k) / m + (1/m) * Σ_{i in hp(k)} W_i(R_k)
+
+where the interference workload of one higher-priority task over a
+window of length ``x`` decomposes carry-in / body / carry-out::
+
+    a   = x + R_i                      # carry-in window extension: any
+                                       # job released more than R_i
+                                       # before the window has finished
+    W_i = floor(a / T_i) * vol_i       # body jobs: full volume each
+          + min(vol_i, m * (a mod T_i))  # partial job: capped by
+                                          # m-parallel progress
+
+All arithmetic is exact :class:`~fractions.Fraction`; the fixpoint
+iterates monotonically from the interference-free base and stops as
+soon as it exceeds the deadline (unschedulable) or repeats
+(converged).  Constrained deadlines (``D <= T``) are required — the
+carry-in argument needs every higher-priority bound ``R_i <= D_i``.
+
+This carry-in form is deliberately coarser than the sharpest published
+one (``a = x + R_i - vol_i/m``): dropping the ``vol_i/m`` shift makes
+the whole test provably **monotone in m** (W_i/m is pointwise
+non-increasing in ``m`` and in ``R_i``, so adding processors never
+flips a schedulable set to unschedulable) — a property the cross-check
+suite enforces by hypothesis, and one the shifted variant does not
+have at floor boundaries.
+
+On degenerate instances (``m = 1``, single-vertex or chain DAGs) the
+recurrence is at least as pessimistic as the classic exact
+uniprocessor RTA — and bit-identical for the highest-priority task —
+which ``tests/test_mp_crosscheck.py`` pins against the exact engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError, ValidationError
+from repro.mp.model import DAGTask
+from repro.parallel import cache as result_cache
+from repro.resilience.budget import checkpoint
+
+__all__ = [
+    "GlobalSchedResult",
+    "global_fp_schedulable",
+    "global_rm_schedulable",
+]
+
+#: Fixpoint-iteration cap; exceeded only by pathological rational
+#: instances (the iteration provably terminates, but may take one step
+#: per interference breakpoint below the deadline).
+DEFAULT_MAX_ITERATIONS = 4096
+
+
+@dataclass(frozen=True)
+class GlobalSchedResult:
+    """Whole-set verdict of a global FP / RM schedulability test.
+
+    Attributes:
+        schedulable: True iff every task's response bound met its
+            deadline.
+        m: Processor count analysed.
+        policy: ``"fp"`` (input order = priority order) or ``"rm"``.
+        order: Task names in the priority order analysed (highest
+            first).
+        responses: ``{task: response bound}``; None for tasks whose
+            bound was not established (the failing task and everything
+            below it — their carry-in windows would need the failing
+            task's unknown true response).
+        failures: ``(task, bound_at_abort, deadline)`` for the first
+            task whose fixpoint crossed its deadline.
+    """
+
+    schedulable: bool
+    m: int
+    policy: str
+    order: Tuple[str, ...]
+    responses: Dict[str, Optional[Fraction]]
+    failures: Tuple[Tuple[str, Fraction, Fraction], ...]
+
+
+def _require_m(m) -> int:
+    if isinstance(m, bool) or not isinstance(m, int) or m < 1:
+        raise ValidationError(f"m must be an integer >= 1, got {m!r}")
+    return m
+
+
+def _check_set(dags: Sequence[DAGTask]) -> None:
+    if not dags:
+        raise ValidationError("global schedulability needs a non-empty set")
+    seen = set()
+    for dag in dags:
+        if dag.name in seen:
+            raise ValidationError(
+                f"duplicate task name {dag.name!r} in the set"
+            )
+        seen.add(dag.name)
+        if dag.deadline > dag.period:
+            raise ValidationError(
+                f"task {dag.name!r}: global FP/RM analysis requires "
+                f"constrained deadlines, got deadline {dag.deadline} > "
+                f"period {dag.period}"
+            )
+
+
+def _workload(
+    vol: Fraction, period: Fraction, resp: Fraction, x: Fraction, m: int
+) -> Fraction:
+    """Carry-in/body/carry-out workload of one interfering task."""
+    a = x + resp
+    n = a // period  # Fraction floor-division -> int
+    r = a - n * period
+    return n * vol + min(vol, m * r)
+
+
+def _analyse(
+    order: Sequence[DAGTask], m: int, policy: str, max_iterations: int
+) -> GlobalSchedResult:
+    responses: Dict[str, Optional[Fraction]] = {}
+    failures: List[Tuple[str, Fraction, Fraction]] = []
+    hp: List[Tuple[Fraction, Fraction, Fraction]] = []  # (vol, T, R)
+    schedulable = True
+    for dag in order:
+        if not schedulable:
+            responses[dag.name] = None
+            continue
+        length, _ = dag.longest_path()
+        base = length + (dag.volume - length) / m
+        x = base
+        converged = False
+        for _ in range(max_iterations):
+            checkpoint()
+            nxt = base + sum(
+                (_workload(vol, period, resp, x, m) for vol, period, resp in hp),
+                Fraction(0),
+            ) / m
+            if nxt == x:
+                converged = True
+                break
+            x = nxt
+            if x > dag.deadline:
+                break
+        if not converged and x <= dag.deadline:
+            raise AnalysisError(
+                f"global {policy} fixpoint for task {dag.name!r} did not "
+                f"converge within {max_iterations} iterations"
+            )
+        if converged and x <= dag.deadline:
+            responses[dag.name] = x
+            hp.append((dag.volume, dag.period, x))
+        else:
+            responses[dag.name] = None
+            failures.append((dag.name, x, dag.deadline))
+            schedulable = False
+    return GlobalSchedResult(
+        schedulable=schedulable,
+        m=m,
+        policy=policy,
+        order=tuple(dag.name for dag in order),
+        responses=responses,
+        failures=tuple(failures),
+    )
+
+
+def _cached_verdict(
+    kind: str,
+    dags: Sequence[DAGTask],
+    order: Sequence[DAGTask],
+    m: int,
+    policy: str,
+    max_iterations: int,
+) -> GlobalSchedResult:
+    key = result_cache.analysis_key(
+        kind,
+        [dag.digest() for dag in dags]
+        + [f"m={m}", f"max_iterations={max_iterations}"],
+    )
+    if result_cache.is_enabled():
+        hit = result_cache.get(key)
+        if hit is not None:
+            return hit
+    result = _analyse(order, m, policy, max_iterations)
+    if result_cache.is_enabled():
+        result_cache.put(key, result)
+    return result
+
+
+def global_fp_schedulable(
+    dags: Sequence[DAGTask],
+    m: int,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> GlobalSchedResult:
+    """Global fixed-priority test; input order is the priority order.
+
+    Runs under the ambient budget scope (one checkpoint per fixpoint
+    iteration); like the other whole-set verdicts it has no sound
+    partial form, so budget exhaustion surfaces as the typed error.
+    Whole-set results are cached content-addressed on the ordered DAG
+    digests + ``m`` + ``max_iterations``.
+    """
+    m = _require_m(m)
+    if max_iterations < 1:
+        raise ValidationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    _check_set(dags)
+    return _cached_verdict(
+        "mp.global_fp", dags, list(dags), m, "fp", max_iterations
+    )
+
+
+def global_rm_schedulable(
+    dags: Sequence[DAGTask],
+    m: int,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> GlobalSchedResult:
+    """Global rate-monotonic test: priorities by ascending period.
+
+    Ties keep the input order (stable sort), so the analysed priority
+    order — reported in ``result.order`` — is deterministic.
+    """
+    m = _require_m(m)
+    if max_iterations < 1:
+        raise ValidationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    _check_set(dags)
+    order = sorted(dags, key=lambda dag: dag.period)
+    return _cached_verdict(
+        "mp.global_rm", dags, order, m, "rm", max_iterations
+    )

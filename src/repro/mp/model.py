@@ -1,0 +1,363 @@
+"""The parallel DAG task model.
+
+One :class:`DAGTask` is a sporadic task whose every release is a whole
+*DAG job*: a set of vertices (units of sequential work, each with a
+WCET) under precedence edges.  A vertex may start once all its
+predecessors finished; vertices with no order between them may run
+concurrently on distinct processors.  Releases are separated by at
+least ``period``; every vertex of a release must finish within
+``deadline`` of it.
+
+The constructor is the validator: empty graphs, non-positive
+parameters, duplicate vertices or edges, unknown edge endpoints,
+self-loops and cycles all fail fast with a
+:class:`~repro.errors.ModelError` naming the offending element.  A
+constructed task is immutable by convention and memoizes its derived
+metrics (topological order, volume, longest path, content digest), so
+instances are safe to share across analyses and — via the
+definition-only :meth:`__reduce__` — across
+:mod:`repro.parallel.plane` worker processes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro._numeric import NumLike, Q
+from repro.errors import ModelError, ValidationError
+
+__all__ = ["DAGTask", "validate_dag"]
+
+VertexSpec = Union[Mapping[str, NumLike], Sequence[Tuple[str, NumLike]]]
+EdgeSpec = Iterable[Tuple[str, str]]
+
+
+class DAGTask:
+    """A sporadic parallel task: one precedence DAG per release.
+
+    Args:
+        name: Task name (used in results and digests).
+        vertices: ``{vertex: wcet}`` mapping or ``(vertex, wcet)``
+            pairs; insertion order is preserved and is part of the
+            task's identity (it breaks ties deterministically in path
+            extraction).
+        edges: ``(src, dst)`` precedence pairs — *dst* may start only
+            after *src* finished.
+        period: Minimum separation between releases (> 0).
+        deadline: Relative deadline of every release (> 0).
+    """
+
+    __slots__ = (
+        "name",
+        "period",
+        "deadline",
+        "edges",
+        "_wcet",
+        "_succ",
+        "_pred",
+        "_topo",
+        "_volume",
+        "_longest",
+        "_digest",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        vertices: VertexSpec,
+        edges: EdgeSpec = (),
+        period: NumLike = 1,
+        deadline: NumLike = 1,
+    ):
+        self.name = str(name)
+        pairs = (
+            list(vertices.items())
+            if isinstance(vertices, Mapping)
+            else [(str(v), w) for v, w in vertices]
+        )
+        if not pairs:
+            raise ModelError(f"DAG task {self.name!r} has no vertices")
+        wcet: Dict[str, Fraction] = {}
+        for vname, raw in pairs:
+            vname = str(vname)
+            if vname in wcet:
+                raise ModelError(
+                    f"DAG task {self.name!r}: duplicate vertex {vname!r}"
+                )
+            w = Q(raw)
+            if w <= 0:
+                raise ModelError(
+                    f"vertex {vname!r} needs wcet > 0, got {w}"
+                )
+            wcet[vname] = w
+        self._wcet = wcet
+        self.period = Q(period)
+        if self.period <= 0:
+            raise ModelError(
+                f"DAG task {self.name!r} needs period > 0, got {self.period}"
+            )
+        self.deadline = Q(deadline)
+        if self.deadline <= 0:
+            raise ModelError(
+                f"DAG task {self.name!r} needs deadline > 0, "
+                f"got {self.deadline}"
+            )
+
+        seen = set()
+        succ: Dict[str, List[str]] = {v: [] for v in wcet}
+        pred: Dict[str, List[str]] = {v: [] for v in wcet}
+        edge_list: List[Tuple[str, str]] = []
+        for src, dst in edges:
+            src, dst = str(src), str(dst)
+            for endpoint in (src, dst):
+                if endpoint not in wcet:
+                    raise ModelError(
+                        f"edge {src!r}->{dst!r} refers to unknown "
+                        f"vertex {endpoint!r}"
+                    )
+            if src == dst:
+                raise ModelError(f"self-loop on vertex {src!r}")
+            if (src, dst) in seen:
+                raise ModelError(f"duplicate edge {src!r}->{dst!r}")
+            seen.add((src, dst))
+            succ[src].append(dst)
+            pred[dst].append(src)
+            edge_list.append((src, dst))
+        self.edges = tuple(edge_list)
+        self._succ = {v: tuple(s) for v, s in succ.items()}
+        self._pred = {v: tuple(p) for v, p in pred.items()}
+        self._topo = self._topological_order()
+        self._volume: Optional[Fraction] = None
+        self._longest: Optional[Tuple[Fraction, Tuple[str, ...]]] = None
+        self._digest: Optional[str] = None
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        vertices: VertexSpec,
+        edges: EdgeSpec = (),
+        period: NumLike = 1,
+        deadline: Optional[NumLike] = None,
+    ) -> "DAGTask":
+        """Compact constructor; *deadline* defaults to *period*
+        (implicit deadline)."""
+        return cls(
+            name,
+            vertices,
+            edges,
+            period=period,
+            deadline=period if deadline is None else deadline,
+        )
+
+    @classmethod
+    def chain(
+        cls,
+        name: str,
+        wcets: Sequence[NumLike],
+        period: NumLike,
+        deadline: Optional[NumLike] = None,
+    ) -> "DAGTask":
+        """A fully sequential DAG ``v1 -> v2 -> ... -> vn``.
+
+        Chains are the degenerate family the cross-check suite maps onto
+        the exact single-resource engine
+        (:func:`repro.mp.crosscheck.chain_to_drt`).
+        """
+        names = [f"v{i + 1}" for i in range(len(wcets))]
+        return cls.build(
+            name,
+            list(zip(names, wcets)),
+            [(a, b) for a, b in zip(names, names[1:])],
+            period=period,
+            deadline=deadline,
+        )
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def vertices(self) -> Tuple[str, ...]:
+        """Vertex names in insertion order."""
+        return tuple(self._wcet)
+
+    def wcet(self, vertex: str) -> Fraction:
+        """WCET of one vertex."""
+        try:
+            return self._wcet[vertex]
+        except KeyError:
+            raise ModelError(
+                f"DAG task {self.name!r} has no vertex {vertex!r}"
+            ) from None
+
+    @property
+    def wcets(self) -> Dict[str, Fraction]:
+        """``{vertex: wcet}`` in insertion order (a copy)."""
+        return dict(self._wcet)
+
+    def successors(self, vertex: str) -> Tuple[str, ...]:
+        return self._succ[vertex]
+
+    def predecessors(self, vertex: str) -> Tuple[str, ...]:
+        return self._pred[vertex]
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        return tuple(v for v in self._wcet if not self._pred[v])
+
+    @property
+    def sinks(self) -> Tuple[str, ...]:
+        return tuple(v for v in self._wcet if not self._succ[v])
+
+    def _topological_order(self) -> Tuple[str, ...]:
+        indeg = {v: len(self._pred[v]) for v in self._wcet}
+        ready = [v for v in self._wcet if indeg[v] == 0]
+        order: List[str] = []
+        while ready:
+            v = ready.pop(0)
+            order.append(v)
+            for s in self._succ[v]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self._wcet):
+            cyclic = sorted(v for v, d in indeg.items() if d > 0)
+            raise ModelError(
+                f"DAG task {self.name!r} has a precedence cycle through "
+                f"{cyclic}"
+            )
+        return tuple(order)
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """A deterministic topological order (insertion-order ties)."""
+        return self._topo
+
+    def is_chain(self) -> bool:
+        """True iff the DAG is one fully sequential path."""
+        return len(self.edges) == len(self._wcet) - 1 and all(
+            len(self._succ[v]) <= 1 and len(self._pred[v]) <= 1
+            for v in self._wcet
+        ) and len(self.sources) == 1
+
+    # -- metrics ---------------------------------------------------------
+
+    @property
+    def volume(self) -> Fraction:
+        """Total work of one release: the sum of all vertex WCETs."""
+        if self._volume is None:
+            self._volume = sum(self._wcet.values(), Fraction(0))
+        return self._volume
+
+    def longest_path(self) -> Tuple[Fraction, Tuple[str, ...]]:
+        """``(length, vertices)`` of a maximum-WCET-sum path.
+
+        The *critical path*: its length is the makespan floor on any
+        number of processors.  Deterministic under ties (the DP prefers
+        the earlier vertex in insertion order).
+        """
+        if self._longest is None:
+            best: Dict[str, Fraction] = {}
+            via: Dict[str, Optional[str]] = {}
+            for v in self._topo:
+                incoming = None
+                arg = None
+                for p in self._pred[v]:
+                    if incoming is None or best[p] > incoming:
+                        incoming = best[p]
+                        arg = p
+                best[v] = self._wcet[v] + (incoming or Fraction(0))
+                via[v] = arg
+            end = max(best, key=lambda v: (best[v], -self._topo.index(v)))
+            path = [end]
+            while via[path[-1]] is not None:
+                path.append(via[path[-1]])
+            self._longest = (best[end], tuple(reversed(path)))
+        return self._longest
+
+    def critical_path(self) -> Tuple[str, ...]:
+        """The vertices of :meth:`longest_path`."""
+        return self.longest_path()[1]
+
+    @property
+    def utilization(self) -> Fraction:
+        """Long-run demand rate ``volume / period``."""
+        return self.volume / self.period
+
+    # -- identity --------------------------------------------------------
+
+    def _definition(self):
+        return (
+            self.name,
+            tuple(self._wcet.items()),
+            self.edges,
+            self.period,
+            self.deadline,
+        )
+
+    def digest(self) -> str:
+        """Stable hex content digest of the definition (memoized).
+
+        Covers the vertex list *in insertion order* with exact rational
+        WCETs, the edge list in order, and period/deadline — everything
+        that influences an analysis result — so the result cache and the
+        cluster router address two equal definitions identically.
+        """
+        if self._digest is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(f"dag|{self.name}".encode("utf-8"))
+            for v, w in self._wcet.items():
+                h.update(f"|v:{v}={w}".encode("utf-8"))
+            for src, dst in self.edges:
+                h.update(f"|e:{src}>{dst}".encode("utf-8"))
+            h.update(f"|T={self.period}|D={self.deadline}".encode("utf-8"))
+            self._digest = h.hexdigest()
+        return self._digest
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DAGTask):
+            return NotImplemented
+        return self._definition() == other._definition()
+
+    def __hash__(self) -> int:
+        return hash(self._definition())
+
+    def __reduce__(self):
+        # Definition-only pickling: memoized metrics rebuild on demand
+        # in the receiving process.
+        return (
+            DAGTask,
+            (
+                self.name,
+                list(self._wcet.items()),
+                list(self.edges),
+                self.period,
+                self.deadline,
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DAGTask({self.name!r}, {len(self._wcet)} vertices, "
+            f"{len(self.edges)} edges, T={self.period}, D={self.deadline})"
+        )
+
+
+def validate_dag(dag: DAGTask) -> None:
+    """Semantic checks beyond the constructor's structural ones.
+
+    Raises:
+        ValidationError: when the critical path alone exceeds the
+            deadline — such a task misses its deadline on *any* number
+            of processors, which is almost always a modelling error.
+    """
+    length, path = dag.longest_path()
+    if length > dag.deadline:
+        raise ValidationError(
+            f"DAG task {dag.name!r}: critical path "
+            f"{' -> '.join(path)} has length {length} > deadline "
+            f"{dag.deadline}; unschedulable on any m"
+        )

@@ -291,7 +291,15 @@ def task_digest(task) -> str:
     analysis cache is dropped (every memo in it is stale) and the
     digest recomputed, so a mutated task can never be served another
     definition's cached results.
+
+    :class:`repro.mp.model.DAGTask` instances (immutable by
+    construction) carry their own memoized ``digest()`` and are
+    dispatched to it, so multiprocessor requests share this keying
+    path.
     """
+    own_digest = getattr(task, "digest", None)
+    if callable(own_digest):
+        return own_digest()
     from repro.drt.digest import composed_task_digest, guard_cache
 
     cache = guard_cache(task)

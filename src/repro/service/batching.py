@@ -12,15 +12,21 @@ micro-batch instead of paying per-request dispatch overhead — and a
 request that fails (validation, unbounded workload, exhausted budget)
 settles alone without poisoning its batch neighbours.
 
-Execution semantics per kind (:func:`execute_request`):
+Execution semantics per kind (:func:`execute_request`, dispatched
+through the :data:`_EXECUTORS` registry — one
+:func:`register_executor` call per kind, the execution-side companion
+of :data:`repro.service.protocol.KIND_REGISTRY`):
 
 * ``delay`` / ``bounded_delay`` run
   :func:`repro.resilience.bounded_delay`: a budget (from the request's
   ``deadline_ms`` or the admission shedder) degrades to a *sound*
   anytime bound, tagged ``degraded`` — never an error;
-* ``sp_schedulable`` / ``edf_structural_delays`` / ``analyze_many`` run
-  under :func:`~repro.resilience.budget.budget_scope`; these verdicts
-  have no sound partial form, so budget exhaustion surfaces as a typed
+* ``dag_rta`` runs :func:`repro.mp.bounds.dag_rta` the same way — its
+  degraded rung is the Graham bound;
+* ``sp_schedulable`` / ``edf_structural_delays`` / ``analyze_many`` /
+  ``global_fp_schedulable`` / ``global_rm_schedulable`` run under
+  :func:`~repro.resilience.budget.budget_scope`; these verdicts have no
+  sound partial form, so budget exhaustion surfaces as a typed
   ``budget_exhausted`` error envelope;
 * ``whatif_sweep`` runs :func:`repro.whatif.engine.whatif_sweep` under
   the same scope — one warm incremental session per request, per-edit
@@ -42,6 +48,8 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 from repro import perf
 from repro.core.facade import analyze_many
+from repro.mp.bounds import dag_rta
+from repro.mp.global_sched import global_fp_schedulable, global_rm_schedulable
 from repro.parallel import cache as result_cache
 from repro.parallel.plane import JobsLike, map_settled
 from repro.resilience.bounded import bounded_delay
@@ -52,7 +60,7 @@ from repro.service import protocol
 from repro.service.protocol import DecodedRequest
 from repro.whatif.engine import whatif_sweep
 
-__all__ = ["execute_request", "run_batch", "Batcher"]
+__all__ = ["execute_request", "register_executor", "run_batch", "Batcher"]
 
 
 def _counter_delta(before: Dict[str, int], after: Dict[str, int]):
@@ -62,6 +70,92 @@ def _counter_delta(before: Dict[str, int], after: Dict[str, int]):
         if n != before.get(name, 0)
     }
     return delta
+
+
+# ----------------------------------------------------------------------
+# Per-kind executors
+# ----------------------------------------------------------------------
+
+_EXECUTORS: Dict[str, object] = {}
+
+
+def register_executor(kind: str, fn) -> None:
+    """Register the engine entry point of one protocol kind.
+
+    *fn* takes the :class:`DecodedRequest` and returns the engine
+    result; budget semantics (explicit budget vs. ambient scope) are
+    the executor's own business.
+    """
+    if kind not in protocol.KIND_REGISTRY:
+        raise ValueError(f"kind {kind!r} is not in the protocol registry")
+    _EXECUTORS[kind] = fn
+
+
+def _exec_bounded(req: DecodedRequest):
+    return bounded_delay(
+        req.tasks[0],
+        req.beta,
+        budget=req.budget,
+        backend=req.params.get("backend"),
+    )
+
+
+def _exec_sp(req: DecodedRequest):
+    with budget_scope(req.budget):
+        return sp_schedulable(list(req.tasks), req.beta, **req.params)
+
+
+def _exec_edf(req: DecodedRequest):
+    with budget_scope(req.budget):
+        return edf_structural_delays(list(req.tasks), req.beta, **req.params)
+
+
+def _exec_many(req: DecodedRequest):
+    with budget_scope(req.budget):
+        return analyze_many(list(req.tasks), req.beta, **req.params)
+
+
+def _exec_whatif(req: DecodedRequest):
+    # One warm session per request; per-edit failures come back inside
+    # the result list, not as an envelope error.
+    with budget_scope(req.budget):
+        return whatif_sweep(req.tasks[0], req.beta, req.params["edits"])
+
+
+def _exec_dag_rta(req: DecodedRequest):
+    return dag_rta(
+        req.tasks[0],
+        m=req.params["m"],
+        budget=req.budget,
+        max_paths=req.params.get("max_paths"),
+    )
+
+
+def _exec_global_fp(req: DecodedRequest):
+    kwargs = {k: v for k, v in req.params.items() if k != "m"}
+    with budget_scope(req.budget):
+        return global_fp_schedulable(
+            list(req.tasks), m=req.params["m"], **kwargs
+        )
+
+
+def _exec_global_rm(req: DecodedRequest):
+    kwargs = {k: v for k, v in req.params.items() if k != "m"}
+    with budget_scope(req.budget):
+        return global_rm_schedulable(
+            list(req.tasks), m=req.params["m"], **kwargs
+        )
+
+
+register_executor("delay", _exec_bounded)
+register_executor("bounded_delay", _exec_bounded)
+register_executor("sp_schedulable", _exec_sp)
+register_executor("edf_structural_delays", _exec_edf)
+register_executor("analyze_many", _exec_many)
+register_executor("whatif_sweep", _exec_whatif)
+register_executor("dag_rta", _exec_dag_rta)
+register_executor("global_fp_schedulable", _exec_global_fp)
+register_executor("global_rm_schedulable", _exec_global_rm)
 
 
 def execute_request(req: DecodedRequest) -> Dict[str, object]:
@@ -86,36 +180,11 @@ def execute_request(req: DecodedRequest) -> Dict[str, object]:
     except Exception:  # noqa: BLE001 - tagging must never fail a request
         placement = None
     try:
-        if req.kind in protocol.SINGLE_TASK_KINDS:
-            result = bounded_delay(
-                req.tasks[0],
-                req.beta,
-                budget=req.budget,
-                backend=req.params.get("backend"),
-            )
-            degraded = result.degraded
-        elif req.kind == "sp_schedulable":
-            with budget_scope(req.budget):
-                result = sp_schedulable(
-                    list(req.tasks), req.beta, **req.params
-                )
-        elif req.kind == "edf_structural_delays":
-            with budget_scope(req.budget):
-                result = edf_structural_delays(
-                    list(req.tasks), req.beta, **req.params
-                )
-        elif req.kind == "analyze_many":
-            with budget_scope(req.budget):
-                result = analyze_many(list(req.tasks), req.beta, **req.params)
-        elif req.kind in protocol.WHATIF_KINDS:
-            # One warm session per request; per-edit failures come back
-            # inside the result list, not as an envelope error.
-            with budget_scope(req.budget):
-                result = whatif_sweep(
-                    req.tasks[0], req.beta, req.params["edits"]
-                )
-        else:  # pragma: no cover - decode_request rejects unknown kinds
+        executor = _EXECUTORS.get(req.kind)
+        if executor is None:  # pragma: no cover - decode rejects unknowns
             raise ValueError(f"unknown kind {req.kind!r}")
+        result = executor(req)
+        degraded = bool(getattr(result, "degraded", False))
     except Exception as exc:  # noqa: BLE001 - outcomes travel as values
         envelope = protocol.error_envelope(exc, req.trace_id, req.kind)
         envelope["shed"] = req.shed

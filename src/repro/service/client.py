@@ -24,7 +24,9 @@ operational behaviour a caller should not have to reimplement:
   exactly once;
 * **typed results** — the convenience methods (:meth:`delay`,
   :meth:`sp_schedulable`, :meth:`edf_structural_delays`,
-  :meth:`analyze_many`) rebuild the engine's own result dataclasses via
+  :meth:`analyze_many`, :meth:`dag_rta`, :meth:`global_fp_schedulable`,
+  :meth:`global_rm_schedulable`) rebuild the engine's own result
+  dataclasses via
   :func:`repro.service.protocol.decode_result`, so a served analysis
   compares ``==`` to a direct in-process call;
 * **typed failures** — transport and analysis errors raise
@@ -466,28 +468,41 @@ class ServiceClient:
     def build_request(
         kind: str,
         tasks,
-        beta,
+        beta=None,
         deadline_ms: Optional[float] = None,
         max_expansions: Optional[int] = None,
         max_segments: Optional[int] = None,
         params: Optional[Dict[str, Any]] = None,
         perf: bool = False,
         edits: Optional[Sequence] = None,
+        m: Optional[int] = None,
     ) -> Dict[str, Any]:
         """The wire-shaped request dict for one analysis call.
 
+        The kind's :class:`~repro.service.protocol.KindSpec` row decides
+        the shape: DRT kinds serialize via
+        :func:`repro.io.json_io.task_to_dict` and carry *beta*;
+        multiprocessor kinds serialize via
+        :func:`repro.mp.io.dag_to_dict` and carry *m* instead.
         *edits* (``whatif_sweep`` only) accepts
         :data:`repro.whatif.edits.Edit` values or already-wire-shaped
         edit dicts.
         """
-        spec: Dict[str, Any] = {
-            "kind": kind,
-            "beta": _beta_to_wire(beta),
-        }
-        if kind in protocol.SINGLE_TASK_KINDS or kind in protocol.WHATIF_KINDS:
-            spec["task"] = task_to_dict(tasks)
+        kspec = protocol.KIND_REGISTRY.get(kind)
+        to_dict = task_to_dict
+        if kspec is not None and kspec.model == "dag":
+            from repro.mp.io import dag_to_dict
+
+            to_dict = dag_to_dict
+        spec: Dict[str, Any] = {"kind": kind}
+        if kspec is None or kspec.needs_beta:
+            spec["beta"] = _beta_to_wire(beta)
+        if kspec is not None and kspec.arity in ("single", "whatif"):
+            spec["task"] = to_dict(tasks)
         else:
-            spec["tasks"] = [task_to_dict(t) for t in tasks]
+            spec["tasks"] = [to_dict(t) for t in tasks]
+        if m is not None:
+            spec["m"] = m
         if edits is not None:
             from repro.whatif.edits import edit_to_dict
 
@@ -521,7 +536,7 @@ class ServiceClient:
             pass
         return result
 
-    def _typed(self, kind: str, tasks, beta, **kwargs):
+    def _typed(self, kind: str, tasks, beta=None, **kwargs):
         envelope = self.analyze_raw(
             self.build_request(kind, tasks, beta, **kwargs)
         )
@@ -581,6 +596,42 @@ class ServiceClient:
         to a direct in-process call on the same inputs.
         """
         return self._typed("analyze_many", tasks, beta, params=params)
+
+    def dag_rta(
+        self,
+        dag,
+        m: int,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        max_paths: Optional[int] = None,
+    ):
+        """Served :func:`repro.mp.bounds.dag_rta` for one DAG task.
+
+        Returns a :class:`~repro.mp.bounds.DagRtaResult`; with a budget
+        that ran out the bound is *degraded but sound* (the Graham
+        rung — check ``.degraded``) rather than an error.
+        """
+        params = {"max_paths": max_paths} if max_paths is not None else None
+        return self._typed(
+            "dag_rta",
+            dag,
+            m=m,
+            deadline_ms=deadline_ms,
+            max_expansions=max_expansions,
+            params=params,
+        )
+
+    def global_fp_schedulable(self, dags, m: int, **params):
+        """Served :func:`repro.mp.global_sched.global_fp_schedulable`."""
+        return self._typed(
+            "global_fp_schedulable", dags, m=m, params=params or None
+        )
+
+    def global_rm_schedulable(self, dags, m: int, **params):
+        """Served :func:`repro.mp.global_sched.global_rm_schedulable`."""
+        return self._typed(
+            "global_rm_schedulable", dags, m=m, params=params or None
+        )
 
     def whatif_sweep(self, task, beta, edits, **kwargs):
         """Served :func:`repro.whatif.engine.whatif_sweep` via

@@ -589,7 +589,7 @@ class AnalysisServer:
     def _sheddable(req: DecodedRequest) -> bool:
         """Shedding needs a sound degraded form *and* a client deadline."""
         return (
-            req.kind in protocol.SINGLE_TASK_KINDS
+            protocol.is_sheddable(req.kind)
             and req.budget is not None
             and req.budget.deadline is not None
         )

@@ -1,0 +1,460 @@
+"""Tests of the multiprocessor DAG subsystem: model, io, bounds,
+global FP/RM tests, caching, budget degradation and the ``mp`` CLI."""
+
+from __future__ import annotations
+
+import json
+import pickle
+from fractions import Fraction as F
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import (
+    BudgetExhaustedError,
+    ModelError,
+    SerializationError,
+    ValidationError,
+)
+from repro.io.dot import task_from_dot
+from repro.mp import (
+    DAGTask,
+    dag_from_dict,
+    dag_from_dot,
+    dag_rta,
+    dag_rta_many,
+    dag_to_dict,
+    dag_to_dot,
+    global_fp_schedulable,
+    global_rm_schedulable,
+    graham_bound,
+    load_dag,
+    load_dag_dot,
+    long_path_rta,
+    save_dag,
+    save_dag_dot,
+    validate_dag,
+)
+from repro.parallel import cache as result_cache
+from repro.resilience import Budget, budget_scope
+
+
+def _fork_join(name="fj", period=100, deadline=None) -> DAGTask:
+    """Source -> three parallel branches -> sink; vol 13, len 13/2."""
+    return DAGTask.build(
+        name,
+        vertices={
+            "src": 1,
+            "a": F(9, 2),
+            "b": 3,
+            "c": F(5, 2),
+            "sink": 2,
+        },
+        edges=[
+            ("src", "a"),
+            ("src", "b"),
+            ("src", "c"),
+            ("a", "sink"),
+            ("b", "sink"),
+            ("c", "sink"),
+        ],
+        period=period,
+        deadline=deadline,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Model
+# ---------------------------------------------------------------------------
+
+
+class TestModel:
+    def test_metrics(self):
+        dag = _fork_join()
+        assert dag.volume == 13
+        length, path = dag.longest_path()
+        assert length == F(15, 2)
+        assert path == ("src", "a", "sink")
+        assert dag.critical_path() == ("src", "a", "sink")
+        assert dag.utilization == F(13, 100)
+        assert dag.sources == ("src",)
+        assert dag.sinks == ("sink",)
+        assert not dag.is_chain()
+
+    def test_chain_builder(self):
+        chain = DAGTask.chain("c", [1, 2, 3], period=10)
+        assert chain.is_chain()
+        assert chain.vertices == ("v1", "v2", "v3")
+        assert chain.volume == 6
+        assert chain.longest_path()[0] == 6
+        assert chain.deadline == 10  # implicit deadline
+
+    def test_topological_order_respects_edges(self):
+        dag = _fork_join()
+        order = dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for src, dst in dag.edges:
+            assert pos[src] < pos[dst]
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            (dict(vertices={}), "no vertices"),
+            (dict(vertices={"v": 0}), "wcet"),
+            (dict(vertices={"v": -1}), "wcet"),
+            (dict(vertices={"v": 1}, period=0), "period"),
+            (dict(vertices={"v": 1}, deadline=0), "deadline"),
+            (
+                dict(vertices={"v": 1}, edges=[("v", "w")]),
+                "unknown vertex",
+            ),
+            (dict(vertices={"v": 1}, edges=[("v", "v")]), "self-loop"),
+            (
+                dict(vertices={"v": 1, "w": 1}, edges=[("v", "w"), ("v", "w")]),
+                "duplicate",
+            ),
+            (
+                dict(
+                    vertices={"v": 1, "w": 1},
+                    edges=[("v", "w"), ("w", "v")],
+                ),
+                "cycle",
+            ),
+        ],
+    )
+    def test_invalid_models_rejected(self, kwargs, message):
+        kwargs.setdefault("period", 10)
+        with pytest.raises(ModelError, match=message):
+            DAGTask.build("bad", **kwargs)
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(ModelError):
+            DAGTask("bad", [("v", 1), ("v", 2)], [], period=10)
+
+    def test_validate_dag_rejects_unmeetable_deadline(self):
+        dag = _fork_join(deadline=7)  # critical path 15/2 > 7
+        with pytest.raises(ValidationError):
+            validate_dag(dag)
+        validate_dag(_fork_join(deadline=8))
+
+    def test_digest_stable_and_structure_sensitive(self):
+        a, b = _fork_join(), _fork_join()
+        assert a.digest() == b.digest()
+        assert a == b and hash(a) == hash(b)
+        c = _fork_join(period=101)
+        assert a.digest() != c.digest()
+        assert a != c
+
+    def test_pickle_round_trip(self):
+        dag = _fork_join()
+        clone = pickle.loads(pickle.dumps(dag))
+        assert clone == dag
+        assert clone.digest() == dag.digest()
+        assert clone.longest_path() == dag.longest_path()
+
+
+# ---------------------------------------------------------------------------
+# IO
+# ---------------------------------------------------------------------------
+
+
+class TestIo:
+    def test_json_round_trip(self, tmp_path):
+        dag = _fork_join()
+        data = dag_to_dict(dag)
+        assert dag_from_dict(data) == dag
+        assert dag_from_dict(json.loads(json.dumps(data))) == dag
+        path = tmp_path / "dag.json"
+        save_dag(dag, path)
+        assert load_dag(path) == dag
+
+    def test_dot_round_trip(self, tmp_path):
+        dag = _fork_join()
+        assert dag_from_dot(dag_to_dot(dag)) == dag
+        path = tmp_path / "dag.dot"
+        save_dag_dot(dag, path)
+        assert load_dag_dot(path) == dag
+
+    def test_dag_dot_undeclared_edge_endpoint_names_line(self):
+        source = "\n".join(
+            [
+                'digraph "bad" {',
+                '  graph [period="10", deadline="10"];',
+                '  "a" [label="a\\n<1>"];',
+                '  "a" -> "ghost";',
+                "}",
+            ]
+        )
+        with pytest.raises(SerializationError) as exc:
+            dag_from_dot(source)
+        msg = str(exc.value)
+        assert "line 4" in msg
+        assert "ghost" in msg and "vertex" in msg
+
+    def test_drt_dot_undeclared_edge_endpoint_names_line(self):
+        # The satellite regression: the DRT importer shares the check.
+        source = "\n".join(
+            [
+                'digraph "bad" {',
+                '  "a" [label="a\\n<1, 10>"];',
+                '  "a" -> "ghost" [label="5"];',
+                "}",
+            ]
+        )
+        with pytest.raises(SerializationError) as exc:
+            task_from_dot(source)
+        msg = str(exc.value)
+        assert "line 3" in msg
+        assert "ghost" in msg and "job" in msg
+
+    def test_malformed_wire_dicts_rejected(self):
+        good = dag_to_dict(_fork_join())
+        for mutation in (
+            {"period": "0"},
+            {"vertices": []},
+            {"edges": [["src", "nope"]]},
+            {"deadline": "-1"},
+        ):
+            with pytest.raises((SerializationError, ModelError)):
+                dag_from_dict({**good, **mutation})
+
+
+# ---------------------------------------------------------------------------
+# Bounds
+# ---------------------------------------------------------------------------
+
+
+class TestBounds:
+    def test_graham_bound_values(self):
+        dag = _fork_join()
+        assert graham_bound(dag, 1) == 13  # volume
+        assert graham_bound(dag, 2) == F(15, 2) + F(11, 4)
+        assert graham_bound(dag, 1000) == F(15, 2) + F(11, 2000)
+
+    def test_long_path_dominates_graham(self):
+        dag = _fork_join()
+        for m in (1, 2, 3, 4, 8):
+            bound, _ = long_path_rta(dag, m)
+            assert bound <= graham_bound(dag, m)
+
+    def test_m1_is_volume(self):
+        dag = _fork_join()
+        res = dag_rta(dag, 1)
+        assert res.response == dag.volume
+        assert res.path_lengths == ()
+        assert res.level == "long_path"
+
+    def test_fork_join_m4_beats_graham(self):
+        # With m-1 = 3 disjoint paths covering all branch work, the
+        # all-busy interval collapses and the bound drops below Graham.
+        dag = _fork_join()
+        res = dag_rta(dag, 4)
+        assert res.response < res.graham
+        assert res.schedulable
+        assert len(res.path_lengths) == 3
+
+    def test_invalid_m_rejected(self):
+        dag = _fork_join()
+        for m in (0, -1, True, F(2), "2"):
+            with pytest.raises(ValidationError):
+                dag_rta(dag, m)
+
+    def test_max_paths_caps_refinement(self):
+        dag = _fork_join()
+        res = dag_rta(dag, 4, max_paths=1)
+        assert len(res.path_lengths) == 1
+        assert res.response <= res.graham
+
+    def test_budget_exhaustion_degrades_to_graham(self):
+        dag = _fork_join()
+        budget = Budget(max_expansions=1)
+        res = dag_rta(dag, 4, budget=budget)
+        assert res.degraded
+        assert res.level == "graham"
+        assert res.response == res.graham
+        assert res.reason
+        # The raw refinement propagates the typed error instead.
+        with pytest.raises(BudgetExhaustedError):
+            with budget_scope(Budget(max_expansions=1)):
+                long_path_rta(dag, 4)
+
+    def test_dag_rta_many_matches_serial(self):
+        dags = [_fork_join(f"t{i}", period=50 + i) for i in range(4)]
+        many = dag_rta_many(dags, 3)
+        assert many == [dag_rta(d, 3) for d in dags]
+
+    def test_results_cached_content_addressed(self, tmp_path):
+        result_cache.configure(str(tmp_path))
+        try:
+            dag = _fork_join()
+            first = dag_rta(dag, 4)
+            again = dag_rta(_fork_join(), 4)  # equal task, fresh object
+            assert again == first
+            # A degraded verdict is never cached...
+            degraded = dag_rta(dag, 5, budget=Budget(max_expansions=1))
+            assert degraded.degraded
+            # ...so the full analysis still runs (and wins) afterwards.
+            full = dag_rta(dag, 5)
+            assert not full.degraded
+            assert full.response <= degraded.response
+        finally:
+            result_cache.configure(None)
+
+
+# ---------------------------------------------------------------------------
+# Global FP / RM
+# ---------------------------------------------------------------------------
+
+
+def _set():
+    return [
+        DAGTask.chain("hi", [1, 1], period=4),
+        _fork_join("mid", period=40),
+        DAGTask.chain("lo", [2, 2, 2], period=60),
+    ]
+
+
+class TestGlobalSched:
+    def test_rm_orders_by_period(self):
+        res = global_rm_schedulable(_set(), 4)
+        assert res.order == ("hi", "mid", "lo")
+        assert res.policy == "rm"
+
+    def test_fp_keeps_input_order(self):
+        dags = list(reversed(_set()))
+        res = global_fp_schedulable(dags, 4)
+        assert res.order == ("lo", "mid", "hi")
+        assert res.policy == "fp"
+
+    def test_schedulable_set_has_all_responses(self):
+        res = global_rm_schedulable(_set(), 4)
+        assert res.schedulable
+        assert res.failures == ()
+        for dag in _set():
+            bound = res.responses[dag.name]
+            assert bound is not None and bound <= dag.deadline
+
+    def test_singleton_set_matches_dag_rta_graham(self):
+        dag = _fork_join("solo", period=30)
+        res = global_fp_schedulable([dag], 3)
+        assert res.responses["solo"] == graham_bound(dag, 3)
+
+    def test_unschedulable_set_reports_failure_and_nulls(self):
+        dags = [
+            DAGTask.chain("hog", [3, 3], period=8),
+            DAGTask.chain("victim", [4], period=9, deadline=5),
+        ]
+        res = global_fp_schedulable(dags, 1)
+        assert not res.schedulable
+        assert res.responses["victim"] is None
+        (name, bound, deadline) = res.failures[0]
+        assert name == "victim" and bound > deadline == 5
+
+    def test_interference_increases_response(self):
+        dags = _set()
+        alone = global_fp_schedulable([dags[1]], 2).responses["mid"]
+        with_hp = global_fp_schedulable([dags[0], dags[1]], 2)
+        assert with_hp.responses["mid"] > alone
+
+    def test_verdict_monotone_in_m_smoke(self):
+        dags = _set()
+        verdicts = [
+            global_rm_schedulable(dags, m).schedulable for m in (1, 2, 4, 8)
+        ]
+        assert verdicts == sorted(verdicts)  # False before True
+
+    @pytest.mark.parametrize("fn", [global_fp_schedulable, global_rm_schedulable])
+    def test_input_validation(self, fn):
+        with pytest.raises(ValidationError):
+            fn([], 2)
+        with pytest.raises(ValidationError):
+            fn(_set(), 0)
+        with pytest.raises(ValidationError):
+            fn(_set(), 2, max_iterations=0)
+        dup = [_fork_join("x"), DAGTask.chain("x", [1], period=5)]
+        with pytest.raises(ValidationError):
+            fn(dup, 2)
+        arbitrary = [DAGTask.chain("a", [1], period=5, deadline=7)]
+        with pytest.raises(ValidationError, match="constrained"):
+            fn(arbitrary, 2)
+
+    def test_whole_set_verdict_cached(self, tmp_path):
+        result_cache.configure(str(tmp_path))
+        try:
+            first = global_rm_schedulable(_set(), 2)
+            assert global_rm_schedulable(_set(), 2) == first
+        finally:
+            result_cache.configure(None)
+
+
+# ---------------------------------------------------------------------------
+# Facade guard
+# ---------------------------------------------------------------------------
+
+
+class TestFacadeGuard:
+    def test_analyze_many_rejects_dag_tasks(self):
+        from repro import analyze_many, rate_latency_service
+
+        beta = rate_latency_service(F(1), F(0))
+        with pytest.raises(TypeError, match="dag_rta_many"):
+            analyze_many([_fork_join()], beta)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    @pytest.fixture()
+    def files(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.dot"
+        save_dag(_fork_join("a", period=20), a)
+        save_dag_dot(DAGTask.chain("b", [1, 1, 1], period=6), b)
+        return str(a), str(b)
+
+    def test_rta_policy(self, files, capsys):
+        rc = cli_main(["mp", *files, "-m", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "a: response<=" in out and "b: response<=" in out
+        assert "[OK]" in out
+
+    def test_rta_json(self, files, capsys):
+        rc = cli_main(["mp", files[0], "-m", "2", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        direct = dag_rta(_fork_join("a", period=20), 2)
+        assert doc["response"] == str(direct.response)
+        assert doc["schedulable"] is True
+
+    def test_rm_policy_json(self, files, capsys):
+        rc = cli_main(["mp", *files, "-m", "2", "--policy", "rm", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["policy"] == "rm"
+        assert doc["order"] == ["b", "a"]
+        assert doc["schedulable"] is True
+
+    def test_unschedulable_exit_code(self, tmp_path, capsys):
+        # Critical path (4) fits the deadline (5), so the task loads
+        # cleanly, but the m=1 response (volume 7) does not.
+        path = tmp_path / "tight.json"
+        tight = DAGTask.build(
+            "tight",
+            vertices={"a": 1, "b": 3, "c": 3},
+            edges=[("a", "b"), ("a", "c")],
+            period=10,
+            deadline=5,
+        )
+        save_dag(tight, path)
+        rc = cli_main(["mp", str(path), "-m", "1"])
+        assert rc == 3
+        assert "[MISS]" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        rc = cli_main(["mp", str(tmp_path / "nope.json"), "-m", "2"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,180 @@
+"""Hypothesis cross-check theorems anchoring :mod:`repro.mp` to the
+exact single-resource engine and to its own closed-form bounds.
+
+The three pinned properties (see ISSUE/DESIGN):
+
+1. **Chain degeneracy** — on ``m = 1`` a chain-shaped DAG's response
+   bound is *bit-identical* to the end-to-end delay the exact DRT
+   engine computes for the chain→DRT transform on unit service.
+2. **Dominance** — the long-path RTA never exceeds the Graham bound on
+   any generated DAG (it reports the minimum of both by construction).
+3. **Monotonicity** — the global-FP/RM verdict never flips from
+   schedulable to unschedulable when processors are added.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction as F
+from math import ceil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp import (
+    DAGTask,
+    chain_delay_via_drt,
+    chain_to_drt,
+    dag_rta,
+    global_fp_schedulable,
+    global_rm_schedulable,
+    graham_bound,
+    long_path_rta,
+)
+
+_wcets = st.builds(
+    F, st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=4)
+)
+
+
+@st.composite
+def chain_dags(draw):
+    """Chain DAGs with period > volume (bounded DRT busy window)."""
+    wcets = draw(st.lists(_wcets, min_size=1, max_size=5))
+    slack = F(draw(st.integers(min_value=1, max_value=24)), 2)
+    return DAGTask.chain("chain", wcets, period=sum(wcets) + slack)
+
+
+@st.composite
+def random_dags(draw, name="dag", max_vertices=7):
+    """Arbitrary DAGs: forward edges over an indexed vertex order."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    names = [f"v{i}" for i in range(n)]
+    vertices = {v: draw(_wcets) for v in names}
+    edges = [
+        (names[i], names[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if draw(st.booleans())
+    ]
+    volume = sum(vertices.values())
+    slack = F(draw(st.integers(min_value=1, max_value=40)), 2)
+    return DAGTask.build(
+        name, vertices=vertices, edges=edges, period=volume + slack
+    )
+
+
+@st.composite
+def dag_sets(draw):
+    """Small sets of uniquely-named DAG tasks (implicit deadlines)."""
+    n = draw(st.integers(min_value=1, max_value=3))
+    return [draw(random_dags(name=f"t{i}", max_vertices=5)) for i in range(n)]
+
+
+class TestChainDegeneracy:
+    @settings(max_examples=40, deadline=None)
+    @given(dag=chain_dags())
+    def test_m1_response_bit_identical_to_exact_engine(self, dag):
+        via_mp = dag_rta(dag, 1).response
+        via_drt = chain_delay_via_drt(dag)
+        assert via_mp == via_drt  # Fraction ==: bit-identical
+        assert via_mp == dag.volume
+
+    @settings(max_examples=40, deadline=None)
+    @given(dag=chain_dags())
+    def test_transform_preserves_structure(self, dag):
+        task = chain_to_drt(dag)
+        assert sorted(task.jobs) == sorted(dag.topological_order())
+        # One edge per chain link plus the period-restoring cycle-back.
+        assert len(task.edges) == len(dag.vertices)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag=random_dags())
+    def test_m1_is_volume_on_any_dag(self, dag):
+        assert dag_rta(dag, 1).response == dag.volume
+
+
+class TestDominance:
+    @settings(max_examples=40, deadline=None)
+    @given(dag=random_dags(), m=st.integers(min_value=1, max_value=8))
+    def test_long_path_rta_never_exceeds_graham(self, dag, m):
+        bound, lengths = long_path_rta(dag, m)
+        assert bound <= graham_bound(dag, m)
+        assert list(lengths) == sorted(lengths, reverse=True)
+        length, _ = dag.longest_path()
+        assert bound >= length  # never below the critical path
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag=random_dags(), m=st.integers(min_value=1, max_value=6))
+    def test_dag_rta_reports_the_refined_bound(self, dag, m):
+        res = dag_rta(dag, m)
+        assert res.response == long_path_rta(dag, m)[0]
+        assert res.graham == graham_bound(dag, m)
+        assert res.schedulable == (res.response <= dag.deadline)
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(dags=dag_sets())
+    def test_global_fp_verdict_monotone_in_m(self, dags):
+        verdicts = [
+            global_fp_schedulable(dags, m).schedulable for m in range(1, 7)
+        ]
+        for lo, hi in zip(verdicts, verdicts[1:]):
+            assert hi >= lo  # adding processors never breaks the set
+
+    @settings(max_examples=20, deadline=None)
+    @given(dags=dag_sets())
+    def test_global_rm_verdict_monotone_in_m(self, dags):
+        verdicts = [
+            global_rm_schedulable(dags, m).schedulable for m in (1, 2, 4, 8)
+        ]
+        for lo, hi in zip(verdicts, verdicts[1:]):
+            assert hi >= lo
+
+    @settings(max_examples=30, deadline=None)
+    @given(dags=dag_sets(), m=st.integers(min_value=1, max_value=4))
+    def test_responses_never_below_isolation_bound(self, dags, m):
+        res = global_fp_schedulable(dags, m)
+        for dag in dags:
+            bound = res.responses[dag.name]
+            if bound is not None:
+                assert bound >= graham_bound(dag, m)
+
+
+def _classic_rta(wcets, periods, k):
+    """Exact uniprocessor FP response time of task *k* (Joseph–Pandya)."""
+    r = wcets[k]
+    while True:
+        nxt = wcets[k] + sum(
+            ceil(r / periods[i]) * wcets[i] for i in range(k)
+        )
+        if nxt == r:
+            return r
+        if nxt > 10 ** 6:
+            return None  # unbounded for this instance; skip
+        r = nxt
+
+
+class TestUniprocessorPessimism:
+    @settings(max_examples=25, deadline=None)
+    @given(dags=st.lists(chain_dags(), min_size=1, max_size=3))
+    def test_m1_chain_sets_at_least_as_pessimistic_as_classic_rta(self, dags):
+        dags = [
+            DAGTask.chain(f"c{i}", list(d.wcets.values()), period=d.period)
+            for i, d in enumerate(dags)
+        ]
+        res = global_fp_schedulable(dags, 1)
+        vols = [d.volume for d in dags]
+        periods = [d.period for d in dags]
+        for k, dag in enumerate(dags):
+            bound = res.responses[dag.name]
+            if bound is None:
+                continue
+            exact = _classic_rta(vols, periods, k)
+            if exact is not None:
+                assert bound >= exact
+        # The highest-priority task sees no interference: equality.
+        top = res.responses[dags[0].name]
+        if top is not None:
+            assert top == vols[0]

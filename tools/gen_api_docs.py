@@ -571,6 +571,66 @@ re-analysis with bit-identical bounds.
 """
 
 
+MP_SECTION = """\
+## Multiprocessor DAG analysis
+
+`repro.mp` opens the intra-task parallel workload family: one
+`DAGTask` is a set of vertices with WCETs and precedence edges,
+released sporadically with a period and a relative deadline, and
+scheduled *globally* on `m` identical processors — the `m`-processor
+counterpart of the single-β analyses everywhere else in the library.
+
+**Model** (`repro.mp.model`).  `DAGTask` validates structure at
+construction (connected endpoints, positive WCETs, acyclicity) and
+exposes exact-rational metrics: `volume`, `longest_path()` /
+`critical_path()`, `utilization`, plus a memoized structural
+`digest()` used for content-addressed caching and cluster routing.
+`validate_dag` additionally rejects tasks whose critical path already
+exceeds the deadline.  JSON and DOT loaders
+(`save_dag`/`load_dag`/`save_dag_dot`/`load_dag_dot`) follow the
+`repro.io` conventions; both DOT importers (DRT and DAG) reject edges
+naming undeclared vertices with a named-line error.
+
+**Single-DAG bounds** (`repro.mp.bounds`).  `graham_bound` is the
+classic `len + (vol - len)/m`; `long_path_rta` refines it by charging
+up to `m - 1` vertex-disjoint long paths (He & Guan style), solving
+the piecewise-linear busy-interval fixpoint *exactly* — no iteration.
+The reported bound is the minimum of both, so it dominates Graham by
+construction and collapses to `vol` on `m = 1`.  `dag_rta` wraps this
+in the budget/degradation idiom: exhaustion degrades to the sound
+Graham bound (tagged `degraded`), never an error; non-degraded results
+are cached content-addressed (DAG digest + `m` + params).
+`dag_rta_many` fans independent per-DAG analyses over the parallel
+plane, bit-identical to a serial loop.
+
+**Global schedulability** (`repro.mp.global_sched`).
+`global_fp_schedulable` (input order = priority order) and
+`global_rm_schedulable` (rate-monotonic: ascending period, stable)
+run the carry-in/body/carry-out interference recurrence of Dinh et
+al. per task; constrained deadlines are required.  The carry-in form
+is deliberately coarser than the sharpest published variant so the
+verdict is provably *monotone in m* — adding processors never flips a
+schedulable set to unschedulable (hypothesis-enforced).
+
+**Cross-check anchoring** (`repro.mp.crosscheck`).  `chain_to_drt`
+encodes a chain-shaped DAG as a DRT task; on `m = 1` and unit service
+the exact single-resource engine's end-to-end delay must be
+*bit-identical* to `dag_rta(chain, 1).response`
+(`tests/test_mp_crosscheck.py` pins this, together with long-path <=
+Graham dominance and verdict monotonicity, under hypothesis).
+
+**Stack integration.**  Three service kinds — `dag_rta` (sheddable:
+admission pressure degrades it to Graham), `global_fp_schedulable`,
+`global_rm_schedulable` — ride the kind registry through the server,
+micro-batcher and cluster coordinator; requests carry a top-level
+`"m"` instead of `beta`, and placement/routing digests include the
+DAG structure and `m`, so cached re-requests are served
+bit-identically from any worker.  The CLI exposes `repro mp TASK...
+-m M [--policy rta|fp|rm]`; `benchmarks/bench_mp.py` gates warm
+batched verdicts at >= 3x a cold serial run.
+"""
+
+
 def render() -> str:
     lines = [
         "# API reference",
@@ -586,6 +646,7 @@ def render() -> str:
         CLUSTER_SECTION,
         OPERATIONS_SECTION,
         WHATIF_SECTION,
+        MP_SECTION,
     ]
     for name, module in sorted(iter_modules(), key=lambda kv: kv[0]):
         public = getattr(module, "__all__", None)
